@@ -1,0 +1,41 @@
+//! Ablations and baseline comparisons: E3x (vs Thorup–Zwick /
+//! bidirectional Dijkstra), E6x (adaptive routing), A1 (candidate
+//! budget), A2 (parallel scaling), A3 (strategy dispatch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::ablations as ab;
+use psep_bench::families::Family;
+use psep_bench::measure::random_pairs;
+use psep_oracle::thorup_zwick::ThorupZwickOracle;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E3x: oracle vs Thorup–Zwick vs bidirectional Dijkstra ===\n");
+    print!(
+        "{}",
+        ab::e3x_oracle_baselines(&[Family::Grid], 400)
+    );
+    println!("\n=== E6x: locked vs adaptive routing ===\n");
+    print!("{}", ab::e6x_adaptive_routing(&[Family::Grid], 400));
+    println!("\n=== A1: candidate budget ===\n");
+    print!("{}", ab::a1_candidate_budget(1024));
+    println!("\n=== A2: parallel label scaling ===\n");
+    print!("{}", ab::a2_parallel_scaling(1024));
+    println!("\n=== A3: strategy ablation ===\n");
+    print!("{}", ab::a3_strategy_ablation(400));
+
+    // time a TZ query for the record
+    let g = Family::Grid.make(1024, 7);
+    let tz = ThorupZwickOracle::build(&g, 2, 3);
+    let pairs = random_pairs(g.num_nodes(), 256, 1);
+    let mut i = 0usize;
+    c.bench_function("ax_tz_query_grid1024", |b| {
+        b.iter(|| {
+            let (u, v) = pairs[i % pairs.len()];
+            i += 1;
+            tz.query(u, v)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

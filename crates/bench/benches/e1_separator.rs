@@ -1,0 +1,32 @@
+//! E1 — Theorem 1: k-path separability across minor-free families.
+//!
+//! Prints the E1 table (paths per level flat in `n`, logarithmic depth,
+//! Definition 1 verified) and times decomposition-tree construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psep_bench::experiments::e1_separator;
+use psep_bench::families::Family;
+use psep_core::DecompositionTree;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E1: k-path separability (Theorem 1) ===\n");
+    print!("{}", e1_separator(&[256, 1024]));
+
+    let mut group = c.benchmark_group("e1_decomposition_build");
+    group.sample_size(10);
+    for fam in [Family::Tree, Family::Grid, Family::KTree3] {
+        for n in [256usize, 1024] {
+            let g = fam.make(n, 7);
+            let strat = fam.strategy();
+            group.bench_with_input(
+                BenchmarkId::new(fam.name(), g.num_nodes()),
+                &g,
+                |b, g| b.iter(|| DecompositionTree::build(g, strat.as_ref())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 — Theorem 6.1 (Thorup): planar graphs are strongly 3-path
+//! separable; prints the per-node path counts and times the
+//! fundamental-cycle separator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psep_bench::experiments::e2_planar_three_paths;
+use psep_bench::families::Family;
+use psep_core::strategy::{FundamentalCycleStrategy, SeparatorStrategy};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E2: strong 3-path separators on planar graphs ===\n");
+    print!("{}", e2_planar_three_paths(&[256, 1024]));
+
+    let mut group = c.benchmark_group("e2_fundamental_cycle");
+    group.sample_size(10);
+    let strat = FundamentalCycleStrategy::default();
+    for n in [256usize, 1024] {
+        let g = Family::TriangulatedGrid.make(n, 3);
+        let comp: Vec<_> = g.nodes().collect();
+        group.bench_with_input(BenchmarkId::new("tri-grid", g.num_nodes()), &g, |b, g| {
+            b.iter(|| strat.separate(g, &comp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E3 — Theorem 2: the `(1+ε)`-approximate distance oracle. Prints the
+//! stretch/space/time table and benchmarks oracle queries against
+//! on-line Dijkstra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psep_bench::experiments::e3_oracle;
+use psep_bench::families::Family;
+use psep_bench::measure::random_pairs;
+use psep_core::DecompositionTree;
+use psep_graph::dijkstra::dijkstra_to;
+use psep_oracle::oracle::{build_oracle, OracleParams};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E3: (1+ε)-approximate distance oracle (Theorem 2) ===\n");
+    print!(
+        "{}",
+        e3_oracle(&[Family::Grid, Family::KTree3], &[400, 1024], &[0.25])
+    );
+
+    let g = Family::Grid.make(1024, 7);
+    let strat = Family::Grid.strategy();
+    let tree = DecompositionTree::build(&g, strat.as_ref());
+    let oracle = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 4 });
+    let pairs = random_pairs(g.num_nodes(), 512, 3);
+
+    let mut group = c.benchmark_group("e3_query");
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("oracle", g.num_nodes()), |b| {
+        b.iter(|| {
+            let (u, v) = pairs[i % pairs.len()];
+            i += 1;
+            oracle.query(u, v)
+        })
+    });
+    let mut j = 0usize;
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("dijkstra", g.num_nodes()), |b| {
+        b.iter(|| {
+            let (u, v) = pairs[j % pairs.len()];
+            j += 1;
+            dijkstra_to(&g, u, v).dist(v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

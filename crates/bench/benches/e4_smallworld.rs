@@ -1,0 +1,33 @@
+//! E4 — Theorem 3: small-worldization. Prints the hops table (paper's
+//! distribution vs Kleinberg vs uniform) and benchmarks greedy routing
+//! over the augmented grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::experiments::e4_smallworld;
+use psep_core::strategy::FundamentalCycleStrategy;
+use psep_core::DecompositionTree;
+use psep_graph::generators::grids;
+use psep_smallworld::build_augmentation;
+use psep_smallworld::sim::GreedySim;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E4: small-world greedy routing (Theorem 3) ===\n");
+    print!("{}", e4_smallworld(&[256, 1024], 300));
+
+    let g = grids::grid2d(32, 32, 1);
+    let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
+    let aug = build_augmentation(&g, &tree, 7);
+    let mut group = c.benchmark_group("e4_greedy_routing");
+    group.sample_size(10);
+    group.bench_function("grid32_100trials", |b| {
+        b.iter(|| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+            GreedySim::new(&g, &aug).run(100, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E5 — Corollary 1.1 / Note 1: Δ-independent small-worlds on bounded
+//! treewidth graphs (singleton separator paths).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::experiments::e5_smallworld_tw;
+use psep_core::strategy::TreewidthStrategy;
+use psep_core::DecompositionTree;
+use psep_graph::generators::ktree;
+use psep_smallworld::build_augmentation;
+use psep_smallworld::sim::GreedySim;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E5: treewidth small-worlds, Δ-independent (Cor 1.1) ===\n");
+    print!("{}", e5_smallworld_tw(&[512], 300));
+
+    let kt = ktree::random_weighted_k_tree(512, 3, 64, 5);
+    let tree = DecompositionTree::build(&kt.graph, &TreewidthStrategy);
+    let aug = build_augmentation(&kt.graph, &tree, 8);
+    let mut group = c.benchmark_group("e5_tw_greedy");
+    group.sample_size(10);
+    group.bench_function("3tree512_100trials", |b| {
+        b.iter(|| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+            GreedySim::new(&kt.graph, &aug).run(100, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E6 — compact routing: poly-log tables/labels, measured stretch, and
+//! routing throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::experiments::e6_routing;
+use psep_bench::families::Family;
+use psep_bench::measure::random_pairs;
+use psep_core::DecompositionTree;
+use psep_routing::{Router, RoutingTables};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E6: compact routing ===\n");
+    print!(
+        "{}",
+        e6_routing(&[Family::Grid, Family::KTree3], &[400])
+    );
+
+    let g = Family::Grid.make(1024, 7);
+    let strat = Family::Grid.strategy();
+    let tree = DecompositionTree::build(&g, strat.as_ref());
+    let router = Router::new(&g, RoutingTables::build(&g, &tree));
+    let labels: Vec<_> = g.nodes().map(|v| router.label(v)).collect();
+    let pairs = random_pairs(g.num_nodes(), 512, 9);
+
+    let mut group = c.benchmark_group("e6_route");
+    let mut i = 0usize;
+    group.bench_function("plan_route_grid1024", |b| {
+        b.iter(|| {
+            let (u, v) = pairs[i % pairs.len()];
+            i += 1;
+            router.route(u, v, &labels[v.index()])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E7 — §5.1/§5.2 lower bounds: strong separators of mesh+apex need
+//! `Ω(√n)` paths while the sequential budget stays flat; `K_{r,n−r}`
+//! needs `≥ r/2` paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::experiments::e7_lower_bounds;
+use psep_core::strong::greedy_strong_separator;
+use psep_graph::generators::special;
+use psep_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E7: lower bounds (Thm 5-7, §5.2) ===\n");
+    print!("{}", e7_lower_bounds());
+
+    let g = special::mesh_with_apex(12);
+    let comp: Vec<NodeId> = g.nodes().collect();
+    let mut group = c.benchmark_group("e7_strong_search");
+    group.sample_size(10);
+    group.bench_function("mesh_apex_t12", |b| {
+        b.iter(|| greedy_strong_separator(&g, &comp, 24, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

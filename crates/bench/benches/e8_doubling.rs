@@ -1,0 +1,36 @@
+//! E8 — Theorem 8 (§5.3): doubling-separator oracles on 3D meshes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::experiments::e8_doubling;
+use psep_bench::measure::random_pairs;
+use psep_core::doubling::{DoublingDecompositionTree, GridPlaneStrategy};
+use psep_graph::generators::grids;
+use psep_oracle::doubling::{build_doubling_oracle, DoublingOracleParams};
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E8: doubling separators on 3D meshes (Theorem 8) ===\n");
+    print!("{}", e8_doubling(&[(6, 6, 6)], &[0.5]));
+
+    let (x, y, z) = (6, 6, 6);
+    let g = grids::grid3d(x, y, z);
+    let tree = DoublingDecompositionTree::build(&g, &GridPlaneStrategy { dims: (x, y, z) });
+    let oracle = build_doubling_oracle(
+        &g,
+        &tree,
+        DoublingOracleParams { epsilon: 0.5, threads: 4 },
+    );
+    let pairs = random_pairs(g.num_nodes(), 256, 5);
+    let mut group = c.benchmark_group("e8_query");
+    let mut i = 0usize;
+    group.bench_function("doubling_oracle_6x6x6", |b| {
+        b.iter(|| {
+            let (u, v) = pairs[i % pairs.len()];
+            i += 1;
+            oracle.query(u, v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E9 — structural lemmas: Claim 1 landmark cover, Lemma 1 center bags,
+//! Lemma 5 clique-weights, portal counts vs 1/ε.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psep_bench::experiments::e9_structures;
+use psep_core::separator::SepPath;
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::generators::grids;
+use psep_graph::NodeId;
+use psep_oracle::portals::select_portals;
+use psep_smallworld::select_landmarks;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E9: structural lemmas ===\n");
+    print!("{}", e9_structures());
+
+    let g = grids::grid2d(9, 65, 1);
+    let row = grids::grid_row(9, 65, 4);
+    let path = SepPath::new(&g, row);
+    let sp = dijkstra(&g, &[NodeId(0)]);
+
+    let mut group = c.benchmark_group("e9_selection");
+    group.bench_function("portals_eps025", |b| {
+        b.iter(|| select_portals(sp.dist_raw(), &path, 0.25))
+    });
+    group.bench_function("claim1_landmarks", |b| {
+        b.iter(|| select_landmarks(sp.dist_raw(), &path, 9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Runs the experiment suite and prints `EXPERIMENTS.md`-ready tables.
+//!
+//! ```text
+//! cargo run -p psep-bench --bin harness --release            # all
+//! cargo run -p psep-bench --bin harness --release -- e1 e3   # subset
+//! cargo run -p psep-bench --bin harness --release -- quick   # small sizes
+//! ```
+
+use psep_bench::ablations as ab;
+use psep_bench::experiments as ex;
+use psep_bench::families::Family;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let large = args.iter().any(|a| a == "large");
+    let want = |name: &str| {
+        args.is_empty()
+            || args.iter().all(|a| a == "quick" || a == "large")
+            || args.iter().any(|a| a == name)
+    };
+
+    let e1_sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+    let e3_sizes: &[usize] = if quick {
+        &[400]
+    } else if large {
+        &[400, 1600, 4096, 16384]
+    } else {
+        &[400, 1600, 4096]
+    };
+    let e3_fams = [Family::Grid, Family::TriangulatedGrid, Family::KTree3];
+    let e4_sizes: &[usize] = if quick {
+        &[256, 1024]
+    } else if large {
+        &[256, 1024, 4096, 16384]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let e5_sizes: &[usize] = if quick { &[512] } else { &[512, 2048] };
+    let e6_sizes: &[usize] = if quick { &[400] } else { &[400, 1600] };
+    let e6_fams = [Family::Grid, Family::Apollonian, Family::KTree3, Family::Tree];
+    let e8_dims: &[(usize, usize, usize)] =
+        if quick { &[(6, 6, 6)] } else { &[(6, 6, 6), (10, 10, 10)] };
+    let trials = if quick { 200 } else { 600 };
+
+    if want("e1") {
+        section("E1 — k-path separability across minor-free families (Thm 1)");
+        print!("{}", ex::e1_separator(e1_sizes));
+    }
+    if want("e2") {
+        section("E2 — strong 3-path separators on planar families (Thm 6.1)");
+        print!("{}", ex::e2_planar_three_paths(e1_sizes));
+    }
+    if want("e3") {
+        section("E3 — (1+ε)-approximate distance oracle (Thm 2)");
+        print!("{}", ex::e3_oracle(&e3_fams, e3_sizes, &[0.5, 0.25, 0.1]));
+    }
+    if want("e4") {
+        section("E4 — small-world greedy routing (Thm 3)");
+        print!("{}", ex::e4_smallworld(e4_sizes, trials));
+    }
+    if want("e5") {
+        section("E5 — treewidth small-worlds, Δ-independent (Cor 1.1 / Note 1)");
+        print!("{}", ex::e5_smallworld_tw(e5_sizes, trials));
+    }
+    if want("e6") {
+        section("E6 — compact routing: tables, labels, stretch");
+        print!("{}", ex::e6_routing(&e6_fams, e6_sizes));
+    }
+    if want("e7") {
+        section("E7 — lower bounds (Thm 5–7, §5.2)");
+        print!("{}", ex::e7_lower_bounds());
+    }
+    if want("e8") {
+        section("E8 — doubling separators on 3D meshes (Thm 8, §5.3)");
+        print!("{}", ex::e8_doubling(e8_dims, &[0.5, 0.25]));
+    }
+    if want("e9") {
+        section("E9 — structural lemmas (Claim 1, Lemma 1, Lemma 5, portals)");
+        print!("{}", ex::e9_structures());
+    }
+    if want("e3x") {
+        section("E3x — oracle vs Thorup–Zwick vs bidirectional Dijkstra");
+        print!("{}", ab::e3x_oracle_baselines(&[Family::Grid, Family::KTree3], if quick { 400 } else { 1600 }));
+    }
+    if want("e6x") {
+        section("E6x — locked-plan vs adaptive routing");
+        print!("{}", ab::e6x_adaptive_routing(&[Family::Grid, Family::Apollonian], if quick { 400 } else { 1600 }));
+    }
+    if want("a1") {
+        section("A1 — fundamental-cycle candidate budget ablation");
+        print!("{}", ab::a1_candidate_budget(if quick { 1024 } else { 4096 }));
+    }
+    if want("a2") {
+        section("A2 — parallel label-construction scaling");
+        print!("{}", ab::a2_parallel_scaling(if quick { 1024 } else { 4096 }));
+    }
+    if want("a3") {
+        section("A3 — strategy ablation");
+        print!("{}", ab::a3_strategy_ablation(if quick { 400 } else { 1024 }));
+    }
+    if want("e7x") {
+        section("E7x — Theorem 5's shadow: label blowup on unstructured graphs");
+        print!("{}", ab::e7x_sparse_label_blowup());
+    }
+    if want("a4") {
+        section("A4 — adjacency vs CSR layout");
+        print!("{}", ab::a4_csr_layout(if quick { 1024 } else { 4096 }));
+    }
+}
+
+fn section(title: &str) {
+    println!();
+    println!("## {title}");
+    println!();
+}

@@ -1,0 +1,568 @@
+//! The experiments E1–E9 (see `EXPERIMENTS.md`): each function runs one
+//! experiment and returns a markdown table of its results.
+
+use std::fmt::Write as _;
+
+use psep_core::check::check_tree;
+use psep_core::doubling::{DoublingDecompositionTree, GridPlaneStrategy};
+use psep_core::strategy::{FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy};
+use psep_core::strong::{
+    greedy_strong_separator, max_shortest_path_vertices, strong_lower_bound_mesh_apex,
+};
+use psep_core::DecompositionTree;
+use psep_graph::dijkstra::{dijkstra, dijkstra_to};
+use psep_graph::generators::{grids, ktree, randomize_weights, special};
+use psep_graph::graph::NodeId;
+use psep_graph::metrics::aspect_ratio_estimate;
+use psep_oracle::oracle::{build_oracle, OracleParams};
+use psep_routing::{OracleGreedyRouter, Router, RoutingTables};
+use psep_smallworld::baselines::{KleinbergGrid, UniformAugmentation};
+use psep_smallworld::sim::{ContactRule, GreedySim};
+use psep_smallworld::{build_augmentation, claim1_holds, select_landmarks};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::families::{Family, ALL_FAMILIES};
+use crate::measure::{mean_micros, sample_stretch, timed};
+
+const SEED: u64 = 20060722; // PODC'06 started July 22, 2006
+
+/// E1 — Theorem 1 / Definition 1: every minor-free family decomposes
+/// with a flat (n-independent) path budget per level, and logarithmic
+/// depth; every separator is verified against Definition 1.
+pub fn e1_separator(sizes: &[usize]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | max Σk_i per node | groups(max) | depth | ⌈log₂n⌉+1 | Def.1 |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for fam in ALL_FAMILIES {
+        for &n in sizes {
+            let g = fam.make(n, SEED);
+            let strat = fam.strategy();
+            let tree = DecompositionTree::build(&g, strat.as_ref());
+            let ok = check_tree(&g, &tree).is_ok();
+            let max_groups = tree
+                .nodes()
+                .iter()
+                .map(|nd| nd.separator.num_groups())
+                .max()
+                .unwrap_or(0);
+            let bound = (g.num_nodes() as f64).log2().ceil() as usize + 1;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                fam.name(),
+                g.num_nodes(),
+                tree.max_paths_per_node(),
+                max_groups,
+                tree.depth() + 1,
+                bound,
+                if ok { "ok" } else { "VIOLATED" }
+            );
+        }
+    }
+    out
+}
+
+/// E2 — Theorem 6.1 (Thorup): planar families are strongly 3-path
+/// separable; the fundamental-cycle strategy should need ≤ 3 root paths
+/// at every node.
+pub fn e2_planar_three_paths(sizes: &[usize]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | nodes | max paths/node | nodes ≤3 paths | strong? |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for fam in ALL_FAMILIES.into_iter().filter(|f| f.is_planar()) {
+        for &n in sizes {
+            let g = fam.make(n, SEED);
+            let strat = FundamentalCycleStrategy::default();
+            let tree = DecompositionTree::build(&g, &strat);
+            check_tree(&g, &tree).expect("separators must validate");
+            let total = tree.nodes().len();
+            let within: usize = tree
+                .nodes()
+                .iter()
+                .filter(|nd| nd.separator.num_paths() <= 3)
+                .count();
+            let strong = tree.nodes().iter().all(|nd| nd.separator.is_strong());
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {}/{} | {} |",
+                fam.name(),
+                g.num_nodes(),
+                total,
+                tree.max_paths_per_node(),
+                within,
+                total,
+                strong
+            );
+        }
+    }
+    out
+}
+
+/// E3 — Theorem 2: oracle stretch ≤ 1+ε, label size growth ~ log n,
+/// query time vs on-line Dijkstra, space vs the quadratic APSP baseline.
+pub fn e3_oracle(families: &[Family], sizes: &[usize], epsilons: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | ε | build s | mean label | max label | mean stretch | max stretch | query µs | dijkstra µs | oracle entries | APSP entries |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for &fam in families {
+        for &n in sizes {
+            let g = fam.make(n, SEED);
+            let strat = fam.strategy();
+            let tree = DecompositionTree::build(&g, strat.as_ref());
+            for &eps in epsilons {
+                let (oracle, build_s) = timed(|| {
+                    build_oracle(&g, &tree, OracleParams { epsilon: eps, threads: 4 })
+                });
+                let stats = oracle.stats();
+                let stretch =
+                    sample_stretch(&g, 24, 48, SEED ^ 1, |u, v| oracle.query(u, v));
+                assert!(
+                    stretch.max <= 1.0 + eps + 1e-9,
+                    "stretch {} exceeds 1+{eps}",
+                    stretch.max
+                );
+                let pairs = crate::measure::random_pairs(g.num_nodes(), 256, SEED ^ 2);
+                let mut idx = 0usize;
+                let query_us = mean_micros(1024, || {
+                    let (u, v) = pairs[idx % pairs.len()];
+                    idx += 1;
+                    let _ = oracle.query(u, v);
+                });
+                let mut jdx = 0usize;
+                let dijkstra_us = mean_micros(32, || {
+                    let (u, v) = pairs[jdx % pairs.len()];
+                    jdx += 1;
+                    let _ = dijkstra_to(&g, u, v);
+                });
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {eps} | {build_s:.2} | {:.1} | {} | {:.4} | {:.4} | {query_us:.2} | {dijkstra_us:.1} | {} | {} |",
+                    fam.name(),
+                    g.num_nodes(),
+                    stats.mean_size,
+                    stats.max_size,
+                    stretch.mean,
+                    stretch.max,
+                    oracle.space_entries(),
+                    g.num_nodes() * g.num_nodes(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// E4 — Theorem 3: expected greedy hops under the paper's augmentation
+/// vs Kleinberg inverse-square (grids only) and uniform contacts; hop
+/// growth should be poly-logarithmic for the paper's distribution and
+/// polynomial for the uniform baseline.
+pub fn e4_smallworld(sizes: &[usize], trials: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| graph | n | Δ | plain greedy | paper 𝒟 | kleinberg | uniform | hops/log²n (𝒟) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    struct NoContacts;
+    impl ContactRule for NoContacts {
+        fn sample_contact(&self, _: NodeId, _: &mut dyn rand::RngCore) -> Option<NodeId> {
+            None
+        }
+    }
+    for &n in sizes {
+        let side = (n as f64).sqrt().round() as usize;
+        let g = grids::grid2d(side, side, 1);
+        let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
+        let log_delta = (aspect_ratio_estimate(&g).unwrap_or(2) as f64).log2().ceil() as u32 + 1;
+        let aug = build_augmentation(&g, &tree, log_delta);
+        let kb = KleinbergGrid::new(side, side);
+        let un = UniformAugmentation::new(g.num_nodes());
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+        let plain = GreedySim::new(&g, &NoContacts).run(trials, &mut rng);
+        let paper = GreedySim::new(&g, &aug).run(trials, &mut rng);
+        let kbs = GreedySim::new(&g, &kb).run(trials, &mut rng);
+        let uns = GreedySim::new(&g, &un).run(trials, &mut rng);
+        let log2n = (g.num_nodes() as f64).log2();
+        let _ = writeln!(
+            out,
+            "| grid {side}×{side} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2} |",
+            g.num_nodes(),
+            side * 2 - 2,
+            plain.mean_hops,
+            paper.mean_hops,
+            kbs.mean_hops,
+            uns.mean_hops,
+            paper.mean_hops / (log2n * log2n),
+        );
+    }
+    // other minor-free families under the paper's 𝒟 (claim covers all)
+    for fam in [crate::families::Family::Tree, crate::families::Family::Apollonian] {
+        let n = *sizes.last().unwrap_or(&1024);
+        let g = fam.make(n, SEED);
+        let strat = fam.strategy();
+        let tree = DecompositionTree::build(&g, strat.as_ref());
+        let log_delta =
+            (aspect_ratio_estimate(&g).unwrap_or(2) as f64).log2().ceil() as u32 + 1;
+        let aug = build_augmentation(&g, &tree, log_delta);
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 21);
+        let plain = GreedySim::new(&g, &NoContacts).run(trials, &mut rng);
+        let paper = GreedySim::new(&g, &aug).run(trials, &mut rng);
+        let log2n = (g.num_nodes() as f64).log2();
+        let _ = writeln!(
+            out,
+            "| {} | {} | - | {:.1} | {:.1} | - | - | {:.2} |",
+            fam.name(),
+            g.num_nodes(),
+            plain.mean_hops,
+            paper.mean_hops,
+            paper.mean_hops / (log2n * log2n),
+        );
+    }
+    // Note 2 variant: closest-separator contacts on the unweighted grid
+    {
+        let side = 32usize;
+        let g = grids::grid2d(side, side, 1);
+        let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
+        let rule = psep_smallworld::ClosestSeparatorRule::build(&g, &tree);
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 22);
+        let note2 = GreedySim::new(&g, &rule).run(trials, &mut rng);
+        let log2n = (g.num_nodes() as f64).log2();
+        let _ = writeln!(
+            out,
+            "| grid {side}×{side} (Note 2) | {} | {} | - | {:.1} | - | - | {:.2} |",
+            g.num_nodes(),
+            side * 2 - 2,
+            note2.mean_hops,
+            note2.mean_hops / (log2n * log2n),
+        );
+    }
+    // Δ sweep on a fixed weighted grid topology (log²Δ factor)
+    let side = 24usize;
+    for max_w in [1u64, 8, 64] {
+        let base = grids::grid2d(side, side, 1);
+        let g = if max_w == 1 {
+            base
+        } else {
+            randomize_weights(&base, 1, max_w, SEED)
+        };
+        let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
+        let delta = aspect_ratio_estimate(&g).unwrap_or(2);
+        let log_delta = (delta as f64).log2().ceil() as u32 + 1;
+        let aug = build_augmentation(&g, &tree, log_delta);
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 3);
+        let paper = GreedySim::new(&g, &aug).run(trials, &mut rng);
+        let log2n = (g.num_nodes() as f64).log2();
+        let _ = writeln!(
+            out,
+            "| weighted grid w≤{max_w} | {} | {delta} | - | {:.1} | - | - | {:.2} |",
+            g.num_nodes(),
+            paper.mean_hops,
+            paper.mean_hops / (log2n * log2n),
+        );
+    }
+    out
+}
+
+/// E5 — Corollary 1.1 / Note 1: on bounded-treewidth graphs the
+/// separator paths are single vertices, so the hop count is
+/// `O(k² log² n)` with **no** `Δ` dependence: sweep edge weights on a
+/// fixed 3-tree topology.
+pub fn e5_smallworld_tw(sizes: &[usize], trials: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| graph | n | max w | Δ | paper 𝒟 hops | hops/log²n | singleton paths? |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for &n in sizes {
+        for max_w in [1u64, 16, 256] {
+            let kt = if max_w == 1 {
+                ktree::random_k_tree(n, 3, SEED)
+            } else {
+                ktree::random_weighted_k_tree(n, 3, max_w, SEED)
+            };
+            let g = &kt.graph;
+            let tree = DecompositionTree::build(g, &psep_core::strategy::TreewidthStrategy);
+            let singleton = tree.nodes().iter().all(|nd| {
+                nd.separator
+                    .groups
+                    .iter()
+                    .flat_map(|gr| gr.paths.iter())
+                    .all(|p| p.is_singleton())
+            });
+            let delta = aspect_ratio_estimate(g).unwrap_or(2);
+            let log_delta = (delta as f64).log2().ceil() as u32 + 1;
+            let aug = build_augmentation(g, &tree, log_delta);
+            let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 4);
+            let stats = GreedySim::new(g, &aug).run(trials, &mut rng);
+            let log2n = (g.num_nodes() as f64).log2();
+            let _ = writeln!(
+                out,
+                "| 3-tree | {} | {max_w} | {delta} | {:.1} | {:.2} | {} |",
+                g.num_nodes(),
+                stats.mean_hops,
+                stats.mean_hops / (log2n * log2n),
+                singleton
+            );
+        }
+    }
+    out
+}
+
+/// E6 — compact routing: table/label sizes (poly-log shape) and measured
+/// stretch of the plan router vs the oracle-greedy baseline.
+pub fn e6_routing(families: &[Family], sizes: &[usize]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | mean tbl | max tbl | label | plan mean | plan max | greedy mean | greedy delivery |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for &fam in families {
+        for &n in sizes {
+            let g = fam.make(n, SEED);
+            let strat = fam.strategy();
+            let tree = DecompositionTree::build(&g, strat.as_ref());
+            let tables = RoutingTables::build(&g, &tree);
+            let (mean_tbl, max_tbl) = tables.table_stats();
+            let mean_label = {
+                let total: usize = g.nodes().map(|v| tables.label(v).size()).sum();
+                total as f64 / g.num_nodes() as f64
+            };
+            let router = Router::new(&g, tables);
+            let labels: Vec<_> = g.nodes().map(|v| router.label(v)).collect();
+            let plan = sample_stretch(&g, 24, 32, SEED ^ 5, |u, v| {
+                router.route(u, v, &labels[v.index()]).map(|o| o.cost)
+            });
+            assert!(plan.max <= 3.0 + 1e-9, "plan stretch {} > 3", plan.max);
+            // oracle-greedy baseline
+            let olabels =
+                psep_oracle::label::build_labels(&g, &tree, 0.25, 4);
+            let greedy = OracleGreedyRouter::new(&g, olabels);
+            let pairs = crate::measure::random_pairs(g.num_nodes(), 512, SEED ^ 6);
+            let mut delivered = 0usize;
+            let mut total_stretch = 0.0f64;
+            let mut counted = 0usize;
+            for &(u, v) in &pairs {
+                if u == v {
+                    continue;
+                }
+                counted += 1;
+                if let Some(o) = greedy.route(u, v) {
+                    delivered += 1;
+                    if let Some(d) = dijkstra_to(&g, u, v).dist(v) {
+                        total_stretch += o.cost as f64 / d as f64;
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {} | {mean_tbl:.1} | {max_tbl} | {mean_label:.1} | {:.4} | {:.4} | {:.4} | {:.1}% |",
+                fam.name(),
+                g.num_nodes(),
+                plan.mean,
+                plan.max,
+                if delivered > 0 {
+                    total_stretch / delivered as f64
+                } else {
+                    f64::NAN
+                },
+                100.0 * delivered as f64 / counted.max(1) as f64,
+            );
+        }
+    }
+    out
+}
+
+/// E7 — the lower bounds of §5.1–5.2 and Theorem 7: strong separators of
+/// mesh+apex grow like `√n` while the sequential (Definition 1) budget
+/// stays flat; `K_{r,n−r}` needs `≥ r/2` paths; the weighted
+/// path+stable graph is 1-path separable despite a `K_{n/2,n/2}` minor.
+pub fn e7_lower_bounds() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| graph | n | analytic strong LB | greedy strong k (balanced?) | sequential k | max SP vertices |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for t in [6usize, 9, 12, 18, 24] {
+        let g = special::mesh_with_apex(t);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let lb = strong_lower_bound_mesh_apex(t);
+        let (strong, balanced) = greedy_strong_separator(&g, &comp, 2 * t, 8);
+        let seq = IterativeStrategy::default().separate(&g, &comp);
+        psep_core::check::check_separator(&g, &comp, &seq, None).unwrap();
+        let spv = max_shortest_path_vertices(&g, 6);
+        let _ = writeln!(
+            out,
+            "| mesh+apex t={t} | {} | {lb} | {} ({balanced}) | {} | {spv} |",
+            g.num_nodes(),
+            strong.num_paths(),
+            seq.num_paths(),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| graph | n | r/2 lower bound | greedy strong k (balanced?) |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for r in [4usize, 8, 16] {
+        let g = special::complete_bipartite(r, 4 * r);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let (strong, balanced) = greedy_strong_separator(&g, &comp, 4 * r, 8);
+        let _ = writeln!(
+            out,
+            "| K_{{{r},{}}} | {} | {} | {} ({balanced}) |",
+            4 * r,
+            g.num_nodes(),
+            r / 2,
+            strong.num_paths(),
+        );
+    }
+    let _ = writeln!(out);
+    // §5.2 opening example: 1-path separable despite a huge minor
+    let half = 32;
+    let g = special::path_plus_stable(half);
+    let comp: Vec<NodeId> = g.nodes().collect();
+    let path: Vec<NodeId> = (0..half).map(NodeId::from_index).collect();
+    let sep = psep_core::separator::PathSeparator::strong(vec![
+        psep_core::separator::SepPath::new(&g, path),
+    ]);
+    let ok = psep_core::check::check_separator(&g, &comp, &sep, Some(1)).is_ok();
+    let _ = writeln!(
+        out,
+        "path+stable (n={}): contains K_{{{half},{half}}} minor, 1-path separator valid: {ok}",
+        g.num_nodes()
+    );
+    out
+}
+
+/// E8 — Theorem 8 (§5.3): 3D meshes have no small path separator (the
+/// iterative engine needs many paths) but decompose with one isometric
+/// doubling plane per level; the doubling oracle achieves stretch ≤ 1+ε.
+pub fn e8_doubling(dims: &[(usize, usize, usize)], epsilons: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| mesh | n | k-path Σk_i (iterative) | doubling pieces/node | ε | mean label | mean stretch | max stretch |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for &(x, y, z) in dims {
+        let g = grids::grid3d(x, y, z);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        // how many paths the k-path engine burns on the top level
+        let kp = IterativeStrategy::default().separate(&g, &comp);
+        let tree = DoublingDecompositionTree::build(&g, &GridPlaneStrategy { dims: (x, y, z) });
+        for &eps in epsilons {
+            let oracle = psep_oracle::doubling::build_doubling_oracle(
+                &g,
+                &tree,
+                psep_oracle::doubling::DoublingOracleParams { epsilon: eps, threads: 4 },
+            );
+            let stretch = sample_stretch(&g, 16, 32, SEED ^ 7, |u, v| oracle.query(u, v));
+            assert!(stretch.max <= 1.0 + eps + 1e-9);
+            let _ = writeln!(
+                out,
+                "| {x}×{y}×{z} | {} | {} | {} | {eps} | {:.1} | {:.4} | {:.4} |",
+                g.num_nodes(),
+                kp.num_paths(),
+                tree.max_pieces_per_node(),
+                oracle.mean_label_size(),
+                stretch.mean,
+                stretch.max,
+            );
+        }
+    }
+    out
+}
+
+/// E9 — structural lemmas measured directly: Claim 1 landmark cover,
+/// Lemma 1 center-bag balance, Lemma 5 clique-weights, and portal counts
+/// vs `1/ε`.
+pub fn e9_structures() -> String {
+    let mut out = String::new();
+    // Claim 1 on a unit and a weighted grid
+    let (r, c) = (9, 33);
+    for (name, g) in [
+        ("unit grid", grids::grid2d(r, c, 1)),
+        (
+            "weighted grid",
+            randomize_weights(&grids::grid2d(r, c, 1), 1, 16, SEED),
+        ),
+    ] {
+        // use a genuine shortest path as Q
+        let sp0 = dijkstra(&g, &[NodeId(0)]);
+        let far = g.nodes().max_by_key(|&v| sp0.dist(v).unwrap()).unwrap();
+        let q = psep_core::separator::SepPath::new(&g, sp0.path_to(far).unwrap());
+        let log_delta =
+            (aspect_ratio_estimate(&g).unwrap() as f64).log2().ceil() as u32 + 1;
+        let mut holds = 0usize;
+        let mut total_lm = 0usize;
+        for v in g.nodes() {
+            let spv = dijkstra(&g, &[v]);
+            let lm = select_landmarks(spv.dist_raw(), &q, log_delta);
+            total_lm += lm.len();
+            if claim1_holds(spv.dist_raw(), &q, &lm) {
+                holds += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "Claim 1 ({name}, n={}): holds for {holds}/{} vertices, mean |L| = {:.1}",
+            g.num_nodes(),
+            g.num_nodes(),
+            total_lm as f64 / g.num_nodes() as f64
+        );
+    }
+    // Lemma 1 + Lemma 5 on k-trees
+    for k in [2usize, 3, 4] {
+        let kt = ktree::random_k_tree(200, k, SEED);
+        let g = &kt.graph;
+        let dec = psep_treedec::elimination::min_degree_decomposition(g);
+        let cb = psep_treedec::center::center_bag(g, &dec);
+        let bag = dec.bag(cb);
+        let biggest =
+            psep_graph::components::largest_component_after_removal(g, bag);
+        let torso = psep_treedec::torso::torso(g, &dec, cb);
+        let cw = psep_treedec::cliqueweight::lemma5_clique_weight(g, &torso);
+        let _ = writeln!(
+            out,
+            "Lemma 1/5 ({k}-tree, n=200): center bag |C|={} (≤ width+1 = {}), max comp {} ≤ n/2 = 100, clique-weight total {} = n",
+            bag.len(),
+            dec.width() + 1,
+            biggest,
+            cw.total(),
+        );
+    }
+    // portal counts vs 1/ε on a grid row
+    let g = grids::grid2d(9, 65, 1);
+    let row = grids::grid_row(9, 65, 4);
+    let q = psep_core::separator::SepPath::new(&g, row);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| ε | mean portals per (v, Q) | max |");
+    let _ = writeln!(out, "|---|---|---|");
+    for eps in [1.0, 0.5, 0.25, 0.1, 0.05] {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for v in g.nodes() {
+            let spv = dijkstra(&g, &[v]);
+            let p = psep_oracle::portals::select_portals(spv.dist_raw(), &q, eps);
+            total += p.len();
+            max = max.max(p.len());
+        }
+        let _ = writeln!(
+            out,
+            "| {eps} | {:.2} | {max} |",
+            total as f64 / g.num_nodes() as f64
+        );
+    }
+    out
+}

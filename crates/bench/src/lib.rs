@@ -1,0 +1,13 @@
+//! Experiment harness for the `path-separators` reproduction.
+//!
+//! Each experiment `E1`–`E9` in `EXPERIMENTS.md` has one function in
+//! [`experiments`] that generates its workload, runs the measurement,
+//! and returns a markdown table. The criterion benches under `benches/`
+//! print the same tables and time one representative operation each; the
+//! `harness` binary runs any subset (`cargo run -p psep-bench --bin
+//! harness --release -- e1 e3 …`).
+
+pub mod ablations;
+pub mod experiments;
+pub mod families;
+pub mod measure;

@@ -1,0 +1,125 @@
+//! Shared measurement utilities: timing, pair sampling, stretch
+//! statistics.
+
+use std::time::Instant;
+
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::{Graph, NodeId, Weight};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Times `f`, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Stretch statistics over sampled vertex pairs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StretchStats {
+    /// Pairs measured.
+    pub pairs: usize,
+    /// Mean multiplicative stretch.
+    pub mean: f64,
+    /// Maximum stretch observed.
+    pub max: f64,
+    /// Fraction of pairs answered exactly.
+    pub exact_frac: f64,
+}
+
+/// Samples `sources` random source vertices, runs exact Dijkstra from
+/// each, and evaluates `estimate(u, v)` against the true distance for
+/// `targets_per_source` random targets. `estimate` must never
+/// underestimate; this is asserted.
+pub fn sample_stretch(
+    g: &Graph,
+    sources: usize,
+    targets_per_source: usize,
+    seed: u64,
+    mut estimate: impl FnMut(NodeId, NodeId) -> Option<Weight>,
+) -> StretchStats {
+    let n = g.num_nodes();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut total = 0.0f64;
+    let mut max = 1.0f64;
+    let mut pairs = 0usize;
+    let mut exact = 0usize;
+    for _ in 0..sources {
+        let u = NodeId::from_index(rng.gen_range(0..n));
+        let sp = dijkstra(g, &[u]);
+        for _ in 0..targets_per_source {
+            let v = NodeId::from_index(rng.gen_range(0..n));
+            if u == v {
+                continue;
+            }
+            let Some(d) = sp.dist(v) else { continue };
+            let est = estimate(u, v).expect("connected pair must have an estimate");
+            assert!(est >= d, "estimate {est} under distance {d}");
+            let s = est as f64 / d as f64;
+            total += s;
+            max = max.max(s);
+            pairs += 1;
+            if est == d {
+                exact += 1;
+            }
+        }
+    }
+    StretchStats {
+        pairs,
+        mean: if pairs == 0 { 0.0 } else { total / pairs as f64 },
+        max,
+        exact_frac: if pairs == 0 {
+            0.0
+        } else {
+            exact as f64 / pairs as f64
+        },
+    }
+}
+
+/// Mean time per call of `f` over `iters` calls, in microseconds.
+pub fn mean_micros(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64
+}
+
+/// Random vertex pairs (deterministic in `seed`).
+pub fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                NodeId::from_index(rng.gen_range(0..n)),
+                NodeId::from_index(rng.gen_range(0..n)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::grids;
+
+    #[test]
+    fn exact_estimator_has_stretch_one() {
+        let g = grids::grid2d(5, 5, 1);
+        let stats = sample_stretch(&g, 4, 8, 1, |u, v| {
+            psep_graph::dijkstra::distance(&g, u, v)
+        });
+        assert!(stats.pairs > 0);
+        assert_eq!(stats.mean, 1.0);
+        assert_eq!(stats.max, 1.0);
+        assert_eq!(stats.exact_frac, 1.0);
+    }
+
+    #[test]
+    fn pairs_are_deterministic() {
+        assert_eq!(random_pairs(10, 5, 3), random_pairs(10, 5, 3));
+        assert_ne!(random_pairs(10, 5, 3), random_pairs(10, 5, 4));
+    }
+}

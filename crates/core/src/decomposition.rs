@@ -1,0 +1,351 @@
+//! The recursive decomposition tree of Section 4.
+//!
+//! The tree's vertices are subgraphs of `G`: the root is `G` itself, and
+//! the children of a node `H` are the connected components of
+//! `H \ S(H)`. Since every component has at most half its parent's
+//! vertices, the depth is at most `log₂ n + 1`. Every vertex of `G` is
+//! removed (appears on a separator path) at exactly one node — its
+//! *home* — and the path `H₁(v), …, H_r(v)` from the root to `home(v)` is
+//! the context chain that labels, routing tables, and the small-world
+//! augmentation distribution are built over.
+
+use psep_graph::components::components;
+use psep_graph::graph::{Graph, NodeId};
+use psep_graph::view::{NodeMask, SubgraphView};
+
+use crate::separator::PathSeparator;
+use crate::strategy::SeparatorStrategy;
+
+/// One node of the decomposition tree: a component `H` and its separator
+/// `S(H)`.
+#[derive(Clone, Debug)]
+pub struct DecompNode {
+    /// Parent node index (`None` for roots).
+    pub parent: Option<usize>,
+    /// Depth (root = 0).
+    pub depth: usize,
+    /// The component's vertices, sorted.
+    pub vertices: Vec<NodeId>,
+    /// The separator `S(H)` computed for this component.
+    pub separator: PathSeparator,
+    /// Child node indices (components of `H \ S(H)`).
+    pub children: Vec<usize>,
+}
+
+/// The decomposition tree of a graph under a separator strategy.
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::generators::grids;
+/// use psep_core::{DecompositionTree, AutoStrategy};
+///
+/// let g = grids::grid2d(8, 8, 1);
+/// let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+/// assert!(tree.depth() as f64 <= (64f64).log2() + 1.0);
+/// assert!(tree.max_paths_per_node() >= 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecompositionTree {
+    nodes: Vec<DecompNode>,
+    /// For each vertex: the node where it lies on the separator.
+    home: Vec<u32>,
+    /// For each vertex: the index of the first group containing it at its
+    /// home node.
+    removal_group: Vec<u32>,
+}
+
+impl DecompositionTree {
+    /// Builds the decomposition tree of `g` (all components) using
+    /// `strategy` at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy returns a separator that removes no vertex
+    /// of a component (which would loop forever), or if some vertex never
+    /// acquires a home (strategy produced vertices outside the component).
+    pub fn build(g: &Graph, strategy: &dyn SeparatorStrategy) -> Self {
+        let n = g.num_nodes();
+        let mut nodes: Vec<DecompNode> = Vec::new();
+        let mut home = vec![u32::MAX; n];
+        let mut removal_group = vec![u32::MAX; n];
+
+        // roots: connected components of g
+        let mut work: Vec<(Option<usize>, usize, Vec<NodeId>)> = components(g)
+            .into_iter()
+            .map(|c| (None, 0usize, c))
+            .collect();
+
+        while let Some((parent, depth, comp)) = work.pop() {
+            let sep = strategy.separate(g, &comp);
+            let node_idx = nodes.len();
+            let sep_vertices = sep.vertices();
+            assert!(
+                !sep_vertices.is_empty(),
+                "strategy {} removed nothing from a component of size {}",
+                strategy.name(),
+                comp.len()
+            );
+            // record homes and removal groups
+            for (gi, group) in sep.groups.iter().enumerate() {
+                for v in group.vertices() {
+                    if home[v.index()] == u32::MAX {
+                        home[v.index()] = node_idx as u32;
+                        removal_group[v.index()] = gi as u32;
+                    } else {
+                        debug_assert_eq!(
+                            home[v.index()],
+                            node_idx as u32,
+                            "vertex {v:?} separated twice"
+                        );
+                        // keep the earliest group index
+                    }
+                }
+            }
+            // children: components of comp \ S
+            let mut mask = NodeMask::from_nodes(n, comp.iter().copied());
+            mask.remove_all(sep_vertices.iter().copied());
+            let view = SubgraphView::new(g, &mask);
+            let child_comps = components(&view);
+            for cc in child_comps {
+                assert!(
+                    cc.len() <= comp.len() / 2,
+                    "strategy {} failed to halve: child {} of parent {}",
+                    strategy.name(),
+                    cc.len(),
+                    comp.len()
+                );
+                work.push((Some(node_idx), depth + 1, cc));
+            }
+            if let Some(p) = parent {
+                nodes[p].children.push(node_idx);
+            }
+            nodes.push(DecompNode {
+                parent,
+                depth,
+                vertices: comp,
+                separator: sep,
+                children: Vec::new(),
+            });
+        }
+
+        for v in g.nodes() {
+            assert!(
+                home[v.index()] != u32::MAX,
+                "vertex {v:?} never landed on a separator"
+            );
+        }
+        DecompositionTree {
+            nodes,
+            home,
+            removal_group,
+        }
+    }
+
+    /// The nodes (index 0 is a root; there is one root per component of
+    /// the input graph).
+    pub fn nodes(&self) -> &[DecompNode] {
+        &self.nodes
+    }
+
+    /// Node at `idx`.
+    pub fn node(&self, idx: usize) -> &DecompNode {
+        &self.nodes[idx]
+    }
+
+    /// The node where `v` lies on the separator (its *home*).
+    pub fn home(&self, v: NodeId) -> usize {
+        self.home[v.index()] as usize
+    }
+
+    /// The group index of `v` within its home separator.
+    pub fn removal_group(&self, v: NodeId) -> usize {
+        self.removal_group[v.index()] as usize
+    }
+
+    /// The chain `H₁(v), …, H_r(v)`: node indices from the root down to
+    /// `home(v)` (inclusive).
+    pub fn chain_of(&self, v: NodeId) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut cur = Some(self.home(v));
+        while let Some(i) = cur {
+            chain.push(i);
+            cur = self.nodes[i].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Maximum tree depth (root = 0), plus one = number of levels.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// The maximum `Σ k_i` over all nodes — the empirical `k` of the
+    /// whole decomposition (what experiment E1 reports).
+    pub fn max_paths_per_node(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.separator.num_paths())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of separator paths over all nodes.
+    pub fn total_paths(&self) -> usize {
+        self.nodes.iter().map(|n| n.separator.num_paths()).sum()
+    }
+
+    /// A human-readable per-level summary: nodes, largest component, and
+    /// worst path budget per depth — handy in examples and debugging.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let max_depth = self.depth();
+        let mut out = String::new();
+        let _ = writeln!(out, "depth | nodes | max comp | max Σk_i");
+        for d in 0..=max_depth {
+            let level: Vec<&DecompNode> =
+                self.nodes.iter().filter(|n| n.depth == d).collect();
+            let nodes = level.len();
+            let max_comp = level.iter().map(|n| n.vertices.len()).max().unwrap_or(0);
+            let max_k = level
+                .iter()
+                .map(|n| n.separator.num_paths())
+                .max()
+                .unwrap_or(0);
+            let _ = writeln!(out, "{d:>5} | {nodes:>5} | {max_comp:>8} | {max_k:>8}");
+        }
+        out
+    }
+
+    /// The residual mask `J` for group `group_idx` at node `node_idx`:
+    /// the node's vertices minus all earlier groups' vertices.
+    pub fn residual_mask(&self, universe: usize, node_idx: usize, group_idx: usize) -> NodeMask {
+        let node = &self.nodes[node_idx];
+        let mut mask = NodeMask::from_nodes(universe, node.vertices.iter().copied());
+        mask.remove_all(node.separator.vertices_before_group(group_idx));
+        mask
+    }
+
+    /// Whether vertex `v` is present in the residual graph of
+    /// `(node_idx, group_idx)` — i.e. `v` belongs to the node's component
+    /// and was not removed by an earlier group.
+    pub fn in_residual(&self, v: NodeId, node_idx: usize, group_idx: usize) -> bool {
+        let home = self.home(v);
+        // v is in node_idx's component iff node_idx is an ancestor-or-self
+        // of home(v); since chains are short, walk up from home.
+        let mut cur = Some(home);
+        let mut found = false;
+        while let Some(i) = cur {
+            if i == node_idx {
+                found = true;
+                break;
+            }
+            cur = self.nodes[i].parent;
+        }
+        if !found {
+            return false;
+        }
+        if home == node_idx {
+            self.removal_group(v) >= group_idx
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_tree;
+    use crate::strategy::{AutoStrategy, IterativeStrategy, TreeCenterStrategy};
+    use psep_graph::generators::{grids, ktree, planar_families, trees};
+
+    #[test]
+    fn tree_decomposition_depth_logarithmic() {
+        let g = trees::path(128);
+        let t = DecompositionTree::build(&g, &TreeCenterStrategy);
+        assert!(t.depth() <= 8, "depth {}", t.depth()); // log2(128) = 7
+        assert_eq!(t.max_paths_per_node(), 1);
+        check_tree(&g, &t).unwrap();
+    }
+
+    #[test]
+    fn every_vertex_has_home_and_chain() {
+        let g = trees::random_tree(60, 4);
+        let t = DecompositionTree::build(&g, &TreeCenterStrategy);
+        for v in g.nodes() {
+            let chain = t.chain_of(v);
+            assert_eq!(*chain.last().unwrap(), t.home(v));
+            assert_eq!(t.node(chain[0]).depth, 0);
+            // chain is a root-to-home path
+            for w in chain.windows(2) {
+                assert_eq!(t.node(w[1]).parent, Some(w[0]));
+            }
+            // v is in every chain component
+            for &i in &chain {
+                assert!(t.node(i).vertices.binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_decomposition_validates() {
+        let g = grids::grid2d(9, 9, 1);
+        let t = DecompositionTree::build(&g, &AutoStrategy::default());
+        check_tree(&g, &t).unwrap();
+        assert!(t.depth() as f64 <= (81f64).log2() + 1.0);
+    }
+
+    #[test]
+    fn k_tree_decomposition_validates() {
+        let kt = ktree::random_k_tree(70, 3, 3);
+        let t = DecompositionTree::build(&kt.graph, &AutoStrategy::default());
+        check_tree(&kt.graph, &t).unwrap();
+        assert!(t.max_paths_per_node() <= 4);
+    }
+
+    #[test]
+    fn planar_decomposition_validates() {
+        let g = planar_families::apollonian(80, 5);
+        let t = DecompositionTree::build(&g, &IterativeStrategy::default());
+        check_tree(&g, &t).unwrap();
+    }
+
+    #[test]
+    fn residual_mask_and_membership() {
+        let g = grids::grid2d(6, 6, 1);
+        let t = DecompositionTree::build(&g, &AutoStrategy::default());
+        for v in g.nodes() {
+            let home = t.home(v);
+            let gi = t.removal_group(v);
+            assert!(t.in_residual(v, home, gi));
+            let mask = t.residual_mask(g.num_nodes(), home, gi);
+            assert!(mask.contains(v));
+            if gi + 1 < t.node(home).separator.num_groups() {
+                assert!(!t.in_residual(v, home, gi + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn summary_renders_every_level() {
+        let g = grids::grid2d(8, 8, 1);
+        let t = DecompositionTree::build(&g, &AutoStrategy::default());
+        let s = t.summary();
+        assert_eq!(s.lines().count(), t.depth() + 2); // header + levels
+        assert!(s.contains("max comp"));
+    }
+
+    #[test]
+    fn disconnected_input_gets_multiple_roots() {
+        let mut g = psep_graph::Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        g.add_edge(NodeId(4), NodeId(5), 1);
+        let t = DecompositionTree::build(&g, &TreeCenterStrategy);
+        let roots = t.nodes().iter().filter(|n| n.parent.is_none()).count();
+        assert_eq!(roots, 3);
+        check_tree(&g, &t).unwrap();
+    }
+}

@@ -1,0 +1,338 @@
+//! `(k, α)`-doubling separators (§5.3).
+//!
+//! Condition P1 of Definition 1 is relaxed to (P1′): each `P_i` is the
+//! union of `k_i` **isometric subgraphs of doubling dimension ≤ α** of
+//! the residual graph. A `k`-path separator is exactly a
+//! `(k, 1)`-doubling separator. The motivating example: a 3D mesh has no
+//! bounded `k`-path separator, but its middle plane is an isometric
+//! doubling-dimension-2 separator ([`GridPlaneStrategy`]).
+
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::{Graph, NodeId};
+use psep_graph::view::{NodeMask, SubgraphView};
+
+/// One separator piece: an isometric subgraph of bounded doubling
+/// dimension of its residual graph.
+#[derive(Clone, Debug)]
+pub struct DoublingPiece {
+    /// Sorted vertices of the piece.
+    pub vertices: Vec<NodeId>,
+}
+
+/// A `(k, α)`-doubling separator: groups of pieces, removed sequentially
+/// like path groups.
+#[derive(Clone, Debug, Default)]
+pub struct DoublingSeparator {
+    /// The groups `P_i`, each a union of pieces isometric in the residual
+    /// graph `H \ ⋃_{j<i} P_j`.
+    pub groups: Vec<Vec<DoublingPiece>>,
+}
+
+impl DoublingSeparator {
+    /// Total number of pieces (`Σ k_i` — the `k` of P2).
+    pub fn num_pieces(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// All separator vertices (sorted, deduplicated).
+    pub fn vertices(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .groups
+            .iter()
+            .flatten()
+            .flat_map(|p| p.vertices.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A strategy producing doubling separators.
+pub trait DoublingStrategy {
+    /// Separator of the connected component `component` of `g`.
+    fn separate(&self, g: &Graph, component: &[NodeId]) -> DoublingSeparator;
+
+    /// Name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Middle-plane separator for 3D meshes built by
+/// [`psep_graph::generators::grids::grid3d`]: infers the component's
+/// bounding box from the row-major id scheme and removes the middle plane
+/// orthogonal to the longest axis — an isometric 2D mesh of doubling
+/// dimension ~2.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPlaneStrategy {
+    /// The full mesh dimensions `(x, y, z)` used at generation time.
+    pub dims: (usize, usize, usize),
+}
+
+impl GridPlaneStrategy {
+    fn coords(&self, v: NodeId) -> (usize, usize, usize) {
+        let (_, y, z) = self.dims;
+        let idx = v.index();
+        (idx / (y * z), (idx / z) % y, idx % z)
+    }
+}
+
+impl DoublingStrategy for GridPlaneStrategy {
+    fn separate(&self, g: &Graph, component: &[NodeId]) -> DoublingSeparator {
+        let _ = g;
+        // bounding box of the component
+        let mut lo = (usize::MAX, usize::MAX, usize::MAX);
+        let mut hi = (0usize, 0usize, 0usize);
+        for &v in component {
+            let (i, j, k) = self.coords(v);
+            lo = (lo.0.min(i), lo.1.min(j), lo.2.min(k));
+            hi = (hi.0.max(i), hi.1.max(j), hi.2.max(k));
+        }
+        let span = (hi.0 - lo.0, hi.1 - lo.1, hi.2 - lo.2);
+        // split orthogonal to the longest axis
+        let axis = if span.0 >= span.1 && span.0 >= span.2 {
+            0
+        } else if span.1 >= span.2 {
+            1
+        } else {
+            2
+        };
+        let mid = match axis {
+            0 => lo.0 + span.0 / 2,
+            1 => lo.1 + span.1 / 2,
+            _ => lo.2 + span.2 / 2,
+        };
+        let plane: Vec<NodeId> = component
+            .iter()
+            .copied()
+            .filter(|&v| {
+                let c = self.coords(v);
+                (match axis {
+                    0 => c.0,
+                    1 => c.1,
+                    _ => c.2,
+                }) == mid
+            })
+            .collect();
+        DoublingSeparator {
+            groups: vec![vec![DoublingPiece { vertices: plane }]],
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "grid-plane"
+    }
+}
+
+/// Checks that `piece` is isometric in the subgraph of `g` induced by
+/// `context`: `d_piece(x, y) = d_context(x, y)` for all sampled pairs
+/// (exhaustive when `probe ≥ |piece|`).
+pub fn is_isometric(g: &Graph, context: &[NodeId], piece: &[NodeId], probe: usize) -> bool {
+    let universe = g.num_nodes();
+    let ctx_mask = NodeMask::from_nodes(universe, context.iter().copied());
+    let piece_mask = NodeMask::from_nodes(universe, piece.iter().copied());
+    let ctx = SubgraphView::new(g, &ctx_mask);
+    let pc = SubgraphView::new(g, &piece_mask);
+    let stride = (piece.len() / probe.max(1)).max(1);
+    for &s in piece.iter().step_by(stride) {
+        let in_ctx = dijkstra(&ctx, &[s]);
+        let in_piece = dijkstra(&pc, &[s]);
+        for &t in piece {
+            if in_ctx.dist(t) != in_piece.dist(t) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The doubling-decomposition tree: like
+/// [`crate::DecompositionTree`] but with doubling pieces.
+#[derive(Clone, Debug)]
+pub struct DoublingDecompositionTree {
+    /// The nodes; index 0 is a root.
+    nodes: Vec<DoublingNode>,
+    home: Vec<u32>,
+    removal_group: Vec<u32>,
+}
+
+/// One node of a [`DoublingDecompositionTree`].
+#[derive(Clone, Debug)]
+pub struct DoublingNode {
+    /// Parent index.
+    pub parent: Option<usize>,
+    /// Depth (root = 0).
+    pub depth: usize,
+    /// Component vertices, sorted.
+    pub vertices: Vec<NodeId>,
+    /// The separator.
+    pub separator: DoublingSeparator,
+    /// Children.
+    pub children: Vec<usize>,
+}
+
+impl DoublingDecompositionTree {
+    /// Builds the tree with `strategy` at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy removes nothing from some component.
+    pub fn build(g: &Graph, strategy: &dyn DoublingStrategy) -> Self {
+        let n = g.num_nodes();
+        let mut nodes: Vec<DoublingNode> = Vec::new();
+        let mut home = vec![u32::MAX; n];
+        let mut removal_group = vec![u32::MAX; n];
+        let mut work: Vec<(Option<usize>, usize, Vec<NodeId>)> =
+            psep_graph::components::components(g)
+                .into_iter()
+                .map(|c| (None, 0usize, c))
+                .collect();
+        while let Some((parent, depth, comp)) = work.pop() {
+            let sep = strategy.separate(g, &comp);
+            let sep_vertices = sep.vertices();
+            assert!(
+                !sep_vertices.is_empty(),
+                "doubling strategy removed nothing from a component of size {}",
+                comp.len()
+            );
+            let node_idx = nodes.len();
+            for (gi, group) in sep.groups.iter().enumerate() {
+                for piece in group {
+                    for &v in &piece.vertices {
+                        if home[v.index()] == u32::MAX {
+                            home[v.index()] = node_idx as u32;
+                            removal_group[v.index()] = gi as u32;
+                        }
+                    }
+                }
+            }
+            let mut mask = NodeMask::from_nodes(n, comp.iter().copied());
+            mask.remove_all(sep_vertices.iter().copied());
+            let view = SubgraphView::new(g, &mask);
+            for cc in psep_graph::components::components(&view) {
+                assert!(
+                    cc.len() <= comp.len() / 2,
+                    "doubling strategy {} failed to halve: child {} of parent {}",
+                    strategy.name(),
+                    cc.len(),
+                    comp.len()
+                );
+                work.push((Some(node_idx), depth + 1, cc));
+            }
+            if let Some(p) = parent {
+                nodes[p].children.push(node_idx);
+            }
+            nodes.push(DoublingNode {
+                parent,
+                depth,
+                vertices: comp,
+                separator: sep,
+                children: Vec::new(),
+            });
+        }
+        DoublingDecompositionTree {
+            nodes,
+            home,
+            removal_group,
+        }
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[DoublingNode] {
+        &self.nodes
+    }
+
+    /// Node at `idx`.
+    pub fn node(&self, idx: usize) -> &DoublingNode {
+        &self.nodes[idx]
+    }
+
+    /// The home node of `v`.
+    pub fn home(&self, v: NodeId) -> usize {
+        self.home[v.index()] as usize
+    }
+
+    /// The removal group of `v` at its home.
+    pub fn removal_group(&self, v: NodeId) -> usize {
+        self.removal_group[v.index()] as usize
+    }
+
+    /// Root-to-home chain of `v`.
+    pub fn chain_of(&self, v: NodeId) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut cur = Some(self.home(v));
+        while let Some(i) = cur {
+            chain.push(i);
+            cur = self.nodes[i].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Maximum pieces per node (empirical `k`).
+    pub fn max_pieces_per_node(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.separator.num_pieces())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::doubling::estimate_doubling_dimension;
+    use psep_graph::generators::grids;
+    use psep_graph::minors::induced_subgraph;
+
+    #[test]
+    fn middle_plane_is_isometric_low_doubling() {
+        let (x, y, z) = (6, 6, 6);
+        let g = grids::grid3d(x, y, z);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let strat = GridPlaneStrategy { dims: (x, y, z) };
+        let sep = strat.separate(&g, &comp);
+        assert_eq!(sep.num_pieces(), 1);
+        let piece = &sep.groups[0][0];
+        assert_eq!(piece.vertices.len(), y * z);
+        assert!(is_isometric(&g, &comp, &piece.vertices, 8));
+        // doubling dimension of the plane (a 2D mesh) is small
+        let (pg, _) = induced_subgraph(&g, &piece.vertices);
+        let dim = estimate_doubling_dimension(&pg, 4);
+        assert!(dim <= 3, "plane dimension estimate {dim}");
+    }
+
+    #[test]
+    fn doubling_tree_on_3d_mesh() {
+        let (x, y, z) = (4, 4, 4);
+        let g = grids::grid3d(x, y, z);
+        let strat = GridPlaneStrategy { dims: (x, y, z) };
+        let t = DoublingDecompositionTree::build(&g, &strat);
+        assert!(t.depth() <= 7, "depth {}", t.depth());
+        assert_eq!(t.max_pieces_per_node(), 1);
+        for v in g.nodes() {
+            let chain = t.chain_of(v);
+            assert_eq!(*chain.last().unwrap(), t.home(v));
+        }
+    }
+
+    #[test]
+    fn pieces_in_subboxes_remain_isometric() {
+        let (x, y, z) = (5, 4, 4);
+        let g = grids::grid3d(x, y, z);
+        let strat = GridPlaneStrategy { dims: (x, y, z) };
+        let t = DoublingDecompositionTree::build(&g, &strat);
+        for node in t.nodes() {
+            for group in &node.separator.groups {
+                for piece in group {
+                    assert!(is_isometric(&g, &node.vertices, &piece.vertices, 4));
+                }
+            }
+        }
+    }
+}

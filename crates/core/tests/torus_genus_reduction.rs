@@ -1,0 +1,63 @@
+//! Step 2 of the paper's proof, observed empirically on genus-1 inputs:
+//! the first separator group of a torus plays the role of Lemma 2's
+//! genus-reducing vortex-paths — after removing it, the residual
+//! components behave like planar graphs (the fundamental-cycle strategy
+//! halves every one of them with at most 3 root paths, Thorup-style).
+
+use psep_core::check::check_separator;
+use psep_core::strategy::{FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy};
+use psep_core::DecompositionTree;
+use psep_graph::components::components;
+use psep_graph::generators::grids;
+use psep_graph::{NodeId, NodeMask, SubgraphView};
+
+#[test]
+fn torus_first_group_reduces_to_planar_behaviour() {
+    let g = grids::torus2d(10, 10);
+    let comp: Vec<NodeId> = g.nodes().collect();
+    let sep = IterativeStrategy::default().separate(&g, &comp);
+    check_separator(&g, &comp, &sep, None).unwrap();
+
+    // the torus needs ≥ 2 groups (no single fundamental cycle of a
+    // shortest-path tree halves it — the genus must be cut first)
+    assert!(
+        sep.num_groups() >= 2,
+        "expected a sequential separator on the torus, got {} group(s)",
+        sep.num_groups()
+    );
+
+    // after removing group 0 only, each residual component is handled
+    // by the planar machinery with Thorup's ≤ 3 paths at every level
+    let mut mask = NodeMask::from_nodes(g.num_nodes(), comp.iter().copied());
+    mask.remove_all(sep.groups[0].vertices());
+    let view = SubgraphView::new(&g, &mask);
+    for residual_comp in components(&view) {
+        if residual_comp.len() < 4 {
+            continue;
+        }
+        let strat = FundamentalCycleStrategy::default();
+        let tree_sep = strat.separate(&g, &residual_comp);
+        check_separator(&g, &residual_comp, &tree_sep, None).unwrap();
+        assert!(
+            tree_sep.num_paths() <= 3,
+            "residual component of size {} needed {} paths",
+            residual_comp.len(),
+            tree_sep.num_paths()
+        );
+    }
+}
+
+#[test]
+fn full_torus_decomposition_has_bounded_k() {
+    for (r, c) in [(8, 8), (12, 9), (9, 14)] {
+        let g = grids::torus2d(r, c);
+        let tree = DecompositionTree::build(&g, &IterativeStrategy::default());
+        psep_core::check::check_tree(&g, &tree).unwrap();
+        // genus-1: O(1) paths per node (generous constant for the greedy)
+        assert!(
+            tree.max_paths_per_node() <= 10,
+            "{r}×{c} torus used {} paths",
+            tree.max_paths_per_node()
+        );
+    }
+}

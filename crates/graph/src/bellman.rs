@@ -1,0 +1,67 @@
+//! Bellman–Ford single-source shortest paths.
+//!
+//! Exists purely as an independent implementation to cross-check
+//! [`crate::dijkstra()`] in tests and property tests (the two algorithms
+//! share no code).
+
+use crate::graph::{NodeId, Weight, INFINITY};
+use crate::view::GraphRef;
+
+/// Single-source shortest-path distances by iterated edge relaxation.
+///
+/// Runs in `O(n · m)`; use only in tests and small inputs. Unreachable
+/// vertices get [`INFINITY`].
+///
+/// # Panics
+///
+/// Panics if `source` is not contained in `g`.
+pub fn bellman_ford<G: GraphRef>(g: &G, source: NodeId) -> Vec<Weight> {
+    assert!(g.contains_node(source), "source {source:?} not in graph");
+    let n = g.universe();
+    let mut dist = vec![INFINITY; n];
+    dist[source.index()] = 0;
+    // Relax until fixpoint; non-negative weights guarantee ≤ n-1 rounds.
+    for _ in 0..n {
+        let mut changed = false;
+        for u in g.node_iter() {
+            let du = dist[u.index()];
+            if du == INFINITY {
+                continue;
+            }
+            for e in g.neighbors(u) {
+                let nd = du + e.weight;
+                if nd < dist[e.to.index()] {
+                    dist[e.to.index()] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::graph::Graph;
+
+    #[test]
+    fn agrees_with_dijkstra_on_small_graph() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 4);
+        g.add_edge(NodeId(0), NodeId(2), 1);
+        g.add_edge(NodeId(2), NodeId(1), 2);
+        g.add_edge(NodeId(1), NodeId(3), 1);
+        g.add_edge(NodeId(2), NodeId(3), 5);
+        let bf = bellman_ford(&g, NodeId(0));
+        let dj = dijkstra(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(bf[v.index()], dj.dist_raw()[v.index()]);
+        }
+        assert_eq!(bf[4], INFINITY);
+    }
+}

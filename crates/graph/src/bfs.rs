@@ -1,0 +1,113 @@
+//! Breadth-first search (hop distances) over any [`GraphRef`].
+
+use std::collections::VecDeque;
+
+use crate::graph::NodeId;
+use crate::view::GraphRef;
+
+/// Result of a BFS: hop counts and parents over the id universe.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    hops: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+}
+
+/// Sentinel for unreached vertices in [`BfsResult::hops_raw`].
+pub const UNREACHED: u32 = u32::MAX;
+
+impl BfsResult {
+    /// Hop count from the closest source, or `None` if unreachable.
+    #[inline]
+    pub fn hops(&self, v: NodeId) -> Option<u32> {
+        let h = self.hops[v.index()];
+        (h != UNREACHED).then_some(h)
+    }
+
+    /// Raw hop array ([`UNREACHED`] marks unreachable vertices).
+    #[inline]
+    pub fn hops_raw(&self) -> &[u32] {
+        &self.hops
+    }
+
+    /// BFS-tree parent of `v`.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.hops[v.index()] != UNREACHED
+    }
+}
+
+/// Runs BFS from `sources` over `g`, ignoring edge weights.
+///
+/// # Panics
+///
+/// Panics if any source is not contained in `g`.
+pub fn bfs<G: GraphRef>(g: &G, sources: &[NodeId]) -> BfsResult {
+    let n = g.universe();
+    let mut hops = vec![UNREACHED; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(g.contains_node(s), "source {s:?} not in graph");
+        if hops[s.index()] == UNREACHED {
+            hops[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let h = hops[u.index()];
+        for e in g.neighbors(u) {
+            if hops[e.to.index()] == UNREACHED {
+                hops[e.to.index()] = h + 1;
+                parent[e.to.index()] = Some(u);
+                queue.push_back(e.to);
+            }
+        }
+    }
+    BfsResult { hops, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::view::{NodeMask, SubgraphView};
+
+    #[test]
+    fn bfs_counts_hops_not_weights() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 100);
+        g.add_edge(NodeId(1), NodeId(2), 100);
+        let r = bfs(&g, &[NodeId(0)]);
+        assert_eq!(r.hops(NodeId(2)), Some(2));
+        assert_eq!(r.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn bfs_multi_source() {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1);
+        }
+        let r = bfs(&g, &[NodeId(0), NodeId(3)]);
+        assert_eq!(r.hops(NodeId(1)), Some(1));
+        assert_eq!(r.hops(NodeId(2)), Some(1));
+    }
+
+    #[test]
+    fn bfs_respects_mask() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        let mut mask = NodeMask::all(3);
+        mask.remove(NodeId(1));
+        let view = SubgraphView::new(&g, &mask);
+        let r = bfs(&view, &[NodeId(0)]);
+        assert!(!r.reached(NodeId(2)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Connected components over any [`GraphRef`].
+
+use crate::graph::NodeId;
+use crate::view::GraphRef;
+
+/// The connected components of `g`, each as a sorted vertex list.
+/// Components are ordered by their smallest vertex id.
+pub fn components<G: GraphRef>(g: &G) -> Vec<Vec<NodeId>> {
+    let n = g.universe();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    for v in g.node_iter() {
+        if seen[v.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        seen[v.index()] = true;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for e in g.neighbors(u) {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// The largest connected component (ties broken toward the one containing
+/// the smallest id), or `None` for an empty (sub)graph.
+pub fn largest_component<G: GraphRef>(g: &G) -> Option<Vec<NodeId>> {
+    components(g).into_iter().max_by_key(|c| c.len())
+}
+
+/// Whether `g` is connected (vacuously true when empty).
+pub fn is_connected<G: GraphRef>(g: &G) -> bool {
+    components(g).len() <= 1
+}
+
+/// Size of the largest component after hypothetically removing `removed`
+/// from `g` — the quantity that P3 of Definition 1 bounds by `n/2`.
+pub fn largest_component_after_removal<G: GraphRef>(g: &G, removed: &[NodeId]) -> usize {
+    let n = g.universe();
+    let mut dead = vec![false; n];
+    for &v in removed {
+        dead[v.index()] = true;
+    }
+    let mut seen = vec![false; n];
+    let mut best = 0;
+    let mut stack = Vec::new();
+    for v in g.node_iter() {
+        if seen[v.index()] || dead[v.index()] {
+            continue;
+        }
+        let mut size = 0;
+        seen[v.index()] = true;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for e in g.neighbors(u) {
+                let i = e.to.index();
+                if !seen[i] && !dead[i] {
+                    seen[i] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::view::{NodeMask, SubgraphView};
+
+    #[test]
+    fn single_component() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        let comps = components(&g);
+        assert_eq!(comps, vec![vec![NodeId(0), NodeId(1), NodeId(2)]]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(largest_component(&g).unwrap().len(), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn removal_splits() {
+        // path 0-1-2-3-4; removing 2 leaves components of size 2.
+        let mut g = Graph::new(5);
+        for i in 0..4 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1);
+        }
+        assert_eq!(largest_component_after_removal(&g, &[NodeId(2)]), 2);
+        assert_eq!(largest_component_after_removal(&g, &[]), 5);
+    }
+
+    #[test]
+    fn components_on_view() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let mut mask = NodeMask::all(4);
+        mask.remove(NodeId(1));
+        let view = SubgraphView::new(&g, &mask);
+        let comps = components(&view);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId(0)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Frozen CSR (compressed sparse row) graphs: an immutable, cache-friendly
+//! adjacency layout for the hot shortest-path loops.
+//!
+//! [`Graph`] uses one heap allocation per vertex (easy to build and
+//! mutate); [`CsrGraph`] packs all half-edges into two flat arrays.
+//! Both implement [`GraphRef`], so every algorithm in this workspace runs
+//! on either; ablation A4 measures the difference on Dijkstra.
+
+use crate::graph::{Edge, Graph, NodeId};
+use crate::view::GraphRef;
+
+/// An immutable CSR snapshot of a [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::csr::CsrGraph;
+/// use psep_graph::generators::grids;
+/// use psep_graph::dijkstra::dijkstra;
+/// use psep_graph::NodeId;
+///
+/// let g = grids::grid2d(5, 5, 1);
+/// let frozen = CsrGraph::from_graph(&g);
+/// let a = dijkstra(&g, &[NodeId(0)]);
+/// let b = dijkstra(&frozen, &[NodeId(0)]);
+/// assert_eq!(a.dist_raw(), b.dist_raw());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for vertex `v`.
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Freezes `g` into CSR form.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in g.nodes() {
+            edges.extend_from_slice(g.edges(v));
+            offsets.push(u32::try_from(edges.len()).expect("edge count fits u32"));
+        }
+        CsrGraph {
+            offsets,
+            edges,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adjacency slice of `v`.
+    #[inline]
+    pub fn edges(&self, v: NodeId) -> &[Edge] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+impl GraphRef for CsrGraph {
+    #[inline]
+    fn universe(&self) -> usize {
+        self.num_nodes()
+    }
+
+    #[inline]
+    fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.num_nodes()
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
+        self.edges(v).iter().copied()
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn node_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::generators::{grids, randomize_weights, trees};
+
+    #[test]
+    fn csr_matches_adjacency_structure() {
+        let g = randomize_weights(&grids::grid2d(6, 7, 1), 1, 9, 2);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_nodes(), g.num_nodes());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(c.edges(v), g.edges(v));
+        }
+    }
+
+    #[test]
+    fn dijkstra_identical_on_csr() {
+        let g = trees::random_weighted_tree(100, 9, 8);
+        let c = CsrGraph::from_graph(&g);
+        let a = dijkstra(&g, &[NodeId(0)]);
+        let b = dijkstra(&c, &[NodeId(0)]);
+        assert_eq!(a.dist_raw(), b.dist_raw());
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = Graph::new(1);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_nodes(), 1);
+        assert_eq!(c.edges(NodeId(0)).len(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Dijkstra shortest paths with parent pointers, over any [`GraphRef`].
+//!
+//! This is the workhorse of the whole workspace: separator strategies use
+//! it to certify that separator paths are minimum-cost paths in their
+//! residual graphs (property P1 of Definition 1), the oracle layer uses it
+//! to compute per-vertex portal distances in context graphs `J`, and the
+//! benchmarks use it as the exact baseline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::{NodeId, Weight, INFINITY};
+use crate::view::GraphRef;
+
+/// Result of a (multi-source) Dijkstra run: distances and a shortest-path
+/// forest over the full id universe.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    dist: Vec<Weight>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the closest source to `v`, or `None` if unreachable
+    /// (or masked out).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Option<Weight> {
+        let d = self.dist[v.index()];
+        (d != INFINITY).then_some(d)
+    }
+
+    /// Raw distance array indexed by node id; unreachable is [`INFINITY`].
+    #[inline]
+    pub fn dist_raw(&self) -> &[Weight] {
+        &self.dist
+    }
+
+    /// Parent of `v` in the shortest-path forest (`None` for sources and
+    /// unreachable vertices).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != INFINITY
+    }
+
+    /// The shortest path from the source forest root to `v`, as a vertex
+    /// sequence starting at a source and ending at `v`. Returns `None` if
+    /// `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The root (source) of `v`'s tree, or `None` if unreachable.
+    pub fn root_of(&self, v: NodeId) -> Option<NodeId> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            cur = p;
+        }
+        Some(cur)
+    }
+
+    /// Vertices reached, in no particular order.
+    pub fn reached_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != INFINITY)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+}
+
+/// Runs Dijkstra from `sources` (distance 0 each) over `g`.
+///
+/// Ties are broken by smaller node id at equal distance, making
+/// shortest-path trees deterministic — important so that separator
+/// construction and oracle construction agree on the same trees.
+///
+/// # Panics
+///
+/// Panics if any source is not contained in `g`.
+pub fn dijkstra<G: GraphRef>(g: &G, sources: &[NodeId]) -> ShortestPaths {
+    dijkstra_with_limit(g, sources, INFINITY)
+}
+
+/// Dijkstra that abandons vertices at distance `> limit`. Useful for
+/// bounded-radius explorations (e.g. net construction at a scale).
+pub fn dijkstra_with_limit<G: GraphRef>(
+    g: &G,
+    sources: &[NodeId],
+    limit: Weight,
+) -> ShortestPaths {
+    let n = g.universe();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    // (dist, id) in a min-heap; id tiebreak gives deterministic trees.
+    let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+    for &s in sources {
+        assert!(g.contains_node(s), "source {s:?} not in graph");
+        if dist[s.index()] != 0 {
+            dist[s.index()] = 0;
+            heap.push(Reverse((0, s.0)));
+        }
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if d > dist[u.index()] {
+            continue; // stale entry
+        }
+        for e in g.neighbors(u) {
+            let nd = d.saturating_add(e.weight);
+            if nd > limit {
+                continue;
+            }
+            let entry = &mut dist[e.to.index()];
+            if nd < *entry || (nd == *entry && parent[e.to.index()].is_some_and(|p| u < p)) {
+                *entry = nd;
+                parent[e.to.index()] = Some(u);
+                heap.push(Reverse((nd, e.to.0)));
+            }
+        }
+    }
+    ShortestPaths { dist, parent }
+}
+
+/// Dijkstra with early exit once `target` is settled. Returns the full
+/// (partial) result; `target`'s distance is exact if reachable.
+pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> ShortestPaths {
+    let n = g.universe();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+    assert!(g.contains_node(source), "source {source:?} not in graph");
+    dist[source.index()] = 0;
+    heap.push(Reverse((0, source.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId(u);
+        if d > dist[u.index()] {
+            continue;
+        }
+        if u == target {
+            break;
+        }
+        for e in g.neighbors(u) {
+            let nd = d.saturating_add(e.weight);
+            let entry = &mut dist[e.to.index()];
+            if nd < *entry {
+                *entry = nd;
+                parent[e.to.index()] = Some(u);
+                heap.push(Reverse((nd, e.to.0)));
+            }
+        }
+    }
+    ShortestPaths { dist, parent }
+}
+
+/// Exact distance between two vertices, or `None` if disconnected.
+pub fn distance<G: GraphRef>(g: &G, u: NodeId, v: NodeId) -> Option<Weight> {
+    dijkstra_to(g, u, v).dist(v)
+}
+
+/// Cost of a vertex path under `g`'s edge weights, or `None` if some
+/// consecutive pair is not an edge of `g`.
+pub fn path_cost<G: GraphRef>(g: &G, path: &[NodeId]) -> Option<Weight> {
+    let mut total = 0;
+    for w in path.windows(2) {
+        let weight = g
+            .neighbors(w[0])
+            .find(|e| e.to == w[1])
+            .map(|e| e.weight)?;
+        total += weight;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::view::{NodeMask, SubgraphView};
+
+    fn weighted_diamond() -> Graph {
+        // 0 -1- 1 -1- 3,   0 -5- 2 -1- 3
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(3), 1);
+        g.add_edge(NodeId(0), NodeId(2), 5);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        g
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let g = weighted_diamond();
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        assert_eq!(sp.dist(NodeId(0)), Some(0));
+        assert_eq!(sp.dist(NodeId(1)), Some(1));
+        assert_eq!(sp.dist(NodeId(3)), Some(2));
+        assert_eq!(sp.dist(NodeId(2)), Some(3)); // via 3, not the weight-5 edge
+    }
+
+    #[test]
+    fn path_extraction_matches_distance() {
+        let g = weighted_diamond();
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        let p = sp.path_to(NodeId(2)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(0)));
+        assert_eq!(p.last(), Some(&NodeId(2)));
+        assert_eq!(path_cost(&g, &p), Some(3));
+    }
+
+    #[test]
+    fn multi_source_takes_closest() {
+        let g = weighted_diamond();
+        let sp = dijkstra(&g, &[NodeId(1), NodeId(2)]);
+        assert_eq!(sp.dist(NodeId(0)), Some(1));
+        assert_eq!(sp.dist(NodeId(3)), Some(1));
+        assert_eq!(sp.root_of(NodeId(0)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn respects_mask() {
+        let g = weighted_diamond();
+        let mut mask = NodeMask::all(4);
+        mask.remove(NodeId(1));
+        let view = SubgraphView::new(&g, &mask);
+        let sp = dijkstra(&view, &[NodeId(0)]);
+        assert_eq!(sp.dist(NodeId(3)), Some(6)); // forced through the 5-edge
+        assert!(!sp.reached(NodeId(1)));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        assert_eq!(sp.dist(NodeId(2)), None);
+        assert_eq!(sp.path_to(NodeId(2)), None);
+    }
+
+    #[test]
+    fn limit_prunes_far_vertices() {
+        let g = weighted_diamond();
+        let sp = dijkstra_with_limit(&g, &[NodeId(0)], 1);
+        assert!(sp.reached(NodeId(1)));
+        assert!(!sp.reached(NodeId(2)));
+    }
+
+    #[test]
+    fn early_exit_target_exact() {
+        let g = weighted_diamond();
+        let sp = dijkstra_to(&g, NodeId(0), NodeId(3));
+        assert_eq!(sp.dist(NodeId(3)), Some(2));
+        assert_eq!(distance(&g, NodeId(0), NodeId(2)), Some(3));
+    }
+
+    #[test]
+    fn path_cost_rejects_non_path() {
+        let g = weighted_diamond();
+        assert_eq!(path_cost(&g, &[NodeId(0), NodeId(3)]), None);
+        assert_eq!(path_cost(&g, &[NodeId(0)]), Some(0));
+    }
+}

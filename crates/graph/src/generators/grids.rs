@@ -1,0 +1,213 @@
+//! Mesh generators: 2D grids (the paper's canonical 1-path separable
+//! example), tori, and 3D meshes (§5.3's motivation for doubling
+//! separators).
+
+use super::grid_id;
+use crate::graph::{Graph, NodeId};
+
+/// `rows × cols` grid with uniform edge weight `w`, row-major ids.
+///
+/// The paper notes any unweighted rectangular mesh is 1-path separable
+/// (the middle row).
+///
+/// # Panics
+///
+/// Panics if `rows == 0 || cols == 0 || w == 0`.
+pub fn grid2d(rows: usize, cols: usize, w: u64) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid needs positive dimensions");
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(grid_id(cols, r, c), grid_id(cols, r, c + 1), w);
+            }
+            if r + 1 < rows {
+                g.add_edge(grid_id(cols, r, c), grid_id(cols, r + 1, c), w);
+            }
+        }
+    }
+    g
+}
+
+/// `rows × cols` torus (grid with wraparound), unit weights. Genus-1
+/// surface graph: not planar for `rows, cols ≥ 3`, but `K₅`-minor-free
+/// tori still have small path separators (two orthogonal cycles).
+///
+/// # Panics
+///
+/// Panics if `rows < 3 || cols < 3`.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(grid_id(cols, r, c), grid_id(cols, r, (c + 1) % cols), 1);
+            g.add_edge(grid_id(cols, r, c), grid_id(cols, (r + 1) % rows, c), 1);
+        }
+    }
+    g
+}
+
+/// `x × y × z` 3D mesh with unit weights. Has **no** `O(1)`-path
+/// separator (every balanced separator has `Ω(n^{2/3})` vertices and its
+/// shortest paths cover only `O(diam)` vertices each), but its middle
+/// plane is an isometric doubling-dimension-2 separator — the motivating
+/// example of §5.3.
+///
+/// # Panics
+///
+/// Panics if any dimension is 0.
+pub fn grid3d(x: usize, y: usize, z: usize) -> Graph {
+    assert!(x > 0 && y > 0 && z > 0, "mesh needs positive dimensions");
+    let id = |i: usize, j: usize, k: usize| NodeId::from_index((i * y + j) * z + k);
+    let mut g = Graph::new(x * y * z);
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i + 1 < x {
+                    g.add_edge(id(i, j, k), id(i + 1, j, k), 1);
+                }
+                if j + 1 < y {
+                    g.add_edge(id(i, j, k), id(i, j + 1, k), 1);
+                }
+                if k + 1 < z {
+                    g.add_edge(id(i, j, k), id(i, j, k + 1), 1);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A `rows × cols` grid with `holes` random 2×2 blocks of vertices
+/// removed (degree-0 vertices remain in the id universe) — an irregular
+/// planar "city map" family. The largest connected component is returned
+/// as a vertex list alongside the graph.
+pub fn grid_with_holes(
+    rows: usize,
+    cols: usize,
+    holes: usize,
+    seed: u64,
+) -> (Graph, Vec<NodeId>) {
+    use rand::Rng;
+    let mut rng = super::rng(seed);
+    let mut blocked = vec![false; rows * cols];
+    for _ in 0..holes {
+        if rows < 4 || cols < 4 {
+            break;
+        }
+        let r = rng.gen_range(1..rows - 2);
+        let c = rng.gen_range(1..cols - 2);
+        for dr in 0..2 {
+            for dc in 0..2 {
+                blocked[(r + dr) * cols + (c + dc)] = true;
+            }
+        }
+    }
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if blocked[r * cols + c] {
+                continue;
+            }
+            if c + 1 < cols && !blocked[r * cols + c + 1] {
+                g.add_edge(grid_id(cols, r, c), grid_id(cols, r, c + 1), 1);
+            }
+            if r + 1 < rows && !blocked[(r + 1) * cols + c] {
+                g.add_edge(grid_id(cols, r, c), grid_id(cols, r + 1, c), 1);
+            }
+        }
+    }
+    let comp = crate::components::largest_component(&g).unwrap_or_default();
+    (g, comp)
+}
+
+/// The vertex ids of row `r` of a `rows × cols` grid (the canonical
+/// 1-path separator of the mesh when `r = rows/2`).
+pub fn grid_row(rows: usize, cols: usize, r: usize) -> Vec<NodeId> {
+    assert!(r < rows, "row out of range");
+    (0..cols).map(|c| grid_id(cols, r, c)).collect()
+}
+
+/// The vertex ids of the plane `i = x/2` of an `x × y × z` mesh — the
+/// isometric 2D-mesh separator of §5.3.
+pub fn grid3d_middle_plane(x: usize, y: usize, z: usize) -> Vec<NodeId> {
+    let i = x / 2;
+    let id = |j: usize, k: usize| NodeId::from_index((i * y + j) * z + k);
+    let mut out = Vec::with_capacity(y * z);
+    for j in 0..y {
+        for k in 0..z {
+            out.push(id(j, k));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{is_connected, largest_component_after_removal};
+    use crate::dijkstra::distance;
+    use crate::metrics::diameter;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid2d(3, 4, 1);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(2 + 3));
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan() {
+        let g = grid2d(5, 5, 1);
+        assert_eq!(
+            distance(&g, grid_id(5, 0, 0), grid_id(5, 4, 3)),
+            Some(4 + 3)
+        );
+    }
+
+    #[test]
+    fn middle_row_halves_grid() {
+        let g = grid2d(9, 9, 1);
+        let row = grid_row(9, 9, 4);
+        let biggest = largest_component_after_removal(&g, &row);
+        assert!(biggest <= g.num_nodes() / 2);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus2d(4, 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_with_holes_has_big_component() {
+        let (g, comp) = grid_with_holes(12, 12, 6, 3);
+        assert!(comp.len() >= 80, "component only {}", comp.len());
+        assert!(g.num_edges() < 12 * 11 * 2);
+        // the component really is connected
+        let mask = psep_graph_mask(&g, &comp);
+        let view = crate::view::SubgraphView::new(&g, &mask);
+        assert!(crate::components::is_connected(&view));
+    }
+
+    fn psep_graph_mask(g: &Graph, comp: &[NodeId]) -> crate::view::NodeMask {
+        crate::view::NodeMask::from_nodes(g.num_nodes(), comp.iter().copied())
+    }
+
+    #[test]
+    fn mesh3d_counts_and_plane() {
+        let g = grid3d(4, 3, 3);
+        assert_eq!(g.num_nodes(), 36);
+        assert!(is_connected(&g));
+        let plane = grid3d_middle_plane(4, 3, 3);
+        assert_eq!(plane.len(), 9);
+        let biggest = largest_component_after_removal(&g, &plane);
+        assert!(biggest <= g.num_nodes() / 2);
+    }
+}

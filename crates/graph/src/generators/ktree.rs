@@ -1,0 +1,192 @@
+//! `k`-tree and partial-`k`-tree generators (bounded treewidth families).
+//!
+//! A `k`-tree is built by starting from a `(k+1)`-clique and repeatedly
+//! attaching a new vertex to all vertices of an existing `k`-clique.
+//! `k`-trees have treewidth exactly `k` and exclude `K_{k+2}` as a minor;
+//! their subgraphs (partial `k`-trees) are exactly the treewidth-≤`k`
+//! graphs. Connected partial 2-trees are the series-parallel graphs
+//! (`K₄`-minor-free), one of the paper's motivating backbone families.
+//!
+//! The generator returns the elimination structure it built, so callers
+//! can obtain a width-`k` tree decomposition without re-running a
+//! heuristic.
+
+use rand::Rng;
+
+use super::rng;
+use crate::graph::{Graph, NodeId, Weight};
+
+/// A generated `k`-tree together with its elimination structure.
+#[derive(Clone, Debug)]
+pub struct KTree {
+    /// The graph itself.
+    pub graph: Graph,
+    /// Width parameter `k`.
+    pub k: usize,
+    /// For each vertex `v ≥ k+1` (in insertion order), the `k`-clique it
+    /// was attached to. `bags[v]` together with `v` forms a
+    /// `(k+1)`-clique — a ready-made tree-decomposition bag.
+    pub attach_clique: Vec<Vec<NodeId>>,
+}
+
+impl KTree {
+    /// The tree-decomposition bags implied by the construction: one
+    /// `(k+1)`-bag per attached vertex, plus the root clique.
+    pub fn bags(&self) -> Vec<Vec<NodeId>> {
+        let mut bags = Vec::with_capacity(self.attach_clique.len() + 1);
+        let root: Vec<NodeId> = (0..=self.k).map(NodeId::from_index).collect();
+        bags.push(root);
+        for (i, clique) in self.attach_clique.iter().enumerate() {
+            let v = NodeId::from_index(self.k + 1 + i);
+            let mut bag = clique.clone();
+            bag.push(v);
+            bag.sort_unstable();
+            bags.push(bag);
+        }
+        bags
+    }
+}
+
+/// Random `k`-tree on `n` vertices with unit weights.
+///
+/// # Panics
+///
+/// Panics if `n < k + 1` or `k == 0`.
+pub fn random_k_tree(n: usize, k: usize, seed: u64) -> KTree {
+    assert!(k >= 1, "k must be >= 1");
+    assert!(n > k, "k-tree needs at least k+1 vertices");
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    // root clique on 0..=k
+    for i in 0..=k {
+        for j in (i + 1)..=k {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j), 1);
+        }
+    }
+    // cliques we may attach to, each of size k
+    let mut cliques: Vec<Vec<NodeId>> = (0..=k)
+        .map(|skip| {
+            (0..=k)
+                .filter(|&i| i != skip)
+                .map(NodeId::from_index)
+                .collect()
+        })
+        .collect();
+    let mut attach_clique = Vec::with_capacity(n - k - 1);
+    for vi in (k + 1)..n {
+        let v = NodeId::from_index(vi);
+        let c = cliques[r.gen_range(0..cliques.len())].clone();
+        for &u in &c {
+            g.add_edge(u, v, 1);
+        }
+        // new k-cliques: c with one member swapped for v
+        for skip in 0..c.len() {
+            let mut nc: Vec<NodeId> = c
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &u)| u)
+                .collect();
+            nc.push(v);
+            cliques.push(nc);
+        }
+        attach_clique.push(c);
+    }
+    KTree {
+        graph: g,
+        k,
+        attach_clique,
+    }
+}
+
+/// Random partial `k`-tree: a random `k`-tree with each non-bridging edge
+/// kept with probability `keep` — re-adding edges as needed to stay
+/// connected. Treewidth ≤ `k`.
+pub fn partial_k_tree(n: usize, k: usize, keep: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&keep), "keep must be a probability");
+    let kt = random_k_tree(n, k, seed);
+    let mut r = rng(seed.wrapping_add(0x9e3779b9));
+    let mut out = Graph::new(n);
+    let mut uf = crate::unionfind::UnionFind::new(n);
+    let mut dropped: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+    for (u, v, w) in kt.graph.edge_list() {
+        if r.gen_bool(keep) {
+            out.add_edge(u, v, w);
+            uf.union(u.index(), v.index());
+        } else {
+            dropped.push((u, v, w));
+        }
+    }
+    // restore connectivity with dropped edges (still a partial k-tree)
+    for (u, v, w) in dropped {
+        if !uf.same(u.index(), v.index()) {
+            out.add_edge(u, v, w);
+            uf.union(u.index(), v.index());
+        }
+    }
+    out
+}
+
+/// Random connected series-parallel-style graph: a connected partial
+/// 2-tree (`K₄`-minor-free, treewidth ≤ 2).
+pub fn series_parallel(n: usize, seed: u64) -> Graph {
+    partial_k_tree(n, 2, 0.7, seed)
+}
+
+/// Random weighted `k`-tree (weights uniform in `1..=max_w`).
+pub fn random_weighted_k_tree(n: usize, k: usize, max_w: Weight, seed: u64) -> KTree {
+    let kt = random_k_tree(n, k, seed);
+    let graph = super::randomize_weights(&kt.graph, 1, max_w, seed.wrapping_add(1));
+    KTree { graph, ..kt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::minors::is_clique;
+
+    #[test]
+    fn k_tree_edge_count() {
+        // n-vertex k-tree has k(k+1)/2 + k(n-k-1) edges
+        let kt = random_k_tree(30, 3, 1);
+        let expect = 3 * 4 / 2 + 3 * (30 - 4);
+        assert_eq!(kt.graph.num_edges(), expect);
+        assert!(is_connected(&kt.graph));
+    }
+
+    #[test]
+    fn bags_are_cliques_of_size_k_plus_one() {
+        let kt = random_k_tree(20, 2, 5);
+        for bag in kt.bags() {
+            assert_eq!(bag.len(), 3);
+            assert!(is_clique(&kt.graph, &bag));
+        }
+    }
+
+    #[test]
+    fn partial_k_tree_connected_and_sparser() {
+        let g = partial_k_tree(50, 3, 0.5, 9);
+        assert!(is_connected(&g));
+        let full = random_k_tree(50, 3, 9).graph;
+        assert!(g.num_edges() <= full.num_edges());
+    }
+
+    #[test]
+    fn series_parallel_connected() {
+        for seed in 0..3 {
+            let g = series_parallel(40, seed);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn weighted_k_tree_same_topology() {
+        let a = random_k_tree(25, 2, 3).graph;
+        let b = random_weighted_k_tree(25, 2, 9, 3).graph;
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (u, v, _) in a.edge_list() {
+            assert!(b.has_edge(u, v));
+        }
+    }
+}

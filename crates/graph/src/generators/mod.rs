@@ -1,0 +1,78 @@
+//! Seeded generators for every graph family the paper discusses.
+//!
+//! All generators are deterministic given their seed (`ChaCha8Rng`), so
+//! experiments are reproducible run-to-run.
+//!
+//! | family | generator | exclusion / structure |
+//! |---|---|---|
+//! | trees | [`trees::random_tree`], [`trees::balanced_tree`], … | `K₃`-minor-free, 1-path separable |
+//! | outerplanar | [`planar_families::random_outerplanar`] | `K₄`- and `K_{2,3}`-minor-free |
+//! | series-parallel | [`ktree::series_parallel`] | `K₄`-minor-free, treewidth 2 |
+//! | `k`-trees | [`ktree::random_k_tree`], [`ktree::partial_k_tree`] | treewidth `k`, `K_{k+2}`-minor-free |
+//! | planar | [`grids::grid2d`], [`planar_families::apollonian`], [`planar_families::triangulated_grid`] | `K₅`- and `K_{3,3}`-minor-free, strongly 3-path separable |
+//! | meshes | [`grids::grid2d`], [`grids::torus2d`], [`grids::grid3d`] | §5.3 motivation |
+//! | lower bounds | [`special::mesh_with_apex`], [`special::complete_bipartite`], [`special::path_plus_stable`] | §5.1–5.2 |
+//! | general | [`special::erdos_renyi_connected`], [`special::hypercube`] | baselines |
+
+pub mod grids;
+pub mod ktree;
+pub mod planar_families;
+pub mod special;
+pub mod trees;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::graph::{Graph, NodeId, Weight};
+
+/// Deterministic RNG used by every generator.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Rebuilds `g` with every edge weight drawn uniformly from
+/// `min..=max` (deterministic in `seed`). Useful to sweep the aspect
+/// ratio `Δ` of a fixed topology, as experiment E4 does.
+///
+/// # Panics
+///
+/// Panics if `min == 0` or `min > max`.
+pub fn randomize_weights(g: &Graph, min: Weight, max: Weight, seed: u64) -> Graph {
+    assert!(min >= 1 && min <= max, "need 1 <= min <= max");
+    let mut r = rng(seed);
+    let mut out = Graph::new(g.num_nodes());
+    for (u, v, _) in g.edge_list() {
+        out.add_edge(u, v, r.gen_range(min..=max));
+    }
+    out
+}
+
+/// Convenience: `NodeId` from row-major 2D coordinates.
+pub(crate) fn grid_id(cols: usize, r: usize, c: usize) -> NodeId {
+    NodeId::from_index(r * cols + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn randomize_weights_is_deterministic_and_preserves_topology() {
+        let g = grids::grid2d(4, 4, 1);
+        let a = randomize_weights(&g, 1, 10, 7);
+        let b = randomize_weights(&g, 1, 10, 7);
+        let c = randomize_weights(&g, 1, 10, 8);
+        assert_eq!(a.num_edges(), g.num_edges());
+        let wa: Vec<_> = a.edge_list().collect();
+        let wb: Vec<_> = b.edge_list().collect();
+        let wc: Vec<_> = c.edge_list().collect();
+        assert_eq!(wa, wb);
+        assert_ne!(wa, wc);
+        assert!(is_connected(&a));
+        for (_, _, w) in wa {
+            assert!((1..=10).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Planar graph generators beyond plain grids: Apollonian (stacked)
+//! triangulations, triangulated grids, and outerplanar polygon
+//! triangulations.
+//!
+//! All of these are planar by construction (`K₅`- and `K_{3,3}`-minor
+//! free), so Thorup's result — and our experiment E2 — says they are
+//! strongly 3-path separable.
+
+use rand::Rng;
+
+use super::rng;
+use crate::graph::{Graph, NodeId};
+
+/// Random Apollonian network: start from a triangle, repeatedly pick a
+/// random face and subdivide it with a new vertex joined to its three
+/// corners. Planar, maximal (every face a triangle), treewidth 3.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn apollonian(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "apollonian network needs at least 3 vertices");
+    let mut r = rng(seed);
+    let mut g = Graph::new(3);
+    g.add_edge(NodeId(0), NodeId(1), 1);
+    g.add_edge(NodeId(1), NodeId(2), 1);
+    g.add_edge(NodeId(0), NodeId(2), 1);
+    let mut faces: Vec<[NodeId; 3]> = vec![[NodeId(0), NodeId(1), NodeId(2)]];
+    while g.num_nodes() < n {
+        let fi = r.gen_range(0..faces.len());
+        let [a, b, c] = faces.swap_remove(fi);
+        let v = g.add_node();
+        g.add_edge(a, v, 1);
+        g.add_edge(b, v, 1);
+        g.add_edge(c, v, 1);
+        faces.push([a, b, v]);
+        faces.push([a, c, v]);
+        faces.push([b, c, v]);
+    }
+    g
+}
+
+/// `rows × cols` grid with one random diagonal added in each unit cell.
+/// Planar (each diagonal is drawn inside its own face) and, unlike
+/// Apollonian networks, has treewidth `Θ(min(rows, cols))` — the honest
+/// hard case for planar separators.
+pub fn triangulated_grid(rows: usize, cols: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = super::grids::grid2d(rows, cols, 1);
+    let id = |rr: usize, cc: usize| super::grid_id(cols, rr, cc);
+    for rr in 0..rows.saturating_sub(1) {
+        for cc in 0..cols.saturating_sub(1) {
+            if r.gen_bool(0.5) {
+                g.add_edge(id(rr, cc), id(rr + 1, cc + 1), 1);
+            } else {
+                g.add_edge(id(rr, cc + 1), id(rr + 1, cc), 1);
+            }
+        }
+    }
+    g
+}
+
+/// Random maximal outerplanar graph: a random triangulation of an
+/// `n`-gon (all vertices on the outer face). `K₄`- and `K_{2,3}`-minor
+/// free; treewidth 2.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn random_outerplanar(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "outerplanar triangulation needs n >= 3");
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(NodeId::from_index(i), NodeId::from_index((i + 1) % n), 1);
+    }
+    // Triangulate the polygon by recursive ear cutting on index ranges.
+    // stack holds polygon chords (i..j along the hull) still to fill.
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((i, j)) = stack.pop() {
+        if j - i < 2 {
+            continue;
+        }
+        let m = r.gen_range(i + 1..j);
+        if m > i + 1 || (i, m) == (0, n - 1) {
+            add_chord(&mut g, i, m, n);
+        }
+        if j > m + 1 {
+            add_chord(&mut g, m, j, n);
+        }
+        stack.push((i, m));
+        stack.push((m, j));
+    }
+    g
+}
+
+fn add_chord(g: &mut Graph, i: usize, j: usize, _n: usize) {
+    let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+    if !g.has_edge(u, v) {
+        g.add_edge(u, v, 1);
+    }
+}
+
+/// A fan: path `1..n-1` plus a hub adjacent to every path vertex.
+/// Outerplanar; its hub makes naive separator choices interesting.
+pub fn fan(n: usize) -> Graph {
+    assert!(n >= 2, "fan needs at least 2 vertices");
+    let mut g = Graph::new(n);
+    for i in 1..n - 1 {
+        g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1), 1);
+    }
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId::from_index(i), 1);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn apollonian_is_maximal_planar() {
+        let g = apollonian(50, 3);
+        assert_eq!(g.num_nodes(), 50);
+        // maximal planar: m = 3n - 6
+        assert_eq!(g.num_edges(), 3 * 50 - 6);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn triangulated_grid_edge_count() {
+        let g = triangulated_grid(4, 5, 1);
+        let grid_edges = 4 * 4 + 3 * 5;
+        let diagonals = 3 * 4;
+        assert_eq!(g.num_edges(), grid_edges + diagonals);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn outerplanar_is_polygon_triangulation() {
+        for seed in 0..5 {
+            let n = 12;
+            let g = random_outerplanar(n, seed);
+            // triangulated polygon: 2n - 3 edges
+            assert_eq!(g.num_edges(), 2 * n - 3, "seed {seed}");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn fan_counts() {
+        let g = fan(6);
+        assert_eq!(g.num_edges(), 4 + 5);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,183 @@
+//! Special families: the paper's lower-bound constructions (§5.1–§5.2)
+//! and general-graph baselines.
+
+use rand::Rng;
+
+use super::rng;
+use crate::graph::{Graph, NodeId, Weight};
+
+/// Complete graph `K_n` with unit weights.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j), 1);
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{r,s}` with unit weights; the left side is
+/// ids `0..r`. Used by Theorem 7's lower bound: `K_{r,n−r}` has treewidth
+/// `r` and every `k`-path separator needs `k ≥ r/2`.
+pub fn complete_bipartite(r: usize, s: usize) -> Graph {
+    let mut g = Graph::new(r + s);
+    for i in 0..r {
+        for j in 0..s {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(r + j), 1);
+        }
+    }
+    g
+}
+
+/// A `t × t` unweighted mesh plus a universal apex vertex (id `t²`)
+/// adjacent to all mesh vertices. `K₆`-minor-free (the mesh is
+/// `K₅`-minor-free) with diameter 2 — the §5.2 witness that *strong*
+/// `k`-path separators need `k = Ω(√n)`, even though Theorem 1 gives an
+/// `O(1)`-path (sequential) separator: remove the apex first, then the
+/// mesh's middle row.
+pub fn mesh_with_apex(t: usize) -> Graph {
+    let mut g = super::grids::grid2d(t, t, 1);
+    let apex = g.add_node();
+    for i in 0..t * t {
+        g.add_edge(NodeId::from_index(i), apex, 1);
+    }
+    g
+}
+
+/// The apex vertex id of [`mesh_with_apex`].
+pub fn mesh_apex_id(t: usize) -> NodeId {
+    NodeId::from_index(t * t)
+}
+
+/// The §5.2 opening example: a path of `n/2` vertices (weight-1 edges)
+/// plus a stable set of `n/2` vertices fully joined to the path with
+/// edges of weight `n/2`. Contains a `K_{n/2,n/2}` minor yet is 1-path
+/// separable (the whole path is one minimum-cost path and a balanced
+/// separator) — showing `O(1)`-path separability does not reduce to
+/// excluding a small minor.
+pub fn path_plus_stable(half: usize) -> Graph {
+    assert!(half >= 2, "need at least 2 path vertices");
+    let mut g = Graph::new(2 * half);
+    for i in 0..half - 1 {
+        g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1), 1);
+    }
+    let heavy: Weight = half as Weight;
+    for s in 0..half {
+        for p in 0..half {
+            g.add_edge(
+                NodeId::from_index(half + s),
+                NodeId::from_index(p),
+                heavy,
+            );
+        }
+    }
+    g
+}
+
+/// `d`-dimensional hypercube (`2^d` vertices), unit weights.
+pub fn hypercube(d: usize) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if v < u {
+                g.add_edge(NodeId::from_index(v), NodeId::from_index(u), 1);
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned on connectivity: edges sampled
+/// independently, then a uniform spanning-tree-ish patch connects any
+/// leftover components (one edge between consecutive components).
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    let mut uf = crate::unionfind::UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if r.gen_bool(p) {
+                g.add_edge(NodeId::from_index(i), NodeId::from_index(j), 1);
+                uf.union(i, j);
+            }
+        }
+    }
+    // patch connectivity deterministically: link component representatives
+    let mut reps: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if uf.find(i) == i {
+            reps.push(i);
+        }
+    }
+    for w in reps.windows(2) {
+        if !uf.same(w[0], w[1]) {
+            g.add_edge(NodeId::from_index(w[0]), NodeId::from_index(w[1]), 1);
+            uf.union(w[0], w[1]);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::metrics::diameter;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn mesh_with_apex_has_diameter_two() {
+        let g = mesh_with_apex(5);
+        assert_eq!(g.num_nodes(), 26);
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(g.degree(mesh_apex_id(5)), 25);
+    }
+
+    #[test]
+    fn path_plus_stable_shape() {
+        let g = path_plus_stable(4);
+        assert_eq!(g.num_nodes(), 8);
+        // path edges + bipartite edges
+        assert_eq!(g.num_edges(), 3 + 16);
+        // stable-set vertices only touch the path
+        for s in 4..8 {
+            assert_eq!(g.degree(NodeId(s)), 4);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_regular() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn er_connected() {
+        for seed in 0..3 {
+            let g = erdos_renyi_connected(40, 0.05, seed);
+            assert!(is_connected(&g), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Tree generators (`K₃`-minor-free: 1-path separable via their center).
+
+use rand::Rng;
+
+use super::rng;
+use crate::graph::{Graph, NodeId, Weight};
+
+/// A path on `n` vertices with unit weights.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1), 1);
+    }
+    g
+}
+
+/// A cycle on `n ≥ 3` vertices with unit weights.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(NodeId::from_index(n - 1), NodeId(0), 1);
+    g
+}
+
+/// A star: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId::from_index(i), 1);
+    }
+    g
+}
+
+/// Complete `arity`-ary tree with `depth` levels of edges
+/// (`depth = 0` is a single vertex).
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    assert!(arity >= 1, "arity must be >= 1");
+    let mut g = Graph::new(1);
+    let mut frontier = vec![NodeId(0)];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for parent in frontier {
+            for _ in 0..arity {
+                let child = g.add_node();
+                g.add_edge(parent, child, 1);
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+/// Uniform random recursive tree: vertex `i` attaches to a uniformly
+/// random earlier vertex. Unit weights.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let parent = r.gen_range(0..i);
+        g.add_edge(NodeId::from_index(parent), NodeId::from_index(i), 1);
+    }
+    g
+}
+
+/// Random tree with weights drawn uniformly from `1..=max_w`.
+pub fn random_weighted_tree(n: usize, max_w: Weight, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let parent = r.gen_range(0..i);
+        let w = r.gen_range(1..=max_w);
+        g.add_edge(NodeId::from_index(parent), NodeId::from_index(i), w);
+    }
+    g
+}
+
+/// Caterpillar: a spine path of length `spine` with `legs` leaves hung on
+/// each spine vertex. A pathological case for naive vertex separators.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let mut g = path(spine);
+    for s in 0..spine {
+        for _ in 0..legs {
+            let leaf = g.add_node();
+            g.add_edge(NodeId::from_index(s), leaf, 1);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(2, 3);
+        assert_eq!(g.num_nodes(), 15); // 1+2+4+8
+        assert_eq!(g.num_edges(), 14);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(50, seed);
+            assert_eq!(g.num_edges(), 49);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.num_nodes(), 4 + 12);
+        assert_eq!(g.num_edges(), 3 + 12);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,212 @@
+//! DIMACS shortest-path format (`.gr`) reading and writing, so graphs
+//! can be exchanged with the 9th DIMACS Implementation Challenge
+//! ecosystem (road networks, generators, competing codes).
+//!
+//! Format:
+//!
+//! ```text
+//! c comment lines
+//! p sp <num_nodes> <num_edges>
+//! a <from> <to> <weight>     (1-indexed, one line per directed arc)
+//! ```
+//!
+//! Undirected graphs are written as one `a`-line per undirected edge and
+//! read tolerantly: reciprocal arcs collapse into one undirected edge
+//! (the first weight seen wins; DIMACS road graphs use symmetric
+//! weights, so this matters only for asymmetric inputs, which this
+//! undirected library cannot represent anyway).
+
+use std::io::{BufRead, Write};
+
+use crate::graph::{Graph, NodeId, Weight};
+
+/// Errors from [`read_dimacs`].
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the input text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "i/o error: {e}"),
+            DimacsError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<std::io::Error> for DimacsError {
+    fn from(e: std::io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+/// Reads a DIMACS `.gr` graph.
+///
+/// # Errors
+///
+/// Returns [`DimacsError`] on malformed input (missing or duplicate
+/// `p`-line, arcs before the `p`-line, out-of-range endpoints,
+/// unparsable numbers, self-loops).
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, DimacsError> {
+    let mut graph: Option<Graph> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if graph.is_some() {
+                    return Err(DimacsError::Parse {
+                        line: lineno,
+                        message: "duplicate p-line".into(),
+                    });
+                }
+                let kind = parts.next().unwrap_or("");
+                if kind != "sp" {
+                    return Err(DimacsError::Parse {
+                        line: lineno,
+                        message: format!("unsupported problem type {kind:?}"),
+                    });
+                }
+                let n: usize = parse(parts.next(), lineno, "node count")?;
+                let _m: usize = parse(parts.next(), lineno, "edge count")?;
+                graph = Some(Graph::new(n));
+            }
+            Some("a") => {
+                let g = graph.as_mut().ok_or(DimacsError::Parse {
+                    line: lineno,
+                    message: "arc before p-line".into(),
+                })?;
+                let from: usize = parse(parts.next(), lineno, "arc tail")?;
+                let to: usize = parse(parts.next(), lineno, "arc head")?;
+                let w: Weight = parse(parts.next(), lineno, "arc weight")?;
+                if from == 0 || to == 0 || from > g.num_nodes() || to > g.num_nodes() {
+                    return Err(DimacsError::Parse {
+                        line: lineno,
+                        message: format!("endpoint out of range: {from} {to}"),
+                    });
+                }
+                if from == to {
+                    return Err(DimacsError::Parse {
+                        line: lineno,
+                        message: "self-loop".into(),
+                    });
+                }
+                let (u, v) = (
+                    NodeId::from_index(from - 1),
+                    NodeId::from_index(to - 1),
+                );
+                if g.edge_weight(u, v).is_none() {
+                    g.add_edge(u, v, w.max(1));
+                }
+            }
+            Some(other) => {
+                return Err(DimacsError::Parse {
+                    line: lineno,
+                    message: format!("unknown record type {other:?}"),
+                });
+            }
+        }
+    }
+    graph.ok_or(DimacsError::Parse {
+        line: 0,
+        message: "missing p-line".into(),
+    })
+}
+
+fn parse<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, DimacsError> {
+    tok.ok_or_else(|| DimacsError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?
+    .parse()
+    .map_err(|_| DimacsError::Parse {
+        line,
+        message: format!("unparsable {what}"),
+    })
+}
+
+/// Writes `g` in DIMACS `.gr` format (one `a`-line per undirected edge).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_dimacs<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "c generated by path-separators")?;
+    writeln!(writer, "p sp {} {}", g.num_nodes(), g.num_edges())?;
+    for (u, v, w) in g.edge_list() {
+        writeln!(writer, "a {} {} {}", u.index() + 1, v.index() + 1, w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grids;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = crate::generators::randomize_weights(&grids::grid2d(5, 6, 1), 1, 9, 3);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let h = read_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for (u, v, w) in g.edge_list() {
+            assert_eq!(h.edge_weight(u, v), Some(w));
+        }
+    }
+
+    #[test]
+    fn reads_hand_written_file() {
+        let text = "c tiny\np sp 3 2\na 1 2 5\na 2 3 7\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(5));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(2)), Some(7));
+    }
+
+    #[test]
+    fn reciprocal_arcs_collapse() {
+        let text = "p sp 2 2\na 1 2 4\na 2 1 4\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(4));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(read_dimacs("a 1 2 3\n".as_bytes()).is_err()); // arc first
+        assert!(read_dimacs("p sp 2 1\na 1 5 2\n".as_bytes()).is_err()); // range
+        assert!(read_dimacs("p sp 2 1\na 1 1 2\n".as_bytes()).is_err()); // loop
+        assert!(read_dimacs("p max 2 1\n".as_bytes()).is_err()); // wrong type
+        assert!(read_dimacs("x\n".as_bytes()).is_err()); // unknown record
+        assert!(read_dimacs("".as_bytes()).is_err()); // empty
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "c a\n\nc b\np sp 2 1\nc mid\na 1 2 3\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

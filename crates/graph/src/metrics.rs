@@ -1,0 +1,105 @@
+//! Metric quantities of weighted graphs: eccentricities, diameter, and
+//! the aspect ratio `Δ = max d(u,v) / min d(u,v)` from Section 1.2 of the
+//! paper (with `min d(u,v)` normalized to the minimum edge weight).
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{NodeId, Weight};
+use crate::view::GraphRef;
+
+/// Weighted eccentricity of `v`: the largest finite distance from `v`.
+/// Returns `None` if `v` reaches no other vertex.
+pub fn eccentricity<G: GraphRef>(g: &G, v: NodeId) -> Option<Weight> {
+    let sp = dijkstra(g, &[v]);
+    sp.reached_nodes()
+        .filter(|&u| u != v)
+        .map(|u| sp.dist_raw()[u.index()])
+        .max()
+}
+
+/// Exact weighted diameter via all-source Dijkstra. `O(n · m log n)` —
+/// intended for tests and moderate bench sizes.
+pub fn diameter<G: GraphRef>(g: &G) -> Option<Weight> {
+    g.node_iter().filter_map(|v| eccentricity(g, v)).max()
+}
+
+/// Lower-bound estimate of the diameter by a double Dijkstra sweep
+/// (exact on trees; a good, cheap estimate elsewhere).
+pub fn diameter_estimate<G: GraphRef>(g: &G) -> Option<Weight> {
+    let start = g.node_iter().next()?;
+    let sp1 = dijkstra(g, &[start]);
+    let far1 = sp1
+        .reached_nodes()
+        .max_by_key(|u| sp1.dist_raw()[u.index()])?;
+    let sp2 = dijkstra(g, &[far1]);
+    sp2.reached_nodes()
+        .map(|u| sp2.dist_raw()[u.index()])
+        .max()
+}
+
+/// Aspect ratio `Δ = max_{u≠v} d(u,v) / min_{u≠v} d(u,v)`.
+///
+/// For connected graphs with positive integer weights,
+/// `min_{u≠v} d(u,v)` equals the minimum edge weight. Returns `None` for
+/// graphs with no edges. The result is rounded up to the next integer.
+pub fn aspect_ratio<G: GraphRef>(g: &G) -> Option<u64> {
+    let min_d = min_pair_distance(g)?;
+    let max_d = diameter(g)?;
+    Some(max_d.div_ceil(min_d))
+}
+
+/// Cheap aspect ratio estimate using [`diameter_estimate`]; a lower bound
+/// on the true `Δ`, exact on trees.
+pub fn aspect_ratio_estimate<G: GraphRef>(g: &G) -> Option<u64> {
+    let min_d = min_pair_distance(g)?;
+    let max_d = diameter_estimate(g)?;
+    Some(max_d.div_ceil(min_d))
+}
+
+/// `min_{u≠v} d(u,v)` — the minimum edge weight present in `g`.
+pub fn min_pair_distance<G: GraphRef>(g: &G) -> Option<Weight> {
+    let mut min_w = None;
+    for u in g.node_iter() {
+        for e in g.neighbors(u) {
+            min_w = Some(min_w.map_or(e.weight, |m: Weight| m.min(e.weight)));
+        }
+    }
+    min_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn weighted_path(weights: &[Weight]) -> Graph {
+        let mut g = Graph::new(weights.len() + 1);
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1), w);
+        }
+        g
+    }
+
+    #[test]
+    fn path_metrics() {
+        let g = weighted_path(&[1, 2, 3]);
+        assert_eq!(diameter(&g), Some(6));
+        assert_eq!(diameter_estimate(&g), Some(6));
+        assert_eq!(eccentricity(&g, NodeId(1)), Some(5));
+        assert_eq!(min_pair_distance(&g), Some(1));
+        assert_eq!(aspect_ratio(&g), Some(6));
+    }
+
+    #[test]
+    fn aspect_ratio_rounds_up() {
+        let g = weighted_path(&[2, 3]);
+        // max d = 5, min d = 2 → ceil(5/2) = 3
+        assert_eq!(aspect_ratio(&g), Some(3));
+    }
+
+    #[test]
+    fn edgeless_has_no_metrics() {
+        let g = Graph::new(3);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(aspect_ratio(&g), None);
+    }
+}

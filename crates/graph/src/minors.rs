@@ -1,0 +1,676 @@
+//! Elementary minor operations: edge contraction and induced-subgraph
+//! extraction with id remapping.
+//!
+//! The paper's families are defined by excluded minors; tests use these
+//! operations to exhibit concrete minors (e.g. a `K₆` minor in the
+//! mesh+apex family would contradict its construction, while `K₅` minors
+//! are found in small cliques).
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId, Weight};
+
+/// Contracts the edge `{u, v}`: `v` is merged into `u`. The result is a
+/// fresh graph with dense ids; parallel edges collapse to minimum weight.
+/// Returns the new graph and, for each old node, its new id.
+///
+/// # Panics
+///
+/// Panics if `{u, v}` is not an edge.
+pub fn contract_edge(g: &Graph, u: NodeId, v: NodeId) -> (Graph, Vec<NodeId>) {
+    assert!(g.has_edge(u, v), "cannot contract a non-edge {u:?}-{v:?}");
+    let n = g.num_nodes();
+    // old -> new id map: v maps to u's new id, ids above v shift down.
+    let mut remap = Vec::with_capacity(n);
+    let mut next = 0u32;
+    for i in 0..n {
+        if NodeId::from_index(i) == v {
+            remap.push(NodeId(u32::MAX)); // patched below
+        } else {
+            remap.push(NodeId(next));
+            next += 1;
+        }
+    }
+    remap[v.index()] = remap[u.index()];
+    let mut edges: HashMap<(NodeId, NodeId), Weight> = HashMap::new();
+    for (a, b, w) in g.edge_list() {
+        let (na, nb) = (remap[a.index()], remap[b.index()]);
+        if na == nb {
+            continue; // the contracted edge (or an edge made into a loop)
+        }
+        let key = if na < nb { (na, nb) } else { (nb, na) };
+        edges
+            .entry(key)
+            .and_modify(|cur| *cur = (*cur).min(w))
+            .or_insert(w);
+    }
+    let mut out = Graph::new(n - 1);
+    let mut sorted: Vec<_> = edges.into_iter().collect();
+    sorted.sort_unstable_by_key(|&((a, b), _)| (a, b));
+    for ((a, b), w) in sorted {
+        out.add_edge(a, b, w);
+    }
+    (out, remap)
+}
+
+/// Extracts the induced subgraph on `nodes` as a standalone graph with
+/// dense ids `0..nodes.len()` (in the order given). Returns the graph and
+/// the mapping from new id to old id.
+///
+/// # Panics
+///
+/// Panics if `nodes` contains duplicates.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut new_of_old: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        let prev = new_of_old.insert(v, NodeId::from_index(i));
+        assert!(prev.is_none(), "duplicate node {v:?} in induced_subgraph");
+    }
+    let mut out = Graph::new(nodes.len());
+    for (i, &v) in nodes.iter().enumerate() {
+        for e in g.edges(v) {
+            if let Some(&nb) = new_of_old.get(&e.to) {
+                if NodeId::from_index(i) < nb {
+                    out.add_edge(NodeId::from_index(i), nb, e.weight);
+                }
+            }
+        }
+    }
+    (out, nodes.to_vec())
+}
+
+/// Checks whether `g` contains a clique on `verts` (every pair adjacent).
+pub fn is_clique(g: &Graph, verts: &[NodeId]) -> bool {
+    for (i, &a) in verts.iter().enumerate() {
+        for &b in &verts[i + 1..] {
+            if !g.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_triangle_to_edge() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 2);
+        g.add_edge(NodeId(0), NodeId(2), 3);
+        let (h, remap) = contract_edge(&g, NodeId(0), NodeId(1));
+        assert_eq!(h.num_nodes(), 2);
+        assert_eq!(h.num_edges(), 1);
+        // parallel edges 1-2 (w=2) and 0-2 (w=3) collapse to weight 2
+        assert_eq!(h.edge_weight(remap[0], remap[2]), Some(2));
+        assert_eq!(remap[0], remap[1]);
+    }
+
+    #[test]
+    fn contraction_series_yields_k1() {
+        // contracting all edges of a path ends at a single vertex
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1);
+        }
+        let mut cur = g;
+        while cur.num_edges() > 0 {
+            let (u, v, _) = cur.edge_list().next().unwrap();
+            cur = contract_edge(&cur, u, v).0;
+        }
+        assert_eq!(cur.num_nodes(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 5);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let (h, old) = induced_subgraph(&g, &[NodeId(1), NodeId(2)]);
+        assert_eq!(h.num_nodes(), 2);
+        assert_eq!(h.edge_weight(NodeId(0), NodeId(1)), Some(5));
+        assert_eq!(old, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        assert!(!is_clique(&g, &[NodeId(0), NodeId(1), NodeId(2)]));
+        g.add_edge(NodeId(0), NodeId(2), 1);
+        assert!(is_clique(&g, &[NodeId(0), NodeId(1), NodeId(2)]));
+    }
+}
+
+/// Exact test for a `K_k` **minor** in `g`: are there `k` pairwise
+/// disjoint, connected *branch sets* with an edge between every pair?
+///
+/// Exponential-time branch-set search with symmetry breaking (branch
+/// sets are built one at a time, seeded in increasing vertex order, and
+/// grown by a canonical include/exclude enumeration of connected
+/// supersets). Intended for the small instances the test-suite uses to
+/// certify the paper's family claims (e.g. mesh+apex has a `K₅` minor
+/// but no `K₆` minor); practical up to a few dozen vertices.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 64 vertices.
+pub fn has_clique_minor(g: &Graph, k: usize) -> bool {
+    let n = g.num_nodes();
+    assert!(n <= 64, "clique-minor search supports at most 64 vertices");
+    if k == 0 {
+        return true;
+    }
+    if k == 1 {
+        return n > 0;
+    }
+    if n < k {
+        return false;
+    }
+    // bitmask adjacency
+    let mut adj = vec![0u64; n];
+    for (u, v, _) in g.edge_list() {
+        adj[u.index()] |= 1 << v.index();
+        adj[v.index()] |= 1 << u.index();
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // finished branch sets as bitmasks
+    let mut sets: Vec<u64> = Vec::with_capacity(k);
+    search_clique_minor(&adj, full, k, &mut sets, 0)
+}
+
+fn nbrs_of_set(adj: &[u64], set: u64) -> u64 {
+    let mut out = 0u64;
+    let mut rest = set;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        out |= adj[v];
+    }
+    out & !set
+}
+
+/// Recursively builds branch set `sets.len()`; `used` = vertices in
+/// finished sets; `min_seed` enforces increasing seeds across sets.
+fn search_clique_minor(
+    adj: &[u64],
+    alive: u64,
+    k: usize,
+    sets: &mut Vec<u64>,
+    min_seed: usize,
+) -> bool {
+    if sets.len() == k {
+        return true;
+    }
+    let used: u64 = sets.iter().copied().fold(0, |a, b| a | b);
+    let free = alive & !used;
+    // each remaining set needs at least one vertex
+    if (free.count_ones() as usize) < k - sets.len() {
+        return false;
+    }
+    // every finished set still needs an edge to every future set: if one
+    // has no free neighbours left, no completion exists
+    if sets.iter().any(|&s| nbrs_of_set(adj, s) & free == 0) {
+        return false;
+    }
+    let n = adj.len();
+    for seed in min_seed..n {
+        if free & (1 << seed) == 0 {
+            continue;
+        }
+        // canonical: sets are ordered by their minimum vertex, so this
+        // set's members are all ≥ seed and later seeds are > seed
+        let allowed = free & !((1u64 << seed) - 1);
+        if grow_set(adj, k, sets, allowed, 1u64 << seed, 0u64, seed) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Tries completions of the current (partial) branch set `cur`, then
+/// recurses to the next set. `excluded` marks vertices permanently
+/// rejected from `cur` on this branch (canonical enumeration).
+fn grow_set(
+    adj: &[u64],
+    k: usize,
+    sets: &mut Vec<u64>,
+    allowed: u64,
+    cur: u64,
+    excluded: u64,
+    seed: usize,
+) -> bool {
+    // prune: every earlier set must eventually touch cur, and cur can
+    // only ever contain vertices of (cur | allowed \ excluded)
+    let reach = cur | (allowed & !excluded);
+    if sets.iter().any(|&s| nbrs_of_set(adj, s) & reach == 0) {
+        return false;
+    }
+    // can we finish `cur` now? it must touch every earlier set
+    let finish_ok = sets.iter().all(|&s| nbrs_of_set(adj, s) & cur != 0);
+    if finish_ok {
+        sets.push(cur);
+        let alive = allowed | sets.iter().copied().fold(0, |a, b| a | b);
+        if search_clique_minor(adj, alive, k, sets, seed + 1) {
+            return true;
+        }
+        sets.pop();
+    }
+    // extend by one unassigned neighbour not excluded
+    let mut candidates = nbrs_of_set(adj, cur) & allowed & !cur & !excluded;
+    let mut local_excluded = excluded;
+    while candidates != 0 {
+        let v = candidates.trailing_zeros() as usize;
+        candidates &= candidates - 1;
+        if grow_set(adj, k, sets, allowed, cur | (1 << v), local_excluded, seed) {
+            return true;
+        }
+        // canonical: branches that skip v never re-add it
+        local_excluded |= 1 << v;
+    }
+    false
+}
+
+#[cfg(test)]
+mod minor_tests {
+    use super::*;
+    use crate::generators::{grids, special, trees};
+
+    fn petersen() -> Graph {
+        // outer 5-cycle 0..4, inner pentagram 5..9, spokes i—i+5
+        let mut g = Graph::new(10);
+        for i in 0..5u32 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 5), 1);
+            g.add_edge(NodeId(i + 5), NodeId((i + 2) % 5 + 5), 1);
+            g.add_edge(NodeId(i), NodeId(i + 5), 1);
+        }
+        g
+    }
+
+    #[test]
+    fn cycles_have_k3_but_not_k4() {
+        let g = trees::cycle(7);
+        assert!(has_clique_minor(&g, 3));
+        assert!(!has_clique_minor(&g, 4));
+    }
+
+    #[test]
+    fn trees_have_no_k3() {
+        let g = trees::random_tree(15, 2);
+        assert!(has_clique_minor(&g, 2));
+        assert!(!has_clique_minor(&g, 3));
+    }
+
+    #[test]
+    fn grids_have_k4_but_not_k5() {
+        let g = grids::grid2d(3, 4, 1);
+        assert!(has_clique_minor(&g, 4));
+        assert!(!has_clique_minor(&g, 5)); // planar: K5-minor-free
+    }
+
+    #[test]
+    fn mesh_with_apex_is_k5_yes_k6_no() {
+        // §5.2: the t×t mesh + universal apex is K6-minor-free
+        let g = special::mesh_with_apex(3);
+        assert!(has_clique_minor(&g, 5));
+        assert!(!has_clique_minor(&g, 6));
+    }
+
+    #[test]
+    fn petersen_has_k5_not_k6() {
+        let g = petersen();
+        assert!(has_clique_minor(&g, 5));
+        assert!(!has_clique_minor(&g, 6));
+    }
+
+    #[test]
+    fn complete_graphs_are_their_own_witness() {
+        let g = special::complete(6);
+        assert!(has_clique_minor(&g, 6));
+        assert!(!has_clique_minor(&g, 7));
+    }
+
+    #[test]
+    fn apollonian_networks_are_k5_free() {
+        let g = crate::generators::planar_families::apollonian(10, 3);
+        assert!(has_clique_minor(&g, 4));
+        assert!(!has_clique_minor(&g, 5));
+    }
+
+    #[test]
+    fn series_parallel_is_k4_free() {
+        let g = crate::generators::ktree::series_parallel(12, 5);
+        assert!(!has_clique_minor(&g, 4));
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let g = Graph::new(3);
+        assert!(has_clique_minor(&g, 1));
+        assert!(!has_clique_minor(&g, 2)); // no edges
+        assert!(has_clique_minor(&g, 0));
+    }
+}
+
+/// Exact test for an arbitrary **`h`-minor** in `g` (both ≤ 64
+/// vertices): a family of disjoint connected branch sets, one per vertex
+/// of `h`, with an edge of `g` between every pair that is adjacent in
+/// `h`. Weights are ignored.
+///
+/// Same branch-set search as [`has_clique_minor`] but with adjacency
+/// required only on `h`'s edges and no cross-set seed ordering (`h` may
+/// be asymmetric). Exponential; intended for small certification
+/// instances.
+///
+/// # Panics
+///
+/// Panics if `g` or `h` has more than 64 vertices.
+pub fn has_minor(g: &Graph, h: &Graph) -> bool {
+    let n = g.num_nodes();
+    let k = h.num_nodes();
+    assert!(n <= 64 && k <= 64, "minor search supports at most 64 vertices");
+    if k == 0 {
+        return true;
+    }
+    if n < k {
+        return false;
+    }
+    let mut adj = vec![0u64; n];
+    for (u, v, _) in g.edge_list() {
+        adj[u.index()] |= 1 << v.index();
+        adj[v.index()] |= 1 << u.index();
+    }
+    // h adjacency among earlier-indexed vertices
+    let mut h_adj = vec![0u64; k];
+    for (a, b, _) in h.edge_list() {
+        h_adj[a.index()] |= 1 << b.index();
+        h_adj[b.index()] |= 1 << a.index();
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut sets: Vec<u64> = Vec::with_capacity(k);
+    search_h_minor(&adj, &h_adj, full, k, &mut sets)
+}
+
+fn search_h_minor(adj: &[u64], h_adj: &[u64], alive: u64, k: usize, sets: &mut Vec<u64>) -> bool {
+    if sets.len() == k {
+        return true;
+    }
+    let i = sets.len();
+    let used: u64 = sets.iter().copied().fold(0, |a, b| a | b);
+    let free = alive & !used;
+    if (free.count_ones() as usize) < k - i {
+        return false;
+    }
+    // feasibility: every finished set with an h-edge to a future vertex
+    // still needs free neighbours
+    for (j, &s) in sets.iter().enumerate() {
+        let future = h_adj[j] >> i; // h-neighbours of j with index ≥ i
+        if future != 0 && nbrs_of_set(adj, s) & free == 0 {
+            return false;
+        }
+    }
+    let n = adj.len();
+    for seed in 0..n {
+        if free & (1 << seed) == 0 {
+            continue;
+        }
+        if grow_h_set(adj, h_adj, k, sets, free, 1u64 << seed, 0u64) {
+            return true;
+        }
+    }
+    false
+}
+
+fn grow_h_set(
+    adj: &[u64],
+    h_adj: &[u64],
+    k: usize,
+    sets: &mut Vec<u64>,
+    allowed: u64,
+    cur: u64,
+    excluded: u64,
+) -> bool {
+    let i = sets.len();
+    // earlier sets that must touch cur (h-edges into i)
+    let reach = cur | (allowed & !excluded & !cur);
+    for (j, &s) in sets.iter().enumerate() {
+        if h_adj[i] & (1 << j) != 0 && nbrs_of_set(adj, s) & reach == 0 {
+            return false;
+        }
+    }
+    let finish_ok = sets
+        .iter()
+        .enumerate()
+        .all(|(j, &s)| h_adj[i] & (1 << j) == 0 || nbrs_of_set(adj, s) & cur != 0);
+    if finish_ok {
+        sets.push(cur);
+        let alive = allowed | sets.iter().copied().fold(0, |a, b| a | b);
+        if search_h_minor(adj, h_adj, alive, k, sets) {
+            return true;
+        }
+        sets.pop();
+    }
+    let mut candidates = nbrs_of_set(adj, cur) & allowed & !cur & !excluded;
+    let mut local_excluded = excluded;
+    while candidates != 0 {
+        let v = candidates.trailing_zeros() as usize;
+        candidates &= candidates - 1;
+        if grow_h_set(adj, h_adj, k, sets, allowed, cur | (1 << v), local_excluded) {
+            return true;
+        }
+        local_excluded |= 1 << v;
+    }
+    false
+}
+
+/// Exact test for a `K_{a,b}` minor in `g` (≤ 64 vertices), with
+/// symmetry breaking (within each side, branch sets are ordered by their
+/// minimum vertex; for `a == b` the side containing the overall smallest
+/// seed comes first) — orders of magnitude faster than [`has_minor`] on
+/// the highly symmetric `K_{3,3}`.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 64 vertices or `a == 0 || b == 0`.
+pub fn has_complete_bipartite_minor(g: &Graph, a: usize, b: usize) -> bool {
+    let n = g.num_nodes();
+    assert!(n <= 64, "minor search supports at most 64 vertices");
+    assert!(a >= 1 && b >= 1, "sides must be non-empty");
+    if n < a + b {
+        return false;
+    }
+    let mut adj = vec![0u64; n];
+    for (u, v, _) in g.edge_list() {
+        adj[u.index()] |= 1 << v.index();
+        adj[v.index()] |= 1 << u.index();
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut sets: Vec<u64> = Vec::with_capacity(a + b);
+    search_bipartite(&adj, full, a, b, &mut sets, 0, 0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_bipartite(
+    adj: &[u64],
+    alive: u64,
+    a: usize,
+    b: usize,
+    sets: &mut Vec<u64>,
+    min_seed_side: usize,
+    first_a_seed: usize,
+) -> bool {
+    let i = sets.len();
+    if i == a + b {
+        return true;
+    }
+    let used: u64 = sets.iter().copied().fold(0, |x, y| x | y);
+    let free = alive & !used;
+    if (free.count_ones() as usize) < a + b - i {
+        return false;
+    }
+    // finished A-sets must still reach the unbuilt B-sets
+    if i < a + b && sets.len() >= a {
+        // building B side: every A set must touch remaining B sets
+        if sets[..a].iter().any(|&s| nbrs_of_set(adj, s) & (free | sets[a..].iter().fold(0, |x, &y| x | y)) == 0 && sets.len() < a + b) {
+            return false;
+        }
+    }
+    let building_b = i >= a;
+    let n = adj.len();
+    for seed in min_seed_side..n {
+        if free & (1 << seed) == 0 {
+            continue;
+        }
+        // a == b side-swap symmetry: the B side's first seed exceeds A's
+        if building_b && i == a && a == b && seed < first_a_seed {
+            continue;
+        }
+        let allowed = free & !((1u64 << seed) - 1);
+        let fa = if i == 0 { seed } else { first_a_seed };
+        if grow_bipartite(adj, a, b, sets, allowed, 1u64 << seed, 0u64, seed, fa) {
+            return true;
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_bipartite(
+    adj: &[u64],
+    a: usize,
+    b: usize,
+    sets: &mut Vec<u64>,
+    allowed: u64,
+    cur: u64,
+    excluded: u64,
+    seed: usize,
+    first_a_seed: usize,
+) -> bool {
+    let i = sets.len();
+    let building_b = i >= a;
+    // a B-set must touch every A-set; prune when unreachable
+    if building_b {
+        let reach = cur | (allowed & !excluded);
+        if sets[..a].iter().any(|&s| nbrs_of_set(adj, s) & reach == 0) {
+            return false;
+        }
+    }
+    let finish_ok = if building_b {
+        sets[..a].iter().all(|&s| nbrs_of_set(adj, s) & cur != 0)
+    } else {
+        true // A-sets have no earlier constraints (B built later)
+    };
+    if finish_ok {
+        sets.push(cur);
+        let alive = allowed | sets.iter().copied().fold(0, |x, y| x | y);
+        // next set of the same side must have a larger seed; first B set
+        // restarts the seed ordering
+        let next_min = if sets.len() == a { 0 } else { seed + 1 };
+        if search_bipartite(adj, alive, a, b, sets, next_min, first_a_seed) {
+            return true;
+        }
+        sets.pop();
+    }
+    let mut candidates = nbrs_of_set(adj, cur) & allowed & !cur & !excluded;
+    let mut local_excluded = excluded;
+    while candidates != 0 {
+        let v = candidates.trailing_zeros() as usize;
+        candidates &= candidates - 1;
+        if grow_bipartite(adj, a, b, sets, allowed, cur | (1 << v), local_excluded, seed, first_a_seed) {
+            return true;
+        }
+        local_excluded |= 1 << v;
+    }
+    false
+}
+
+/// Exact planarity for small graphs (≤ 20 vertices) by Wagner's theorem:
+/// planar ⇔ no `K₅` minor and no `K_{3,3}` minor. A fast `m ≤ 3n − 6`
+/// Euler check short-circuits dense inputs.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 20 vertices (the exponential minor search
+/// dominates beyond that).
+pub fn is_planar_small(g: &Graph) -> bool {
+    let n = g.num_nodes();
+    assert!(n <= 20, "is_planar_small supports at most 20 vertices");
+    if n >= 3 && g.num_edges() > 3 * n - 6 {
+        return false;
+    }
+    if has_clique_minor(g, 5) {
+        return false;
+    }
+    !has_complete_bipartite_minor(g, 3, 3)
+}
+
+#[cfg(test)]
+mod planarity_tests {
+    use super::*;
+    use crate::generators::{grids, ktree, planar_families, special, trees};
+
+    #[test]
+    fn h_minor_generalizes_clique_minor() {
+        let g = special::mesh_with_apex(3);
+        for k in 2..=5 {
+            assert_eq!(
+                has_minor(&g, &special::complete(k)),
+                has_clique_minor(&g, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k33_minors_detected() {
+        let k33 = special::complete_bipartite(3, 3);
+        assert!(has_minor(&k33, &k33));
+        // K5 has only 5 vertices: no K33 minor
+        assert!(!has_minor(&special::complete(5), &k33));
+        assert!(!has_complete_bipartite_minor(&special::complete(5), 3, 3));
+        assert!(has_complete_bipartite_minor(&k33, 3, 3));
+        // the Petersen graph contains K33 as a minor
+        let mut petersen = Graph::new(10);
+        for i in 0..5u32 {
+            petersen.add_edge(NodeId(i), NodeId((i + 1) % 5), 1);
+            petersen.add_edge(NodeId(i + 5), NodeId((i + 2) % 5 + 5), 1);
+            petersen.add_edge(NodeId(i), NodeId(i + 5), 1);
+        }
+        assert!(has_minor(&petersen, &k33));
+    }
+
+    #[test]
+    fn planar_families_certified_planar() {
+        assert!(is_planar_small(&grids::grid2d(3, 4, 1)));
+        assert!(is_planar_small(&planar_families::apollonian(10, 3)));
+        assert!(is_planar_small(&planar_families::triangulated_grid(3, 4, 1)));
+        assert!(is_planar_small(&planar_families::random_outerplanar(11, 2)));
+        assert!(is_planar_small(&trees::random_tree(14, 1)));
+        assert!(is_planar_small(&ktree::series_parallel(12, 2)));
+    }
+
+    #[test]
+    fn nonplanar_graphs_rejected() {
+        assert!(!is_planar_small(&special::complete(5)));
+        assert!(!is_planar_small(&special::complete_bipartite(3, 3)));
+        // C3 × C3 torus is nonplanar (genus 1)
+        assert!(!is_planar_small(&grids::torus2d(3, 3)));
+        // mesh+apex(3) is K5-minor-ful hence nonplanar
+        assert!(!is_planar_small(&special::mesh_with_apex(3)));
+        // hypercube Q4 is nonplanar
+        assert!(!is_planar_small(&special::hypercube(4)));
+    }
+
+    #[test]
+    fn planarity_is_minor_closed_under_contraction() {
+        let g = planar_families::apollonian(10, 7);
+        let (u, v, _) = g.edge_list().next().unwrap();
+        let (h, _) = contract_edge(&g, u, v);
+        assert!(is_planar_small(&h));
+    }
+}

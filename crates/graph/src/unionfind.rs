@@ -1,0 +1,103 @@
+//! Disjoint-set forest with union by rank and path halving.
+
+/// Union–find over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// assert_eq!(uf.num_sets(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp; // path halving
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 4));
+        assert_eq!(uf.num_sets(), 3);
+    }
+
+    #[test]
+    fn long_chain_flattens() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        for i in 0..n {
+            assert!(uf.same(0, i));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Subgraph views: induced subgraphs over a node mask, without copying.
+//!
+//! The paper constantly works in residual graphs `G \ (P_0 ∪ … ∪ P_{i-1})`
+//! and in connected components thereof. [`SubgraphView`] lets every
+//! algorithm run on such a residual graph by masking vertices of the
+//! original [`Graph`] in `O(1)` per adjacency probe.
+
+use crate::graph::{Edge, Graph, NodeId};
+
+/// A set of alive vertices over the id universe of a [`Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeMask {
+    alive: Vec<bool>,
+    count: usize,
+}
+
+impl NodeMask {
+    /// Mask with every vertex of a universe of size `n` alive.
+    pub fn all(n: usize) -> Self {
+        NodeMask {
+            alive: vec![true; n],
+            count: n,
+        }
+    }
+
+    /// Mask with no vertex alive.
+    pub fn none(n: usize) -> Self {
+        NodeMask {
+            alive: vec![false; n],
+            count: 0,
+        }
+    }
+
+    /// Mask containing exactly `nodes`.
+    pub fn from_nodes(n: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut m = NodeMask::none(n);
+        for v in nodes {
+            m.insert(v);
+        }
+        m
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of alive vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no vertex is alive.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether `v` is alive.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.alive[v.index()]
+    }
+
+    /// Makes `v` alive. Returns `true` if it was dead.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let was_dead = !self.alive[v.index()];
+        if was_dead {
+            self.alive[v.index()] = true;
+            self.count += 1;
+        }
+        was_dead
+    }
+
+    /// Makes `v` dead. Returns `true` if it was alive.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let was_alive = self.alive[v.index()];
+        if was_alive {
+            self.alive[v.index()] = false;
+            self.count -= 1;
+        }
+        was_alive
+    }
+
+    /// Removes every vertex in `nodes`.
+    pub fn remove_all(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        for v in nodes {
+            self.remove(v);
+        }
+    }
+
+    /// Iterator over alive vertices in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+}
+
+impl FromIterator<NodeId> for NodeMask {
+    /// Collects node ids into a mask whose universe is just large enough.
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let nodes: Vec<NodeId> = iter.into_iter().collect();
+        let n = nodes.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        NodeMask::from_nodes(n, nodes)
+    }
+}
+
+/// Read-only adjacency abstraction implemented by [`Graph`] and
+/// [`SubgraphView`], so that shortest-path and connectivity algorithms run
+/// unchanged on residual graphs.
+pub trait GraphRef {
+    /// Size of the node-id universe (masked views keep the full universe).
+    fn universe(&self) -> usize;
+
+    /// Whether `v` belongs to this (sub)graph.
+    fn contains_node(&self, v: NodeId) -> bool;
+
+    /// Alive neighbours of `v` with edge weights.
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_;
+
+    /// Number of alive vertices.
+    fn node_count(&self) -> usize;
+
+    /// Iterator over alive vertices.
+    fn node_iter(&self) -> impl Iterator<Item = NodeId> + '_;
+}
+
+impl GraphRef for Graph {
+    #[inline]
+    fn universe(&self) -> usize {
+        self.num_nodes()
+    }
+
+    #[inline]
+    fn contains_node(&self, v: NodeId) -> bool {
+        v.index() < self.num_nodes()
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
+        self.edges(v).iter().copied()
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn node_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes()
+    }
+}
+
+/// An induced subgraph `G[M]` for a node mask `M`, borrowing the base graph.
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::{Graph, NodeId, NodeMask, SubgraphView, GraphRef};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), 1);
+/// g.add_edge(NodeId(1), NodeId(2), 1);
+/// let mut mask = NodeMask::all(3);
+/// mask.remove(NodeId(1));
+/// let view = SubgraphView::new(&g, &mask);
+/// assert_eq!(view.node_count(), 2);
+/// assert_eq!(view.neighbors(NodeId(0)).count(), 0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SubgraphView<'a> {
+    graph: &'a Graph,
+    mask: &'a NodeMask,
+}
+
+impl<'a> SubgraphView<'a> {
+    /// Creates the induced subgraph of `graph` on the alive set of `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask universe differs from the graph's.
+    pub fn new(graph: &'a Graph, mask: &'a NodeMask) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            mask.universe(),
+            "mask universe must match graph"
+        );
+        SubgraphView { graph, mask }
+    }
+
+    /// The underlying full graph.
+    #[inline]
+    pub fn base(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The node mask.
+    #[inline]
+    pub fn mask(&self) -> &'a NodeMask {
+        self.mask
+    }
+}
+
+impl GraphRef for SubgraphView<'_> {
+    #[inline]
+    fn universe(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    #[inline]
+    fn contains_node(&self, v: NodeId) -> bool {
+        self.mask.contains(v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> impl Iterator<Item = Edge> + '_ {
+        debug_assert!(self.mask.contains(v), "querying dead vertex {v:?}");
+        self.graph
+            .edges(v)
+            .iter()
+            .copied()
+            .filter(|e| self.mask.contains(e.to))
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.mask.len()
+    }
+
+    fn node_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.mask.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1), 1);
+        }
+        g
+    }
+
+    #[test]
+    fn mask_basics() {
+        let mut m = NodeMask::all(4);
+        assert_eq!(m.len(), 4);
+        assert!(m.remove(NodeId(2)));
+        assert!(!m.remove(NodeId(2)));
+        assert_eq!(m.len(), 3);
+        assert!(!m.contains(NodeId(2)));
+        assert!(m.insert(NodeId(2)));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn mask_iter_in_order() {
+        let m = NodeMask::from_nodes(6, [NodeId(4), NodeId(1), NodeId(5)]);
+        let ids: Vec<_> = m.iter().collect();
+        assert_eq!(ids, vec![NodeId(1), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn mask_from_iterator_sizes_universe() {
+        let m: NodeMask = [NodeId(3), NodeId(0)].into_iter().collect();
+        assert_eq!(m.universe(), 4);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn view_filters_neighbors() {
+        let g = path_graph(5);
+        let mut mask = NodeMask::all(5);
+        mask.remove(NodeId(2));
+        let view = SubgraphView::new(&g, &mask);
+        assert_eq!(view.node_count(), 4);
+        let n1: Vec<_> = view.neighbors(NodeId(1)).map(|e| e.to).collect();
+        assert_eq!(n1, vec![NodeId(0)]);
+        let n3: Vec<_> = view.neighbors(NodeId(3)).map(|e| e.to).collect();
+        assert_eq!(n3, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn graph_implements_graphref() {
+        let g = path_graph(3);
+        assert_eq!(GraphRef::node_count(&g), 3);
+        assert!(g.contains_node(NodeId(2)));
+        assert_eq!(g.neighbors(NodeId(1)).count(), 2);
+    }
+}

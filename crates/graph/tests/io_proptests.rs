@@ -1,0 +1,83 @@
+//! Property tests for DIMACS round-tripping and mask algebra.
+
+use proptest::prelude::*;
+use psep_graph::generators::trees;
+use psep_graph::io::{read_dimacs, write_dimacs};
+use psep_graph::{Graph, NodeId, NodeMask};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..50, 0usize..60, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut g = trees::random_weighted_tree(n, 50, seed);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..extra {
+            let u = NodeId::from_index((next() % n as u64) as usize);
+            let v = NodeId::from_index((next() % n as u64) as usize);
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v, next() % 50 + 1);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// write → read is the identity on nodes, edges, and weights.
+    #[test]
+    fn dimacs_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let h = read_dimacs(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.num_nodes(), h.num_nodes());
+        prop_assert_eq!(g.num_edges(), h.num_edges());
+        for (u, v, w) in g.edge_list() {
+            prop_assert_eq!(h.edge_weight(u, v), Some(w));
+        }
+    }
+
+    /// Mask insert/remove bookkeeping stays consistent.
+    #[test]
+    fn mask_algebra(n in 1usize..80, ops in prop::collection::vec((any::<bool>(), 0usize..80), 0..200)) {
+        let mut mask = NodeMask::none(n);
+        let mut model = std::collections::HashSet::new();
+        for (insert, idx) in ops {
+            let v = NodeId::from_index(idx % n);
+            if insert {
+                prop_assert_eq!(mask.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(mask.remove(v), model.remove(&v));
+            }
+            prop_assert_eq!(mask.len(), model.len());
+        }
+        let listed: Vec<NodeId> = mask.iter().collect();
+        prop_assert_eq!(listed.len(), model.len());
+        for v in listed {
+            prop_assert!(model.contains(&v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The DIMACS parser never panics: arbitrary bytes produce Ok or a
+    /// structured error.
+    #[test]
+    fn dimacs_parser_never_panics(input in "\\PC{0,200}") {
+        let _ = read_dimacs(input.as_bytes());
+    }
+
+    /// Arbitrary line soup built from plausible tokens also never panics.
+    #[test]
+    fn dimacs_token_soup(lines in prop::collection::vec("(p sp [0-9]{1,3} [0-9]{1,3}|a [0-9]{1,3} [0-9]{1,3} [0-9]{1,4}|c .{0,10}|x|p max 3 3)", 0..20)) {
+        let text = lines.join("\n");
+        let _ = read_dimacs(text.as_bytes());
+    }
+}

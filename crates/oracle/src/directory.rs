@@ -1,0 +1,187 @@
+//! Object location — the paper's title application, as a first-class
+//! API: objects are replicated at vertices; a client locates the
+//! (approximately) nearest replica using distance labels only.
+//!
+//! The directory stores, per object, its replica vertices. `locate`
+//! evaluates the label-only estimate against each replica and returns
+//! the best; because estimates are `(1+ε)`-accurate, the returned
+//! replica's true distance is within `(1+ε)` of the true nearest
+//! replica's (proof: `d(c, r*) ≤ d(c, r̂) ≤ est(c, r̂) ≤ est(c, r*) ≤
+//! (1+ε)·d(c, r*)` where `r̂` is returned and `r*` is truly nearest).
+
+use std::collections::HashMap;
+
+use psep_graph::graph::{NodeId, Weight};
+
+use crate::oracle::DistanceOracle;
+
+/// Identifier of a replicated object.
+pub type ObjectId = u64;
+
+/// A replica directory over a distance oracle.
+///
+/// # Example
+///
+/// ```
+/// use psep_core::{DecompositionTree, AutoStrategy};
+/// use psep_graph::generators::grids;
+/// use psep_graph::NodeId;
+/// use psep_oracle::oracle::{build_oracle, OracleParams};
+/// use psep_oracle::directory::ObjectDirectory;
+///
+/// let g = grids::grid2d(6, 6, 1);
+/// let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+/// let oracle = build_oracle(&g, &tree, OracleParams::default());
+/// let mut dir = ObjectDirectory::new(oracle);
+/// dir.register(7, NodeId(0));
+/// dir.register(7, NodeId(35));
+/// let (replica, est) = dir.locate(NodeId(1), 7).unwrap();
+/// assert_eq!(replica, NodeId(0)); // distance 1 vs 9
+/// assert!(est >= 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ObjectDirectory {
+    oracle: DistanceOracle,
+    placements: HashMap<ObjectId, Vec<NodeId>>,
+}
+
+impl ObjectDirectory {
+    /// Creates an empty directory over `oracle`.
+    pub fn new(oracle: DistanceOracle) -> Self {
+        ObjectDirectory {
+            oracle,
+            placements: HashMap::new(),
+        }
+    }
+
+    /// The underlying oracle.
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// Registers a replica of `obj` at `replica`. Idempotent.
+    pub fn register(&mut self, obj: ObjectId, replica: NodeId) {
+        let reps = self.placements.entry(obj).or_default();
+        if !reps.contains(&replica) {
+            reps.push(replica);
+        }
+    }
+
+    /// Removes the replica of `obj` at `replica`; returns whether it
+    /// existed. Objects with no replicas left are dropped entirely.
+    pub fn unregister(&mut self, obj: ObjectId, replica: NodeId) -> bool {
+        let Some(reps) = self.placements.get_mut(&obj) else {
+            return false;
+        };
+        let before = reps.len();
+        reps.retain(|&r| r != replica);
+        let removed = reps.len() < before;
+        if reps.is_empty() {
+            self.placements.remove(&obj);
+        }
+        removed
+    }
+
+    /// The replicas of `obj` (empty if unknown).
+    pub fn replicas(&self, obj: ObjectId) -> &[NodeId] {
+        self.placements.get(&obj).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of known objects.
+    pub fn num_objects(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Locates the approximately nearest replica of `obj` from `client`:
+    /// the replica with the smallest label-only estimate, and that
+    /// estimate. `None` when the object is unknown or no replica is
+    /// reachable.
+    ///
+    /// The returned replica's true distance is within `(1+ε)` of the
+    /// true nearest replica's distance.
+    pub fn locate(&self, client: NodeId, obj: ObjectId) -> Option<(NodeId, Weight)> {
+        let reps = self.placements.get(&obj)?;
+        reps.iter()
+            .filter_map(|&r| self.oracle.query(client, r).map(|d| (r, d)))
+            .min_by_key(|&(r, d)| (d, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::dijkstra::dijkstra;
+    use psep_graph::generators::{grids, ktree};
+    use psep_graph::Graph;
+
+    fn directory(g: &Graph, eps: f64) -> ObjectDirectory {
+        let tree = DecompositionTree::build(g, &AutoStrategy::default());
+        let oracle = crate::oracle::build_oracle(
+            g,
+            &tree,
+            crate::oracle::OracleParams { epsilon: eps, threads: 1 },
+        );
+        ObjectDirectory::new(oracle)
+    }
+
+    #[test]
+    fn register_unregister_lifecycle() {
+        let g = grids::grid2d(4, 4, 1);
+        let mut dir = directory(&g, 0.5);
+        assert_eq!(dir.num_objects(), 0);
+        dir.register(1, NodeId(0));
+        dir.register(1, NodeId(0)); // idempotent
+        dir.register(1, NodeId(15));
+        assert_eq!(dir.replicas(1), &[NodeId(0), NodeId(15)]);
+        assert!(dir.unregister(1, NodeId(0)));
+        assert!(!dir.unregister(1, NodeId(0)));
+        assert!(dir.unregister(1, NodeId(15)));
+        assert_eq!(dir.num_objects(), 0);
+        assert!(dir.locate(NodeId(3), 1).is_none());
+    }
+
+    #[test]
+    fn located_replica_is_near_optimal() {
+        let eps = 0.25;
+        let kt = ktree::random_weighted_k_tree(120, 3, 7, 5);
+        let g = &kt.graph;
+        let mut dir = directory(g, eps);
+        let replicas = [NodeId(3), NodeId(60), NodeId(117)];
+        for &r in &replicas {
+            dir.register(42, r);
+        }
+        for client in g.nodes().step_by(7) {
+            let (found, _est) = dir.locate(client, 42).expect("object known");
+            let sp = dijkstra(g, &[client]);
+            let d_found = sp.dist(found).unwrap();
+            let d_best = replicas.iter().map(|&r| sp.dist(r).unwrap()).min().unwrap();
+            assert!(
+                d_found as f64 <= (1.0 + eps) * d_best as f64 + 1e-9,
+                "client {client:?}: found {d_found}, best {d_best}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_object_is_none() {
+        let g = grids::grid2d(3, 3, 1);
+        let dir = directory(&g, 0.5);
+        assert!(dir.locate(NodeId(0), 99).is_none());
+    }
+
+    #[test]
+    fn disconnected_replicas_skipped() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let mut dir = directory(&g, 0.5);
+        dir.register(5, NodeId(3));
+        // client in the other component cannot reach the only replica
+        assert!(dir.locate(NodeId(0), 5).is_none());
+        dir.register(5, NodeId(1));
+        let (r, d) = dir.locate(NodeId(0), 5).unwrap();
+        assert_eq!((r, d), (NodeId(1), 1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Exact distance baselines the experiments compare against.
+
+use psep_graph::dijkstra::{dijkstra, dijkstra_to};
+use psep_graph::graph::{Graph, NodeId, Weight};
+
+/// Exact-distance baseline: either precomputed all-pairs (quadratic
+/// space — the thing Theorem 2 avoids) or per-query Dijkstra.
+#[derive(Clone, Debug)]
+pub enum ExactOracle {
+    /// Full distance matrix, `n²` entries.
+    Apsp {
+        /// Row-major `n × n` distance matrix.
+        matrix: Vec<Weight>,
+        /// Number of vertices.
+        n: usize,
+    },
+    /// On-line Dijkstra per query (no preprocessing, slow queries).
+    OnLine {
+        /// The graph, cloned so the oracle is self-contained.
+        graph: Graph,
+    },
+}
+
+impl ExactOracle {
+    /// Builds the all-pairs matrix (`n` Dijkstras, `n²` space).
+    pub fn build_apsp(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut matrix = Vec::with_capacity(n * n);
+        for u in g.nodes() {
+            let sp = dijkstra(g, &[u]);
+            matrix.extend_from_slice(sp.dist_raw());
+        }
+        ExactOracle::Apsp { matrix, n }
+    }
+
+    /// Wraps `g` for per-query Dijkstra.
+    pub fn on_line(g: &Graph) -> Self {
+        ExactOracle::OnLine { graph: g.clone() }
+    }
+
+    /// Exact distance, or `None` when disconnected.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        match self {
+            ExactOracle::Apsp { matrix, n } => {
+                let d = matrix[u.index() * n + v.index()];
+                (d != psep_graph::INFINITY).then_some(d)
+            }
+            ExactOracle::OnLine { graph } => dijkstra_to(graph, u, v).dist(v),
+        }
+    }
+
+    /// Space in stored distance entries (0 for the on-line variant).
+    pub fn space_entries(&self) -> usize {
+        match self {
+            ExactOracle::Apsp { matrix, .. } => matrix.len(),
+            ExactOracle::OnLine { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::grids;
+
+    #[test]
+    fn apsp_matches_online() {
+        let g = grids::grid2d(4, 5, 1);
+        let a = ExactOracle::build_apsp(&g);
+        let o = ExactOracle::on_line(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.query(u, v), o.query(u, v));
+            }
+        }
+        assert_eq!(a.space_entries(), 400);
+        assert_eq!(o.space_entries(), 0);
+    }
+}

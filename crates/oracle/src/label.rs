@@ -1,0 +1,219 @@
+//! Distance labels (Theorem 2) and their node-major parallel
+//! construction.
+
+use psep_core::decomposition::DecompositionTree;
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::{Graph, NodeId, Weight};
+use psep_graph::view::SubgraphView;
+
+use crate::portals::select_portals;
+
+/// One portal of a separator path: its position (prefix-sum cost) along
+/// the path, and the distance from the label's owner in the residual
+/// graph `J`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PortalEntry {
+    /// Position along the path (so `d_Q(p,q) = |pos_p − pos_q|`).
+    pub pos: Weight,
+    /// `d_J(v, p)` for the label owner `v`.
+    pub dist: Weight,
+}
+
+/// A label entry: the owner's portals on one separator path, identified
+/// by `(node, group, path)` in the decomposition tree.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LabelEntry {
+    /// Decomposition-tree node index.
+    pub node: u32,
+    /// Group index `i` within the node's separator.
+    pub group: u16,
+    /// Path index within the group.
+    pub path: u16,
+    /// The owner's portals on that path.
+    pub portals: Vec<PortalEntry>,
+}
+
+impl LabelEntry {
+    /// The `(node, group, path)` sort/join key.
+    pub fn key(&self) -> (u32, u16, u16) {
+        (self.node, self.group, self.path)
+    }
+}
+
+/// The `(1+ε)`-approximate distance label of one vertex: entries for
+/// every `(level, group, path)` of its root-to-home chain, sorted by key.
+///
+/// Label *size* (the quantity Theorem 2 bounds by `O(k/ε · log n)`) is
+/// the total number of portal entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DistanceLabel {
+    /// Entries sorted by `(node, group, path)`.
+    pub entries: Vec<LabelEntry>,
+}
+
+impl DistanceLabel {
+    /// Total number of portal entries (the label size of Theorem 2).
+    pub fn size(&self) -> usize {
+        self.entries.iter().map(|e| e.portals.len()).sum()
+    }
+
+    /// Number of `(node, group, path)` entries.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Builds the distance labels of every vertex of `g` over `tree`.
+///
+/// Construction is node-major: for each `(node, group)` the residual
+/// graph `J` is materialized once, then one Dijkstra per alive vertex
+/// collects distances to all group paths at once. With `threads > 1` the
+/// per-vertex Dijkstras run on crossbeam scoped threads (the output is
+/// deterministic regardless of thread count).
+pub fn build_labels(
+    g: &Graph,
+    tree: &DecompositionTree,
+    epsilon: f64,
+    threads: usize,
+) -> Vec<DistanceLabel> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = g.num_nodes();
+    let mut labels: Vec<DistanceLabel> = vec![DistanceLabel::default(); n];
+
+    for (h, node) in tree.nodes().iter().enumerate() {
+        for gi in 0..node.separator.num_groups() {
+            let paths = &node.separator.groups[gi].paths;
+            if paths.is_empty() {
+                continue;
+            }
+            let mask = tree.residual_mask(n, h, gi);
+            let view = SubgraphView::new(g, &mask);
+            let alive: Vec<NodeId> = mask.iter().collect();
+            // worker: produce (vertex, entries) pairs for a chunk
+            let work = |chunk: &[NodeId]| -> Vec<(NodeId, Vec<LabelEntry>)> {
+                let mut out = Vec::with_capacity(chunk.len());
+                for &v in chunk {
+                    let sp = dijkstra(&view, &[v]);
+                    let mut entries = Vec::new();
+                    for (pi, q) in paths.iter().enumerate() {
+                        let portals = select_portals(sp.dist_raw(), q, epsilon);
+                        if !portals.is_empty() {
+                            entries.push(LabelEntry {
+                                node: h as u32,
+                                group: gi as u16,
+                                path: pi as u16,
+                                portals,
+                            });
+                        }
+                    }
+                    out.push((v, entries));
+                }
+                out
+            };
+            let results: Vec<(NodeId, Vec<LabelEntry>)> = if threads <= 1 || alive.len() < 64 {
+                work(&alive)
+            } else {
+                let chunk_size = alive.len().div_ceil(threads);
+                let chunks: Vec<&[NodeId]> = alive.chunks(chunk_size).collect();
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> =
+                        chunks.into_iter().map(|c| s.spawn(move |_| work(c))).collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("label worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope failed")
+            };
+            for (v, entries) in results {
+                labels[v.index()].entries.extend(entries);
+            }
+        }
+    }
+    for label in &mut labels {
+        label.entries.sort_by_key(|e| e.key());
+    }
+    labels
+}
+
+/// Label-size statistics over a set of labels.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LabelStats {
+    /// Mean portal entries per label.
+    pub mean_size: f64,
+    /// Maximum portal entries in any label.
+    pub max_size: usize,
+    /// Mean `(node, group, path)` entries per label.
+    pub mean_entries: f64,
+    /// Mean portals per entry.
+    pub mean_portals_per_entry: f64,
+}
+
+/// Computes [`LabelStats`] for `labels`.
+pub fn label_stats(labels: &[DistanceLabel]) -> LabelStats {
+    if labels.is_empty() {
+        return LabelStats::default();
+    }
+    let sizes: Vec<usize> = labels.iter().map(|l| l.size()).collect();
+    let entries: Vec<usize> = labels.iter().map(|l| l.num_entries()).collect();
+    let total_size: usize = sizes.iter().sum();
+    let total_entries: usize = entries.iter().sum();
+    LabelStats {
+        mean_size: total_size as f64 / labels.len() as f64,
+        max_size: sizes.iter().copied().max().unwrap_or(0),
+        mean_entries: total_entries as f64 / labels.len() as f64,
+        mean_portals_per_entry: if total_entries == 0 {
+            0.0
+        } else {
+            total_size as f64 / total_entries as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+
+    #[test]
+    fn labels_cover_every_vertex_and_are_sorted() {
+        let g = grids::grid2d(6, 6, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let labels = build_labels(&g, &tree, 0.25, 1);
+        assert_eq!(labels.len(), 36);
+        for (vi, l) in labels.iter().enumerate() {
+            assert!(l.size() > 0, "vertex {vi} has an empty label");
+            let mut keys: Vec<_> = l.entries.iter().map(|e| e.key()).collect();
+            let sorted = {
+                let mut k = keys.clone();
+                k.sort_unstable();
+                k
+            };
+            assert_eq!(keys.len(), sorted.len());
+            keys.sort_unstable();
+            assert_eq!(keys, sorted);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let g = grids::grid2d(8, 8, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let serial = build_labels(&g, &tree, 0.5, 1);
+        let parallel = build_labels(&g, &tree, 0.5, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = grids::grid2d(5, 5, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let labels = build_labels(&g, &tree, 0.25, 1);
+        let stats = label_stats(&labels);
+        assert!(stats.mean_size > 0.0);
+        assert!(stats.max_size >= stats.mean_size as usize);
+        assert!(stats.mean_portals_per_entry >= 1.0);
+    }
+}

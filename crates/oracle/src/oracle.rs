@@ -1,0 +1,345 @@
+//! The `(1+ε)`-approximate distance oracle (Theorem 2): all labels plus a
+//! merge-join query.
+
+use psep_core::decomposition::DecompositionTree;
+use psep_graph::graph::{Graph, NodeId, Weight, INFINITY};
+
+use crate::label::{build_labels, label_stats, DistanceLabel, LabelStats};
+
+/// Construction parameters for [`build_oracle`].
+#[derive(Clone, Copy, Debug)]
+pub struct OracleParams {
+    /// Approximation parameter: queries return at most `(1+ε) · d`.
+    pub epsilon: f64,
+    /// Worker threads for label construction.
+    pub threads: usize,
+}
+
+impl Default for OracleParams {
+    fn default() -> Self {
+        OracleParams {
+            epsilon: 0.25,
+            threads: 1,
+        }
+    }
+}
+
+/// The distance oracle: one [`DistanceLabel`] per vertex.
+///
+/// Queries satisfy `d(u,v) ≤ query(u,v) ≤ (1+ε) · d(u,v)` for connected
+/// pairs (`None` for disconnected pairs), because:
+///
+/// * every candidate `d_J(u,p) + d_Q(p,q) + d_J(q,v)` is the cost of a
+///   real walk of `G` (never an underestimate);
+/// * at the deepest common component the first-crossed-group argument
+///   produces a candidate within `1+ε` (see the crate docs).
+#[derive(Clone, Debug)]
+pub struct DistanceOracle {
+    labels: Vec<DistanceLabel>,
+    epsilon: f64,
+}
+
+/// Builds the oracle for `g` over the decomposition `tree`.
+///
+/// # Example
+///
+/// ```
+/// use psep_core::{DecompositionTree, AutoStrategy};
+/// use psep_graph::generators::grids;
+/// use psep_graph::NodeId;
+/// use psep_oracle::oracle::{build_oracle, OracleParams};
+///
+/// let g = grids::grid2d(6, 6, 1);
+/// let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+/// let oracle = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 1 });
+/// let est = oracle.query(NodeId(0), NodeId(35)).unwrap();
+/// assert!((10..=12).contains(&est)); // true distance 10, ε = 0.25
+/// ```
+pub fn build_oracle(g: &Graph, tree: &DecompositionTree, params: OracleParams) -> DistanceOracle {
+    DistanceOracle {
+        labels: build_labels(g, tree, params.epsilon, params.threads),
+        epsilon: params.epsilon,
+    }
+}
+
+impl DistanceOracle {
+    /// Builds an oracle directly from labels (e.g. labels shipped from a
+    /// distributed deployment — Theorem 2's labeling-scheme reading).
+    pub fn from_labels(labels: Vec<DistanceLabel>, epsilon: f64) -> Self {
+        DistanceOracle { labels, epsilon }
+    }
+
+    /// The approximation parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The labels (index = vertex id).
+    pub fn labels(&self) -> &[DistanceLabel] {
+        &self.labels
+    }
+
+    /// The label of `v` — what a distributed deployment would store at
+    /// `v` (Theorem 2's labeling scheme).
+    pub fn label(&self, v: NodeId) -> &DistanceLabel {
+        &self.labels[v.index()]
+    }
+
+    /// `(1+ε)`-approximate distance between `u` and `v`; `None` if
+    /// disconnected.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        if u == v {
+            return Some(0);
+        }
+        let est = query_labels(&self.labels[u.index()], &self.labels[v.index()]);
+        (est != INFINITY).then_some(est)
+    }
+
+    /// Total space in portal entries (the `O(k/ε · n log n)` of
+    /// Theorem 2).
+    pub fn space_entries(&self) -> usize {
+        self.labels.iter().map(|l| l.size()).sum()
+    }
+
+    /// Label statistics.
+    pub fn stats(&self) -> LabelStats {
+        label_stats(&self.labels)
+    }
+}
+
+/// The witness of a query: which separator path realized the minimum and
+/// through which portal pair — Theorem 2's estimate made explainable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryWitness {
+    /// Decomposition node of the crossing path.
+    pub node: u32,
+    /// Group index.
+    pub group: u16,
+    /// Path index within the group.
+    pub path: u16,
+    /// `d_J(u, p)` for u's portal `p`.
+    pub dist_u: Weight,
+    /// Along-path distance `d_Q(p, q)`.
+    pub along: Weight,
+    /// `d_J(v, q)` for v's portal `q`.
+    pub dist_v: Weight,
+}
+
+/// Like [`query_labels`] but also returns the witnessing entry and
+/// portal pair. `None` when the labels share no entry.
+pub fn query_labels_explain(
+    lu: &DistanceLabel,
+    lv: &DistanceLabel,
+) -> Option<(Weight, QueryWitness)> {
+    let mut best: Option<(Weight, QueryWitness)> = None;
+    let (a, b) = (&lu.entries, &lv.entries);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].key().cmp(&b[j].key()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                for pu in &a[i].portals {
+                    for pv in &b[j].portals {
+                        let along = pu.pos.abs_diff(pv.pos);
+                        let cand = pu.dist.saturating_add(along).saturating_add(pv.dist);
+                        if best.is_none_or(|(c, _)| cand < c) {
+                            best = Some((
+                                cand,
+                                QueryWitness {
+                                    node: a[i].node,
+                                    group: a[i].group,
+                                    path: a[i].path,
+                                    dist_u: pu.dist,
+                                    along,
+                                    dist_v: pv.dist,
+                                },
+                            ));
+                        }
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Label-only distance estimate — usable by any two parties holding just
+/// the two labels (the distributed reading of Theorem 2). Returns
+/// [`INFINITY`] when the labels share no entry.
+pub fn query_labels(lu: &DistanceLabel, lv: &DistanceLabel) -> Weight {
+    let mut best = INFINITY;
+    let (a, b) = (&lu.entries, &lv.entries);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].key().cmp(&b[j].key()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                for pu in &a[i].portals {
+                    for pv in &b[j].portals {
+                        let along = pu.pos.abs_diff(pv.pos);
+                        let cand = pu
+                            .dist
+                            .saturating_add(along)
+                            .saturating_add(pv.dist);
+                        best = best.min(cand);
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::{AutoStrategy, IterativeStrategy, TreeCenterStrategy};
+    use psep_core::DecompositionTree;
+    use psep_graph::dijkstra::dijkstra;
+    use psep_graph::generators::{grids, ktree, planar_families, special, trees};
+
+    /// Exhaustively checks `d ≤ est ≤ (1+ε)·d` on all pairs.
+    fn check_stretch(g: &Graph, oracle: &DistanceOracle, eps: f64) {
+        for u in g.nodes() {
+            let sp = dijkstra(g, &[u]);
+            for v in g.nodes() {
+                match sp.dist(v) {
+                    None => assert_eq!(oracle.query(u, v), None),
+                    Some(d) => {
+                        let est = oracle.query(u, v).expect("connected pair");
+                        assert!(est >= d, "{u:?}->{v:?}: est {est} < d {d}");
+                        assert!(
+                            est as f64 <= (1.0 + eps) * d as f64 + 1e-9,
+                            "{u:?}->{v:?}: est {est} > (1+{eps})·{d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn build(g: &Graph, eps: f64) -> DistanceOracle {
+        let tree = DecompositionTree::build(g, &AutoStrategy::default());
+        build_oracle(g, &tree, OracleParams { epsilon: eps, threads: 1 })
+    }
+
+    #[test]
+    fn exact_on_identical_vertices() {
+        let g = grids::grid2d(4, 4, 1);
+        let o = build(&g, 0.5);
+        assert_eq!(o.query(NodeId(5), NodeId(5)), Some(0));
+    }
+
+    #[test]
+    fn stretch_on_grid() {
+        let g = grids::grid2d(7, 7, 1);
+        let o = build(&g, 0.25);
+        check_stretch(&g, &o, 0.25);
+    }
+
+    #[test]
+    fn stretch_on_weighted_grid() {
+        let base = grids::grid2d(6, 6, 1);
+        let g = psep_graph::generators::randomize_weights(&base, 1, 9, 5);
+        let o = build(&g, 0.25);
+        check_stretch(&g, &o, 0.25);
+    }
+
+    #[test]
+    fn stretch_on_random_tree() {
+        let g = trees::random_weighted_tree(50, 7, 3);
+        let tree = DecompositionTree::build(&g, &TreeCenterStrategy);
+        let o = build_oracle(&g, &tree, OracleParams { epsilon: 0.1, threads: 1 });
+        check_stretch(&g, &o, 0.1);
+    }
+
+    #[test]
+    fn stretch_on_k_tree() {
+        let kt = ktree::random_weighted_k_tree(40, 3, 5, 11);
+        let o = build(&kt.graph, 0.5);
+        check_stretch(&kt.graph, &o, 0.5);
+    }
+
+    #[test]
+    fn stretch_on_planar() {
+        let g = planar_families::triangulated_grid(6, 6, 9);
+        let o = build(&g, 0.25);
+        check_stretch(&g, &o, 0.25);
+    }
+
+    #[test]
+    fn stretch_on_mesh_with_apex() {
+        let g = special::mesh_with_apex(5);
+        let tree = DecompositionTree::build(&g, &IterativeStrategy::default());
+        let o = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 1 });
+        check_stretch(&g, &o, 0.25);
+    }
+
+    #[test]
+    fn coarse_epsilon_still_bounded() {
+        // very loose ε keeps the guarantee d ≤ est ≤ (1+ε)d
+        let g = grids::grid2d(6, 6, 1);
+        let o = build(&g, 4.0);
+        check_stretch(&g, &o, 4.0);
+        // and uses no more space than a tight ε
+        let tight = build(&g, 0.1);
+        assert!(o.space_entries() <= tight.space_entries());
+    }
+
+    #[test]
+    fn disconnected_pairs_return_none() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let o = build(&g, 0.5);
+        assert_eq!(o.query(NodeId(0), NodeId(2)), None);
+        assert_eq!(o.query(NodeId(0), NodeId(1)), Some(1));
+    }
+
+    #[test]
+    fn label_query_is_symmetric() {
+        let g = grids::grid2d(5, 5, 1);
+        let o = build(&g, 0.25);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(o.query(u, v), o.query(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn explain_agrees_with_query_and_decomposes_the_estimate() {
+        let g = grids::grid2d(6, 6, 1);
+        let o = build(&g, 0.25);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let est = o.query(u, v).unwrap();
+                let (w_est, w) = query_labels_explain(
+                    o.label(u),
+                    o.label(v),
+                )
+                .unwrap();
+                assert_eq!(est, w_est);
+                assert_eq!(w.dist_u + w.along + w.dist_v, est);
+            }
+        }
+    }
+
+    #[test]
+    fn space_accounting() {
+        let g = grids::grid2d(6, 6, 1);
+        let o = build(&g, 0.25);
+        let total: usize = o.labels().iter().map(|l| l.size()).sum();
+        assert_eq!(o.space_entries(), total);
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-vertex portal selection on separator paths.
+
+use psep_core::separator::SepPath;
+use psep_graph::graph::{Weight, INFINITY};
+
+use crate::label::PortalEntry;
+
+/// Selects portals of `path` for a vertex `v`, given `dist[x] = d_J(v, x)`
+/// for every vertex id `x` (the output of one Dijkstra from `v` in the
+/// residual graph `J`; unreachable = [`INFINITY`]).
+///
+/// Guarantee (by construction): for every path vertex `x` reachable from
+/// `v` in `J`,
+///
+/// ```text
+/// min_{p ∈ portals} d_J(v,p) + d_Q(p,x)  ≤  (1+ε) · d_J(v,x).
+/// ```
+///
+/// The greedy scan walks the path once; a vertex becomes a portal exactly
+/// when the already-chosen portals fail to cover it. Theory (Thorup,
+/// JACM 2004, Lemma 3.4-style) bounds the count by `O(1/ε)`; experiment
+/// E3 reports the measured counts.
+///
+/// Returns an empty vector when `v` reaches no vertex of the path in `J`
+/// (the path lies in another residual component — no crossing through it
+/// can involve `v`).
+pub fn select_portals(dist: &[Weight], path: &SepPath, epsilon: f64) -> Vec<PortalEntry> {
+    debug_assert!(epsilon > 0.0, "epsilon must be positive");
+    let verts = path.vertices();
+    // chosen portals as (path index, distance)
+    let mut chosen: Vec<(usize, Weight)> = Vec::new();
+    for (x, &vx) in verts.iter().enumerate() {
+        let dx = dist[vx.index()];
+        if dx == INFINITY {
+            continue;
+        }
+        let covered = chosen.iter().any(|&(p, dp)| {
+            let reach = dp.saturating_add(path.along(p, x));
+            (reach as f64) <= (1.0 + epsilon) * (dx as f64)
+        });
+        if !covered {
+            chosen.push((x, dx));
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|(x, d)| PortalEntry {
+            pos: path.position(x),
+            dist: d,
+        })
+        .collect()
+}
+
+/// Checks the portal cover property for every reachable path vertex —
+/// used by tests and by experiment E9.
+pub fn check_cover(
+    dist: &[Weight],
+    path: &SepPath,
+    portals: &[PortalEntry],
+    epsilon: f64,
+) -> bool {
+    for (x, &vx) in path.vertices().iter().enumerate() {
+        let dx = dist[vx.index()];
+        if dx == INFINITY {
+            continue;
+        }
+        let pos_x = path.position(x);
+        let ok = portals.iter().any(|p| {
+            let along = pos_x.abs_diff(p.pos);
+            ((p.dist.saturating_add(along)) as f64) <= (1.0 + epsilon) * (dx as f64) + 1e-9
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::separator::SepPath;
+    use psep_graph::dijkstra::dijkstra;
+    use psep_graph::generators::grids;
+    use psep_graph::graph::NodeId;
+
+    /// Portals on the middle row of a grid, from each vertex.
+    #[test]
+    fn cover_property_holds_on_grid() {
+        let (r, c) = (7, 7);
+        let g = grids::grid2d(r, c, 1);
+        let row = grids::grid_row(r, c, r / 2);
+        let path = SepPath::new(&g, row);
+        for eps in [0.5, 0.25, 0.1] {
+            for v in g.nodes() {
+                let sp = dijkstra(&g, &[v]);
+                let portals = select_portals(sp.dist_raw(), &path, eps);
+                assert!(!portals.is_empty());
+                assert!(check_cover(sp.dist_raw(), &path, &portals, eps));
+            }
+        }
+    }
+
+    #[test]
+    fn on_path_vertex_is_its_own_portal() {
+        let g = grids::grid2d(5, 5, 1);
+        let row = grids::grid_row(5, 5, 2);
+        let v = row[2];
+        let path = SepPath::new(&g, row);
+        let sp = dijkstra(&g, &[v]);
+        let portals = select_portals(sp.dist_raw(), &path, 0.25);
+        assert!(portals.iter().any(|p| p.dist == 0));
+    }
+
+    #[test]
+    fn portal_count_shrinks_with_larger_epsilon() {
+        let (r, c) = (9, 31);
+        let g = grids::grid2d(r, c, 1);
+        let row = grids::grid_row(r, c, r / 2);
+        let path = SepPath::new(&g, row);
+        let v = NodeId(0);
+        let sp = dijkstra(&g, &[v]);
+        let loose = select_portals(sp.dist_raw(), &path, 1.0).len();
+        let tight = select_portals(sp.dist_raw(), &path, 0.05).len();
+        assert!(loose <= tight, "loose {loose} > tight {tight}");
+    }
+
+    #[test]
+    fn unreachable_path_yields_no_portals() {
+        // two disjoint paths in one universe
+        let mut g = psep_graph::Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(3), NodeId(4), 1);
+        g.add_edge(NodeId(4), NodeId(5), 1);
+        let far = SepPath::new(&g, vec![NodeId(3), NodeId(4), NodeId(5)]);
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        assert!(select_portals(sp.dist_raw(), &far, 0.5).is_empty());
+    }
+}

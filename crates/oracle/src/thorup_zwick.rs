@@ -1,0 +1,279 @@
+//! Thorup–Zwick approximate distance oracles (JACM 2005) — the
+//! general-graph baseline the paper contrasts with.
+//!
+//! For any integer `k ≥ 1`, the TZ oracle stores `O(k · n^{1+1/k})`
+//! expected space and answers queries with stretch ≤ `2k−1`. The paper's
+//! point (§1.1, §5.1) is that for *general* graphs stretch below 3
+//! requires `Ω(n)`-bit labels, while `k`-path separable graphs get
+//! `1+ε` with logarithmic labels — experiment E3x compares the two
+//! oracles' stretch/space on the same inputs.
+//!
+//! Construction follows the original paper: a sampled hierarchy
+//! `V = A₀ ⊇ A₁ ⊇ … ⊇ A_k = ∅`, witnesses `p_i(v)` (the nearest
+//! `A_i`-vertex), and bunches
+//! `B(v) = ⋃_i { w ∈ A_i \ A_{i+1} : d(w,v) < d(v, A_{i+1}) }`,
+//! computed via truncated Dijkstras over the *clusters*
+//! `C(w) = { v : d(w,v) < d(v, A_{i+1}) }`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::{Graph, NodeId, Weight, INFINITY};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A Thorup–Zwick oracle with parameter `k` (stretch ≤ `2k−1`).
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::generators::grids;
+/// use psep_graph::NodeId;
+/// use psep_oracle::ThorupZwickOracle;
+///
+/// let g = grids::grid2d(5, 5, 1);
+/// let tz = ThorupZwickOracle::build(&g, 2, 42);
+/// let est = tz.query(NodeId(0), NodeId(24)).unwrap();
+/// assert!(est >= 8 && est <= 3 * 8); // stretch ≤ 2k−1 = 3
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThorupZwickOracle {
+    k: usize,
+    /// `witness[i][v]` = `p_i(v)` and `wdist[i][v]` = `d(v, A_i)`.
+    witness: Vec<Vec<NodeId>>,
+    wdist: Vec<Vec<Weight>>,
+    /// Bunch of each vertex: map from bunch member to its distance.
+    bunch: Vec<HashMap<NodeId, Weight>>,
+}
+
+impl ThorupZwickOracle {
+    /// Builds the oracle with stretch parameter `k ≥ 1` (stretch
+    /// `2k−1`); sampling probability `n^{-1/k}` per level, seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the graph is empty.
+    pub fn build(g: &Graph, k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let n = g.num_nodes();
+        assert!(n > 0, "graph must be non-empty");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = (n as f64).powf(-1.0 / k as f64);
+
+        // hierarchy A_0 ⊇ A_1 ⊇ ... ⊇ A_{k-1}; A_k = ∅
+        let mut levels: Vec<Vec<NodeId>> = Vec::with_capacity(k);
+        levels.push(g.nodes().collect());
+        for i in 1..k {
+            let prev = &levels[i - 1];
+            let mut next: Vec<NodeId> =
+                prev.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+            // keep the hierarchy non-empty below the top so witnesses
+            // exist; TZ resamples in this case, we retain one element
+            if next.is_empty() {
+                next.push(prev[rng.gen_range(0..prev.len())]);
+            }
+            levels.push(next);
+        }
+
+        // witnesses per level: multi-source Dijkstra from A_i
+        let mut witness: Vec<Vec<NodeId>> = Vec::with_capacity(k);
+        let mut wdist: Vec<Vec<Weight>> = Vec::with_capacity(k);
+        for level in &levels {
+            let sp = dijkstra(g, level);
+            let mut w = vec![NodeId(0); n];
+            let mut d = vec![INFINITY; n];
+            for v in g.nodes() {
+                if let Some(dist) = sp.dist(v) {
+                    d[v.index()] = dist;
+                    w[v.index()] = sp.root_of(v).expect("reached");
+                }
+            }
+            witness.push(w);
+            wdist.push(d);
+        }
+        // sentinel level k: d(v, A_k) = ∞
+        let inf = vec![INFINITY; n];
+
+        // bunches via clusters: for w ∈ A_i \ A_{i+1}, run Dijkstra from
+        // w truncated to vertices v with d(w, v) < d(v, A_{i+1}).
+        let mut bunch: Vec<HashMap<NodeId, Weight>> = vec![HashMap::new(); n];
+        let mut in_next = vec![false; n];
+        for i in 0..k {
+            for f in in_next.iter_mut() {
+                *f = false;
+            }
+            if i + 1 < k {
+                for &v in &levels[i + 1] {
+                    in_next[v.index()] = true;
+                }
+            }
+            let next_d: &[Weight] = if i + 1 < k { &wdist[i + 1] } else { &inf };
+            for &w in &levels[i] {
+                if in_next[w.index()] {
+                    continue; // w ∈ A_{i+1}: handled at a higher level
+                }
+                cluster_dijkstra(g, w, next_d, &mut bunch);
+            }
+        }
+        // every vertex's own witness chain is implicitly in its bunch at
+        // the top level; ensure v ∈ B(v) with distance 0 for uniformity
+        for v in g.nodes() {
+            bunch[v.index()].entry(v).or_insert(0);
+        }
+        ThorupZwickOracle {
+            k,
+            witness,
+            wdist,
+            bunch,
+        }
+    }
+
+    /// The stretch parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Approximate distance with stretch ≤ `2k−1`; `None` if the query
+    /// walk fails to connect (disconnected pair).
+    pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        if u == v {
+            return Some(0);
+        }
+        let (mut u, mut v) = (u, v);
+        let mut w = u;
+        let mut i = 0usize;
+        loop {
+            if let Some(&dwv) = self.bunch[v.index()].get(&w) {
+                // d(w, u) = d(u, A_i) because w = p_i(u) (0 at i = 0)
+                let dwu = if i == 0 { 0 } else { self.wdist[i][u.index()] };
+                return Some(dwu + dwv);
+            }
+            i += 1;
+            if i >= self.k {
+                return None;
+            }
+            std::mem::swap(&mut u, &mut v);
+            if self.wdist[i][u.index()] == INFINITY {
+                return None;
+            }
+            w = self.witness[i][u.index()];
+        }
+    }
+
+    /// Total stored entries (bunch sizes) — the `O(k·n^{1+1/k})` space.
+    pub fn space_entries(&self) -> usize {
+        self.bunch.iter().map(|b| b.len()).sum()
+    }
+
+    /// Mean bunch size.
+    pub fn mean_bunch(&self) -> f64 {
+        self.space_entries() as f64 / self.bunch.len().max(1) as f64
+    }
+}
+
+/// Dijkstra from `w` truncated to the cluster
+/// `C(w) = { v : d(w,v) < next_d[v] }`, recording distances into the
+/// bunches of cluster members.
+fn cluster_dijkstra(
+    g: &Graph,
+    w: NodeId,
+    next_d: &[Weight],
+    bunch: &mut [HashMap<NodeId, Weight>],
+) {
+    let n = g.num_nodes();
+    let mut dist: Vec<Weight> = vec![INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+    dist[w.index()] = 0;
+    heap.push(Reverse((0, w.0)));
+    while let Some(Reverse((d, x))) = heap.pop() {
+        let x = NodeId(x);
+        if d > dist[x.index()] {
+            continue;
+        }
+        // cluster membership: strict inequality per TZ
+        if d >= next_d[x.index()] {
+            continue;
+        }
+        bunch[x.index()].insert(w, d);
+        for e in g.edges(x) {
+            let nd = d + e.weight;
+            if nd < dist[e.to.index()] && nd < next_d[e.to.index()] {
+                dist[e.to.index()] = nd;
+                heap.push(Reverse((nd, e.to.0)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::{grids, trees};
+
+    fn check_stretch(g: &Graph, o: &ThorupZwickOracle, max_stretch: f64) {
+        for u in g.nodes() {
+            let sp = dijkstra(g, &[u]);
+            for v in g.nodes() {
+                let Some(d) = sp.dist(v) else { continue };
+                let est = o.query(u, v).expect("connected pair");
+                assert!(est >= d, "{u:?}->{v:?} under-estimate {est} < {d}");
+                if d > 0 {
+                    assert!(
+                        est as f64 <= max_stretch * d as f64 + 1e-9,
+                        "{u:?}->{v:?} stretch {}",
+                        est as f64 / d as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k1_is_exact_apsp() {
+        // k = 1: A_0 = V, bunches are full distance rows
+        let g = grids::grid2d(4, 4, 1);
+        let o = ThorupZwickOracle::build(&g, 1, 3);
+        check_stretch(&g, &o, 1.0);
+        assert_eq!(o.space_entries(), 16 * 16);
+    }
+
+    #[test]
+    fn k2_stretch_at_most_three() {
+        let g = grids::grid2d(6, 6, 1);
+        for seed in 0..3 {
+            let o = ThorupZwickOracle::build(&g, 2, seed);
+            check_stretch(&g, &o, 3.0);
+        }
+    }
+
+    #[test]
+    fn k3_stretch_at_most_five() {
+        let g = psep_graph::generators::randomize_weights(&grids::grid2d(6, 6, 1), 1, 7, 2);
+        let o = ThorupZwickOracle::build(&g, 3, 5);
+        check_stretch(&g, &o, 5.0);
+    }
+
+    #[test]
+    fn k2_space_below_apsp() {
+        let g = grids::grid2d(12, 12, 1);
+        let o = ThorupZwickOracle::build(&g, 2, 7);
+        assert!(o.space_entries() < 144 * 144 / 2, "space {}", o.space_entries());
+        assert!(o.mean_bunch() > 0.0);
+    }
+
+    #[test]
+    fn works_on_trees() {
+        let g = trees::random_weighted_tree(60, 9, 4);
+        let o = ThorupZwickOracle::build(&g, 2, 1);
+        check_stretch(&g, &o, 3.0);
+    }
+
+    #[test]
+    fn self_query_zero() {
+        let g = grids::grid2d(3, 3, 1);
+        let o = ThorupZwickOracle::build(&g, 2, 0);
+        assert_eq!(o.query(NodeId(4), NodeId(4)), Some(0));
+    }
+}

@@ -1,0 +1,41 @@
+//! Label persistence: Theorem 2's labels are the shippable artifact of a
+//! distributed deployment; they serialize and reload without losing any
+//! query precision.
+
+use psep_core::strategy::AutoStrategy;
+use psep_core::DecompositionTree;
+use psep_graph::generators::grids;
+use psep_oracle::label::build_labels;
+use psep_oracle::oracle::DistanceOracle;
+
+#[test]
+fn labels_roundtrip_through_serde() {
+    let g = grids::grid2d(7, 7, 1);
+    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+    let labels = build_labels(&g, &tree, 0.25, 1);
+
+    let json = serde_json::to_string(&labels).expect("serialize");
+    let reloaded: Vec<psep_oracle::label::DistanceLabel> =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(labels, reloaded);
+
+    // a reloaded oracle answers identically
+    let a = DistanceOracle::from_labels(labels, 0.25);
+    let b = DistanceOracle::from_labels(reloaded, 0.25);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(a.query(u, v), b.query(u, v));
+        }
+    }
+}
+
+#[test]
+fn single_label_is_compact_json() {
+    let g = grids::grid2d(5, 5, 1);
+    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+    let labels = build_labels(&g, &tree, 0.5, 1);
+    let one = serde_json::to_vec(&labels[0]).expect("serialize");
+    // a single label serializes to a few hundred bytes, not kilobytes —
+    // the point of Theorem 2's O(k/ε · log n) label size
+    assert!(one.len() < 4096, "label json is {} bytes", one.len());
+}

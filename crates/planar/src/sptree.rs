@@ -1,0 +1,108 @@
+//! Shortest-path trees with root-path extraction.
+
+use psep_graph::dijkstra::{dijkstra, ShortestPaths};
+use psep_graph::graph::{NodeId, Weight};
+use psep_graph::view::GraphRef;
+
+/// A shortest-path tree rooted at `root`: Dijkstra distances plus parent
+/// pointers, with helpers for root paths and monotone subpaths.
+///
+/// Every root path `T(root, v)` is a minimum-cost path of the underlying
+/// graph — the property that makes the fundamental-cycle separator a
+/// *path* separator in the sense of Definition 1.
+#[derive(Clone, Debug)]
+pub struct SpTree {
+    root: NodeId,
+    sp: ShortestPaths,
+}
+
+impl SpTree {
+    /// Builds the shortest-path tree of `g` rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not in `g`.
+    pub fn new<G: GraphRef>(g: &G, root: NodeId) -> Self {
+        SpTree {
+            root,
+            sp: dijkstra(g, &[root]),
+        }
+    }
+
+    /// The root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Distance from the root, or `None` if unreachable.
+    pub fn dist(&self, v: NodeId) -> Option<Weight> {
+        self.sp.dist(v)
+    }
+
+    /// Whether `v` is reachable from the root.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.sp.reached(v)
+    }
+
+    /// Tree parent of `v`.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.sp.parent(v)
+    }
+
+    /// The root path `T(root, v)` as a vertex sequence from the root to
+    /// `v` — a minimum-cost path of the underlying graph. `None` if `v`
+    /// is unreachable.
+    pub fn root_path(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.sp.path_to(v)
+    }
+
+    /// Whether the tree edge `{u, v}` exists (one is the other's parent).
+    pub fn is_tree_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.sp.parent(u) == Some(v) || self.sp.parent(v) == Some(u)
+    }
+
+    /// The underlying shortest-path result.
+    pub fn shortest_paths(&self) -> &ShortestPaths {
+        &self.sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::dijkstra::path_cost;
+    use psep_graph::generators::grids;
+
+    #[test]
+    fn root_paths_are_shortest() {
+        let g = grids::grid2d(5, 5, 1);
+        let t = SpTree::new(&g, NodeId(0));
+        for v in g.nodes() {
+            let p = t.root_path(v).unwrap();
+            assert_eq!(path_cost(&g, &p), t.dist(v));
+        }
+    }
+
+    #[test]
+    fn tree_edges_detected() {
+        let g = grids::grid2d(3, 3, 1);
+        let t = SpTree::new(&g, NodeId(0));
+        for v in g.nodes() {
+            if let Some(p) = t.parent(v) {
+                assert!(t.is_tree_edge(v, p));
+                assert!(t.is_tree_edge(p, v));
+            }
+        }
+        // opposite grid corner neighbours are never both tree-adjacent
+        // to each other and to the same parent chain simultaneously:
+        // just check a known non-tree pair exists
+        let mut non_tree = 0;
+        for (u, v, _) in g.edge_list() {
+            if !t.is_tree_edge(u, v) {
+                non_tree += 1;
+            }
+        }
+        // grid has 12 edges, tree has 8
+        assert_eq!(non_tree, 4);
+    }
+}

@@ -1,0 +1,173 @@
+//! Adaptive plan routing: re-evaluate the plan at every hop of the
+//! climb/walk phases and switch whenever a strictly cheaper plan exists.
+//!
+//! Soundness: define the potential `Φ(w) = ` the current plan's
+//! remaining cost from `w` (`d_J(w,Q) + |entry_w − entry_t| + d_J(t,Q)`,
+//! all readable from `w`'s table plus the target label). Following the
+//! plan decreases `Φ` by exactly the traversed edge weight (tree parents
+//! and path steps are on shortest paths), and switching is only allowed
+//! when the new plan's remaining cost is strictly smaller — so `Φ`
+//! strictly decreases every hop and the message terminates. Once the
+//! descent phase starts the plan is locked (descent strictly shrinks the
+//! DFS interval). The executed cost is never worse than the source
+//! plan's cost, and often better.
+
+use psep_graph::graph::{NodeId, Weight};
+
+use crate::router::{RouteOutcome, Router};
+use crate::tables::{RouteKey, RoutingLabel};
+
+impl Router {
+    /// Routes like [`Router::route`] but re-plans adaptively during the
+    /// climb and walk phases. Returns `None` for disconnected pairs.
+    pub fn route_adaptive(
+        &self,
+        u: NodeId,
+        t: NodeId,
+        label_t: &RoutingLabel,
+    ) -> Option<RouteOutcome> {
+        if u == t {
+            return Some(RouteOutcome {
+                route: vec![u],
+                cost: 0,
+                hops: 0,
+            });
+        }
+        let (mut key, _) = self.plan(u, label_t)?;
+        let mut route = vec![u];
+        let mut cost: Weight = 0;
+        let mut cur = u;
+
+        // climb/walk with adaptive switching
+        loop {
+            // switch to a strictly cheaper plan when available
+            if let Some((better, rem)) = self.plan(cur, label_t) {
+                if rem < self.remaining(cur, key, label_t).unwrap_or(Weight::MAX) {
+                    key = better;
+                }
+            }
+            let entry = label_entry(label_t, key);
+            let info = &self.tables().table(cur)[&key];
+            match info.on_path {
+                None => {
+                    let parent = info.parent.expect("off-path vertex has a parent");
+                    cost += self.edge_weight(cur, parent);
+                    cur = parent;
+                    route.push(cur);
+                }
+                Some(op) => {
+                    if op.pos == entry.entry_pos {
+                        break; // reached the target's entry point
+                    }
+                    let step = if op.pos < entry.entry_pos {
+                        op.next.expect("target position on path")
+                    } else {
+                        op.prev.expect("target position on path")
+                    };
+                    cost += self.edge_weight(cur, step);
+                    cur = step;
+                    route.push(cur);
+                }
+            }
+        }
+
+        // locked descent, as in the base router
+        let entry = label_entry(label_t, key);
+        while cur != t {
+            let info = &self.tables().table(cur)[&key];
+            let child = info
+                .children
+                .iter()
+                .copied()
+                .find(|&c| {
+                    let ci = &self.tables().table(c)[&key];
+                    ci.dfs <= entry.dfs && entry.dfs < ci.subtree_end
+                })
+                .expect("descent stays within the subtree");
+            cost += self.edge_weight(cur, child);
+            cur = child;
+            route.push(cur);
+        }
+        Some(RouteOutcome {
+            hops: route.len() - 1,
+            route,
+            cost,
+        })
+    }
+
+    /// Remaining cost of plan `key` from `w`, or `None` if `w` has no
+    /// entry for the key.
+    fn remaining(&self, w: NodeId, key: RouteKey, label_t: &RoutingLabel) -> Option<Weight> {
+        let info = self.tables().table(w).get(&key)?;
+        let entry = label_t.entries.iter().find(|e| e.key == key)?;
+        Some(
+            info.dist
+                .saturating_add(info.entry_pos.abs_diff(entry.entry_pos))
+                .saturating_add(entry.dist),
+        )
+    }
+}
+
+fn label_entry(label: &RoutingLabel, key: RouteKey) -> &crate::tables::RoutingLabelEntry {
+    label
+        .entries
+        .iter()
+        .find(|e| e.key == key)
+        .expect("plan key comes from the label")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::RoutingTables;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::dijkstra::dijkstra;
+    use psep_graph::generators::{grids, ktree};
+    use psep_graph::Graph;
+
+    fn check(g: &Graph) {
+        let tree = DecompositionTree::build(g, &AutoStrategy::default());
+        let router = Router::new(g, RoutingTables::build(g, &tree));
+        let labels: Vec<_> = g.nodes().map(|v| router.label(v)).collect();
+        for u in g.nodes() {
+            let sp = dijkstra(g, &[u]);
+            for t in g.nodes() {
+                if u == t || sp.dist(t).is_none() {
+                    continue;
+                }
+                let base = router.route(u, t, &labels[t.index()]).unwrap();
+                let adaptive = router.route_adaptive(u, t, &labels[t.index()]).unwrap();
+                assert_eq!(*adaptive.route.last().unwrap(), t);
+                assert!(
+                    adaptive.cost <= base.cost,
+                    "{u:?}->{t:?}: adaptive {} > base {}",
+                    adaptive.cost,
+                    base.cost
+                );
+                assert!(adaptive.cost >= sp.dist(t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_never_worse_on_grid() {
+        check(&grids::grid2d(7, 7, 1));
+    }
+
+    #[test]
+    fn adaptive_never_worse_on_weighted_k_tree() {
+        check(&ktree::random_weighted_k_tree(40, 3, 7, 6).graph);
+    }
+
+    #[test]
+    fn adaptive_self_route() {
+        let g = grids::grid2d(3, 3, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        let out = router
+            .route_adaptive(NodeId(0), NodeId(0), &router.label(NodeId(0)))
+            .unwrap();
+        assert_eq!(out.hops, 0);
+    }
+}

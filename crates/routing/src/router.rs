@@ -1,0 +1,274 @@
+//! The routing simulator: plan selection and message forwarding.
+
+use psep_graph::graph::{Graph, NodeId, Weight};
+
+use crate::tables::{RouteKey, RoutingLabel, RoutingTables};
+
+/// The result of routing one message.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    /// The full vertex route, starting at the source and ending at the
+    /// target.
+    pub route: Vec<NodeId>,
+    /// Total edge cost of the route.
+    pub cost: Weight,
+    /// Number of hops.
+    pub hops: usize,
+}
+
+/// A compact router: per-vertex tables plus the target's label drive
+/// forwarding decisions; the simulator executes the three phases
+/// (climb to the path, walk along it, descend the tree).
+///
+/// # Example
+///
+/// ```
+/// use psep_core::{DecompositionTree, AutoStrategy};
+/// use psep_graph::generators::grids;
+/// use psep_graph::NodeId;
+/// use psep_routing::{Router, RoutingTables};
+///
+/// let g = grids::grid2d(5, 5, 1);
+/// let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+/// let router = Router::new(&g, RoutingTables::build(&g, &tree));
+/// let address = router.label(NodeId(24));
+/// let out = router.route(NodeId(0), NodeId(24), &address).unwrap();
+/// assert_eq!(*out.route.last().unwrap(), NodeId(24));
+/// assert!(out.cost >= 8); // true distance 8
+/// ```
+#[derive(Clone, Debug)]
+pub struct Router {
+    graph: Graph,
+    tables: RoutingTables,
+}
+
+impl Router {
+    /// Builds a router over `g` with precomputed `tables`.
+    pub fn new(g: &Graph, tables: RoutingTables) -> Self {
+        Router {
+            graph: g.clone(),
+            tables,
+        }
+    }
+
+    /// The tables (e.g. for size accounting).
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// The routing label (address) of `v`.
+    pub fn label(&self, v: NodeId) -> RoutingLabel {
+        self.tables.label(v)
+    }
+
+    /// Selects the cheapest plan from `u` to the holder of `label_t`:
+    /// the key and exact route cost `d(u,Q) + d_Q(x_u, x_t) + d(t,Q)`,
+    /// minimized over shared paths. `None` when no path is shared
+    /// (different components).
+    pub fn plan(&self, u: NodeId, label_t: &RoutingLabel) -> Option<(RouteKey, Weight)> {
+        let table = self.tables.table(u);
+        let mut best: Option<(RouteKey, Weight)> = None;
+        for e in &label_t.entries {
+            if let Some(info) = table.get(&e.key) {
+                let cost = info
+                    .dist
+                    .saturating_add(info.entry_pos.abs_diff(e.entry_pos))
+                    .saturating_add(e.dist);
+                if best.is_none_or(|(_, c)| cost < c) {
+                    best = Some((e.key, cost));
+                }
+            }
+        }
+        best
+    }
+
+    /// Routes a message from `u` to `t` (whose label the caller supplies,
+    /// playing the role of the address on the envelope). Returns `None`
+    /// when `u` and `t` share no decomposition path (disconnected).
+    ///
+    /// Delivery is guaranteed for connected pairs, and the executed cost
+    /// equals the plan cost.
+    pub fn route(&self, u: NodeId, t: NodeId, label_t: &RoutingLabel) -> Option<RouteOutcome> {
+        if u == t {
+            return Some(RouteOutcome {
+                route: vec![u],
+                cost: 0,
+                hops: 0,
+            });
+        }
+        let (key, _planned) = self.plan(u, label_t)?;
+        let target_entry = label_t
+            .entries
+            .iter()
+            .find(|e| e.key == key)
+            .expect("plan key comes from the label");
+        let mut route = vec![u];
+        let mut cost: Weight = 0;
+        let mut cur = u;
+
+        // Phase A: climb to the path along T_Q parents.
+        loop {
+            let info = &self.tables.table(cur)[&key];
+            if info.on_path.is_some() {
+                break;
+            }
+            let parent = info.parent.expect("off-path vertex has a parent");
+            cost += self.edge_weight(cur, parent);
+            cur = parent;
+            route.push(cur);
+        }
+
+        // Phase B: walk along Q to the target's entry position.
+        loop {
+            let info = &self.tables.table(cur)[&key];
+            let op = info.on_path.expect("phase B stays on the path");
+            if op.pos == target_entry.entry_pos {
+                break;
+            }
+            let step = if op.pos < target_entry.entry_pos {
+                op.next.expect("target position is on the path")
+            } else {
+                op.prev.expect("target position is on the path")
+            };
+            cost += self.edge_weight(cur, step);
+            cur = step;
+            route.push(cur);
+        }
+
+        // Phase C: descend T_Q by interval routing to dfs(t).
+        while cur != t {
+            let info = &self.tables.table(cur)[&key];
+            debug_assert!(
+                info.dfs <= target_entry.dfs && target_entry.dfs < info.subtree_end,
+                "target not in current subtree"
+            );
+            let child = info
+                .children
+                .iter()
+                .copied()
+                .find(|&c| {
+                    let ci = &self.tables.table(c)[&key];
+                    ci.dfs <= target_entry.dfs && target_entry.dfs < ci.subtree_end
+                })
+                .expect("some child interval contains the target");
+            cost += self.edge_weight(cur, child);
+            cur = child;
+            route.push(cur);
+        }
+
+        Some(RouteOutcome {
+            hops: route.len() - 1,
+            route,
+            cost,
+        })
+    }
+
+    pub(crate) fn edge_weight(&self, u: NodeId, v: NodeId) -> Weight {
+        self.graph
+            .edge_weight(u, v)
+            .unwrap_or_else(|| panic!("route used non-edge {u:?}-{v:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::RoutingTables;
+    use psep_core::strategy::{AutoStrategy, IterativeStrategy};
+    use psep_core::DecompositionTree;
+    use psep_graph::dijkstra::dijkstra;
+    use psep_graph::generators::{grids, ktree, planar_families, special, trees};
+
+    fn check_all_pairs(g: &Graph, max_stretch: f64) -> f64 {
+        let tree = DecompositionTree::build(g, &AutoStrategy::default());
+        let tables = RoutingTables::build(g, &tree);
+        let router = Router::new(g, tables);
+        let labels: Vec<RoutingLabel> = g.nodes().map(|v| router.label(v)).collect();
+        let mut worst: f64 = 1.0;
+        for u in g.nodes() {
+            let sp = dijkstra(g, &[u]);
+            for t in g.nodes() {
+                if u == t {
+                    continue;
+                }
+                let d = sp.dist(t).expect("connected");
+                let out = router
+                    .route(u, t, &labels[t.index()])
+                    .expect("connected pair must route");
+                assert_eq!(*out.route.first().unwrap(), u);
+                assert_eq!(*out.route.last().unwrap(), t);
+                // route must consist of real edges (edge_weight panics
+                // otherwise) and cost at least the distance
+                assert!(out.cost >= d);
+                let stretch = out.cost as f64 / d as f64;
+                worst = worst.max(stretch);
+                assert!(
+                    stretch <= max_stretch + 1e-9,
+                    "{u:?}->{t:?} stretch {stretch}"
+                );
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn delivers_on_grid_with_bounded_stretch() {
+        let g = grids::grid2d(7, 7, 1);
+        let worst = check_all_pairs(&g, 3.0);
+        assert!(worst >= 1.0);
+    }
+
+    #[test]
+    fn delivers_on_tree_exactly() {
+        let g = trees::random_tree(40, 6);
+        // on a tree every plan walks tree paths; stretch can exceed 1
+        // (via the separator vertex) but must stay within 3
+        check_all_pairs(&g, 3.0);
+    }
+
+    #[test]
+    fn delivers_on_weighted_k_tree() {
+        let kt = ktree::random_weighted_k_tree(35, 2, 5, 4);
+        check_all_pairs(&kt.graph, 3.0);
+    }
+
+    #[test]
+    fn delivers_on_planar() {
+        let g = planar_families::triangulated_grid(6, 6, 2);
+        check_all_pairs(&g, 3.0);
+    }
+
+    #[test]
+    fn delivers_on_mesh_with_apex() {
+        let g = special::mesh_with_apex(5);
+        let tree = DecompositionTree::build(&g, &IterativeStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        let router = Router::new(&g, tables);
+        for u in g.nodes() {
+            for t in g.nodes() {
+                let out = router.route(u, t, &router.label(t)).expect("connected");
+                assert_eq!(*out.route.last().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let g = grids::grid2d(3, 3, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        let out = router.route(NodeId(4), NodeId(4), &router.label(NodeId(4))).unwrap();
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.cost, 0);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        assert!(router.route(NodeId(0), NodeId(2), &router.label(NodeId(2))).is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! Routing tables and routing labels.
+
+use std::collections::BTreeMap;
+
+use psep_core::decomposition::DecompositionTree;
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::{Graph, NodeId, Weight};
+use psep_graph::view::SubgraphView;
+
+/// Identifies one separator path: `(node, group, path)`.
+pub type RouteKey = (u32, u16, u16);
+
+/// A vertex's on-path links when it lies on the separator path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnPathInfo {
+    /// Position (prefix-sum cost) along the path.
+    pub pos: Weight,
+    /// Previous path vertex (toward position 0).
+    pub prev: Option<NodeId>,
+    /// Next path vertex (toward the far end).
+    pub next: Option<NodeId>,
+}
+
+/// A vertex's routing-table entry for one separator path `Q` in its
+/// residual graph `J`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathInfo {
+    /// `d_J(v, Q)` — distance to the nearest path vertex.
+    pub dist: Weight,
+    /// Position of that nearest entry point `x_v` on `Q`.
+    pub entry_pos: Weight,
+    /// Parent toward `Q` in the multi-source tree `T_Q` (`None` on `Q`).
+    pub parent: Option<NodeId>,
+    /// DFS preorder index of `v` in `T_Q`.
+    pub dfs: u32,
+    /// One past the largest DFS index in `v`'s subtree: the interval
+    /// `[dfs, subtree_end)` covers exactly `v`'s descendants.
+    pub subtree_end: u32,
+    /// Children of `v` in `T_Q` (for interval routing downward).
+    pub children: Vec<NodeId>,
+    /// Set iff `v` lies on `Q`.
+    pub on_path: Option<OnPathInfo>,
+}
+
+/// All vertices' routing tables.
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    per_vertex: Vec<BTreeMap<RouteKey, PathInfo>>,
+}
+
+/// A vertex's routing label (its routable address): per shared path, the
+/// information a *source* needs to compute the exact plan cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RoutingLabel {
+    /// Entries sorted by key.
+    pub entries: Vec<RoutingLabelEntry>,
+}
+
+/// One routing-label entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RoutingLabelEntry {
+    /// The path key.
+    pub key: RouteKey,
+    /// Entry position `pos(x_t)`.
+    pub entry_pos: Weight,
+    /// `d_J(t, Q)`.
+    pub dist: Weight,
+    /// DFS index of `t` in `T_Q` (for the descent).
+    pub dfs: u32,
+}
+
+impl RoutingLabel {
+    /// Number of entries (the label size — `O(k log n)`).
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl RoutingTables {
+    /// Builds tables (and, via [`RoutingTables::label`], labels) for
+    /// every vertex of `g` over the decomposition `tree`.
+    ///
+    /// One multi-source Dijkstra per `(node, group, path)`.
+    pub fn build(g: &Graph, tree: &DecompositionTree) -> Self {
+        let n = g.num_nodes();
+        let mut per_vertex: Vec<BTreeMap<RouteKey, PathInfo>> = vec![BTreeMap::new(); n];
+        for (h, node) in tree.nodes().iter().enumerate() {
+            for gi in 0..node.separator.num_groups() {
+                let mask = tree.residual_mask(n, h, gi);
+                let view = SubgraphView::new(g, &mask);
+                for (pi, path) in node.separator.groups[gi].paths.iter().enumerate() {
+                    let key: RouteKey = (h as u32, gi as u16, pi as u16);
+                    let sources: Vec<NodeId> = path.vertices().to_vec();
+                    let sp = dijkstra(&view, &sources);
+                    // children lists of T_Q
+                    let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+                    for v in mask.iter() {
+                        if let Some(p) = sp.parent(v) {
+                            children.entry(p).or_default().push(v);
+                        }
+                    }
+                    // DFS numbering: roots are the path vertices in path
+                    // order; every reachable vertex gets an interval.
+                    let mut dfs_of: BTreeMap<NodeId, u32> = BTreeMap::new();
+                    let mut end_of: BTreeMap<NodeId, u32> = BTreeMap::new();
+                    let mut counter: u32 = 0;
+                    for &root in path.vertices() {
+                        // iterative post-order interval assignment
+                        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+                        while let Some((v, processed)) = stack.pop() {
+                            if processed {
+                                end_of.insert(v, counter);
+                                continue;
+                            }
+                            if dfs_of.contains_key(&v) {
+                                continue; // path vertex already numbered
+                            }
+                            dfs_of.insert(v, counter);
+                            counter += 1;
+                            stack.push((v, true));
+                            if let Some(kids) = children.get(&v) {
+                                for &c in kids {
+                                    stack.push((c, false));
+                                }
+                            }
+                        }
+                    }
+                    // entry positions: position of root_of(v)
+                    let mut idx_of_path_vertex: BTreeMap<NodeId, usize> = BTreeMap::new();
+                    let mut pos_of_path_vertex: BTreeMap<NodeId, Weight> = BTreeMap::new();
+                    for (i, &v) in path.vertices().iter().enumerate() {
+                        idx_of_path_vertex.insert(v, i);
+                        pos_of_path_vertex.insert(v, path.position(i));
+                    }
+                    for v in mask.iter() {
+                        if !sp.reached(v) {
+                            continue;
+                        }
+                        let root = sp.root_of(v).expect("reached implies root");
+                        let on_path = idx_of_path_vertex.get(&v).copied().map(|i| OnPathInfo {
+                            pos: path.position(i),
+                            prev: (i > 0).then(|| path.vertices()[i - 1]),
+                            next: (i + 1 < path.len()).then(|| path.vertices()[i + 1]),
+                        });
+                        let info = PathInfo {
+                            dist: sp.dist(v).unwrap(),
+                            entry_pos: pos_of_path_vertex[&root],
+                            parent: sp.parent(v),
+                            dfs: dfs_of[&v],
+                            subtree_end: end_of[&v],
+                            children: children.get(&v).cloned().unwrap_or_default(),
+                            on_path,
+                        };
+                        per_vertex[v.index()].insert(key, info);
+                    }
+                }
+            }
+        }
+        RoutingTables { per_vertex }
+    }
+
+    /// The table of `v`.
+    pub fn table(&self, v: NodeId) -> &BTreeMap<RouteKey, PathInfo> {
+        &self.per_vertex[v.index()]
+    }
+
+    /// The routing label (address) of `v`, derived from its table.
+    pub fn label(&self, v: NodeId) -> RoutingLabel {
+        RoutingLabel {
+            entries: self.per_vertex[v.index()]
+                .iter()
+                .map(|(&key, info)| RoutingLabelEntry {
+                    key,
+                    entry_pos: info.entry_pos,
+                    dist: info.dist,
+                    dfs: info.dfs,
+                })
+                .collect(),
+        }
+    }
+
+    /// Table size of `v` in entries, counting per-child interval records
+    /// (what a real node would store for interval routing).
+    pub fn table_entries(&self, v: NodeId) -> usize {
+        self.per_vertex[v.index()]
+            .values()
+            .map(|i| 1 + i.children.len())
+            .sum()
+    }
+
+    /// Mean and max table entries over all vertices.
+    pub fn table_stats(&self) -> (f64, usize) {
+        let sizes: Vec<usize> = (0..self.per_vertex.len())
+            .map(|i| self.table_entries(NodeId::from_index(i)))
+            .collect();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let mean = if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+        };
+        (mean, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+
+    #[test]
+    fn tables_cover_all_vertices() {
+        let g = grids::grid2d(6, 6, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        for v in g.nodes() {
+            assert!(!tables.table(v).is_empty(), "{v:?} has empty table");
+            let label = tables.label(v);
+            assert_eq!(label.size(), tables.table(v).len());
+        }
+    }
+
+    #[test]
+    fn intervals_nest_properly() {
+        let g = grids::grid2d(7, 7, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        for v in g.nodes() {
+            for (key, info) in tables.table(v) {
+                assert!(info.dfs < info.subtree_end, "{v:?} empty interval");
+                for &c in &info.children {
+                    let ci = &tables.table(c)[key];
+                    assert!(
+                        info.dfs < ci.dfs && ci.subtree_end <= info.subtree_end,
+                        "child interval not nested"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_path_vertices_have_zero_dist_and_links() {
+        let g = grids::grid2d(5, 5, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        for (h, node) in tree.nodes().iter().enumerate() {
+            for (gi, group) in node.separator.groups.iter().enumerate() {
+                for (pi, path) in group.paths.iter().enumerate() {
+                    let key: RouteKey = (h as u32, gi as u16, pi as u16);
+                    for (i, &v) in path.vertices().iter().enumerate() {
+                        let info = &tables.table(v)[&key];
+                        assert_eq!(info.dist, 0);
+                        let op = info.on_path.expect("on-path info");
+                        assert_eq!(op.pos, path.position(i));
+                        if i > 0 {
+                            assert_eq!(op.prev, Some(path.vertices()[i - 1]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Small-worldization of `k`-path separable graphs (Section 4,
+//! Theorem 3).
+//!
+//! An *augmentation distribution* `𝒟` (Definition 3) adds one random
+//! long-range edge per vertex (Definition 4). The paper's distribution
+//! over a decomposition tree: vertex `v` picks a uniform level `τ` of its
+//! root-to-home chain, a uniform path `Q` of `S(H_τ(v))`, and a uniform
+//! landmark from the Claim 1 set `L(Q)` — built from the closest path
+//! vertex `x_c` with both linear (`(i/2)·d`) and geometric (`2^i·d`)
+//! position thresholds in both directions.
+//!
+//! Greedy routing forwards to whichever neighbour (graph or long-range)
+//! is closest to the target in `G`; Theorem 3 bounds the expected hop
+//! count by `O(k² log² n log² Δ)`. The simulator uses deferred sampling
+//! (a vertex's contact is drawn when the message first visits it), which
+//! is distributionally equivalent because greedy routing never revisits
+//! a vertex.
+
+pub mod augment;
+pub mod baselines;
+pub mod landmarks;
+pub mod sim;
+pub mod variants;
+
+pub use augment::{build_augmentation, Augmentation};
+pub use baselines::{KleinbergGrid, UniformAugmentation};
+pub use landmarks::{claim1_holds, select_landmarks};
+pub use sim::{greedy_route, ContactRule, GreedySim, SimStats};
+pub use variants::ClosestSeparatorRule;

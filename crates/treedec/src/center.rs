@@ -1,0 +1,204 @@
+//! Lemma 1: every tree decomposition has a **center bag** whose removal
+//! leaves connected components of at most `n/2` vertices.
+
+use psep_graph::components::largest_component_after_removal;
+use psep_graph::graph::NodeId;
+use psep_graph::view::GraphRef;
+
+use crate::decomposition::TreeDecomposition;
+
+/// Finds a center bag of `dec` for `g` (Lemma 1): the index of a bag `C`
+/// such that every connected component of `g \ C` has at most
+/// `⌊n/2⌋` vertices, where `n` is the number of alive vertices of `g`.
+///
+/// Walks the decomposition tree toward the large component (the classical
+/// sink argument), falling back to a full scan if the walk stalls; the
+/// existence of a center is guaranteed by Lemma 1, so the scan cannot
+/// fail on a valid decomposition.
+///
+/// # Panics
+///
+/// Panics if `dec` has no bags, or if no bag is a center (which implies
+/// `dec` is not a valid decomposition of `g`).
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::generators::trees;
+/// use psep_treedec::{center_bag, min_degree_decomposition};
+/// use psep_graph::components::largest_component_after_removal;
+///
+/// let g = trees::path(9);
+/// let dec = min_degree_decomposition(&g);
+/// let c = center_bag(&g, &dec);
+/// let biggest = largest_component_after_removal(&g, dec.bag(c));
+/// assert!(biggest <= 4); // ⌊9/2⌋
+/// ```
+pub fn center_bag<G: GraphRef>(g: &G, dec: &TreeDecomposition) -> usize {
+    assert!(dec.num_bags() > 0, "decomposition has no bags");
+    let n = g.node_count();
+    let half = n / 2;
+    let alive_bag = |i: usize| -> Vec<NodeId> {
+        dec.bag(i)
+            .iter()
+            .copied()
+            .filter(|&v| g.contains_node(v))
+            .collect()
+    };
+
+    let mut visited = vec![false; dec.num_bags()];
+    let mut cur = 0usize;
+    loop {
+        if visited[cur] {
+            break; // walk cycled (numeric ties); fall back to scan
+        }
+        visited[cur] = true;
+        let bag = alive_bag(cur);
+        let big = big_component(g, &bag, half);
+        let Some(witness) = big else {
+            return cur;
+        };
+        // move toward the neighbour bag whose side of the tree contains
+        // a bag holding the witness vertex
+        let next = dec
+            .neighbors(cur)
+            .find(|&nb| side_contains(dec, cur, nb, witness));
+        match next {
+            Some(nb) => cur = nb,
+            None => break,
+        }
+    }
+    // Fallback: exhaustive scan (guaranteed to find one by Lemma 1).
+    for i in 0..dec.num_bags() {
+        let bag = alive_bag(i);
+        if largest_component_after_removal(g, &bag) <= half {
+            return i;
+        }
+    }
+    panic!("no center bag found: decomposition is not valid for this graph");
+}
+
+/// Returns a vertex of some component of `g \ bag` larger than `half`,
+/// or `None` if all components are small enough.
+fn big_component<G: GraphRef>(g: &G, bag: &[NodeId], half: usize) -> Option<NodeId> {
+    let n = g.universe();
+    let mut dead = vec![false; n];
+    for &v in bag {
+        dead[v.index()] = true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    for v in g.node_iter() {
+        if seen[v.index()] || dead[v.index()] {
+            continue;
+        }
+        let mut size = 0usize;
+        seen[v.index()] = true;
+        stack.push(v);
+        let witness = v;
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for e in g.neighbors(u) {
+                let i = e.to.index();
+                if !seen[i] && !dead[i] {
+                    seen[i] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        if size > half {
+            return Some(witness);
+        }
+    }
+    None
+}
+
+/// Whether the side of the decomposition tree reached from `cur` through
+/// neighbour `nb` contains a bag holding `v`.
+fn side_contains(dec: &TreeDecomposition, cur: usize, nb: usize, v: NodeId) -> bool {
+    let mut seen = vec![false; dec.num_bags()];
+    seen[cur] = true;
+    seen[nb] = true;
+    let mut stack = vec![nb];
+    while let Some(x) = stack.pop() {
+        if dec.bag_contains(x, v) {
+            return true;
+        }
+        for y in dec.neighbors(x) {
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::min_degree_decomposition;
+    use psep_graph::components::largest_component_after_removal;
+    use psep_graph::generators::{grids, ktree, trees};
+
+    fn assert_center<G: GraphRef>(g: &G, dec: &TreeDecomposition) {
+        let c = center_bag(g, dec);
+        let bag: Vec<NodeId> = dec
+            .bag(c)
+            .iter()
+            .copied()
+            .filter(|&v| g.contains_node(v))
+            .collect();
+        assert!(
+            largest_component_after_removal(g, &bag) <= g.node_count() / 2,
+            "bag {c} is not a center"
+        );
+    }
+
+    #[test]
+    fn center_of_path_decomposition() {
+        let g = trees::path(9);
+        let dec = min_degree_decomposition(&g);
+        assert_center(&g, &dec);
+    }
+
+    #[test]
+    fn center_of_random_trees() {
+        for seed in 0..5 {
+            let g = trees::random_tree(64, seed);
+            let dec = min_degree_decomposition(&g);
+            assert_center(&g, &dec);
+        }
+    }
+
+    #[test]
+    fn center_of_k_tree() {
+        let kt = ktree::random_k_tree(50, 3, 2);
+        let dec = min_degree_decomposition(&kt.graph);
+        assert_center(&kt.graph, &dec);
+    }
+
+    #[test]
+    fn center_of_grid() {
+        let g = grids::grid2d(6, 6, 1);
+        let dec = min_degree_decomposition(&g);
+        assert_center(&g, &dec);
+    }
+
+    #[test]
+    fn center_of_trivial_decomposition() {
+        let g = trees::path(5);
+        let dec = TreeDecomposition::trivial(&g);
+        assert_eq!(center_bag(&g, &dec), 0);
+    }
+
+    #[test]
+    fn center_on_subgraph_view() {
+        let g = trees::path(10);
+        let dec = min_degree_decomposition(&g);
+        let mut mask = psep_graph::NodeMask::all(10);
+        mask.remove(NodeId(9));
+        let view = psep_graph::SubgraphView::new(&g, &mask);
+        assert_center(&view, &dec);
+    }
+}

@@ -1,0 +1,385 @@
+//! The [`TreeDecomposition`] type: bags, tree structure, axioms, width.
+
+use psep_graph::graph::NodeId;
+use psep_graph::view::GraphRef;
+use psep_graph::UnionFind;
+
+/// A tree-decomposition of a graph: a tree whose vertices (*bags*) are
+/// vertex subsets satisfying the three axioms of Section 2.1:
+///
+/// 1. every graph vertex appears in some bag;
+/// 2. both endpoints of every edge appear together in some bag;
+/// 3. the bags containing any fixed vertex induce a subtree.
+///
+/// Bags are stored sorted; tree edges connect bag indices.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    bags: Vec<Vec<NodeId>>,
+    tree_edges: Vec<(usize, usize)>,
+}
+
+/// Why a [`TreeDecomposition`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// The bag graph is not a tree (wrong edge count or disconnected).
+    NotATree,
+    /// Some vertex appears in no bag.
+    MissingVertex(NodeId),
+    /// Some edge has no bag containing both endpoints.
+    MissingEdge(NodeId, NodeId),
+    /// The bags containing a vertex do not induce a connected subtree.
+    DisconnectedVertex(NodeId),
+}
+
+impl std::fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompositionError::NotATree => write!(f, "bag graph is not a tree"),
+            DecompositionError::MissingVertex(v) => write!(f, "vertex {v:?} in no bag"),
+            DecompositionError::MissingEdge(u, v) => {
+                write!(f, "edge {u:?}-{v:?} in no bag")
+            }
+            DecompositionError::DisconnectedVertex(v) => {
+                write!(f, "bags containing {v:?} are disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from bags and tree edges. Bags are sorted
+    /// and deduplicated internally; validity is *not* checked here — call
+    /// [`TreeDecomposition::validate`].
+    pub fn new(mut bags: Vec<Vec<NodeId>>, tree_edges: Vec<(usize, usize)>) -> Self {
+        for bag in &mut bags {
+            bag.sort_unstable();
+            bag.dedup();
+        }
+        TreeDecomposition { bags, tree_edges }
+    }
+
+    /// A trivial decomposition: one bag holding every vertex of `g`.
+    pub fn trivial<G: GraphRef>(g: &G) -> Self {
+        TreeDecomposition::new(vec![g.node_iter().collect()], Vec::new())
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[Vec<NodeId>] {
+        &self.bags
+    }
+
+    /// Bag at index `i`.
+    pub fn bag(&self, i: usize) -> &[NodeId] {
+        &self.bags[i]
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Edges of the decomposition tree, as bag-index pairs.
+    pub fn tree_edges(&self) -> &[(usize, usize)] {
+        &self.tree_edges
+    }
+
+    /// Bag-index neighbours of bag `i`.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.tree_edges.iter().filter_map(move |&(a, b)| {
+            if a == i {
+                Some(b)
+            } else if b == i {
+                Some(a)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Width: `max |bag| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    /// Whether bag `i` contains `v` (bags are sorted).
+    pub fn bag_contains(&self, i: usize, v: NodeId) -> bool {
+        self.bags[i].binary_search(&v).is_ok()
+    }
+
+    /// Checks the three axioms against `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom.
+    pub fn validate<G: GraphRef>(&self, g: &G) -> Result<(), DecompositionError> {
+        let b = self.bags.len();
+        // tree-ness: b nodes need b-1 edges and a single connected piece
+        if b > 0 {
+            if self.tree_edges.len() != b - 1 {
+                return Err(DecompositionError::NotATree);
+            }
+            let mut uf = UnionFind::new(b);
+            for &(x, y) in &self.tree_edges {
+                if x >= b || y >= b || !uf.union(x, y) {
+                    return Err(DecompositionError::NotATree);
+                }
+            }
+        }
+        // axiom 1 + locate bags per vertex for axiom 3
+        let n = g.universe();
+        let mut holder: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, bag) in self.bags.iter().enumerate() {
+            for &v in bag {
+                holder[v.index()].push(i);
+            }
+        }
+        for v in g.node_iter() {
+            if holder[v.index()].is_empty() {
+                return Err(DecompositionError::MissingVertex(v));
+            }
+        }
+        // axiom 2
+        for u in g.node_iter() {
+            for e in g.neighbors(u) {
+                if u < e.to {
+                    let ok = holder[u.index()]
+                        .iter()
+                        .any(|&i| self.bag_contains(i, e.to));
+                    if !ok {
+                        return Err(DecompositionError::MissingEdge(u, e.to));
+                    }
+                }
+            }
+        }
+        // axiom 3: bags holding v form a connected subtree
+        for v in g.node_iter() {
+            let bags_v = &holder[v.index()];
+            if bags_v.len() <= 1 {
+                continue;
+            }
+            let inset: std::collections::HashSet<usize> = bags_v.iter().copied().collect();
+            let mut uf = UnionFind::new(self.bags.len());
+            for &(x, y) in &self.tree_edges {
+                if inset.contains(&x) && inset.contains(&y) {
+                    uf.union(x, y);
+                }
+            }
+            let root = uf.find(bags_v[0]);
+            for &i in &bags_v[1..] {
+                if uf.find(i) != root {
+                    return Err(DecompositionError::DisconnectedVertex(v));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restricts the decomposition to the vertex set `keep` — the
+    /// operation `𝒯 ∩ X` of Section 2.1. Bags are intersected with
+    /// `keep`; empty bags are dropped and the tree is re-stitched by
+    /// contracting through removed bags (preserving the subtree axiom).
+    pub fn restrict(&self, keep: &dyn Fn(NodeId) -> bool) -> TreeDecomposition {
+        let mut new_bags: Vec<Vec<NodeId>> = Vec::new();
+        // Map old bag -> new bag index (None for emptied bags).
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.bags.len());
+        for bag in &self.bags {
+            let nb: Vec<NodeId> = bag.iter().copied().filter(|&v| keep(v)).collect();
+            if nb.is_empty() {
+                remap.push(None);
+            } else {
+                remap.push(Some(new_bags.len()));
+                new_bags.push(nb);
+            }
+        }
+        // Re-stitch: union-find over old bags where emptied bags act as
+        // connectors; for each old tree edge, connect the nearest
+        // surviving representatives.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.bags.len()];
+        for &(x, y) in &self.tree_edges {
+            adj[x].push(y);
+            adj[y].push(x);
+        }
+        let mut new_edges: Vec<(usize, usize)> = Vec::new();
+        let mut uf = UnionFind::new(new_bags.len().max(1));
+        // DFS over the old tree; for each surviving bag, link to the
+        // closest surviving ancestor.
+        let b = self.bags.len();
+        let mut visited = vec![false; b];
+        for start in 0..b {
+            if visited[start] {
+                continue;
+            }
+            // stack of (bag, closest surviving ancestor's new index)
+            let mut stack = vec![(start, None::<usize>)];
+            visited[start] = true;
+            while let Some((cur, anc)) = stack.pop() {
+                let here = remap[cur];
+                let next_anc = here.or(anc);
+                if let (Some(h), Some(a)) = (here, anc) {
+                    if uf.union(h, a) {
+                        new_edges.push((h, a));
+                    }
+                }
+                for &nb in &adj[cur] {
+                    if !visited[nb] {
+                        visited[nb] = true;
+                        stack.push((nb, next_anc));
+                    }
+                }
+            }
+        }
+        TreeDecomposition {
+            bags: new_bags,
+            tree_edges: new_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::trees;
+    use psep_graph::Graph;
+
+    fn path4() -> Graph {
+        trees::path(4)
+    }
+
+    fn path4_dec() -> TreeDecomposition {
+        TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3)],
+            ],
+            vec![(0, 1), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn valid_path_decomposition() {
+        let g = path4();
+        let d = path4_dec();
+        assert!(d.validate(&g).is_ok());
+        assert_eq!(d.width(), 1);
+    }
+
+    #[test]
+    fn trivial_is_valid() {
+        let g = path4();
+        let d = TreeDecomposition::trivial(&g);
+        assert!(d.validate(&g).is_ok());
+        assert_eq!(d.width(), 3);
+    }
+
+    #[test]
+    fn detects_missing_edge() {
+        let g = path4();
+        let d = TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(3)],
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        assert_eq!(
+            d.validate(&g),
+            Err(DecompositionError::MissingEdge(NodeId(2), NodeId(3)))
+        );
+    }
+
+    #[test]
+    fn detects_missing_vertex() {
+        let g = path4();
+        let d = TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+            ],
+            vec![(0, 1)],
+        );
+        assert!(d.validate(&g).is_ok());
+        let d2 = TreeDecomposition::new(vec![vec![NodeId(0), NodeId(1)]], vec![]);
+        assert_eq!(
+            d2.validate(&g),
+            Err(DecompositionError::MissingVertex(NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn detects_disconnected_vertex() {
+        let g = path4();
+        // vertex 1 appears in bags 0 and 2 which are not adjacent
+        let d = TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        assert!(d.validate(&g).is_ok());
+        let bad = TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(2), NodeId(1)],
+                vec![NodeId(2), NodeId(3)],
+            ],
+            vec![(0, 2), (1, 2)], // bags {0,1} and {1,2} not adjacent
+        );
+        assert_eq!(
+            bad.validate(&g),
+            Err(DecompositionError::DisconnectedVertex(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn detects_non_tree() {
+        let g = path4();
+        let d = TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3)],
+            ],
+            vec![(0, 1)],
+        );
+        assert_eq!(d.validate(&g), Err(DecompositionError::NotATree));
+    }
+
+    #[test]
+    fn restrict_keeps_validity() {
+        let g = path4();
+        let d = path4_dec();
+        // remove vertex 1 → graph splits; restricted decomposition must
+        // still be a valid decomposition of the induced subgraph
+        let keep = |v: NodeId| v != NodeId(1);
+        let r = d.restrict(&keep);
+        let mut mask = psep_graph::NodeMask::all(4);
+        mask.remove(NodeId(1));
+        let view = psep_graph::SubgraphView::new(&g, &mask);
+        assert!(r.validate(&view).is_ok());
+    }
+
+    #[test]
+    fn restrict_stitches_through_emptied_bags() {
+        // chain of bags where the middle bag empties entirely
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        let d = TreeDecomposition::new(
+            vec![
+                vec![NodeId(0), NodeId(1)],
+                vec![NodeId(2)],
+                vec![NodeId(0)],
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        let keep = |v: NodeId| v != NodeId(2);
+        let r = d.restrict(&keep);
+        assert_eq!(r.num_bags(), 2);
+        assert_eq!(r.tree_edges().len(), 1);
+    }
+}

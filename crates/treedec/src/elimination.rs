@@ -1,0 +1,237 @@
+//! Tree decompositions from elimination orders: min-degree and min-fill
+//! heuristics.
+//!
+//! Exact treewidth is NP-hard; these classical heuristics are exact on
+//! chordal graphs (hence on the generated `k`-trees) and near-optimal on
+//! the partial-`k`-tree and planar families the experiments use. The
+//! measured widths are reported by experiment E9.
+
+use std::collections::HashSet;
+
+use psep_graph::graph::NodeId;
+use psep_graph::view::GraphRef;
+
+use crate::decomposition::TreeDecomposition;
+
+/// Elimination heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Heuristic {
+    MinDegree,
+    MinFill,
+}
+
+/// Tree decomposition via the **min-degree** elimination heuristic.
+pub fn min_degree_decomposition<G: GraphRef>(g: &G) -> TreeDecomposition {
+    eliminate(g, Heuristic::MinDegree)
+}
+
+/// Tree decomposition via the **min-fill** elimination heuristic
+/// (slower, usually tighter width on non-chordal inputs).
+pub fn min_fill_decomposition<G: GraphRef>(g: &G) -> TreeDecomposition {
+    eliminate(g, Heuristic::MinFill)
+}
+
+/// Builds a tree decomposition from an explicit elimination order.
+pub fn decomposition_from_order<G: GraphRef>(g: &G, order: &[NodeId]) -> TreeDecomposition {
+    let n = g.universe();
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    // fill graph adjacency as hash sets
+    let mut adj: Vec<HashSet<NodeId>> = vec![HashSet::new(); n];
+    for u in g.node_iter() {
+        for e in g.neighbors(u) {
+            adj[u.index()].insert(e.to);
+            adj[e.to.index()].insert(u);
+        }
+    }
+    build_bags(order, &pos, adj)
+}
+
+fn eliminate<G: GraphRef>(g: &G, h: Heuristic) -> TreeDecomposition {
+    let n = g.universe();
+    let mut adj: Vec<HashSet<NodeId>> = vec![HashSet::new(); n];
+    let mut alive: Vec<bool> = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::new();
+    for u in g.node_iter() {
+        alive[u.index()] = true;
+        for e in g.neighbors(u) {
+            adj[u.index()].insert(e.to);
+        }
+    }
+    let alive_count = g.node_count();
+    // Snapshot of the original adjacency for bag construction later: we
+    // instead maintain the fill graph incrementally and record bags now.
+    let mut full_fill: Vec<HashSet<NodeId>> = adj.clone();
+    for _ in 0..alive_count {
+        // pick next vertex
+        let pick = g
+            .node_iter()
+            .filter(|v| alive[v.index()])
+            .min_by_key(|&v| match h {
+                Heuristic::MinDegree => (adj[v.index()].len(), v.index()),
+                Heuristic::MinFill => fill_count(&adj, v),
+            })
+            .expect("alive vertex exists");
+        order.push(pick);
+        // connect neighbours (fill edges), remove pick
+        let nbrs: Vec<NodeId> = adj[pick.index()].iter().copied().collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if adj[a.index()].insert(b) {
+                    adj[b.index()].insert(a);
+                    full_fill[a.index()].insert(b);
+                    full_fill[b.index()].insert(a);
+                }
+            }
+        }
+        for &a in &nbrs {
+            adj[a.index()].remove(&pick);
+        }
+        adj[pick.index()].clear();
+        alive[pick.index()] = false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    build_bags(&order, &pos, full_fill)
+}
+
+fn fill_count(adj: &[HashSet<NodeId>], v: NodeId) -> (usize, usize) {
+    let nbrs: Vec<NodeId> = adj[v.index()].iter().copied().collect();
+    let mut fill = 0;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if !adj[a.index()].contains(&b) {
+                fill += 1;
+            }
+        }
+    }
+    (fill, v.index())
+}
+
+/// Builds bags from an elimination order over a (fill) adjacency: the bag
+/// of `v` is `v` plus its later-eliminated fill-neighbours; each bag links
+/// to the bag of the earliest-later member.
+fn build_bags(
+    order: &[NodeId],
+    pos: &[usize],
+    mut fill_adj: Vec<HashSet<NodeId>>,
+) -> TreeDecomposition {
+    // saturate the fill adjacency along the order (for the from-order
+    // path; the heuristic path already passes a saturated fill graph,
+    // and re-saturating it is a harmless no-op there).
+    for &v in order {
+        let later: Vec<NodeId> = fill_adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|u| pos[u.index()] > pos[v.index()])
+            .collect();
+        for (i, &a) in later.iter().enumerate() {
+            for &b in &later[i + 1..] {
+                if fill_adj[a.index()].insert(b) {
+                    fill_adj[b.index()].insert(a);
+                }
+            }
+        }
+    }
+    let mut bags: Vec<Vec<NodeId>> = Vec::with_capacity(order.len());
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // bag index by elimination position
+    for (i, &v) in order.iter().enumerate() {
+        let mut bag: Vec<NodeId> = fill_adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|u| pos[u.index()] > i)
+            .collect();
+        bag.push(v);
+        bag.sort_unstable();
+        bags.push(bag);
+    }
+    for (i, &v) in order.iter().enumerate() {
+        // link to the earliest-later neighbour's bag
+        let parent = fill_adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|u| pos[u.index()] > i)
+            .min_by_key(|u| pos[u.index()]);
+        if let Some(p) = parent {
+            edges.push((i, pos[p.index()]));
+        } else if i + 1 < order.len() {
+            // isolated-at-elimination vertex: attach anywhere to keep a tree
+            edges.push((i, i + 1));
+        }
+    }
+    TreeDecomposition::new(bags, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::{grids, ktree, planar_families, trees};
+
+    #[test]
+    fn tree_has_width_one() {
+        let g = trees::random_tree(40, 3);
+        for dec in [min_degree_decomposition(&g), min_fill_decomposition(&g)] {
+            dec.validate(&g).unwrap();
+            assert_eq!(dec.width(), 1);
+        }
+    }
+
+    #[test]
+    fn k_tree_width_recovered_exactly() {
+        for k in 1..=4 {
+            let kt = ktree::random_k_tree(30, k, 11);
+            let dec = min_degree_decomposition(&kt.graph);
+            dec.validate(&kt.graph).unwrap();
+            assert_eq!(dec.width(), k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn partial_k_tree_width_bounded() {
+        let g = ktree::partial_k_tree(60, 3, 0.6, 5);
+        let dec = min_fill_decomposition(&g);
+        dec.validate(&g).unwrap();
+        assert!(dec.width() <= 3, "width {} > 3", dec.width());
+    }
+
+    #[test]
+    fn outerplanar_width_at_most_two() {
+        let g = planar_families::random_outerplanar(25, 7);
+        let dec = min_degree_decomposition(&g);
+        dec.validate(&g).unwrap();
+        assert!(dec.width() <= 2);
+    }
+
+    #[test]
+    fn grid_width_reasonable() {
+        let g = grids::grid2d(5, 5, 1);
+        let dec = min_fill_decomposition(&g);
+        dec.validate(&g).unwrap();
+        // treewidth of a 5x5 grid is 5; heuristics may be slightly above
+        assert!(dec.width() >= 5);
+        assert!(dec.width() <= 8, "width {}", dec.width());
+    }
+
+    #[test]
+    fn from_order_valid_on_cycle() {
+        let g = trees::cycle(8);
+        let order: Vec<NodeId> = g.nodes().collect();
+        let dec = decomposition_from_order(&g, &order);
+        dec.validate(&g).unwrap();
+        assert!(dec.width() >= 2);
+    }
+
+    #[test]
+    fn disconnected_graph_still_decomposes() {
+        let mut g = psep_graph::Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        let dec = min_degree_decomposition(&g);
+        dec.validate(&g).unwrap();
+    }
+}

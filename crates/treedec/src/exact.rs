@@ -1,0 +1,365 @@
+//! Exact treewidth by branch-and-bound over elimination orders, for
+//! graphs of up to 64 vertices — used by tests and experiment E9 to
+//! validate the elimination heuristics.
+//!
+//! The search explores elimination prefixes with memoization on the set
+//! of eliminated vertices (the width of the best completion depends only
+//! on that set), pruning with:
+//!
+//! * the running lower bound (a clique forces width ≥ clique size − 1;
+//!   we use the degeneracy bound, which is cheap and sound);
+//! * the current best upper bound (initialized from the min-fill
+//!   heuristic).
+
+use std::collections::HashMap;
+
+use psep_graph::graph::NodeId;
+use psep_graph::view::GraphRef;
+
+use crate::decomposition::TreeDecomposition;
+use crate::elimination::{decomposition_from_order, min_fill_decomposition};
+
+/// Exact treewidth of `g` (≤ 64 vertices), with a witnessing elimination
+/// order.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 64 vertices.
+///
+/// # Example
+///
+/// ```
+/// use psep_graph::generators::grids;
+/// use psep_treedec::exact_treewidth;
+///
+/// let g = grids::grid2d(3, 5, 1); // treewidth of a 3×n grid is 3
+/// assert_eq!(exact_treewidth(&g).0, 3);
+/// ```
+pub fn exact_treewidth<G: GraphRef>(g: &G) -> (usize, Vec<NodeId>) {
+    let nodes: Vec<NodeId> = g.node_iter().collect();
+    let n = nodes.len();
+    assert!(n <= 64, "exact treewidth supports at most 64 vertices");
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    // dense adjacency as bitmasks over positions in `nodes`
+    let mut pos = HashMap::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        pos.insert(v, i);
+    }
+    let mut adj = vec![0u64; n];
+    for (i, &v) in nodes.iter().enumerate() {
+        for e in g.neighbors(v) {
+            if let Some(&j) = pos.get(&e.to) {
+                adj[i] |= 1 << j;
+            }
+        }
+        adj[i] &= !(1 << i);
+    }
+
+    // upper bound from the min-fill heuristic
+    let heuristic = min_fill_decomposition(g);
+    let mut best = heuristic.width();
+    let lower = degeneracy(&adj);
+    if best == lower {
+        let order = heuristic_order(&adj, n);
+        return (best, order.into_iter().map(|i| nodes[i]).collect());
+    }
+
+    let mut memo: HashMap<u64, usize> = HashMap::new();
+    let mut order_buf = vec![0usize; n];
+    let mut best_order: Vec<usize> = heuristic_order(&adj, n);
+    bb(
+        &adj,
+        0u64,
+        0usize,
+        0,
+        &mut best,
+        lower,
+        &mut memo,
+        &mut order_buf,
+        &mut best_order,
+    );
+    (best, best_order.into_iter().map(|i| nodes[i]).collect())
+}
+
+/// Exact-width tree decomposition for graphs of ≤ 64 vertices.
+pub fn exact_decomposition<G: GraphRef>(g: &G) -> TreeDecomposition {
+    let (_, order) = exact_treewidth(g);
+    decomposition_from_order(g, &order)
+}
+
+/// Degeneracy lower bound on the treewidth of `g` (≤ 64 vertices):
+/// repeatedly remove a minimum-degree vertex; the maximum removed degree
+/// lower-bounds the treewidth.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 64 vertices.
+pub fn treewidth_lower_bound<G: GraphRef>(g: &G) -> usize {
+    let nodes: Vec<NodeId> = g.node_iter().collect();
+    let n = nodes.len();
+    assert!(n <= 64, "lower bound supports at most 64 vertices");
+    let mut pos = HashMap::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        pos.insert(v, i);
+    }
+    let mut adj = vec![0u64; n];
+    for (i, &v) in nodes.iter().enumerate() {
+        for e in g.neighbors(v) {
+            if let Some(&j) = pos.get(&e.to) {
+                adj[i] |= 1 << j;
+            }
+        }
+        adj[i] &= !(1 << i);
+    }
+    degeneracy(&adj)
+}
+
+/// Degeneracy lower bound: repeatedly remove a minimum-degree vertex;
+/// the maximum removed degree lower-bounds the treewidth.
+fn degeneracy(adj: &[u64]) -> usize {
+    let n = adj.len();
+    let mut alive = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut working: Vec<u64> = adj.to_vec();
+    let mut max_min = 0usize;
+    for _ in 0..n {
+        let (v, deg) = (0..n)
+            .filter(|&i| alive & (1 << i) != 0)
+            .map(|i| (i, (working[i] & alive).count_ones() as usize))
+            .min_by_key(|&(_, d)| d)
+            .expect("alive vertex");
+        max_min = max_min.max(deg);
+        alive &= !(1 << v);
+        let _ = &mut working;
+    }
+    max_min
+}
+
+fn heuristic_order(adj: &[u64], n: usize) -> Vec<usize> {
+    // min-fill order recomputed on the bitmask representation
+    let mut working: Vec<u64> = adj.to_vec();
+    let mut alive = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&i| alive & (1 << i) != 0)
+            .min_by_key(|&i| fill_cost(&working, alive, i))
+            .expect("alive vertex");
+        eliminate(&mut working, &mut alive, v);
+        order.push(v);
+    }
+    order
+}
+
+fn fill_cost(adj: &[u64], alive: u64, v: usize) -> (usize, usize) {
+    let nb = adj[v] & alive;
+    let mut fill = 0usize;
+    let mut rest = nb;
+    while rest != 0 {
+        let a = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        fill += (nb & !adj[a] & !(1u64 << a)).count_ones() as usize;
+    }
+    (fill / 2, v)
+}
+
+fn eliminate(adj: &mut [u64], alive: &mut u64, v: usize) {
+    let nb = adj[v] & *alive & !(1u64 << v);
+    let mut rest = nb;
+    while rest != 0 {
+        let a = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        adj[a] |= nb & !(1u64 << a);
+    }
+    *alive &= !(1u64 << v);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bb(
+    adj: &[u64],
+    eliminated: u64,
+    depth: usize,
+    width_so_far: usize,
+    best: &mut usize,
+    global_lower: usize,
+    memo: &mut HashMap<u64, usize>,
+    order_buf: &mut Vec<usize>,
+    best_order: &mut Vec<usize>,
+) {
+    let n = adj.len();
+    if depth == n {
+        if width_so_far < *best {
+            *best = width_so_far;
+            best_order.copy_from_slice(order_buf);
+        }
+        return;
+    }
+    if width_so_far >= *best || *best == global_lower {
+        return; // cannot improve
+    }
+    if let Some(&seen) = memo.get(&eliminated) {
+        if seen <= width_so_far {
+            return; // a no-worse prefix reached this state already
+        }
+    }
+    memo.insert(eliminated, width_so_far);
+
+    // current fill graph: recompute neighbourhoods through eliminated set
+    // via "reachability through eliminated vertices" (standard trick:
+    // u's fill-neighbours = alive vertices reachable from u via
+    // eliminated vertices only).
+    let alive = !eliminated & mask(n);
+    for v in 0..n {
+        if alive & (1 << v) == 0 {
+            continue;
+        }
+        let deg = fill_degree(adj, eliminated, v, n);
+        let new_width = width_so_far.max(deg);
+        if new_width >= *best {
+            continue;
+        }
+        order_buf[depth] = v;
+        bb(
+            adj,
+            eliminated | (1 << v),
+            depth + 1,
+            new_width,
+            best,
+            global_lower,
+            memo,
+            order_buf,
+            best_order,
+        );
+        if *best == global_lower {
+            return;
+        }
+    }
+}
+
+fn mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Degree of `v` in the fill graph after eliminating `eliminated`:
+/// the number of alive vertices reachable from `v` through eliminated
+/// vertices only.
+fn fill_degree(adj: &[u64], eliminated: u64, v: usize, n: usize) -> usize {
+    let alive = !eliminated & mask(n);
+    let mut seen = 1u64 << v;
+    let mut frontier = adj[v];
+    let mut reach_alive = 0u64;
+    while frontier != 0 {
+        let u = frontier.trailing_zeros() as usize;
+        frontier &= frontier - 1;
+        if seen & (1 << u) != 0 {
+            continue;
+        }
+        seen |= 1 << u;
+        if alive & (1 << u) != 0 {
+            reach_alive |= 1 << u;
+        } else {
+            frontier |= adj[u] & !seen;
+        }
+    }
+    reach_alive.count_ones() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::{grids, ktree, planar_families, special, trees};
+
+    #[test]
+    fn tree_width_one() {
+        let g = trees::random_tree(20, 5);
+        let (w, order) = exact_treewidth(&g);
+        assert_eq!(w, 1);
+        assert_eq!(order.len(), 20);
+        let dec = exact_decomposition(&g);
+        dec.validate(&g).unwrap();
+        assert_eq!(dec.width(), 1);
+    }
+
+    #[test]
+    fn cycle_width_two() {
+        let g = trees::cycle(9);
+        assert_eq!(exact_treewidth(&g).0, 2);
+    }
+
+    #[test]
+    fn complete_graph_width() {
+        let g = special::complete(6);
+        assert_eq!(exact_treewidth(&g).0, 5);
+    }
+
+    #[test]
+    fn k_trees_have_exact_width() {
+        for k in 1..=3 {
+            let kt = ktree::random_k_tree(14, k, 2);
+            assert_eq!(exact_treewidth(&kt.graph).0, k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn grid_3xn_width_three() {
+        let g = grids::grid2d(3, 6, 1);
+        assert_eq!(exact_treewidth(&g).0, 3);
+    }
+
+    #[test]
+    fn grid_4x4_width_four() {
+        let g = grids::grid2d(4, 4, 1);
+        assert_eq!(exact_treewidth(&g).0, 4);
+    }
+
+    #[test]
+    fn outerplanar_at_most_two() {
+        let g = planar_families::random_outerplanar(14, 3);
+        assert!(exact_treewidth(&g).0 <= 2);
+    }
+
+    #[test]
+    fn complete_bipartite_width() {
+        // tw(K_{r,s}) = min(r, s) for r,s >= 1
+        let g = special::complete_bipartite(3, 5);
+        assert_eq!(exact_treewidth(&g).0, 3);
+    }
+
+    #[test]
+    fn lower_bound_brackets_exact() {
+        for seed in 0..4 {
+            let g = ktree::partial_k_tree(18, 3, 0.6, seed);
+            let lb = treewidth_lower_bound(&g);
+            let (exact, _) = exact_treewidth(&g);
+            assert!(lb <= exact, "lb {lb} > exact {exact}");
+        }
+        // degeneracy of a k-tree equals k
+        let kt = ktree::random_k_tree(16, 3, 1);
+        assert_eq!(treewidth_lower_bound(&kt.graph), 3);
+    }
+
+    #[test]
+    fn heuristics_match_exact_on_small_graphs() {
+        for seed in 0..4 {
+            let g = ktree::partial_k_tree(16, 3, 0.6, seed);
+            let (exact, _) = exact_treewidth(&g);
+            let heur = crate::elimination::min_fill_decomposition(&g).width();
+            assert!(heur >= exact);
+            assert!(heur <= exact + 1, "heuristic {heur} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn witness_order_realizes_width() {
+        let g = grids::grid2d(4, 4, 1);
+        let (w, order) = exact_treewidth(&g);
+        let dec = decomposition_from_order(&g, &order);
+        dec.validate(&g).unwrap();
+        assert_eq!(dec.width(), w);
+    }
+}

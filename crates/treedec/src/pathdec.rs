@@ -1,0 +1,303 @@
+//! Path decompositions and vortices (Section 2.1).
+//!
+//! A **vortex** is a graph with a distinguished *perimeter* sequence
+//! `u_1, …, u_t` and a path decomposition `X_1, …, X_t` with `u_i ∈ X_i`.
+//! In the Robertson–Seymour structure theorem, vortices are the bounded
+//! pathwidth pieces glued onto faces of the embedded part of an
+//! almost-embeddable graph.
+
+use psep_graph::graph::NodeId;
+use psep_graph::view::GraphRef;
+
+use crate::decomposition::{DecompositionError, TreeDecomposition};
+
+/// A path decomposition: a tree decomposition whose tree is a path
+/// `X_1 − X_2 − ⋯ − X_t` (bags in order).
+#[derive(Clone, Debug)]
+pub struct PathDecomposition {
+    bags: Vec<Vec<NodeId>>,
+}
+
+impl PathDecomposition {
+    /// Builds a path decomposition from ordered bags (sorted internally).
+    pub fn new(mut bags: Vec<Vec<NodeId>>) -> Self {
+        for bag in &mut bags {
+            bag.sort_unstable();
+            bag.dedup();
+        }
+        PathDecomposition { bags }
+    }
+
+    /// The ordered bags.
+    pub fn bags(&self) -> &[Vec<NodeId>] {
+        &self.bags
+    }
+
+    /// Number of bags.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether there are no bags.
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// Width: `max |bag| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
+    }
+
+    /// Converts to a [`TreeDecomposition`] whose tree is the bag path.
+    pub fn to_tree_decomposition(&self) -> TreeDecomposition {
+        let edges = (0..self.bags.len().saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
+        TreeDecomposition::new(self.bags.clone(), edges)
+    }
+
+    /// Validates the path-decomposition axioms against `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom (see [`DecompositionError`]).
+    pub fn validate<G: GraphRef>(&self, g: &G) -> Result<(), DecompositionError> {
+        self.to_tree_decomposition().validate(g)
+    }
+}
+
+/// A vortex: a vertex set of a host graph with a perimeter sequence
+/// `u_1, …, u_t` and a path decomposition whose `i`-th bag contains
+/// `u_i` (Section 2.1). Bags refer to host-graph vertex ids.
+#[derive(Clone, Debug)]
+pub struct Vortex {
+    perimeter: Vec<NodeId>,
+    dec: PathDecomposition,
+}
+
+/// Why a [`Vortex`] failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VortexError {
+    /// Perimeter and bag counts differ.
+    LengthMismatch,
+    /// Perimeter vertices are not distinct.
+    DuplicatePerimeter(NodeId),
+    /// `u_i ∉ X_i`.
+    PerimeterNotInBag(usize),
+    /// The underlying path decomposition violates an axiom.
+    BadDecomposition(DecompositionError),
+}
+
+impl std::fmt::Display for VortexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VortexError::LengthMismatch => write!(f, "perimeter and bag counts differ"),
+            VortexError::DuplicatePerimeter(v) => {
+                write!(f, "duplicate perimeter vertex {v:?}")
+            }
+            VortexError::PerimeterNotInBag(i) => {
+                write!(f, "perimeter vertex u_{i} not in bag X_{i}")
+            }
+            VortexError::BadDecomposition(e) => write!(f, "bad path decomposition: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VortexError {}
+
+impl Vortex {
+    /// Builds a vortex from its perimeter and ordered bags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VortexError`] if the structural conditions fail
+    /// (graph-dependent axioms are checked by [`Vortex::validate`]).
+    pub fn new(perimeter: Vec<NodeId>, bags: Vec<Vec<NodeId>>) -> Result<Self, VortexError> {
+        if perimeter.len() != bags.len() {
+            return Err(VortexError::LengthMismatch);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &u in &perimeter {
+            if !seen.insert(u) {
+                return Err(VortexError::DuplicatePerimeter(u));
+            }
+        }
+        let dec = PathDecomposition::new(bags);
+        for (i, u) in perimeter.iter().enumerate() {
+            if dec.bags()[i].binary_search(u).is_err() {
+                return Err(VortexError::PerimeterNotInBag(i));
+            }
+        }
+        Ok(Vortex { perimeter, dec })
+    }
+
+    /// The perimeter sequence `u_1, …, u_t`.
+    pub fn perimeter(&self) -> &[NodeId] {
+        &self.perimeter
+    }
+
+    /// The ordered bags.
+    pub fn bags(&self) -> &[Vec<NodeId>] {
+        self.dec.bags()
+    }
+
+    /// Vortex width = width of its path decomposition.
+    pub fn width(&self) -> usize {
+        self.dec.width()
+    }
+
+    /// All vertices of the vortex (union of bags), sorted.
+    pub fn vertices(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.dec.bags().iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether `v` is one of the perimeter vertices.
+    pub fn is_perimeter(&self, v: NodeId) -> bool {
+        self.perimeter.contains(&v)
+    }
+
+    /// Index of `v` in the perimeter, if any.
+    pub fn perimeter_index(&self, v: NodeId) -> Option<usize> {
+        self.perimeter.iter().position(|&u| u == v)
+    }
+
+    /// Validates the vortex against the subgraph of `g` induced by the
+    /// vortex vertices (the path-decomposition axioms must hold for the
+    /// vortex-internal edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VortexError::BadDecomposition`] if the axioms fail.
+    pub fn validate<G: GraphRef>(&self, g: &G) -> Result<(), VortexError> {
+        let verts = self.vertices();
+        let vset: std::collections::HashSet<NodeId> = verts.iter().copied().collect();
+        // project g onto vortex vertices: a tiny adapter view
+        struct Induced<'a, G: GraphRef> {
+            g: &'a G,
+            set: &'a std::collections::HashSet<NodeId>,
+        }
+        impl<G: GraphRef> GraphRef for Induced<'_, G> {
+            fn universe(&self) -> usize {
+                self.g.universe()
+            }
+            fn contains_node(&self, v: NodeId) -> bool {
+                self.set.contains(&v) && self.g.contains_node(v)
+            }
+            fn neighbors(&self, v: NodeId) -> impl Iterator<Item = psep_graph::Edge> + '_ {
+                self.g.neighbors(v).filter(|e| self.set.contains(&e.to))
+            }
+            fn node_count(&self) -> usize {
+                self.set.len()
+            }
+            fn node_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+                self.set.iter().copied()
+            }
+        }
+        let view = Induced { g, set: &vset };
+        self.dec
+            .validate(&view)
+            .map_err(VortexError::BadDecomposition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::Graph;
+
+    /// A small "fan vortex": perimeter 0,1,2 on a path, with interior
+    /// vertex 3 adjacent to all of them.
+    fn fan_vortex_graph() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        g.add_edge(NodeId(3), NodeId(0), 1);
+        g.add_edge(NodeId(3), NodeId(1), 1);
+        g.add_edge(NodeId(3), NodeId(2), 1);
+        g
+    }
+
+    #[test]
+    fn valid_vortex() {
+        let g = fan_vortex_graph();
+        let v = Vortex::new(
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![
+                vec![NodeId(0), NodeId(3)],
+                vec![NodeId(1), NodeId(3), NodeId(0)],
+                vec![NodeId(2), NodeId(3), NodeId(1)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(v.width(), 2);
+        v.validate(&g).unwrap();
+        assert!(v.is_perimeter(NodeId(1)));
+        assert!(!v.is_perimeter(NodeId(3)));
+        assert_eq!(v.perimeter_index(NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = Vortex::new(vec![NodeId(0)], vec![]).unwrap_err();
+        assert_eq!(err, VortexError::LengthMismatch);
+    }
+
+    #[test]
+    fn rejects_duplicate_perimeter() {
+        let err = Vortex::new(
+            vec![NodeId(0), NodeId(0)],
+            vec![vec![NodeId(0)], vec![NodeId(0)]],
+        )
+        .unwrap_err();
+        assert_eq!(err, VortexError::DuplicatePerimeter(NodeId(0)));
+    }
+
+    #[test]
+    fn rejects_perimeter_outside_bag() {
+        let err = Vortex::new(
+            vec![NodeId(0), NodeId(1)],
+            vec![vec![NodeId(0)], vec![NodeId(0)]],
+        )
+        .unwrap_err();
+        assert_eq!(err, VortexError::PerimeterNotInBag(1));
+    }
+
+    #[test]
+    fn detects_broken_axioms() {
+        let g = fan_vortex_graph();
+        // bags miss the edge {3, 2}
+        let v = Vortex::new(
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![
+                vec![NodeId(0), NodeId(3)],
+                vec![NodeId(1), NodeId(3), NodeId(0)],
+                vec![NodeId(2), NodeId(1)],
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            v.validate(&g),
+            Err(VortexError::BadDecomposition(_))
+        ));
+    }
+
+    #[test]
+    fn path_decomposition_width_and_convert() {
+        let pd = PathDecomposition::new(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+        ]);
+        assert_eq!(pd.width(), 2);
+        let td = pd.to_tree_decomposition();
+        assert_eq!(td.num_bags(), 2);
+        assert_eq!(td.tree_edges(), &[(0, 1)]);
+    }
+}

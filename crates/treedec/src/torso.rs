@@ -1,0 +1,138 @@
+//! Torsos: `G̃[X]` — the induced subgraph on a bag with every joint set
+//! filled in as a clique (Section 2.1).
+//!
+//! The torso is what makes Lemma 5 work: each component of `G \ X`
+//! attaches to `X` inside a single joint set, so in the torso the
+//! attachment is a clique and cannot be split across components of
+//! `X \ S` by any separator `S`.
+
+use std::collections::HashMap;
+
+use psep_graph::graph::{Graph, NodeId};
+use psep_graph::view::GraphRef;
+
+use crate::decomposition::TreeDecomposition;
+
+/// The torso of bag `bag_idx`: a standalone graph over dense ids together
+/// with the mapping back to original vertex ids.
+///
+/// Real edges keep their weights; fill-in edges (pairs sharing another
+/// bag) get weight 1 — the torso is used combinatorially (for balanced
+/// separation), never metrically.
+#[derive(Clone, Debug)]
+pub struct Torso {
+    /// The torso graph with dense ids `0..bag.len()`.
+    pub graph: Graph,
+    /// `original[i]` is the original id of torso vertex `i`.
+    pub original: Vec<NodeId>,
+    /// Index of each original vertex in `original`.
+    pub index_of: HashMap<NodeId, usize>,
+}
+
+impl Torso {
+    /// Translates a torso vertex back to its original id.
+    pub fn to_original(&self, v: NodeId) -> NodeId {
+        self.original[v.index()]
+    }
+}
+
+/// Builds the torso `G̃[X]` of bag `bag_idx` of `dec` over `g`
+/// (restricted to the alive vertices of `g`).
+pub fn torso<G: GraphRef>(g: &G, dec: &TreeDecomposition, bag_idx: usize) -> Torso {
+    let members: Vec<NodeId> = dec
+        .bag(bag_idx)
+        .iter()
+        .copied()
+        .filter(|&v| g.contains_node(v))
+        .collect();
+    let index_of: HashMap<NodeId, usize> =
+        members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut t = Graph::new(members.len());
+    // real edges
+    for (i, &v) in members.iter().enumerate() {
+        for e in g.neighbors(v) {
+            if let Some(&j) = index_of.get(&e.to) {
+                if i < j {
+                    t.add_edge(NodeId::from_index(i), NodeId::from_index(j), e.weight);
+                }
+            }
+        }
+    }
+    // fill-in: for every other bag Y, the joint set X ∩ Y becomes a clique
+    for (yi, y) in dec.bags().iter().enumerate() {
+        if yi == bag_idx {
+            continue;
+        }
+        let joint: Vec<usize> = y
+            .iter()
+            .filter_map(|v| index_of.get(v).copied())
+            .collect();
+        for (a, &ia) in joint.iter().enumerate() {
+            for &ib in &joint[a + 1..] {
+                let (u, w) = (NodeId::from_index(ia), NodeId::from_index(ib));
+                if !t.has_edge(u, w) {
+                    t.add_edge(u, w, 1);
+                }
+            }
+        }
+    }
+    Torso {
+        graph: t,
+        original: members,
+        index_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::TreeDecomposition;
+    use psep_graph::generators::trees;
+    use psep_graph::minors::is_clique;
+
+    #[test]
+    fn torso_fills_joint_sets() {
+        // star with center 0: decomposition with bag X = {1,2,3} (leaves)
+        // and bags {0,1,2,3}; joint set {1,2,3} must become a clique.
+        let g = trees::star(4);
+        let dec = TreeDecomposition::new(
+            vec![
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            ],
+            vec![(0, 1)],
+        );
+        let t = torso(&g, &dec, 0);
+        assert_eq!(t.graph.num_nodes(), 3);
+        let all: Vec<NodeId> = t.graph.nodes().collect();
+        assert!(is_clique(&t.graph, &all));
+    }
+
+    #[test]
+    fn torso_keeps_real_edge_weights() {
+        let mut g = psep_graph::Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 7);
+        g.add_edge(NodeId(1), NodeId(2), 1);
+        let dec = TreeDecomposition::new(
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(2)]],
+            vec![(0, 1)],
+        );
+        let t = torso(&g, &dec, 0);
+        let i0 = t.index_of[&NodeId(0)];
+        let i1 = t.index_of[&NodeId(1)];
+        assert_eq!(
+            t.graph
+                .edge_weight(NodeId::from_index(i0), NodeId::from_index(i1)),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn torso_of_trivial_bag_is_whole_graph() {
+        let g = trees::path(5);
+        let dec = TreeDecomposition::trivial(&g);
+        let t = torso(&g, &dec, 0);
+        assert_eq!(t.graph.num_nodes(), 5);
+        assert_eq!(t.graph.num_edges(), 4);
+    }
+}

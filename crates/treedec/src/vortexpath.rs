@@ -1,0 +1,315 @@
+//! Vortex-paths (Definition 2) and their projections.
+//!
+//! A vortex-path decomposes a walk through an almost-embedded graph into
+//! *segments* `Q_i` (paths wholly in the embedded part) alternating with
+//! *bag pairs* `(X_i, Y_i)` of distinct vortices: the walk enters vortex
+//! `W_i` at the perimeter vertex of `X_i` and leaves it at the perimeter
+//! vertex of `Y_i`. Its **projection** replaces each vortex traversal by
+//! a virtual edge between the two perimeter vertices, giving a curve on
+//! the surface.
+//!
+//! This module implements the construction the paper describes below
+//! Definition 2: walking along a concrete path `P` and grouping its
+//! vortex excursions, with the guarantee that consecutive excursions use
+//! pairwise distinct vortices.
+
+use psep_graph::graph::NodeId;
+
+use crate::pathdec::Vortex;
+
+/// One vortex traversal of a vortex-path: the vortex index (into the
+/// caller's vortex list) and the entry/exit bag indices within it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VortexHop {
+    /// Which vortex is traversed.
+    pub vortex: usize,
+    /// Bag index of the entry bag `X` (its perimeter vertex is where the
+    /// path first meets the vortex).
+    pub entry_bag: usize,
+    /// Bag index of the exit bag `Y`.
+    pub exit_bag: usize,
+}
+
+/// A vortex-path `𝒱 = Q_0 ∪ X_1 ∪ Y_1 ∪ Q_1 ∪ ⋯ ∪ Q_t` (Definition 2).
+#[derive(Clone, Debug, Default)]
+pub struct VortexPath {
+    /// Segments `Q_0, …, Q_t`: paths wholly in the embedded part. A
+    /// segment may be a single vertex; `segments.len() == hops.len() + 1`.
+    pub segments: Vec<Vec<NodeId>>,
+    /// Vortex traversals between consecutive segments.
+    pub hops: Vec<VortexHop>,
+}
+
+/// Why [`VortexPath::from_path`] failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VortexPathError {
+    /// The path's endpoints must lie in the embedded part.
+    EndpointInVortex(NodeId),
+    /// A vertex belongs to more than one vortex (vortices must be
+    /// pairwise disjoint).
+    OverlappingVortices(NodeId),
+}
+
+impl std::fmt::Display for VortexPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VortexPathError::EndpointInVortex(v) => {
+                write!(f, "path endpoint {v:?} lies inside a vortex")
+            }
+            VortexPathError::OverlappingVortices(v) => {
+                write!(f, "vertex {v:?} belongs to two vortices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VortexPathError {}
+
+impl VortexPath {
+    /// Constructs the vortex-path of a concrete path `p` with respect to
+    /// the pairwise disjoint `vortices`, following the walk construction
+    /// of the paper: walk along `p`; on meeting the first perimeter
+    /// vertex `x_1` of some vortex `W`, close segment `Q_0`, then jump to
+    /// the *last* perimeter vertex `y_1` of `W` on `p`, and continue.
+    ///
+    /// Non-perimeter vortex vertices on `p` are treated as interior to
+    /// their excursion (they are skipped along with it).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an endpoint of `p` lies inside a vortex or if vortices
+    /// overlap on a path vertex.
+    pub fn from_path(p: &[NodeId], vortices: &[Vortex]) -> Result<Self, VortexPathError> {
+        // vertex -> owning vortex
+        let mut owner: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
+        for (vi, vx) in vortices.iter().enumerate() {
+            for u in vx.vertices() {
+                if let Some(prev) = owner.insert(u, vi) {
+                    if prev != vi {
+                        return Err(VortexPathError::OverlappingVortices(u));
+                    }
+                }
+            }
+        }
+        let in_vortex = |v: NodeId| owner.get(&v).copied();
+        let is_perimeter =
+            |v: NodeId| in_vortex(v).is_some_and(|vi| vortices[vi].is_perimeter(v));
+        if let Some(&first) = p.first() {
+            if in_vortex(first).is_some() && !is_perimeter(first) {
+                return Err(VortexPathError::EndpointInVortex(first));
+            }
+        }
+        if let Some(&last) = p.last() {
+            if in_vortex(last).is_some() && !is_perimeter(last) {
+                return Err(VortexPathError::EndpointInVortex(last));
+            }
+        }
+
+        let mut segments: Vec<Vec<NodeId>> = Vec::new();
+        let mut hops: Vec<VortexHop> = Vec::new();
+        let mut cur_seg: Vec<NodeId> = Vec::new();
+        let mut i = 0usize;
+        while i < p.len() {
+            let v = p[i];
+            match in_vortex(v).filter(|_| is_perimeter(v)) {
+                None => {
+                    // embedded-part vertex (interior vortex vertices are
+                    // only reachable inside an excursion, handled below)
+                    cur_seg.push(v);
+                    i += 1;
+                }
+                Some(w) => {
+                    // entering vortex w at perimeter vertex v: find the
+                    // last index j ≥ i with p[j] a perimeter vertex of w
+                    let mut j = i;
+                    for (k, &u) in p.iter().enumerate().skip(i) {
+                        if in_vortex(u) == Some(w) && is_perimeter(u) {
+                            j = k;
+                        }
+                    }
+                    let x = p[i];
+                    let y = p[j];
+                    cur_seg.push(x);
+                    segments.push(std::mem::take(&mut cur_seg));
+                    let vx = &vortices[w];
+                    hops.push(VortexHop {
+                        vortex: w,
+                        entry_bag: vx.perimeter_index(x).expect("x is perimeter"),
+                        exit_bag: vx.perimeter_index(y).expect("y is perimeter"),
+                    });
+                    cur_seg.push(y);
+                    i = j + 1;
+                }
+            }
+        }
+        segments.push(cur_seg);
+        Ok(VortexPath { segments, hops })
+    }
+
+    /// Number of vortex traversals `t`.
+    pub fn num_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The projection `Q_0 ∪ e_1 ∪ Q_1 ∪ ⋯`: the segment vertices
+    /// concatenated, with each vortex traversal contracted to the pair of
+    /// perimeter vertices it connects (the virtual edge `e_i`).
+    pub fn projection(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for seg in &self.segments {
+            for &v in seg {
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All vertices of the vortex-path: segment vertices plus every
+    /// vertex of each traversed entry/exit bag — the set `P_s` adds to
+    /// the separator in Step 2/3 of the paper's construction.
+    pub fn vertices(&self, vortices: &[Vortex]) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.segments.iter().flatten().copied().collect();
+        for hop in &self.hops {
+            let vx = &vortices[hop.vortex];
+            out.extend_from_slice(&vx.bags()[hop.entry_bag]);
+            out.extend_from_slice(&vx.bags()[hop.exit_bag]);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Checks the Definition 2 condition that traversed vortices are
+    /// pairwise distinct.
+    pub fn vortices_distinct(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.hops.iter().all(|h| seen.insert(h.vortex))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Host layout: embedded vertices 0..=4, vortex A = {10,11,12}
+    /// (perimeter 10,11,12), vortex B = {20,21} (perimeter 20,21).
+    fn vortices() -> Vec<Vortex> {
+        let a = Vortex::new(
+            vec![NodeId(10), NodeId(11), NodeId(12)],
+            vec![
+                vec![NodeId(10), NodeId(11)],
+                vec![NodeId(11), NodeId(10)],
+                vec![NodeId(12), NodeId(11)],
+            ],
+        )
+        .unwrap();
+        let b = Vortex::new(
+            vec![NodeId(20), NodeId(21)],
+            vec![vec![NodeId(20)], vec![NodeId(21)]],
+        )
+        .unwrap();
+        vec![a, b]
+    }
+
+    #[test]
+    fn path_without_vortices_is_one_segment() {
+        let vs = vortices();
+        let p = [NodeId(0), NodeId(1), NodeId(2)];
+        let vp = VortexPath::from_path(&p, &vs).unwrap();
+        assert_eq!(vp.num_hops(), 0);
+        assert_eq!(vp.segments.len(), 1);
+        assert_eq!(vp.projection(), p.to_vec());
+    }
+
+    #[test]
+    fn single_excursion_groups_entry_and_exit() {
+        let vs = vortices();
+        // enter A at 10, wander (11), leave at 12
+        let p = [NodeId(0), NodeId(10), NodeId(11), NodeId(12), NodeId(3)];
+        let vp = VortexPath::from_path(&p, &vs).unwrap();
+        assert_eq!(vp.num_hops(), 1);
+        assert_eq!(vp.hops[0].vortex, 0);
+        assert_eq!(vp.hops[0].entry_bag, 0); // bag of 10
+        assert_eq!(vp.hops[0].exit_bag, 2); // bag of 12
+        assert_eq!(vp.segments.len(), 2);
+        assert_eq!(vp.segments[0], vec![NodeId(0), NodeId(10)]);
+        assert_eq!(vp.segments[1], vec![NodeId(12), NodeId(3)]);
+        // projection skips the interior vertex 11
+        assert_eq!(
+            vp.projection(),
+            vec![NodeId(0), NodeId(10), NodeId(12), NodeId(3)]
+        );
+        assert!(vp.vortices_distinct());
+    }
+
+    #[test]
+    fn re_entry_into_same_vortex_is_one_hop() {
+        let vs = vortices();
+        // touches A at 10, leaves to 1, re-enters at 11, exits at 12:
+        // the construction takes y = last perimeter vertex of A (12)
+        let p = [
+            NodeId(0),
+            NodeId(10),
+            NodeId(1),
+            NodeId(11),
+            NodeId(12),
+            NodeId(4),
+        ];
+        let vp = VortexPath::from_path(&p, &vs).unwrap();
+        assert_eq!(vp.num_hops(), 1);
+        assert_eq!(vp.hops[0].entry_bag, 0);
+        assert_eq!(vp.hops[0].exit_bag, 2);
+        assert!(vp.vortices_distinct());
+    }
+
+    #[test]
+    fn two_distinct_vortices() {
+        let vs = vortices();
+        let p = [
+            NodeId(0),
+            NodeId(10),
+            NodeId(12),
+            NodeId(2),
+            NodeId(20),
+            NodeId(21),
+            NodeId(4),
+        ];
+        let vp = VortexPath::from_path(&p, &vs).unwrap();
+        assert_eq!(vp.num_hops(), 2);
+        assert_eq!(vp.hops[0].vortex, 0);
+        assert_eq!(vp.hops[1].vortex, 1);
+        assert!(vp.vortices_distinct());
+        // vertices() includes the bag contents of entry/exit bags
+        let verts = vp.vertices(&vs);
+        assert!(verts.contains(&NodeId(11))); // bag X_1 = {10, 11}
+    }
+
+    #[test]
+    fn rejects_endpoint_inside_vortex() {
+        let vs = vortices();
+        let p = [NodeId(11), NodeId(0)];
+        // 11 is a perimeter vertex, allowed; interior-only vertices are
+        // those in bags but not on the perimeter — make one:
+        let c = Vortex::new(
+            vec![NodeId(30)],
+            vec![vec![NodeId(30), NodeId(31)]],
+        )
+        .unwrap();
+        let vs2 = vec![c];
+        let bad = [NodeId(31), NodeId(0)];
+        assert!(VortexPath::from_path(&p, &vs).is_ok());
+        let err = VortexPath::from_path(&bad, &vs2).unwrap_err();
+        assert_eq!(err, VortexPathError::EndpointInVortex(NodeId(31)));
+    }
+
+    #[test]
+    fn rejects_overlapping_vortices() {
+        let a = Vortex::new(vec![NodeId(1)], vec![vec![NodeId(1)]]).unwrap();
+        let b = Vortex::new(vec![NodeId(1)], vec![vec![NodeId(1)]]).unwrap();
+        let err = VortexPath::from_path(&[NodeId(0)], &[a, b]).unwrap_err();
+        assert_eq!(err, VortexPathError::OverlappingVortices(NodeId(1)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests spanning the whole stack: random bounded-treewidth and
+//! random connected graphs through decomposition, oracle, and routing.
+
+use proptest::prelude::*;
+
+use path_separators::core::check_tree;
+use path_separators::core::strategy::AutoStrategy;
+use path_separators::core::DecompositionTree;
+use path_separators::graph::dijkstra::dijkstra;
+use path_separators::graph::generators::{ktree, trees};
+use path_separators::graph::{Graph, NodeId};
+use path_separators::oracle::oracle::{build_oracle, OracleParams};
+use path_separators::routing::{Router, RoutingTables};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (10usize..60, any::<u64>()).prop_map(|(n, s)| trees::random_weighted_tree(n, 9, s)),
+        (10usize..50, 1usize..4, any::<u64>())
+            .prop_map(|(n, k, s)| ktree::random_weighted_k_tree(n.max(k + 2), k, 5, s).graph),
+        (8usize..40, any::<u64>()).prop_map(|(n, s)| ktree::partial_k_tree(n, 3, 0.6, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Definition 1 holds at every node of the decomposition tree.
+    #[test]
+    fn decomposition_always_validates(g in arb_graph()) {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        prop_assert!(check_tree(&g, &tree).is_ok());
+        let bound = (g.num_nodes() as f64).log2().ceil() as usize + 1;
+        prop_assert!(tree.depth() < bound);
+    }
+
+    /// The Theorem 2 oracle never underestimates and never exceeds 1+ε.
+    #[test]
+    fn oracle_stretch_property(g in arb_graph(), eps_i in 0usize..3) {
+        let eps = [0.5, 0.25, 0.1][eps_i];
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let oracle = build_oracle(&g, &tree, OracleParams { epsilon: eps, threads: 1 });
+        let u = NodeId(0);
+        let sp = dijkstra(&g, &[u]);
+        for v in g.nodes() {
+            let Some(d) = sp.dist(v) else { continue };
+            let est = oracle.query(u, v).expect("connected");
+            prop_assert!(est >= d);
+            prop_assert!(est as f64 <= (1.0 + eps) * d as f64 + 1e-9);
+        }
+    }
+
+    /// The plan router always delivers, over real edges, within 3×.
+    #[test]
+    fn router_always_delivers(g in arb_graph()) {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        let u = NodeId(0);
+        let sp = dijkstra(&g, &[u]);
+        for v in g.nodes() {
+            let Some(d) = sp.dist(v) else { continue };
+            let out = router.route(u, v, &router.label(v)).expect("connected");
+            prop_assert_eq!(*out.route.last().unwrap(), v);
+            if d > 0 {
+                prop_assert!(out.cost as f64 <= 3.0 * d as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// Oracle estimates are symmetric.
+    #[test]
+    fn oracle_symmetry(g in arb_graph()) {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let oracle = build_oracle(&g, &tree, OracleParams { epsilon: 0.5, threads: 1 });
+        let n = g.num_nodes();
+        for i in (0..n).step_by(3) {
+            for j in (0..n).step_by(5) {
+                let (u, v) = (NodeId::from_index(i), NodeId::from_index(j));
+                prop_assert_eq!(oracle.query(u, v), oracle.query(v, u));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Routing-table DFS intervals nest properly on arbitrary graphs.
+    #[test]
+    fn routing_intervals_nest(g in arb_graph()) {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        for v in g.nodes() {
+            for (key, info) in tables.table(v) {
+                prop_assert!(info.dfs < info.subtree_end);
+                for &c in &info.children {
+                    let ci = &tables.table(c)[key];
+                    prop_assert!(info.dfs < ci.dfs);
+                    prop_assert!(ci.subtree_end <= info.subtree_end);
+                }
+            }
+        }
+    }
+
+    /// Nested-dissection orders are permutations with separators last.
+    #[test]
+    fn dissection_order_is_valid(g in arb_graph()) {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let order = path_separators::core::dissection::nested_dissection_order(&tree);
+        prop_assert_eq!(order.len(), g.num_nodes());
+        let distinct: std::collections::HashSet<_> = order.iter().collect();
+        prop_assert_eq!(distinct.len(), g.num_nodes());
+        // the last vertex eliminated belongs to a root separator
+        let last = *order.last().unwrap();
+        prop_assert_eq!(tree.node(tree.home(last)).depth, 0);
+    }
+}
