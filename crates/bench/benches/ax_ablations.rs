@@ -10,10 +10,7 @@ use psep_oracle::thorup_zwick::ThorupZwickOracle;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== E3x: oracle vs Thorup–Zwick vs bidirectional Dijkstra ===\n");
-    print!(
-        "{}",
-        ab::e3x_oracle_baselines(&[Family::Grid], 400)
-    );
+    print!("{}", ab::e3x_oracle_baselines(&[Family::Grid], 400));
     println!("\n=== E6x: locked vs adaptive routing ===\n");
     print!("{}", ab::e6x_adaptive_routing(&[Family::Grid], 400));
     println!("\n=== A1: candidate budget ===\n");

@@ -18,11 +18,9 @@ fn bench(c: &mut Criterion) {
         for n in [256usize, 1024] {
             let g = fam.make(n, 7);
             let strat = fam.strategy();
-            group.bench_with_input(
-                BenchmarkId::new(fam.name(), g.num_nodes()),
-                &g,
-                |b, g| b.iter(|| DecompositionTree::build(g, strat.as_ref())),
-            );
+            group.bench_with_input(BenchmarkId::new(fam.name(), g.num_nodes()), &g, |b, g| {
+                b.iter(|| DecompositionTree::build(g, strat.as_ref()))
+            });
         }
     }
     group.finish();

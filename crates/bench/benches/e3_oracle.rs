@@ -20,7 +20,14 @@ fn bench(c: &mut Criterion) {
     let g = Family::Grid.make(1024, 7);
     let strat = Family::Grid.strategy();
     let tree = DecompositionTree::build(&g, strat.as_ref());
-    let oracle = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 4 });
+    let oracle = build_oracle(
+        &g,
+        &tree,
+        OracleParams {
+            epsilon: 0.25,
+            threads: 4,
+        },
+    );
     let pairs = random_pairs(g.num_nodes(), 512, 3);
 
     let mut group = c.benchmark_group("e3_query");

@@ -10,10 +10,7 @@ use psep_routing::{Router, RoutingTables};
 
 fn bench(c: &mut Criterion) {
     println!("\n=== E6: compact routing ===\n");
-    print!(
-        "{}",
-        e6_routing(&[Family::Grid, Family::KTree3], &[400])
-    );
+    print!("{}", e6_routing(&[Family::Grid, Family::KTree3], &[400]));
 
     let g = Family::Grid.make(1024, 7);
     let strat = Family::Grid.strategy();

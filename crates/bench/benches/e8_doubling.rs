@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     let oracle = build_doubling_oracle(
         &g,
         &tree,
-        DoublingOracleParams { epsilon: 0.5, threads: 4 },
+        DoublingOracleParams {
+            epsilon: 0.5,
+            threads: 4,
+        },
     );
     let pairs = random_pairs(g.num_nodes(), 256, 5);
     let mut group = c.benchmark_group("e8_query");

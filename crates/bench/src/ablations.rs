@@ -12,9 +12,7 @@
 
 use std::fmt::Write as _;
 
-use psep_core::strategy::{
-    IterativeStrategy, SeparatorStrategy,
-};
+use psep_core::strategy::{IterativeStrategy, SeparatorStrategy};
 use psep_core::DecompositionTree;
 use psep_graph::bidijkstra::bidirectional_distance;
 use psep_graph::csr::CsrGraph;
@@ -44,7 +42,14 @@ pub fn e3x_oracle_baselines(families: &[Family], n: usize) -> String {
         let nn = g.num_nodes();
         let strat = fam.strategy();
         let tree = DecompositionTree::build(&g, strat.as_ref());
-        let ours = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 4 });
+        let ours = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: 0.25,
+                threads: 4,
+            },
+        );
         let tz2 = ThorupZwickOracle::build(&g, 2, SEED);
         let tz3 = ThorupZwickOracle::build(&g, 3, SEED);
         let pairs = random_pairs(nn, 256, SEED ^ 11);
@@ -224,7 +229,9 @@ pub fn a4_csr_layout(n: usize) -> String {
     for fam in [Family::Grid, Family::Apollonian] {
         let g = fam.make(n, SEED);
         let frozen = CsrGraph::from_graph(&g);
-        let sources: Vec<NodeId> = (0..16u32).map(|i| NodeId(i * 7 % g.num_nodes() as u32)).collect();
+        let sources: Vec<NodeId> = (0..16u32)
+            .map(|i| NodeId(i * 7 % g.num_nodes() as u32))
+            .collect();
         let mut i = 0usize;
         let adj_us = mean_micros(64, || {
             let s = sources[i % sources.len()];
@@ -237,8 +244,18 @@ pub fn a4_csr_layout(n: usize) -> String {
             j += 1;
             let _ = dijkstra(&frozen, &[s]);
         });
-        let _ = writeln!(out, "| {} | {} | adjacency | {adj_us:.1} |", fam.name(), g.num_nodes());
-        let _ = writeln!(out, "| {} | {} | csr | {csr_us:.1} |", fam.name(), g.num_nodes());
+        let _ = writeln!(
+            out,
+            "| {} | {} | adjacency | {adj_us:.1} |",
+            fam.name(),
+            g.num_nodes()
+        );
+        let _ = writeln!(
+            out,
+            "| {} | {} | csr | {csr_us:.1} |",
+            fam.name(),
+            g.num_nodes()
+        );
     }
     out
 }

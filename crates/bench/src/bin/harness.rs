@@ -1,26 +1,83 @@
 //! Runs the experiment suite and prints `EXPERIMENTS.md`-ready tables.
 //!
 //! ```text
-//! cargo run -p psep-bench --bin harness --release            # all
-//! cargo run -p psep-bench --bin harness --release -- e1 e3   # subset
-//! cargo run -p psep-bench --bin harness --release -- quick   # small sizes
+//! cargo run -p psep-bench --bin harness --release                  # all
+//! cargo run -p psep-bench --bin harness --release -- e1 e3         # subset
+//! cargo run -p psep-bench --bin harness --release -- quick         # small sizes
+//! cargo run -p psep-bench --bin harness --release -- quick --json out.json
 //! ```
+//!
+//! With `--json <path>` the harness also writes a machine-readable
+//! report (`BENCH_*.json` convention): one entry per experiment with its
+//! wall-clock time, the instrumentation snapshot collected while it ran
+//! (counters, gauges, per-phase span timings from `psep-obs`), and the
+//! rendered markdown table. Counters are reset between experiments, so
+//! each snapshot is that experiment's own traffic.
 
 use psep_bench::ablations as ab;
 use psep_bench::experiments as ex;
 use psep_bench::families::Family;
+use psep_bench::measure::timed;
+
+struct Args {
+    quick: bool,
+    large: bool,
+    names: Vec<String>,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        large: false,
+        names: Vec::new(),
+        json_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "quick" => args.quick = true,
+            "large" => args.large = true,
+            "--json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                };
+                args.json_path = Some(path);
+            }
+            other => args.names.push(other.to_string()),
+        }
+    }
+    args
+}
+
+/// One experiment's contribution to the JSON report.
+struct Report {
+    name: &'static str,
+    title: &'static str,
+    wall_s: f64,
+    snapshot: psep_obs::Snapshot,
+    table: String,
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "quick");
-    let large = args.iter().any(|a| a == "large");
-    let want = |name: &str| {
-        args.is_empty()
-            || args.iter().all(|a| a == "quick" || a == "large")
-            || args.iter().any(|a| a == name)
-    };
+    let args = parse_args();
+    let (quick, large) = (args.quick, args.large);
+    let want = |name: &str| args.names.is_empty() || args.names.iter().any(|a| a == name);
 
-    let e1_sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+    if args.json_path.is_some() {
+        // Recording costs a few relaxed atomics per algorithmic event;
+        // plain table runs leave it off so timings stay untouched.
+        psep_obs::set_enabled(true);
+    } else {
+        psep_obs::enable_from_env();
+    }
+
+    let e1_sizes: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
     let e3_sizes: &[usize] = if quick {
         &[400]
     } else if large {
@@ -38,75 +95,175 @@ fn main() {
     };
     let e5_sizes: &[usize] = if quick { &[512] } else { &[512, 2048] };
     let e6_sizes: &[usize] = if quick { &[400] } else { &[400, 1600] };
-    let e6_fams = [Family::Grid, Family::Apollonian, Family::KTree3, Family::Tree];
-    let e8_dims: &[(usize, usize, usize)] =
-        if quick { &[(6, 6, 6)] } else { &[(6, 6, 6), (10, 10, 10)] };
+    let e6_fams = [
+        Family::Grid,
+        Family::Apollonian,
+        Family::KTree3,
+        Family::Tree,
+    ];
+    let e8_dims: &[(usize, usize, usize)] = if quick {
+        &[(6, 6, 6)]
+    } else {
+        &[(6, 6, 6), (10, 10, 10)]
+    };
     let trials = if quick { 200 } else { 600 };
 
-    if want("e1") {
-        section("E1 — k-path separability across minor-free families (Thm 1)");
-        print!("{}", ex::e1_separator(e1_sizes));
+    type Exp<'a> = (&'static str, &'static str, Box<dyn FnOnce() -> String + 'a>);
+    let experiments: Vec<Exp> = vec![
+        (
+            "e1",
+            "E1 — k-path separability across minor-free families (Thm 1)",
+            Box::new(move || ex::e1_separator(e1_sizes)),
+        ),
+        (
+            "e2",
+            "E2 — strong 3-path separators on planar families (Thm 6.1)",
+            Box::new(move || ex::e2_planar_three_paths(e1_sizes)),
+        ),
+        (
+            "e3",
+            "E3 — (1+ε)-approximate distance oracle (Thm 2)",
+            Box::new(move || ex::e3_oracle(&e3_fams, e3_sizes, &[0.5, 0.25, 0.1])),
+        ),
+        (
+            "e4",
+            "E4 — small-world greedy routing (Thm 3)",
+            Box::new(move || ex::e4_smallworld(e4_sizes, trials)),
+        ),
+        (
+            "e5",
+            "E5 — treewidth small-worlds, Δ-independent (Cor 1.1 / Note 1)",
+            Box::new(move || ex::e5_smallworld_tw(e5_sizes, trials)),
+        ),
+        (
+            "e6",
+            "E6 — compact routing: tables, labels, stretch",
+            Box::new(move || ex::e6_routing(&e6_fams, e6_sizes)),
+        ),
+        (
+            "e7",
+            "E7 — lower bounds (Thm 5–7, §5.2)",
+            Box::new(ex::e7_lower_bounds),
+        ),
+        (
+            "e8",
+            "E8 — doubling separators on 3D meshes (Thm 8, §5.3)",
+            Box::new(move || ex::e8_doubling(e8_dims, &[0.5, 0.25])),
+        ),
+        (
+            "e9",
+            "E9 — structural lemmas (Claim 1, Lemma 1, Lemma 5, portals)",
+            Box::new(ex::e9_structures),
+        ),
+        (
+            "e3x",
+            "E3x — oracle vs Thorup–Zwick vs bidirectional Dijkstra",
+            Box::new(move || {
+                ab::e3x_oracle_baselines(
+                    &[Family::Grid, Family::KTree3],
+                    if quick { 400 } else { 1600 },
+                )
+            }),
+        ),
+        (
+            "e6x",
+            "E6x — locked-plan vs adaptive routing",
+            Box::new(move || {
+                ab::e6x_adaptive_routing(
+                    &[Family::Grid, Family::Apollonian],
+                    if quick { 400 } else { 1600 },
+                )
+            }),
+        ),
+        (
+            "a1",
+            "A1 — fundamental-cycle candidate budget ablation",
+            Box::new(move || ab::a1_candidate_budget(if quick { 1024 } else { 4096 })),
+        ),
+        (
+            "a2",
+            "A2 — parallel label-construction scaling",
+            Box::new(move || ab::a2_parallel_scaling(if quick { 1024 } else { 4096 })),
+        ),
+        (
+            "a3",
+            "A3 — strategy ablation",
+            Box::new(move || ab::a3_strategy_ablation(if quick { 400 } else { 1024 })),
+        ),
+        (
+            "e7x",
+            "E7x — Theorem 5's shadow: label blowup on unstructured graphs",
+            Box::new(ab::e7x_sparse_label_blowup),
+        ),
+        (
+            "a4",
+            "A4 — adjacency vs CSR layout",
+            Box::new(move || ab::a4_csr_layout(if quick { 1024 } else { 4096 })),
+        ),
+    ];
+
+    let mut reports: Vec<Report> = Vec::new();
+    for (name, title, run) in experiments {
+        if !want(name) {
+            continue;
+        }
+        psep_obs::reset();
+        let (table, wall_s) = timed(run);
+        section(title);
+        print!("{table}");
+        reports.push(Report {
+            name,
+            title,
+            wall_s,
+            snapshot: psep_obs::snapshot(),
+            table,
+        });
     }
-    if want("e2") {
-        section("E2 — strong 3-path separators on planar families (Thm 6.1)");
-        print!("{}", ex::e2_planar_three_paths(e1_sizes));
+
+    if let Some(path) = &args.json_path {
+        let json = render_report(&reports, quick, large);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} experiment reports to {path}", reports.len());
     }
-    if want("e3") {
-        section("E3 — (1+ε)-approximate distance oracle (Thm 2)");
-        print!("{}", ex::e3_oracle(&e3_fams, e3_sizes, &[0.5, 0.25, 0.1]));
+}
+
+fn render_report(reports: &[Report], quick: bool, large: bool) -> String {
+    let mut w = psep_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("psep-bench-report/v1");
+    w.key("mode");
+    w.string(if quick {
+        "quick"
+    } else if large {
+        "large"
+    } else {
+        "default"
+    });
+    w.key("experiments");
+    w.begin_array();
+    for r in reports {
+        w.begin_object();
+        w.key("name");
+        w.string(r.name);
+        w.key("title");
+        w.string(r.title);
+        w.key("wall_s");
+        w.number(r.wall_s);
+        w.key("metrics");
+        r.snapshot.write_json(&mut w);
+        w.key("table_md");
+        w.string(&r.table);
+        w.end_object();
     }
-    if want("e4") {
-        section("E4 — small-world greedy routing (Thm 3)");
-        print!("{}", ex::e4_smallworld(e4_sizes, trials));
-    }
-    if want("e5") {
-        section("E5 — treewidth small-worlds, Δ-independent (Cor 1.1 / Note 1)");
-        print!("{}", ex::e5_smallworld_tw(e5_sizes, trials));
-    }
-    if want("e6") {
-        section("E6 — compact routing: tables, labels, stretch");
-        print!("{}", ex::e6_routing(&e6_fams, e6_sizes));
-    }
-    if want("e7") {
-        section("E7 — lower bounds (Thm 5–7, §5.2)");
-        print!("{}", ex::e7_lower_bounds());
-    }
-    if want("e8") {
-        section("E8 — doubling separators on 3D meshes (Thm 8, §5.3)");
-        print!("{}", ex::e8_doubling(e8_dims, &[0.5, 0.25]));
-    }
-    if want("e9") {
-        section("E9 — structural lemmas (Claim 1, Lemma 1, Lemma 5, portals)");
-        print!("{}", ex::e9_structures());
-    }
-    if want("e3x") {
-        section("E3x — oracle vs Thorup–Zwick vs bidirectional Dijkstra");
-        print!("{}", ab::e3x_oracle_baselines(&[Family::Grid, Family::KTree3], if quick { 400 } else { 1600 }));
-    }
-    if want("e6x") {
-        section("E6x — locked-plan vs adaptive routing");
-        print!("{}", ab::e6x_adaptive_routing(&[Family::Grid, Family::Apollonian], if quick { 400 } else { 1600 }));
-    }
-    if want("a1") {
-        section("A1 — fundamental-cycle candidate budget ablation");
-        print!("{}", ab::a1_candidate_budget(if quick { 1024 } else { 4096 }));
-    }
-    if want("a2") {
-        section("A2 — parallel label-construction scaling");
-        print!("{}", ab::a2_parallel_scaling(if quick { 1024 } else { 4096 }));
-    }
-    if want("a3") {
-        section("A3 — strategy ablation");
-        print!("{}", ab::a3_strategy_ablation(if quick { 400 } else { 1024 }));
-    }
-    if want("e7x") {
-        section("E7x — Theorem 5's shadow: label blowup on unstructured graphs");
-        print!("{}", ab::e7x_sparse_label_blowup());
-    }
-    if want("a4") {
-        section("A4 — adjacency vs CSR layout");
-        print!("{}", ab::a4_csr_layout(if quick { 1024 } else { 4096 }));
-    }
+    w.end_array();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    out
 }
 
 fn section(title: &str) {

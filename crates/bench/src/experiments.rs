@@ -121,11 +121,14 @@ pub fn e3_oracle(families: &[Family], sizes: &[usize], epsilons: &[f64]) -> Stri
             let tree = DecompositionTree::build(&g, strat.as_ref());
             for &eps in epsilons {
                 let (oracle, build_s) = timed(|| {
-                    build_oracle(&g, &tree, OracleParams { epsilon: eps, threads: 4 })
+                    let params = OracleParams {
+                        epsilon: eps,
+                        ..OracleParams::with_available_threads()
+                    };
+                    build_oracle(&g, &tree, params)
                 });
                 let stats = oracle.stats();
-                let stretch =
-                    sample_stretch(&g, 24, 48, SEED ^ 1, |u, v| oracle.query(u, v));
+                let stretch = sample_stretch(&g, 24, 48, SEED ^ 1, |u, v| oracle.query(u, v));
                 assert!(
                     stretch.max <= 1.0 + eps + 1e-9,
                     "stretch {} exceeds 1+{eps}",
@@ -183,7 +186,10 @@ pub fn e4_smallworld(sizes: &[usize], trials: usize) -> String {
         let side = (n as f64).sqrt().round() as usize;
         let g = grids::grid2d(side, side, 1);
         let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
-        let log_delta = (aspect_ratio_estimate(&g).unwrap_or(2) as f64).log2().ceil() as u32 + 1;
+        let log_delta = (aspect_ratio_estimate(&g).unwrap_or(2) as f64)
+            .log2()
+            .ceil() as u32
+            + 1;
         let aug = build_augmentation(&g, &tree, log_delta);
         let kb = KleinbergGrid::new(side, side);
         let un = UniformAugmentation::new(g.num_nodes());
@@ -206,13 +212,18 @@ pub fn e4_smallworld(sizes: &[usize], trials: usize) -> String {
         );
     }
     // other minor-free families under the paper's 𝒟 (claim covers all)
-    for fam in [crate::families::Family::Tree, crate::families::Family::Apollonian] {
+    for fam in [
+        crate::families::Family::Tree,
+        crate::families::Family::Apollonian,
+    ] {
         let n = *sizes.last().unwrap_or(&1024);
         let g = fam.make(n, SEED);
         let strat = fam.strategy();
         let tree = DecompositionTree::build(&g, strat.as_ref());
-        let log_delta =
-            (aspect_ratio_estimate(&g).unwrap_or(2) as f64).log2().ceil() as u32 + 1;
+        let log_delta = (aspect_ratio_estimate(&g).unwrap_or(2) as f64)
+            .log2()
+            .ceil() as u32
+            + 1;
         let aug = build_augmentation(&g, &tree, log_delta);
         let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 21);
         let plain = GreedySim::new(&g, &NoContacts).run(trials, &mut rng);
@@ -346,8 +357,7 @@ pub fn e6_routing(families: &[Family], sizes: &[usize]) -> String {
             });
             assert!(plan.max <= 3.0 + 1e-9, "plan stretch {} > 3", plan.max);
             // oracle-greedy baseline
-            let olabels =
-                psep_oracle::label::build_labels(&g, &tree, 0.25, 4);
+            let olabels = psep_oracle::label::build_labels(&g, &tree, 0.25, 4);
             let greedy = OracleGreedyRouter::new(&g, olabels);
             let pairs = crate::measure::random_pairs(g.num_nodes(), 512, SEED ^ 6);
             let mut delivered = 0usize;
@@ -412,7 +422,10 @@ pub fn e7_lower_bounds() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "| graph | n | r/2 lower bound | greedy strong k (balanced?) |");
+    let _ = writeln!(
+        out,
+        "| graph | n | r/2 lower bound | greedy strong k (balanced?) |"
+    );
     let _ = writeln!(out, "|---|---|---|---|");
     for r in [4usize, 8, 16] {
         let g = special::complete_bipartite(r, 4 * r);
@@ -433,9 +446,10 @@ pub fn e7_lower_bounds() -> String {
     let g = special::path_plus_stable(half);
     let comp: Vec<NodeId> = g.nodes().collect();
     let path: Vec<NodeId> = (0..half).map(NodeId::from_index).collect();
-    let sep = psep_core::separator::PathSeparator::strong(vec![
-        psep_core::separator::SepPath::new(&g, path),
-    ]);
+    let sep =
+        psep_core::separator::PathSeparator::strong(vec![psep_core::separator::SepPath::new(
+            &g, path,
+        )]);
     let ok = psep_core::check::check_separator(&g, &comp, &sep, Some(1)).is_ok();
     let _ = writeln!(
         out,
@@ -465,7 +479,10 @@ pub fn e8_doubling(dims: &[(usize, usize, usize)], epsilons: &[f64]) -> String {
             let oracle = psep_oracle::doubling::build_doubling_oracle(
                 &g,
                 &tree,
-                psep_oracle::doubling::DoublingOracleParams { epsilon: eps, threads: 4 },
+                psep_oracle::doubling::DoublingOracleParams {
+                    epsilon: eps,
+                    threads: 4,
+                },
             );
             let stretch = sample_stretch(&g, 16, 32, SEED ^ 7, |u, v| oracle.query(u, v));
             assert!(stretch.max <= 1.0 + eps + 1e-9);
@@ -502,8 +519,7 @@ pub fn e9_structures() -> String {
         let sp0 = dijkstra(&g, &[NodeId(0)]);
         let far = g.nodes().max_by_key(|&v| sp0.dist(v).unwrap()).unwrap();
         let q = psep_core::separator::SepPath::new(&g, sp0.path_to(far).unwrap());
-        let log_delta =
-            (aspect_ratio_estimate(&g).unwrap() as f64).log2().ceil() as u32 + 1;
+        let log_delta = (aspect_ratio_estimate(&g).unwrap() as f64).log2().ceil() as u32 + 1;
         let mut holds = 0usize;
         let mut total_lm = 0usize;
         for v in g.nodes() {
@@ -529,8 +545,7 @@ pub fn e9_structures() -> String {
         let dec = psep_treedec::elimination::min_degree_decomposition(g);
         let cb = psep_treedec::center::center_bag(g, &dec);
         let bag = dec.bag(cb);
-        let biggest =
-            psep_graph::components::largest_component_after_removal(g, bag);
+        let biggest = psep_graph::components::largest_component_after_removal(g, bag);
         let torso = psep_treedec::torso::torso(g, &dec, cb);
         let cw = psep_treedec::cliqueweight::lemma5_clique_weight(g, &torso);
         let _ = writeln!(

@@ -66,16 +66,29 @@ pub fn sample_stretch(
             }
         }
     }
-    StretchStats {
+    let stats = StretchStats {
         pairs,
-        mean: if pairs == 0 { 0.0 } else { total / pairs as f64 },
+        mean: if pairs == 0 {
+            0.0
+        } else {
+            total / pairs as f64
+        },
         max,
         exact_frac: if pairs == 0 {
             0.0
         } else {
             exact as f64 / pairs as f64
         },
+    };
+    if psep_obs::enabled() {
+        // Worst stretch across every config sampled in the experiment;
+        // mean/exact reflect the most recent config.
+        psep_obs::counter("bench.stretch.pairs").add(stats.pairs as u64);
+        psep_obs::gauge("bench.stretch.max").set_max(stats.max);
+        psep_obs::gauge("bench.stretch.mean").set(stats.mean);
+        psep_obs::gauge("bench.stretch.exact_frac").set(stats.exact_frac);
     }
+    stats
 }
 
 /// Mean time per call of `f` over `iters` calls, in microseconds.
@@ -108,9 +121,7 @@ mod tests {
     #[test]
     fn exact_estimator_has_stretch_one() {
         let g = grids::grid2d(5, 5, 1);
-        let stats = sample_stretch(&g, 4, 8, 1, |u, v| {
-            psep_graph::dijkstra::distance(&g, u, v)
-        });
+        let stats = sample_stretch(&g, 4, 8, 1, |u, v| psep_graph::dijkstra::distance(&g, u, v));
         assert!(stats.pairs > 0);
         assert_eq!(stats.mean, 1.0);
         assert_eq!(stats.max, 1.0);

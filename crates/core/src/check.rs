@@ -135,7 +135,10 @@ pub fn check_separator(
         for path in &group.paths {
             for &v in path.vertices() {
                 if !mask.contains(v) {
-                    return Err(SeparatorError::PathVertexNotInResidual { group: gi, vertex: v });
+                    return Err(SeparatorError::PathVertexNotInResidual {
+                        group: gi,
+                        vertex: v,
+                    });
                 }
             }
             for w in path.vertices().windows(2) {

@@ -65,6 +65,7 @@ impl DecompositionTree {
     /// of a component (which would loop forever), or if some vertex never
     /// acquires a home (strategy produced vertices outside the component).
     pub fn build(g: &Graph, strategy: &dyn SeparatorStrategy) -> Self {
+        let _span = psep_obs::span!("decomp_build");
         let n = g.num_nodes();
         let mut nodes: Vec<DecompNode> = Vec::new();
         let mut home = vec![u32::MAX; n];
@@ -77,6 +78,7 @@ impl DecompositionTree {
             .collect();
 
         while let Some((parent, depth, comp)) = work.pop() {
+            psep_obs::counter!("core.decomp.separator_calls").incr();
             let sep = strategy.separate(g, &comp);
             let node_idx = nodes.len();
             let sep_vertices = sep.vertices();
@@ -135,10 +137,35 @@ impl DecompositionTree {
                 "vertex {v:?} never landed on a separator"
             );
         }
-        DecompositionTree {
+        let tree = DecompositionTree {
             nodes,
             home,
             removal_group,
+        };
+        tree.record_metrics(n);
+        tree
+    }
+
+    /// Publishes the per-level quantities Theorem 1 bounds — paths
+    /// removed, largest component fraction — plus depth and the
+    /// empirical `k`. Free when instrumentation is off or disabled.
+    fn record_metrics(&self, n: usize) {
+        if !psep_obs::enabled() || n == 0 {
+            return;
+        }
+        psep_obs::counter("core.decomp.paths_removed").add(self.total_paths() as u64);
+        psep_obs::gauge("core.decomp.depth").set(self.depth() as f64);
+        psep_obs::gauge("core.decomp.max_paths_per_node").set_max(self.max_paths_per_node() as f64);
+        for d in 0..=self.depth() {
+            let level = self.nodes.iter().filter(|node| node.depth == d);
+            let (mut paths, mut max_comp) = (0usize, 0usize);
+            for node in level {
+                paths += node.separator.num_paths();
+                max_comp = max_comp.max(node.vertices.len());
+            }
+            psep_obs::gauge(&format!("core.decomp.level{d:02}.paths")).set(paths as f64);
+            psep_obs::gauge(&format!("core.decomp.level{d:02}.max_comp_frac"))
+                .set_max(max_comp as f64 / n as f64);
         }
     }
 
@@ -204,8 +231,7 @@ impl DecompositionTree {
         let mut out = String::new();
         let _ = writeln!(out, "depth | nodes | max comp | max Σk_i");
         for d in 0..=max_depth {
-            let level: Vec<&DecompNode> =
-                self.nodes.iter().filter(|n| n.depth == d).collect();
+            let level: Vec<&DecompNode> = self.nodes.iter().filter(|n| n.depth == d).collect();
             let nodes = level.len();
             let max_comp = level.iter().map(|n| n.vertices.len()).max().unwrap_or(0);
             let max_k = level

@@ -131,8 +131,7 @@ mod tests {
 
         // min-degree (leaves-first) order is perfect on trees:
         let leaves_first: Vec<NodeId> = {
-            let mut deg: Vec<usize> =
-                g.nodes().map(|v| g.degree(v)).collect();
+            let mut deg: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
             let mut alive = vec![true; g.num_nodes()];
             let mut order = Vec::new();
             for _ in 0..g.num_nodes() {

@@ -237,10 +237,7 @@ mod tests {
         let g = trees::path(5);
         let p1 = SepPath::new(&g, vec![NodeId(1), NodeId(2)]);
         let p2 = SepPath::singleton(NodeId(4));
-        let s = PathSeparator::new(vec![
-            PathGroup::new(vec![p1]),
-            PathGroup::new(vec![p2]),
-        ]);
+        let s = PathSeparator::new(vec![PathGroup::new(vec![p1]), PathGroup::new(vec![p2])]);
         assert_eq!(s.num_paths(), 2);
         assert_eq!(s.num_groups(), 2);
         assert!(!s.is_strong());

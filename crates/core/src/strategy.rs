@@ -229,9 +229,7 @@ impl SeparatorStrategy for IterativeStrategy {
             let apices: Vec<NodeId> = component
                 .iter()
                 .copied()
-                .filter(|&v| {
-                    g.edges(v).iter().filter(|e| mask.contains(e.to)).count() >= threshold
-                })
+                .filter(|&v| g.edges(v).iter().filter(|e| mask.contains(e.to)).count() >= threshold)
                 .collect();
             if !apices.is_empty() {
                 let paths = apices.iter().copied().map(SepPath::singleton).collect();
@@ -270,8 +268,14 @@ impl SeparatorStrategy for IterativeStrategy {
 
         debug_assert!(
             largest_component_after_removal(
-                &SubgraphView::new(g, &NodeMask::from_nodes(g.num_nodes(), component.iter().copied())),
-                &groups.iter().flat_map(|gr| gr.vertices()).collect::<Vec<_>>()
+                &SubgraphView::new(
+                    g,
+                    &NodeMask::from_nodes(g.num_nodes(), component.iter().copied())
+                ),
+                &groups
+                    .iter()
+                    .flat_map(|gr| gr.vertices())
+                    .collect::<Vec<_>>()
             ) <= half,
             "iterative strategy failed to halve the component"
         );
@@ -321,11 +325,13 @@ impl SeparatorStrategy for AutoStrategy {
             .sum::<usize>()
             / 2;
         if m + 1 == n {
+            psep_obs::counter!("core.strategy.auto.tree_center").incr();
             return TreeCenterStrategy.separate(g, component);
         }
         if n <= self.width_probe_limit {
             let dec = min_degree_decomposition(&view);
             if dec.width() <= self.max_width {
+                psep_obs::counter!("core.strategy.auto.center_bag").incr();
                 let c = center_bag(&view, &dec);
                 let paths: Vec<SepPath> = dec
                     .bag(c)
@@ -337,6 +343,7 @@ impl SeparatorStrategy for AutoStrategy {
                 return PathSeparator::strong(paths);
             }
         }
+        psep_obs::counter!("core.strategy.auto.iterative").incr();
         self.iterative.separate(g, component)
     }
 

@@ -67,13 +67,14 @@ pub fn greedy_strong_separator(
                 .max_by_key(|&v| (sp.dist(v).unwrap_or(0), v.0));
             let Some(far) = far else { continue };
             for target in [far, big[big.len() / 2]] {
-                let Some(path) = sp.path_to(target) else { continue };
+                let Some(path) = sp.path_to(target) else {
+                    continue;
+                };
                 // evaluate: remove path ∪ already-removed
                 let mut trial: Vec<NodeId> = removed.iter().collect();
                 trial.extend(path.iter().copied());
-                let score = psep_graph::components::largest_component_after_removal(
-                    &comp_view, &trial,
-                );
+                let score =
+                    psep_graph::components::largest_component_after_removal(&comp_view, &trial);
                 if best.as_ref().is_none_or(|(s, _)| score < *s) {
                     best = Some((score, path));
                 }
@@ -160,7 +161,10 @@ mod tests {
         let comp: Vec<NodeId> = g.nodes().collect();
         let budget = strong_lower_bound_mesh_apex(t) - 1;
         let (_, balanced) = greedy_strong_separator(&g, &comp, budget, 6);
-        assert!(!balanced, "balanced within {budget} paths, contradicting Thm 6.3");
+        assert!(
+            !balanced,
+            "balanced within {budget} paths, contradicting Thm 6.3"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub fn check_weighted_separator(
         for path in &group.paths {
             for &v in path.vertices() {
                 if !mask.contains(v) {
-                    return Err(SeparatorError::PathVertexNotInResidual { group: gi, vertex: v });
+                    return Err(SeparatorError::PathVertexNotInResidual {
+                        group: gi,
+                        vertex: v,
+                    });
                 }
             }
             for w in path.vertices().windows(2) {
@@ -161,13 +164,11 @@ pub fn weighted_iterative_separator(
     for _ in 0..max_groups {
         let view = SubgraphView::new(g, &mask);
         let comps = components(&view);
-        let heaviest = comps
-            .iter()
-            .max_by(|a, b| {
-                comp_weight(a, weights)
-                    .partial_cmp(&comp_weight(b, weights))
-                    .unwrap()
-            });
+        let heaviest = comps.iter().max_by(|a, b| {
+            comp_weight(a, weights)
+                .partial_cmp(&comp_weight(b, weights))
+                .unwrap()
+        });
         let Some(big) = heaviest else { break };
         if comp_weight(big, weights) <= half + 1e-9 {
             break;
@@ -199,10 +200,7 @@ pub fn weighted_iterative_separator(
             Some((_, p)) if !p.is_empty() => p,
             _ => vec![vec![deepest(&view, &tree)]],
         };
-        let sep_paths: Vec<SepPath> = paths
-            .into_iter()
-            .map(|p| SepPath::new(&view, p))
-            .collect();
+        let sep_paths: Vec<SepPath> = paths.into_iter().map(|p| SepPath::new(&view, p)).collect();
         let group = PathGroup::new(sep_paths);
         mask.remove_all(group.vertices());
         groups.push(group);
@@ -214,11 +212,7 @@ fn comp_weight(comp: &[NodeId], weights: &[f64]) -> f64 {
     comp.iter().map(|v| weights[v.index()]).sum()
 }
 
-fn candidate_edges(
-    view: &SubgraphView<'_>,
-    tree: &SpTree,
-    max: usize,
-) -> Vec<(NodeId, NodeId)> {
+fn candidate_edges(view: &SubgraphView<'_>, tree: &SpTree, max: usize) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::new();
     for u in view.node_iter() {
         for e in view.neighbors(u) {
@@ -231,11 +225,7 @@ fn candidate_edges(
     out.into_iter().step_by(stride).collect()
 }
 
-fn heaviest_after_removal(
-    view: &SubgraphView<'_>,
-    removed: &[NodeId],
-    weights: &[f64],
-) -> f64 {
+fn heaviest_after_removal(view: &SubgraphView<'_>, removed: &[NodeId], weights: &[f64]) -> f64 {
     let n = view.universe();
     let mut dead = vec![false; n];
     for &v in removed {
@@ -309,12 +299,7 @@ impl WeightedDecomposition {
     ///
     /// Panics if some separator removes nothing or fails to halve the
     /// component's weight.
-    pub fn build(
-        g: &Graph,
-        weights: &[f64],
-        search: &CycleSearch,
-        max_groups: usize,
-    ) -> Self {
+    pub fn build(g: &Graph, weights: &[f64], search: &CycleSearch, max_groups: usize) -> Self {
         let n = g.num_nodes();
         let mut nodes: Vec<WeightedNode> = Vec::new();
         let mut work: Vec<(Option<usize>, usize, Vec<NodeId>)> = components(g)
@@ -325,7 +310,10 @@ impl WeightedDecomposition {
             let weight = comp.iter().map(|v| weights[v.index()]).sum::<f64>();
             let sep = weighted_iterative_separator(g, &comp, weights, search, max_groups);
             let sep_vertices = sep.vertices();
-            assert!(!sep_vertices.is_empty(), "weighted separator removed nothing");
+            assert!(
+                !sep_vertices.is_empty(),
+                "weighted separator removed nothing"
+            );
             let node_idx = nodes.len();
             let mut mask = NodeMask::from_nodes(n, comp.iter().copied());
             mask.remove_all(sep_vertices.iter().copied());
@@ -417,13 +405,7 @@ mod tests {
                 }
             })
             .collect();
-        let sep = weighted_iterative_separator(
-            &g,
-            &comp,
-            &weights,
-            &CycleSearch::default(),
-            16,
-        );
+        let sep = weighted_iterative_separator(&g, &comp, &weights, &CycleSearch::default(), 16);
         check_weighted_separator(&g, &comp, &sep, &weights).unwrap();
     }
 
@@ -432,13 +414,7 @@ mod tests {
         let g = grids::grid2d(6, 6, 1);
         let comp: Vec<NodeId> = g.nodes().collect();
         let weights = vec![1.0; 36];
-        let sep = weighted_iterative_separator(
-            &g,
-            &comp,
-            &weights,
-            &CycleSearch::default(),
-            16,
-        );
+        let sep = weighted_iterative_separator(&g, &comp, &weights, &CycleSearch::default(), 16);
         check_weighted_separator(&g, &comp, &sep, &weights).unwrap();
         crate::check::check_separator(&g, &comp, &sep, None).unwrap();
     }
@@ -450,17 +426,11 @@ mod tests {
         let weights: Vec<f64> = (0..81)
             .map(|i| if i % 9 < 3 && i / 9 < 3 { 20.0 } else { 1.0 })
             .collect();
-        let tree = WeightedDecomposition::build(
-            &g,
-            &weights,
-            &CycleSearch::default(),
-            16,
-        );
+        let tree = WeightedDecomposition::build(&g, &weights, &CycleSearch::default(), 16);
         // invariant asserted during build; also validate each node's
         // separator against the weighted Definition 1
         for node in tree.nodes() {
-            check_weighted_separator(&g, &node.vertices, &node.separator, &weights)
-                .unwrap();
+            check_weighted_separator(&g, &node.vertices, &node.separator, &weights).unwrap();
         }
         // depth ≤ log2(total weight / min weight) + slack
         let total: f64 = weights.iter().sum();

@@ -62,11 +62,25 @@ pub fn bidirectional_distance<G: GraphRef>(g: &G, s: NodeId, t: NodeId) -> Optio
             _ => false,
         };
         let (heap, dist, settled, other_dist, other_settled) = if forward {
-            (&mut heap_f, &mut dist_f, &mut settled_f, &dist_b, &settled_b)
+            (
+                &mut heap_f,
+                &mut dist_f,
+                &mut settled_f,
+                &dist_b,
+                &settled_b,
+            )
         } else {
-            (&mut heap_b, &mut dist_b, &mut settled_b, &dist_f, &settled_f)
+            (
+                &mut heap_b,
+                &mut dist_b,
+                &mut settled_b,
+                &dist_f,
+                &settled_f,
+            )
         };
-        let Some(Reverse((d, u))) = heap.pop() else { break };
+        let Some(Reverse((d, u))) = heap.pop() else {
+            break;
+        };
         let u = NodeId(u);
         if settled[u.index()] {
             continue;

@@ -102,11 +102,8 @@ pub fn dijkstra<G: GraphRef>(g: &G, sources: &[NodeId]) -> ShortestPaths {
 
 /// Dijkstra that abandons vertices at distance `> limit`. Useful for
 /// bounded-radius explorations (e.g. net construction at a scale).
-pub fn dijkstra_with_limit<G: GraphRef>(
-    g: &G,
-    sources: &[NodeId],
-    limit: Weight,
-) -> ShortestPaths {
+pub fn dijkstra_with_limit<G: GraphRef>(g: &G, sources: &[NodeId], limit: Weight) -> ShortestPaths {
+    psep_obs::counter!("graph.dijkstra.invocations").incr();
     let n = g.universe();
     let mut dist = vec![INFINITY; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -119,12 +116,16 @@ pub fn dijkstra_with_limit<G: GraphRef>(
             heap.push(Reverse((0, s.0)));
         }
     }
+    // Relaxations accumulate locally; one atomic add at the end keeps
+    // the hot loop free of shared-cache-line traffic.
+    let mut relaxed: u64 = 0;
     while let Some(Reverse((d, u))) = heap.pop() {
         let u = NodeId(u);
         if d > dist[u.index()] {
             continue; // stale entry
         }
         for e in g.neighbors(u) {
+            relaxed += 1;
             let nd = d.saturating_add(e.weight);
             if nd > limit {
                 continue;
@@ -137,12 +138,14 @@ pub fn dijkstra_with_limit<G: GraphRef>(
             }
         }
     }
+    psep_obs::counter!("graph.dijkstra.edges_relaxed").add(relaxed);
     ShortestPaths { dist, parent }
 }
 
 /// Dijkstra with early exit once `target` is settled. Returns the full
 /// (partial) result; `target`'s distance is exact if reachable.
 pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> ShortestPaths {
+    psep_obs::counter!("graph.dijkstra.invocations").incr();
     let n = g.universe();
     let mut dist = vec![INFINITY; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -150,6 +153,7 @@ pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> Shorte
     assert!(g.contains_node(source), "source {source:?} not in graph");
     dist[source.index()] = 0;
     heap.push(Reverse((0, source.0)));
+    let mut relaxed: u64 = 0;
     while let Some(Reverse((d, u))) = heap.pop() {
         let u = NodeId(u);
         if d > dist[u.index()] {
@@ -159,6 +163,7 @@ pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> Shorte
             break;
         }
         for e in g.neighbors(u) {
+            relaxed += 1;
             let nd = d.saturating_add(e.weight);
             let entry = &mut dist[e.to.index()];
             if nd < *entry {
@@ -168,6 +173,7 @@ pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> Shorte
             }
         }
     }
+    psep_obs::counter!("graph.dijkstra.edges_relaxed").add(relaxed);
     ShortestPaths { dist, parent }
 }
 
@@ -181,10 +187,7 @@ pub fn distance<G: GraphRef>(g: &G, u: NodeId, v: NodeId) -> Option<Weight> {
 pub fn path_cost<G: GraphRef>(g: &G, path: &[NodeId]) -> Option<Weight> {
     let mut total = 0;
     for w in path.windows(2) {
-        let weight = g
-            .neighbors(w[0])
-            .find(|e| e.to == w[1])
-            .map(|e| e.weight)?;
+        let weight = g.neighbors(w[0]).find(|e| e.to == w[1]).map(|e| e.weight)?;
         total += weight;
     }
     Some(total)

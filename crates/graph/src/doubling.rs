@@ -104,9 +104,9 @@ mod tests {
         let net = greedy_net(&g, 3);
         // every vertex within 3 of a net point
         for v in g.nodes() {
-            let covered = net.iter().any(|&p| {
-                crate::dijkstra::distance(&g, v, p).is_some_and(|d| d <= 3)
-            });
+            let covered = net
+                .iter()
+                .any(|&p| crate::dijkstra::distance(&g, v, p).is_some_and(|d| d <= 3));
             assert!(covered, "{v:?} uncovered");
         }
         // net points pairwise > 3 apart

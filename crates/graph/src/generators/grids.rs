@@ -83,12 +83,7 @@ pub fn grid3d(x: usize, y: usize, z: usize) -> Graph {
 /// removed (degree-0 vertices remain in the id universe) — an irregular
 /// planar "city map" family. The largest connected component is returned
 /// as a vertex list alongside the graph.
-pub fn grid_with_holes(
-    rows: usize,
-    cols: usize,
-    holes: usize,
-    seed: u64,
-) -> (Graph, Vec<NodeId>) {
+pub fn grid_with_holes(rows: usize, cols: usize, holes: usize, seed: u64) -> (Graph, Vec<NodeId>) {
     use rand::Rng;
     let mut rng = super::rng(seed);
     let mut blocked = vec![false; rows * cols];

@@ -65,11 +65,7 @@ pub fn path_plus_stable(half: usize) -> Graph {
     let heavy: Weight = half as Weight;
     for s in 0..half {
         for p in 0..half {
-            g.add_edge(
-                NodeId::from_index(half + s),
-                NodeId::from_index(p),
-                heavy,
-            );
+            g.add_edge(NodeId::from_index(half + s), NodeId::from_index(p), heavy);
         }
     }
     g

@@ -7,7 +7,9 @@ use std::fmt;
 /// Node ids are dense: a graph with `n` vertices uses ids `0..n`. The
 /// newtype keeps vertex indices from being confused with positions,
 /// counts, or weights in the higher layers.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

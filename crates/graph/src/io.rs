@@ -106,10 +106,7 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, DimacsError> {
                         message: "self-loop".into(),
                     });
                 }
-                let (u, v) = (
-                    NodeId::from_index(from - 1),
-                    NodeId::from_index(to - 1),
-                );
+                let (u, v) = (NodeId::from_index(from - 1), NodeId::from_index(to - 1));
                 if g.edge_weight(u, v).is_none() {
                     g.add_edge(u, v, w.max(1));
                 }

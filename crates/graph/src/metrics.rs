@@ -31,9 +31,7 @@ pub fn diameter_estimate<G: GraphRef>(g: &G) -> Option<Weight> {
         .reached_nodes()
         .max_by_key(|u| sp1.dist_raw()[u.index()])?;
     let sp2 = dijkstra(g, &[far1]);
-    sp2.reached_nodes()
-        .map(|u| sp2.dist_raw()[u.index()])
-        .max()
+    sp2.reached_nodes().map(|u| sp2.dist_raw()[u.index()]).max()
 }
 
 /// Aspect ratio `Δ = max_{u≠v} d(u,v) / min_{u≠v} d(u,v)`.

@@ -373,7 +373,10 @@ mod minor_tests {
 pub fn has_minor(g: &Graph, h: &Graph) -> bool {
     let n = g.num_nodes();
     let k = h.num_nodes();
-    assert!(n <= 64 && k <= 64, "minor search supports at most 64 vertices");
+    assert!(
+        n <= 64 && k <= 64,
+        "minor search supports at most 64 vertices"
+    );
     if k == 0 {
         return true;
     }
@@ -516,7 +519,10 @@ fn search_bipartite(
     // finished A-sets must still reach the unbuilt B-sets
     if i < a + b && sets.len() >= a {
         // building B side: every A set must touch remaining B sets
-        if sets[..a].iter().any(|&s| nbrs_of_set(adj, s) & (free | sets[a..].iter().fold(0, |x, &y| x | y)) == 0 && sets.len() < a + b) {
+        if sets[..a].iter().any(|&s| {
+            nbrs_of_set(adj, s) & (free | sets[a..].iter().fold(0, |x, &y| x | y)) == 0
+                && sets.len() < a + b
+        }) {
             return false;
         }
     }
@@ -581,7 +587,17 @@ fn grow_bipartite(
     while candidates != 0 {
         let v = candidates.trailing_zeros() as usize;
         candidates &= candidates - 1;
-        if grow_bipartite(adj, a, b, sets, allowed, cur | (1 << v), local_excluded, seed, first_a_seed) {
+        if grow_bipartite(
+            adj,
+            a,
+            b,
+            sets,
+            allowed,
+            cur | (1 << v),
+            local_excluded,
+            seed,
+            first_a_seed,
+        ) {
             return true;
         }
         local_excluded |= 1 << v;
@@ -648,7 +664,9 @@ mod planarity_tests {
     fn planar_families_certified_planar() {
         assert!(is_planar_small(&grids::grid2d(3, 4, 1)));
         assert!(is_planar_small(&planar_families::apollonian(10, 3)));
-        assert!(is_planar_small(&planar_families::triangulated_grid(3, 4, 1)));
+        assert!(is_planar_small(&planar_families::triangulated_grid(
+            3, 4, 1
+        )));
         assert!(is_planar_small(&planar_families::random_outerplanar(11, 2)));
         assert!(is_planar_small(&trees::random_tree(14, 1)));
         assert!(is_planar_small(&ktree::series_parallel(12, 2)));

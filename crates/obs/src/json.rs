@@ -1,0 +1,178 @@
+//! A minimal streaming JSON writer (std only, no dependencies).
+//!
+//! The writer tracks nesting and inserts commas automatically; callers
+//! drive it with `begin_object`/`key`/`uint`/… calls. It exists so the
+//! instrumentation layer and the bench harness can emit reports without
+//! pulling a serialization crate into the graph substrate's dependency
+//! closure.
+
+/// Streaming JSON writer with automatic comma placement.
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Whether a value was already written at each open nesting level.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(
+            self.needs_comma.is_empty(),
+            "unbalanced JSON writer: {} unclosed scopes",
+            self.needs_comma.len()
+        );
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object key; the next call must write its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.before_value();
+        self.write_escaped(k);
+        self.out.push(':');
+        // the key's value should not get its own comma
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.before_value();
+        self.write_escaped(s);
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value; integral finite values render without a
+    /// fraction, non-finite values render as `null`.
+    pub fn number(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        if !v.is_finite() {
+            self.out.push_str("null");
+        } else if v.fract() == 0.0 && v.abs() < 9e15 {
+            self.out.push_str(&(v as i64).to_string());
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a raw, pre-rendered JSON value (caller guarantees
+    /// validity) — used to splice sub-documents.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.before_value();
+        self.out.push_str(json);
+        self
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_renders() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.uint(1);
+        w.key("b");
+        w.begin_array();
+        w.number(1.5);
+        w.number(2.0);
+        w.string("x\"y");
+        w.end_array();
+        w.key("c");
+        w.boolean(true);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[1.5,2,"x\"y"],"c":true}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"xs":[]}"#);
+    }
+}

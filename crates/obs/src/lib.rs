@@ -1,0 +1,192 @@
+//! Zero-dependency instrumentation for the path-separator stack.
+//!
+//! Every headline bound of the paper is a runtime *quantity* — paths per
+//! recursion level (Theorem 1), label entries and merge-join candidates
+//! (Theorem 2), greedy hops (Theorem 3). This crate makes them
+//! observable:
+//!
+//! * [`counter!`] — monotonic atomic counters for algorithmic events
+//!   (Dijkstra invocations, edges relaxed, portal entries written,
+//!   query candidates scanned, greedy hops, …);
+//! * [`gauge!`] — last-value/max gauges for level-indexed quantities
+//!   (component-size fractions, paths per level, label statistics);
+//! * [`span!`] — RAII hierarchical span timers (`build/labels/dijkstra`)
+//!   aggregated into count/total/max per path;
+//! * [`snapshot`] — a point-in-time [`Snapshot`] of everything, with a
+//!   hand-rolled JSON renderer and an NDJSON line emitter.
+//!
+//! # Cost model
+//!
+//! Instrumentation is **compile-time gated** by the `obs` cargo feature
+//! and **runtime gated** by [`set_enabled`]. Without the feature, every
+//! type here is zero-sized and every operation an inline empty function
+//! — call sites compile to nothing. With the feature but disabled at
+//! runtime, a counter bump is one relaxed atomic load and a branch.
+//! Values that are expensive to compute should be guarded at the call
+//! site with `if psep_obs::enabled() { … }`, which is a `const false`
+//! when the feature is off (the whole block is dead-code eliminated).
+//!
+//! This crate has no dependencies (std only) by design: it must be
+//! linkable from every layer of the workspace, including the graph
+//! substrate underneath everything else.
+
+#[cfg(feature = "obs")]
+mod live;
+#[cfg(feature = "obs")]
+pub use live::*;
+
+#[cfg(not(feature = "obs"))]
+mod noop;
+#[cfg(not(feature = "obs"))]
+pub use noop::*;
+
+mod json;
+pub use json::JsonWriter;
+
+/// A span-statistics record: how often a span path ran and for how long.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    /// Hierarchical path, e.g. `"e3/build_oracle/labels"`.
+    pub path: String,
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total time across all completions, in seconds.
+    pub total_s: f64,
+    /// Longest single completion, in seconds.
+    pub max_s: f64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters: `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges: `(name, value)`. Integral values render as integers.
+    pub gauges: Vec<(String, f64)>,
+    /// Aggregated span timings.
+    pub spans: Vec<SpanStat>,
+}
+
+impl Snapshot {
+    /// Counter value by exact name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by exact name, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Span stats by exact path, if present.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters": {…}, "gauges": {…}, "spans": [{…}, …]}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes the snapshot into an in-progress [`JsonWriter`] as one
+    /// object value.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, value) in &self.counters {
+            w.key(name);
+            w.uint(*value);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, value) in &self.gauges {
+            w.key(name);
+            w.number(*value);
+        }
+        w.end_object();
+        w.key("spans");
+        w.begin_array();
+        for s in &self.spans {
+            w.begin_object();
+            w.key("path");
+            w.string(&s.path);
+            w.key("count");
+            w.uint(s.count);
+            w.key("total_s");
+            w.number(s.total_s);
+            w.key("max_s");
+            w.number(s.max_s);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Writes the snapshot as NDJSON: one line per metric, each tagged
+    /// with `"type"` (`counter` | `gauge` | `span`) and the optional
+    /// `scope` (e.g. the experiment name) on every line.
+    pub fn write_ndjson<W: std::io::Write>(
+        &self,
+        out: &mut W,
+        scope: Option<&str>,
+    ) -> std::io::Result<()> {
+        let scope_fields = |w: &mut JsonWriter| {
+            if let Some(s) = scope {
+                w.key("scope");
+                w.string(s);
+            }
+        };
+        for (name, value) in &self.counters {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("type");
+            w.string("counter");
+            scope_fields(&mut w);
+            w.key("name");
+            w.string(name);
+            w.key("value");
+            w.uint(*value);
+            w.end_object();
+            writeln!(out, "{}", w.finish())?;
+        }
+        for (name, value) in &self.gauges {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("type");
+            w.string("gauge");
+            scope_fields(&mut w);
+            w.key("name");
+            w.string(name);
+            w.key("value");
+            w.number(*value);
+            w.end_object();
+            writeln!(out, "{}", w.finish())?;
+        }
+        for s in &self.spans {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("type");
+            w.string("span");
+            scope_fields(&mut w);
+            w.key("path");
+            w.string(&s.path);
+            w.key("count");
+            w.uint(s.count);
+            w.key("total_s");
+            w.number(s.total_s);
+            w.key("max_s");
+            w.number(s.max_s);
+            w.end_object();
+            writeln!(out, "{}", w.finish())?;
+        }
+        Ok(())
+    }
+}

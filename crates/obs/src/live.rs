@@ -1,0 +1,283 @@
+//! Live implementation (the `obs` feature is enabled).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::{Snapshot, SpanStat};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is recording. One relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off at runtime.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables recording iff the `PSEP_OBS` environment variable is set to
+/// anything other than `0`/`false`/empty. Returns the resulting state.
+pub fn enable_from_env() -> bool {
+    let on = std::env::var("PSEP_OBS")
+        .map(|v| !matches!(v.as_str(), "" | "0" | "false"))
+        .unwrap_or(false);
+    if on {
+        set_enabled(true);
+    }
+    enabled()
+}
+
+/// A monotonic event counter. Obtain via [`counter!`] (static name,
+/// cached per call site) or [`counter`] (dynamic name).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` if recording is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 if recording is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value / running-max gauge holding an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    /// f64 bits.
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge if recording is enabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.value.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (or the gauge is unset).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.value.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.value.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u128,
+    max_ns: u128,
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        spans: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Looks up (or registers) the counter `name`. The returned reference
+/// is `'static`: counters live for the process (they are leaked once).
+/// Prefer [`counter!`] on hot paths — it caches this lookup per call
+/// site.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut map = registry().counters.lock().unwrap();
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+    map.insert(name.to_owned(), c);
+    c
+}
+
+/// Looks up (or registers) the gauge `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut map = registry().gauges.lock().unwrap();
+    if let Some(g) = map.get(name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+    map.insert(name.to_owned(), g);
+    g
+}
+
+thread_local! {
+    /// The active span-name stack of this thread.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard created by [`span`]; records elapsed time on drop.
+pub struct SpanGuard {
+    /// `None` when recording was disabled at entry.
+    active: Option<(String, Instant)>,
+}
+
+/// Opens a span named `name` nested under the spans currently open on
+/// this thread; the full path (`"a/b/name"`) is aggregated on drop.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    SpanGuard {
+        active: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.active.take() else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos();
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut spans = registry().spans.lock().unwrap();
+        let agg = spans.entry(path).or_default();
+        agg.count += 1;
+        agg.total_ns += elapsed;
+        agg.max_ns = agg.max_ns.max(elapsed);
+    }
+}
+
+/// Zeros all counters and clears all gauges and span aggregates.
+/// Registered counters/gauges stay registered (references stay valid).
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.lock().unwrap().values() {
+        c.reset();
+    }
+    for g in reg.gauges.lock().unwrap().values() {
+        g.value.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    reg.spans.lock().unwrap().clear();
+}
+
+/// Takes a sorted point-in-time copy of every metric. Zero-valued
+/// counters and gauges are skipped (they carry no information and would
+/// bloat reports with every name ever registered).
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, c)| (name.clone(), c.get()))
+        .filter(|(_, v)| *v != 0)
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, g)| (name.clone(), g.get()))
+        .filter(|(_, v)| *v != 0.0)
+        .collect();
+    let spans = reg
+        .spans
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(path, agg)| SpanStat {
+            path: path.clone(),
+            count: agg.count,
+            total_s: agg.total_ns as f64 / 1e9,
+            max_s: agg.max_ns as f64 / 1e9,
+        })
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        spans,
+    }
+}
+
+/// Cached-per-call-site counter handle (live form).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __PSEP_OBS_COUNTER: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__PSEP_OBS_COUNTER.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Cached-per-call-site gauge handle (live form).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __PSEP_OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__PSEP_OBS_GAUGE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// Opens a named span guard: `let _s = psep_obs::span!("phase");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

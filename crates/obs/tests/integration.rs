@@ -1,0 +1,56 @@
+//! End-to-end check that the instrumented algorithm crates actually
+//! report through this crate: running Dijkstra and building a
+//! decomposition on a small grid must produce the expected counts.
+//!
+//! Lives in its own test binary (separate process from `live.rs`), so
+//! the global registry is not shared with the unit tests.
+#![cfg(feature = "obs")]
+
+use psep_core::strategy::AutoStrategy;
+use psep_core::DecompositionTree;
+use psep_graph::dijkstra::dijkstra;
+use psep_graph::generators::grids;
+use psep_graph::NodeId;
+
+#[test]
+fn instrumented_dijkstra_and_decomposition_on_a_grid() {
+    psep_obs::set_enabled(true);
+    psep_obs::reset();
+
+    // 25 single-source Dijkstras on a 5×5 grid, one per vertex.
+    let g = grids::grid2d(5, 5, 1);
+    for v in 0..25u32 {
+        dijkstra(&g, &[NodeId(v)]);
+    }
+    let snap = psep_obs::snapshot();
+    assert_eq!(
+        snap.counter("graph.dijkstra.invocations"),
+        Some(25),
+        "one invocation per source"
+    );
+    // A 5×5 grid has 40 undirected edges; each full Dijkstra relaxes
+    // every edge in both directions.
+    assert_eq!(snap.counter("graph.dijkstra.edges_relaxed"), Some(25 * 80));
+
+    // Decomposition publishes Theorem 1's per-level quantities and runs
+    // more Dijkstras internally (via strategy machinery).
+    psep_obs::reset();
+    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+    let snap = psep_obs::snapshot();
+    assert_eq!(
+        snap.counter("core.decomp.separator_calls"),
+        Some(tree.nodes().len() as u64)
+    );
+    assert_eq!(
+        snap.counter("core.decomp.paths_removed"),
+        Some(tree.total_paths() as u64)
+    );
+    assert_eq!(snap.gauge("core.decomp.depth"), Some(tree.depth() as f64));
+    // Root level holds the whole graph: max component fraction 1.
+    assert_eq!(snap.gauge("core.decomp.level00.max_comp_frac"), Some(1.0));
+    let span = snap.span("decomp_build").expect("build span recorded");
+    assert_eq!(span.count, 1);
+    assert!(span.total_s > 0.0);
+
+    psep_obs::set_enabled(false);
+}

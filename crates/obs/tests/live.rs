@@ -1,0 +1,173 @@
+//! Behavioral tests for the live instrumentation layer.
+//!
+//! Only meaningful with the `obs` feature; without it the whole file
+//! compiles away (the no-op layer has nothing to observe).
+#![cfg(feature = "obs")]
+
+use std::sync::{Mutex, MutexGuard};
+
+/// The registry and enable flag are process-global, so tests touching
+/// them must not interleave. Each test holds this lock for its duration.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[test]
+fn counters_count_only_while_enabled() {
+    let _x = exclusive();
+    psep_obs::reset();
+    psep_obs::set_enabled(false);
+
+    let c = psep_obs::counter!("test.enabled_gate");
+    c.add(5);
+    assert_eq!(c.get(), 0, "disabled counter must stay at zero");
+
+    psep_obs::set_enabled(true);
+    c.incr();
+    c.add(2);
+    psep_obs::set_enabled(false);
+    c.add(100);
+    assert_eq!(c.get(), 3);
+
+    psep_obs::set_enabled(true);
+    psep_obs::reset();
+    assert_eq!(c.get(), 0, "reset must zero counters");
+    psep_obs::set_enabled(false);
+}
+
+#[test]
+fn counter_adds_are_atomic_across_threads() {
+    let _x = exclusive();
+    psep_obs::reset();
+    psep_obs::set_enabled(true);
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                let c = psep_obs::counter!("test.atomicity");
+                for _ in 0..PER_THREAD {
+                    c.incr();
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        psep_obs::counter("test.atomicity").get(),
+        THREADS * PER_THREAD,
+        "concurrent increments must not be lost"
+    );
+    psep_obs::set_enabled(false);
+}
+
+#[test]
+fn registry_returns_one_counter_per_name() {
+    let _x = exclusive();
+    psep_obs::reset();
+    psep_obs::set_enabled(true);
+
+    let a = psep_obs::counter("test.same_name");
+    let b = psep_obs::counter("test.same_name");
+    a.add(1);
+    b.add(1);
+    assert_eq!(a.get(), 2, "same name must resolve to the same counter");
+    assert!(std::ptr::eq(a, b));
+    psep_obs::set_enabled(false);
+}
+
+#[test]
+fn gauges_track_last_value_and_max() {
+    let _x = exclusive();
+    psep_obs::reset();
+    psep_obs::set_enabled(true);
+
+    let g = psep_obs::gauge!("test.gauge");
+    g.set(2.5);
+    assert_eq!(g.get(), 2.5);
+    g.set(1.0);
+    assert_eq!(g.get(), 1.0, "set overwrites");
+
+    let m = psep_obs::gauge!("test.gauge_max");
+    m.set_max(3.0);
+    m.set_max(1.0);
+    m.set_max(7.0);
+    assert_eq!(m.get(), 7.0, "set_max keeps the running max");
+    psep_obs::set_enabled(false);
+}
+
+#[test]
+fn spans_nest_into_slash_paths() {
+    let _x = exclusive();
+    psep_obs::reset();
+    psep_obs::set_enabled(true);
+
+    {
+        let _outer = psep_obs::span!("outer");
+        {
+            let _inner = psep_obs::span!("inner");
+        }
+        {
+            let _inner = psep_obs::span!("inner");
+        }
+    }
+    // A sibling span after the nest must not inherit the old prefix.
+    {
+        let _solo = psep_obs::span!("solo");
+    }
+
+    let snap = psep_obs::snapshot();
+    let outer = snap.span("outer").expect("outer span recorded");
+    assert_eq!(outer.count, 1);
+    let inner = snap.span("outer/inner").expect("nested path recorded");
+    assert_eq!(inner.count, 2);
+    assert!(inner.total_s >= inner.max_s);
+    assert!(snap.span("solo").is_some());
+    assert!(
+        snap.span("inner").is_none(),
+        "inner must only appear under its parent"
+    );
+
+    psep_obs::reset();
+    assert!(
+        psep_obs::snapshot().spans.is_empty(),
+        "reset must clear span aggregates"
+    );
+    psep_obs::set_enabled(false);
+}
+
+#[test]
+fn snapshot_roundtrips_to_json_and_ndjson() {
+    let _x = exclusive();
+    psep_obs::reset();
+    psep_obs::set_enabled(true);
+
+    psep_obs::counter!("test.json_counter").add(42);
+    psep_obs::gauge!("test.json_gauge").set(0.5);
+    {
+        let _s = psep_obs::span!("test_json_span");
+    }
+    let snap = psep_obs::snapshot();
+    psep_obs::set_enabled(false);
+
+    let json = snap.to_json();
+    assert!(json.contains(r#""test.json_counter":42"#), "{json}");
+    assert!(json.contains(r#""test.json_gauge":0.5"#), "{json}");
+    assert!(json.contains(r#""path":"test_json_span""#), "{json}");
+
+    let mut ndjson = Vec::new();
+    snap.write_ndjson(&mut ndjson, Some("e1")).unwrap();
+    let text = String::from_utf8(ndjson).unwrap();
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains(r#""scope":"e1""#), "{line}");
+    }
+    assert!(text.contains(r#""type":"counter""#));
+    assert!(text.contains(r#""type":"gauge""#));
+    assert!(text.contains(r#""type":"span""#));
+}

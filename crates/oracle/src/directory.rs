@@ -121,7 +121,10 @@ mod tests {
         let oracle = crate::oracle::build_oracle(
             g,
             &tree,
-            crate::oracle::OracleParams { epsilon: eps, threads: 1 },
+            crate::oracle::OracleParams {
+                epsilon: eps,
+                threads: 1,
+            },
         );
         ObjectDirectory::new(oracle)
     }

@@ -14,7 +14,6 @@
 //! net point within `ε′·2^{j*}` of `x` — within both vertices' stored
 //! balls), and never below `d` (each candidate is a real walk).
 
-
 use psep_core::doubling::DoublingDecompositionTree;
 use psep_graph::dijkstra::dijkstra;
 use psep_graph::doubling::greedy_net;
@@ -148,8 +147,10 @@ pub fn build_doubling_oracle(
                                 .iter()
                                 .filter_map(|&p| {
                                     let d = sp.dist_raw()[p.index()];
-                                    (d != INFINITY && d <= ball)
-                                        .then_some(DoublingLandmark { landmark: p, dist: d })
+                                    (d != INFINITY && d <= ball).then_some(DoublingLandmark {
+                                        landmark: p,
+                                        dist: d,
+                                    })
                                 })
                                 .collect();
                             if !landmarks.is_empty() {
@@ -304,7 +305,10 @@ mod tests {
         let o = build_doubling_oracle(
             &g,
             &tree,
-            DoublingOracleParams { epsilon: 0.5, threads: 1 },
+            DoublingOracleParams {
+                epsilon: 0.5,
+                threads: 1,
+            },
         );
         check_stretch(&g, &o, 0.5);
     }
@@ -317,7 +321,10 @@ mod tests {
         let o = build_doubling_oracle(
             &g,
             &tree,
-            DoublingOracleParams { epsilon: 0.25, threads: 1 },
+            DoublingOracleParams {
+                epsilon: 0.25,
+                threads: 1,
+            },
         );
         check_stretch(&g, &o, 0.25);
     }
@@ -327,8 +334,22 @@ mod tests {
         let (x, y, z) = (4, 3, 3);
         let g = grids::grid3d(x, y, z);
         let tree = DoublingDecompositionTree::build(&g, &GridPlaneStrategy { dims: (x, y, z) });
-        let a = build_doubling_oracle(&g, &tree, DoublingOracleParams { epsilon: 0.5, threads: 1 });
-        let b = build_doubling_oracle(&g, &tree, DoublingOracleParams { epsilon: 0.5, threads: 4 });
+        let a = build_doubling_oracle(
+            &g,
+            &tree,
+            DoublingOracleParams {
+                epsilon: 0.5,
+                threads: 1,
+            },
+        );
+        let b = build_doubling_oracle(
+            &g,
+            &tree,
+            DoublingOracleParams {
+                epsilon: 0.5,
+                threads: 4,
+            },
+        );
         for u in g.nodes() {
             for v in g.nodes() {
                 assert_eq!(a.query(u, v), b.query(u, v));

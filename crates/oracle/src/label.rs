@@ -77,6 +77,7 @@ pub fn build_labels(
     threads: usize,
 ) -> Vec<DistanceLabel> {
     assert!(epsilon > 0.0, "epsilon must be positive");
+    let _span = psep_obs::span!("build_labels");
     let n = g.num_nodes();
     let mut labels: Vec<DistanceLabel> = vec![DistanceLabel::default(); n];
 
@@ -116,8 +117,10 @@ pub fn build_labels(
                 let chunk_size = alive.len().div_ceil(threads);
                 let chunks: Vec<&[NodeId]> = alive.chunks(chunk_size).collect();
                 crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> =
-                        chunks.into_iter().map(|c| s.spawn(move |_| work(c))).collect();
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|c| s.spawn(move |_| work(c)))
+                        .collect();
                     handles
                         .into_iter()
                         .flat_map(|h| h.join().expect("label worker panicked"))
@@ -132,6 +135,19 @@ pub fn build_labels(
     }
     for label in &mut labels {
         label.entries.sort_by_key(|e| e.key());
+    }
+    if psep_obs::enabled() {
+        let entries: usize = labels.iter().map(|l| l.num_entries()).sum();
+        let portals: usize = labels.iter().map(|l| l.size()).sum();
+        psep_obs::counter("oracle.labels.entries").add(entries as u64);
+        psep_obs::counter("oracle.labels.portal_entries").add(portals as u64);
+        // Serialized size proxy: each entry is an 8-byte key plus
+        // 16 bytes (pos, dist) per portal.
+        psep_obs::counter("oracle.labels.bytes").add((entries * 8 + portals * 16) as u64);
+        let stats = label_stats(&labels);
+        psep_obs::gauge("oracle.labels.mean_size").set(stats.mean_size);
+        psep_obs::gauge("oracle.labels.max_size").set_max(stats.max_size as f64);
+        psep_obs::gauge("oracle.labels.mean_entries").set(stats.mean_entries);
     }
     labels
 }

@@ -24,6 +24,17 @@ impl Default for OracleParams {
     }
 }
 
+impl OracleParams {
+    /// Default parameters with `threads` set to the machine's available
+    /// parallelism (1 if it cannot be determined).
+    pub fn with_available_threads() -> Self {
+        OracleParams {
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            ..OracleParams::default()
+        }
+    }
+}
+
 /// The distance oracle: one [`DistanceLabel`] per vertex.
 ///
 /// Queries satisfy `d(u,v) ≤ query(u,v) ≤ (1+ε) · d(u,v)` for connected
@@ -134,11 +145,13 @@ pub fn query_labels_explain(
     let mut best: Option<(Weight, QueryWitness)> = None;
     let (a, b) = (&lu.entries, &lv.entries);
     let (mut i, mut j) = (0usize, 0usize);
+    let mut scanned: u64 = 0;
     while i < a.len() && j < b.len() {
         match a[i].key().cmp(&b[j].key()) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
+                scanned += (a[i].portals.len() * b[j].portals.len()) as u64;
                 for pu in &a[i].portals {
                     for pv in &b[j].portals {
                         let along = pu.pos.abs_diff(pv.pos);
@@ -163,6 +176,8 @@ pub fn query_labels_explain(
             }
         }
     }
+    psep_obs::counter!("oracle.query.invocations").incr();
+    psep_obs::counter!("oracle.query.candidates_scanned").add(scanned);
     best
 }
 
@@ -173,18 +188,19 @@ pub fn query_labels(lu: &DistanceLabel, lv: &DistanceLabel) -> Weight {
     let mut best = INFINITY;
     let (a, b) = (&lu.entries, &lv.entries);
     let (mut i, mut j) = (0usize, 0usize);
+    // Candidates accumulate locally; the query loop is the oracle's hot
+    // path and must not touch shared counters per portal pair.
+    let mut scanned: u64 = 0;
     while i < a.len() && j < b.len() {
         match a[i].key().cmp(&b[j].key()) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
+                scanned += (a[i].portals.len() * b[j].portals.len()) as u64;
                 for pu in &a[i].portals {
                     for pv in &b[j].portals {
                         let along = pu.pos.abs_diff(pv.pos);
-                        let cand = pu
-                            .dist
-                            .saturating_add(along)
-                            .saturating_add(pv.dist);
+                        let cand = pu.dist.saturating_add(along).saturating_add(pv.dist);
                         best = best.min(cand);
                     }
                 }
@@ -193,6 +209,8 @@ pub fn query_labels(lu: &DistanceLabel, lv: &DistanceLabel) -> Weight {
             }
         }
     }
+    psep_obs::counter!("oracle.query.invocations").incr();
+    psep_obs::counter!("oracle.query.candidates_scanned").add(scanned);
     best
 }
 
@@ -226,7 +244,14 @@ mod tests {
 
     fn build(g: &Graph, eps: f64) -> DistanceOracle {
         let tree = DecompositionTree::build(g, &AutoStrategy::default());
-        build_oracle(g, &tree, OracleParams { epsilon: eps, threads: 1 })
+        build_oracle(
+            g,
+            &tree,
+            OracleParams {
+                epsilon: eps,
+                threads: 1,
+            },
+        )
     }
 
     #[test]
@@ -255,7 +280,14 @@ mod tests {
     fn stretch_on_random_tree() {
         let g = trees::random_weighted_tree(50, 7, 3);
         let tree = DecompositionTree::build(&g, &TreeCenterStrategy);
-        let o = build_oracle(&g, &tree, OracleParams { epsilon: 0.1, threads: 1 });
+        let o = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: 0.1,
+                threads: 1,
+            },
+        );
         check_stretch(&g, &o, 0.1);
     }
 
@@ -277,7 +309,14 @@ mod tests {
     fn stretch_on_mesh_with_apex() {
         let g = special::mesh_with_apex(5);
         let tree = DecompositionTree::build(&g, &IterativeStrategy::default());
-        let o = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 1 });
+        let o = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: 0.25,
+                threads: 1,
+            },
+        );
         check_stretch(&g, &o, 0.25);
     }
 
@@ -323,11 +362,7 @@ mod tests {
                     continue;
                 }
                 let est = o.query(u, v).unwrap();
-                let (w_est, w) = query_labels_explain(
-                    o.label(u),
-                    o.label(v),
-                )
-                .unwrap();
+                let (w_est, w) = query_labels_explain(o.label(u), o.label(v)).unwrap();
                 assert_eq!(est, w_est);
                 assert_eq!(w.dist_u + w.along + w.dist_v, est);
             }

@@ -53,12 +53,7 @@ pub fn select_portals(dist: &[Weight], path: &SepPath, epsilon: f64) -> Vec<Port
 
 /// Checks the portal cover property for every reachable path vertex —
 /// used by tests and by experiment E9.
-pub fn check_cover(
-    dist: &[Weight],
-    path: &SepPath,
-    portals: &[PortalEntry],
-    epsilon: f64,
-) -> bool {
+pub fn check_cover(dist: &[Weight], path: &SepPath, portals: &[PortalEntry], epsilon: f64) -> bool {
     for (x, &vx) in path.vertices().iter().enumerate() {
         let dx = dist[vx.index()];
         if dx == INFINITY {

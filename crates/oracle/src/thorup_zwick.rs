@@ -67,8 +67,7 @@ impl ThorupZwickOracle {
         levels.push(g.nodes().collect());
         for i in 1..k {
             let prev = &levels[i - 1];
-            let mut next: Vec<NodeId> =
-                prev.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+            let mut next: Vec<NodeId> = prev.iter().copied().filter(|_| rng.gen_bool(p)).collect();
             // keep the hierarchy non-empty below the top so witnesses
             // exist; TZ resamples in this case, we retain one element
             if next.is_empty() {
@@ -259,7 +258,11 @@ mod tests {
     fn k2_space_below_apsp() {
         let g = grids::grid2d(12, 12, 1);
         let o = ThorupZwickOracle::build(&g, 2, 7);
-        assert!(o.space_entries() < 144 * 144 / 2, "space {}", o.space_entries());
+        assert!(
+            o.space_entries() < 144 * 144 / 2,
+            "space {}",
+            o.space_entries()
+        );
         assert!(o.mean_bunch() > 0.0);
     }
 

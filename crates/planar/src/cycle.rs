@@ -74,7 +74,10 @@ pub fn best_fundamental_cycle<G: GraphRef>(
     let stride = (candidates.len() / search.max_candidates.max(1)).max(1);
     let mut best: Option<CycleCandidate> = None;
     let mut scratch = RemovalScratch::new(g.universe());
+    psep_obs::counter!("planar.cycle.searches").incr();
+    let mut evaluated: u64 = 0;
     for (u, v) in candidates.into_iter().step_by(stride) {
+        evaluated += 1;
         let mut removed: Vec<NodeId> = Vec::new();
         removed.extend(tree.root_path(u).unwrap_or_default());
         removed.extend(tree.root_path(v).unwrap_or_default());
@@ -83,9 +86,7 @@ pub fn best_fundamental_cycle<G: GraphRef>(
             edge: (u, v),
             largest_component: largest,
         };
-        let better = best
-            .as_ref()
-            .is_none_or(|b| largest < b.largest_component);
+        let better = best.as_ref().is_none_or(|b| largest < b.largest_component);
         if better {
             best = Some(cand);
             if search.accept_first && largest <= target {
@@ -93,6 +94,7 @@ pub fn best_fundamental_cycle<G: GraphRef>(
             }
         }
     }
+    psep_obs::counter!("planar.cycle.candidates_evaluated").add(evaluated);
     best
 }
 
@@ -189,11 +191,7 @@ impl RemovalScratch {
         }
     }
 
-    fn largest_component_after_removal<G: GraphRef>(
-        &mut self,
-        g: &G,
-        removed: &[NodeId],
-    ) -> usize {
+    fn largest_component_after_removal<G: GraphRef>(&mut self, g: &G, removed: &[NodeId]) -> usize {
         self.components_after_removal(g, removed)
             .iter()
             .map(|c| c.len())
@@ -268,8 +266,7 @@ mod tests {
         for seed in 0..3 {
             let g = planar_families::triangulated_grid(8, 8, seed);
             let tree = SpTree::new(&g, NodeId(0));
-            let paths =
-                root_path_separator(&g, &tree, &CycleSearch::default(), g.num_nodes() / 2);
+            let paths = root_path_separator(&g, &tree, &CycleSearch::default(), g.num_nodes() / 2);
             assert!(paths.len() <= 3, "seed {seed}: {} paths", paths.len());
             check_halves(&g, &paths);
         }

@@ -51,6 +51,8 @@ impl OracleGreedyRouter {
         let mut cur = u;
         for _ in 0..budget {
             if cur == t {
+                psep_obs::counter!("routing.greedy.delivered").incr();
+                psep_obs::counter!("routing.greedy.hops").add((route.len() - 1) as u64);
                 return Some(RouteOutcome {
                     hops: route.len() - 1,
                     route,
@@ -72,11 +74,15 @@ impl OracleGreedyRouter {
                     best = Some((e.to, e.weight, est));
                 }
             }
-            let (next, w, _) = best?;
+            let Some((next, w, _)) = best else {
+                psep_obs::counter!("routing.greedy.failed").incr();
+                return None;
+            };
             cost += w;
             cur = next;
             route.push(cur);
         }
+        psep_obs::counter!("routing.greedy.failed").incr();
         None
     }
 }

@@ -257,7 +257,9 @@ mod tests {
         let g = grids::grid2d(3, 3, 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         let router = Router::new(&g, RoutingTables::build(&g, &tree));
-        let out = router.route(NodeId(4), NodeId(4), &router.label(NodeId(4))).unwrap();
+        let out = router
+            .route(NodeId(4), NodeId(4), &router.label(NodeId(4)))
+            .unwrap();
         assert_eq!(out.hops, 0);
         assert_eq!(out.cost, 0);
     }
@@ -269,6 +271,8 @@ mod tests {
         g.add_edge(NodeId(2), NodeId(3), 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         let router = Router::new(&g, RoutingTables::build(&g, &tree));
-        assert!(router.route(NodeId(0), NodeId(2), &router.label(NodeId(2))).is_none());
+        assert!(router
+            .route(NodeId(0), NodeId(2), &router.label(NodeId(2)))
+            .is_none());
     }
 }

@@ -63,7 +63,10 @@ pub fn build_augmentation(g: &Graph, tree: &DecompositionTree, log_delta: u32) -
             chain
                 .iter()
                 .map(|&node_idx| LevelChoices {
-                    paths: tree.node(node_idx).separator.groups
+                    paths: tree
+                        .node(node_idx)
+                        .separator
+                        .groups
                         .iter()
                         .flat_map(|gr| gr.paths.iter())
                         .map(|_| Vec::new())

@@ -123,11 +123,7 @@ mod tests {
         // measures it at scale. Here both must beat unaugmented greedy.
         struct NoContacts;
         impl ContactRule for NoContacts {
-            fn sample_contact(
-                &self,
-                _: NodeId,
-                _: &mut dyn rand::RngCore,
-            ) -> Option<NodeId> {
+            fn sample_contact(&self, _: NodeId, _: &mut dyn rand::RngCore) -> Option<NodeId> {
                 None
             }
         }

@@ -194,7 +194,11 @@ mod tests {
         let sp = dijkstra(&g, &[psep_graph::NodeId(0)]);
         let lm = select_landmarks(sp.dist_raw(), &path, log_delta);
         // O(log Δ + 11) per direction; generous bound
-        assert!(lm.len() <= 4 * (log_delta as usize + 12), "got {}", lm.len());
+        assert!(
+            lm.len() <= 4 * (log_delta as usize + 12),
+            "got {}",
+            lm.len()
+        );
     }
 
     #[test]

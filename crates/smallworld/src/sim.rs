@@ -49,9 +49,10 @@ pub fn greedy_route(
                 }
             }
         }
-        let contact = *contacts
-            .entry(cur)
-            .or_insert_with(|| rule.sample_contact(cur, rng));
+        let contact = *contacts.entry(cur).or_insert_with(|| {
+            psep_obs::counter!("smallworld.augment.samples").incr();
+            rule.sample_contact(cur, rng)
+        });
         if let Some(c) = contact {
             if let Some(d) = dist_t.dist(c) {
                 if best.is_none_or(|(_, bd)| d < bd) {
@@ -66,6 +67,8 @@ pub fn greedy_route(
         cur = next;
         hops += 1;
     }
+    psep_obs::counter!("smallworld.greedy.routes").incr();
+    psep_obs::counter!("smallworld.greedy.hops").add(hops as u64);
     Some(hops)
 }
 
@@ -179,8 +182,7 @@ mod tests {
         let g = grids::grid2d(3, 3, 1);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
         let dist_t = dijkstra(&g, &[NodeId(4)]);
-        let hops =
-            greedy_route(&g, &NoContacts, NodeId(4), NodeId(4), &dist_t, &mut rng).unwrap();
+        let hops = greedy_route(&g, &NoContacts, NodeId(4), NodeId(4), &dist_t, &mut rng).unwrap();
         assert_eq!(hops, 0);
     }
 }

@@ -116,11 +116,7 @@ mod tests {
         let rule = ClosestSeparatorRule::build(&g, &tree);
         struct NoContacts;
         impl ContactRule for NoContacts {
-            fn sample_contact(
-                &self,
-                _: NodeId,
-                _: &mut dyn rand::RngCore,
-            ) -> Option<NodeId> {
+            fn sample_contact(&self, _: NodeId, _: &mut dyn rand::RngCore) -> Option<NodeId> {
                 None
             }
         }

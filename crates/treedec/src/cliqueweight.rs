@@ -29,10 +29,7 @@ impl CliqueWeight {
     /// each `(v, w)` pair.
     pub fn from_vertex_weights(weights: impl IntoIterator<Item = (NodeId, f64)>) -> Self {
         CliqueWeight {
-            cliques: weights
-                .into_iter()
-                .map(|(v, w)| (vec![v], w))
-                .collect(),
+            cliques: weights.into_iter().map(|(v, w)| (vec![v], w)).collect(),
         }
     }
 
@@ -202,10 +199,10 @@ pub fn check_lemma5_conclusion(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::center::center_bag;
     use crate::decomposition::TreeDecomposition;
     use crate::elimination::min_degree_decomposition;
     use crate::torso::torso;
-    use crate::center::center_bag;
     use psep_graph::generators::{ktree, trees};
 
     #[test]
@@ -247,8 +244,8 @@ mod tests {
         let t = torso(&g, &dec, 0);
         let cw = lemma5_clique_weight(&g, &t);
         assert_eq!(cw.total(), 5.0); // 1 center + 4 leaves
-        // removing the single torso vertex (the center) is a half-size
-        // separator, and indeed separates g into singletons
+                                     // removing the single torso vertex (the center) is a half-size
+                                     // separator, and indeed separates g into singletons
         let sep = vec![NodeId(0)];
         assert!(cw.is_half_size_separator(&t.graph, &sep));
         assert!(check_lemma5_conclusion(&g, &t, &sep, g.num_nodes() / 2));

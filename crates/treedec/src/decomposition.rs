@@ -100,7 +100,12 @@ impl TreeDecomposition {
 
     /// Width: `max |bag| − 1`.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Whether bag `i` contains `v` (bags are sorted).
@@ -370,11 +375,7 @@ mod tests {
         let mut g = Graph::new(3);
         g.add_edge(NodeId(0), NodeId(1), 1);
         let d = TreeDecomposition::new(
-            vec![
-                vec![NodeId(0), NodeId(1)],
-                vec![NodeId(2)],
-                vec![NodeId(0)],
-            ],
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)], vec![NodeId(0)]],
             vec![(0, 1), (1, 2)],
         );
         let keep = |v: NodeId| v != NodeId(2);

@@ -50,6 +50,8 @@ pub fn decomposition_from_order<G: GraphRef>(g: &G, order: &[NodeId]) -> TreeDec
 }
 
 fn eliminate<G: GraphRef>(g: &G, h: Heuristic) -> TreeDecomposition {
+    psep_obs::counter!("treedec.eliminations").incr();
+    let _span = psep_obs::span!("treedec_eliminate");
     let n = g.universe();
     let mut adj: Vec<HashSet<NodeId>> = vec![HashSet::new(); n];
     let mut alive: Vec<bool> = vec![false; n];

@@ -63,10 +63,7 @@ pub fn torso<G: GraphRef>(g: &G, dec: &TreeDecomposition, bag_idx: usize) -> Tor
         if yi == bag_idx {
             continue;
         }
-        let joint: Vec<usize> = y
-            .iter()
-            .filter_map(|v| index_of.get(v).copied())
-            .collect();
+        let joint: Vec<usize> = y.iter().filter_map(|v| index_of.get(v).copied()).collect();
         for (a, &ia) in joint.iter().enumerate() {
             for &ib in &joint[a + 1..] {
                 let (u, w) = (NodeId::from_index(ia), NodeId::from_index(ib));

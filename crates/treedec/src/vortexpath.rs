@@ -81,8 +81,7 @@ impl VortexPath {
     /// overlap on a path vertex.
     pub fn from_path(p: &[NodeId], vortices: &[Vortex]) -> Result<Self, VortexPathError> {
         // vertex -> owning vortex
-        let mut owner: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::new();
+        let mut owner: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
         for (vi, vx) in vortices.iter().enumerate() {
             for u in vx.vertices() {
                 if let Some(prev) = owner.insert(u, vi) {
@@ -93,8 +92,7 @@ impl VortexPath {
             }
         }
         let in_vortex = |v: NodeId| owner.get(&v).copied();
-        let is_perimeter =
-            |v: NodeId| in_vortex(v).is_some_and(|vi| vortices[vi].is_perimeter(v));
+        let is_perimeter = |v: NodeId| in_vortex(v).is_some_and(|vi| vortices[vi].is_perimeter(v));
         if let Some(&first) = p.first() {
             if in_vortex(first).is_some() && !is_perimeter(first) {
                 return Err(VortexPathError::EndpointInVortex(first));
@@ -293,11 +291,7 @@ mod tests {
         let p = [NodeId(11), NodeId(0)];
         // 11 is a perimeter vertex, allowed; interior-only vertices are
         // those in bags but not on the perimeter — make one:
-        let c = Vortex::new(
-            vec![NodeId(30)],
-            vec![vec![NodeId(30), NodeId(31)]],
-        )
-        .unwrap();
+        let c = Vortex::new(vec![NodeId(30)], vec![vec![NodeId(30), NodeId(31)]]).unwrap();
         let vs2 = vec![c];
         let bad = [NodeId(31), NodeId(0)];
         assert!(VortexPath::from_path(&p, &vs).is_ok());

@@ -44,7 +44,10 @@ fn main() {
     let oracle = build_doubling_oracle(
         &mesh,
         &tree,
-        DoublingOracleParams { epsilon: eps, threads: 4 },
+        DoublingOracleParams {
+            epsilon: eps,
+            threads: 4,
+        },
     );
     println!(
         "Theorem 8 oracle: ε = {eps}, mean label {:.1} landmarks",

@@ -12,8 +12,7 @@ use path_separators::core::strategy::FundamentalCycleStrategy;
 use path_separators::graph::dijkstra::dijkstra;
 use path_separators::graph::generators::{planar_families, randomize_weights};
 use path_separators::{
-    build_oracle, DecompositionTree, NodeId, ObjectDirectory, OracleParams, Router,
-    RoutingTables,
+    build_oracle, DecompositionTree, NodeId, ObjectDirectory, OracleParams, Router, RoutingTables,
 };
 
 fn main() {
@@ -25,7 +24,14 @@ fn main() {
     // ONE decomposition powers both systems
     let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
     let eps = 0.25;
-    let oracle = build_oracle(&g, &tree, OracleParams { epsilon: eps, threads: 4 });
+    let oracle = build_oracle(
+        &g,
+        &tree,
+        OracleParams {
+            epsilon: eps,
+            threads: 4,
+        },
+    );
     let router = Router::new(&g, RoutingTables::build(&g, &tree));
 
     let mut dir = ObjectDirectory::new(oracle);

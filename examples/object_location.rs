@@ -25,8 +25,7 @@ fn main() {
     let tree = DecompositionTree::build(g, &AutoStrategy::default());
     let eps = 0.25;
     let labels = build_labels(g, &tree, eps, 4);
-    let mean: f64 =
-        labels.iter().map(|l| l.size()).sum::<usize>() as f64 / labels.len() as f64;
+    let mean: f64 = labels.iter().map(|l| l.size()).sum::<usize>() as f64 / labels.len() as f64;
     println!("labels built: ε = {eps}, mean size {mean:.1} portal entries");
 
     // replicas of "object X" at three nodes

@@ -15,11 +15,7 @@ fn main() {
     // A 32×32 weighted grid — think of it as a small road network.
     let base = grids::grid2d(32, 32, 1);
     let g = randomize_weights(&base, 1, 9, 42);
-    println!(
-        "graph: {} vertices, {} edges",
-        g.num_nodes(),
-        g.num_edges()
-    );
+    println!("graph: {} vertices, {} edges", g.num_nodes(), g.num_edges());
 
     // 1. Recursively halve the graph with shortest-path separators
     //    (Definition 1 of Abraham–Gavoille PODC'06).
@@ -35,7 +31,14 @@ fn main() {
 
     // 2. Build the (1+ε)-approximate distance oracle (Theorem 2).
     let eps = 0.1;
-    let oracle = build_oracle(&g, &tree, OracleParams { epsilon: eps, threads: 4 });
+    let oracle = build_oracle(
+        &g,
+        &tree,
+        OracleParams {
+            epsilon: eps,
+            threads: 4,
+        },
+    );
     let stats = oracle.stats();
     println!(
         "oracle: ε = {eps}, mean label = {:.1} portal entries, total = {} (vs {} for APSP)",

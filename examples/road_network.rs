@@ -36,7 +36,10 @@ fn main() {
 
     let tables = RoutingTables::build(&map, &tree);
     let (mean_tbl, max_tbl) = tables.table_stats();
-    println!("routing tables: mean {mean_tbl:.1} entries, max {max_tbl} (n = {})", map.num_nodes());
+    println!(
+        "routing tables: mean {mean_tbl:.1} entries, max {max_tbl} (n = {})",
+        map.num_nodes()
+    );
 
     let router = Router::new(&map, tables);
 

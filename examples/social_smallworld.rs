@@ -13,8 +13,8 @@ use path_separators::graph::generators::grids;
 use path_separators::graph::metrics::aspect_ratio_estimate;
 use path_separators::graph::NodeId;
 use path_separators::smallworld::baselines::UniformAugmentation;
-use path_separators::smallworld::sim::{ContactRule, GreedySim};
 use path_separators::smallworld::build_augmentation;
+use path_separators::smallworld::sim::{ContactRule, GreedySim};
 use rand::SeedableRng;
 
 struct NoContacts;
@@ -28,7 +28,10 @@ fn main() {
     // the "geography": a 48×48 grid of people who know their neighbours
     let g = grids::grid2d(48, 48, 1);
     let n = g.num_nodes();
-    println!("population: {n} people on a 48×48 grid (diameter {})", 2 * 47);
+    println!(
+        "population: {n} people on a 48×48 grid (diameter {})",
+        2 * 47
+    );
 
     // decompose with shortest-path separators and build the paper's
     // augmentation distribution 𝒟 (uniform level, uniform separator
@@ -49,8 +52,14 @@ fn main() {
 
     let log2n = (n as f64).log2();
     println!("\ngreedy routing over {trials} random (source, target) pairs:");
-    println!("  no long-range contacts : mean {:>5.1} hops (max {})", plain.mean_hops, plain.max_hops);
-    println!("  uniform contacts       : mean {:>5.1} hops (max {})", uniform.mean_hops, uniform.max_hops);
+    println!(
+        "  no long-range contacts : mean {:>5.1} hops (max {})",
+        plain.mean_hops, plain.max_hops
+    );
+    println!(
+        "  uniform contacts       : mean {:>5.1} hops (max {})",
+        uniform.mean_hops, uniform.max_hops
+    );
     println!(
         "  paper's 𝒟 (Theorem 3)  : mean {:>5.1} hops (max {})  —  {:.2} × log²n",
         paper.mean_hops,

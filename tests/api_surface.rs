@@ -2,9 +2,8 @@
 //! cases that the per-crate suites don't reach.
 
 use path_separators::{
-    build_oracle, AutoStrategy, DecompositionTree, DistanceOracle, Graph, NodeId,
-    ObjectDirectory, OracleParams, PathSeparator, Router, RoutingTables, SepPath,
-    SeparatorStrategy,
+    build_oracle, AutoStrategy, DecompositionTree, DistanceOracle, Graph, NodeId, ObjectDirectory,
+    OracleParams, PathSeparator, Router, RoutingTables, SepPath, SeparatorStrategy,
 };
 
 #[test]
@@ -14,12 +13,20 @@ fn top_level_reexports_compose() {
         g.add_edge(NodeId(i), NodeId(i + 1), 2);
     }
     let tree = DecompositionTree::build(&g, &AutoStrategy::default());
-    let oracle: DistanceOracle =
-        build_oracle(&g, &tree, OracleParams { epsilon: 0.1, threads: 1 });
+    let oracle: DistanceOracle = build_oracle(
+        &g,
+        &tree,
+        OracleParams {
+            epsilon: 0.1,
+            threads: 1,
+        },
+    );
     assert_eq!(oracle.query(NodeId(0), NodeId(5)), Some(10));
 
     let router = Router::new(&g, RoutingTables::build(&g, &tree));
-    let out = router.route(NodeId(0), NodeId(5), &router.label(NodeId(5))).unwrap();
+    let out = router
+        .route(NodeId(0), NodeId(5), &router.label(NodeId(5)))
+        .unwrap();
     assert_eq!(out.cost, 10); // unique path: routing is exact on a path
 
     let mut dir = ObjectDirectory::new(oracle);
@@ -65,7 +72,14 @@ fn star_apex_is_detected_by_iterative_strategy() {
 fn oracle_from_labels_matches_built_oracle() {
     let g = path_separators::graph::generators::grids::grid2d(5, 5, 1);
     let tree = DecompositionTree::build(&g, &AutoStrategy::default());
-    let built = build_oracle(&g, &tree, OracleParams { epsilon: 0.5, threads: 1 });
+    let built = build_oracle(
+        &g,
+        &tree,
+        OracleParams {
+            epsilon: 0.5,
+            threads: 1,
+        },
+    );
     let relabeled = DistanceOracle::from_labels(built.labels().to_vec(), 0.5);
     for u in g.nodes() {
         for v in g.nodes() {
@@ -89,11 +103,7 @@ fn routing_label_size_equals_table_key_count() {
 fn decomposition_total_paths_accounting() {
     let g = path_separators::graph::generators::grids::grid2d(8, 8, 1);
     let tree = DecompositionTree::build(&g, &AutoStrategy::default());
-    let total: usize = tree
-        .nodes()
-        .iter()
-        .map(|n| n.separator.num_paths())
-        .sum();
+    let total: usize = tree.nodes().iter().map(|n| n.separator.num_paths()).sum();
     assert_eq!(tree.total_paths(), total);
     assert!(tree.max_paths_per_node() <= total);
 }

@@ -1,8 +1,6 @@
 //! §5.3 pipeline: 3D meshes, doubling separators, Theorem 8 oracle.
 
-use path_separators::core::doubling::{
-    is_isometric, DoublingDecompositionTree, GridPlaneStrategy,
-};
+use path_separators::core::doubling::{is_isometric, DoublingDecompositionTree, GridPlaneStrategy};
 use path_separators::graph::dijkstra::dijkstra;
 use path_separators::graph::doubling::estimate_doubling_dimension;
 use path_separators::graph::generators::grids;
@@ -33,7 +31,10 @@ fn full_doubling_pipeline_on_3d_mesh() {
     let oracle = build_doubling_oracle(
         &g,
         &tree,
-        DoublingOracleParams { epsilon: eps, threads: 2 },
+        DoublingOracleParams {
+            epsilon: eps,
+            threads: 2,
+        },
     );
     for u in g.nodes().step_by(7) {
         let sp = dijkstra(&g, &[u]);
@@ -69,7 +70,10 @@ fn plane_strategy_also_handles_2d_grids() {
     let oracle = build_doubling_oracle(
         &g,
         &tree,
-        DoublingOracleParams { epsilon: 0.5, threads: 1 },
+        DoublingOracleParams {
+            epsilon: 0.5,
+            threads: 1,
+        },
     );
     for u in g.nodes().step_by(5) {
         let sp = dijkstra(&g, &[u]);

@@ -90,14 +90,21 @@ fn oracle_stretch_bound_on_every_family() {
     let eps = 0.25;
     for (name, g, strat) in families() {
         let tree = DecompositionTree::build(&g, strat.as_ref());
-        let oracle = build_oracle(&g, &tree, OracleParams { epsilon: eps, threads: 2 });
+        let oracle = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: eps,
+                threads: 2,
+            },
+        );
         for u in g.nodes().step_by(7) {
             let sp = dijkstra(&g, &[u]);
             for v in g.nodes().step_by(3) {
                 let Some(d) = sp.dist(v) else { continue };
-                let est = oracle.query(u, v).unwrap_or_else(|| {
-                    panic!("{name}: {u:?}->{v:?} missing estimate")
-                });
+                let est = oracle
+                    .query(u, v)
+                    .unwrap_or_else(|| panic!("{name}: {u:?}->{v:?} missing estimate"));
                 assert!(est >= d, "{name}: under-estimate");
                 assert!(
                     est as f64 <= (1.0 + eps) * d as f64 + 1e-9,
@@ -146,10 +153,7 @@ fn labels_alone_answer_queries() {
     let labels = path_separators::oracle::label::build_labels(&g, &tree, 0.5, 1);
     let u = path_separators::graph::NodeId(0);
     let v = path_separators::graph::NodeId(63);
-    let est = path_separators::oracle::oracle::query_labels(
-        &labels[u.index()],
-        &labels[v.index()],
-    );
+    let est = path_separators::oracle::oracle::query_labels(&labels[u.index()], &labels[v.index()]);
     assert!((14..=21).contains(&est)); // d = 14, ε = 0.5
 }
 
@@ -164,7 +168,14 @@ fn full_stack_on_grid_with_holes() {
 
     let tree = DecompositionTree::build(&g, &AutoStrategy::default());
     check_tree(&g, &tree).unwrap();
-    let oracle = build_oracle(&g, &tree, OracleParams { epsilon: 0.25, threads: 1 });
+    let oracle = build_oracle(
+        &g,
+        &tree,
+        OracleParams {
+            epsilon: 0.25,
+            threads: 1,
+        },
+    );
     let router = Router::new(&g, RoutingTables::build(&g, &tree));
     for &u in comp.iter().step_by(9) {
         let sp = dijkstra(&g, &[u]);

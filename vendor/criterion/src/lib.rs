@@ -1,0 +1,178 @@
+//! Offline shim for the subset of `criterion` the bench targets use.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! and the `criterion_group!`/`criterion_main!` macros. Timing is a
+//! simple mean-over-iterations measurement printed to stdout — enough
+//! to compare runs by eye; the real statistics live in the harness's
+//! `--json` reports.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup
+        for _ in 0..3 {
+            std_black_box(f());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 100_000 {
+            std_black_box(f());
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn run_one(full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let (value, unit) = if b.mean_ns >= 1e6 {
+        (b.mean_ns / 1e6, "ms")
+    } else if b.mean_ns >= 1e3 {
+        (b.mean_ns / 1e3, "µs")
+    } else {
+        (b.mean_ns, "ns")
+    };
+    println!("bench {full_id:<48} {value:>10.3} {unit}/iter");
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+
+    /// Sets the sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted and ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id.id, &mut f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

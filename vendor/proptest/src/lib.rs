@@ -1,0 +1,758 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the `proptest!` runner macro, `prop_assert*`/`prop_assume!`,
+//! `prop_oneof!`, range/tuple/regex-string strategies, `prop_map`,
+//! `any::<T>()`, and `prop::collection::vec`. Generation is uniform and
+//! deterministic (seeded per test name); there is **no shrinking** — a
+//! failing case reports its case index and message instead.
+
+pub mod test_runner {
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// `prop_assert*` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An input rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic generator state (xorshift64*).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A value generator. Unlike real proptest there is no shrink tree;
+    /// `generate` returns the final value directly.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Filters generated values; rejected values are retried (up to
+        /// a bound, then the last value is returned regardless).
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter.
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..64 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Constant strategy.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Object-safe strategy view, for heterogeneous unions.
+    pub trait DynStrategy {
+        /// The generated type.
+        type Value;
+        /// Generates one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<Box<dyn DynStrategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<Box<dyn DynStrategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+
+        /// Boxes a strategy for use in a union.
+        pub fn boxed<S>(s: S) -> Box<dyn DynStrategy<Value = V>>
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            Box::new(s)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate_dyn(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + (self.end - self.start) * unit
+        }
+    }
+
+    /// String strategies from regex-like patterns (see [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident . $n:tt),+);)*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // finite values only, spanning sign and magnitude
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (unit - 0.5) * 2e6
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! A tiny regex-shaped string generator: enough for the patterns the
+    //! workspace uses (`\PC{0,200}`, alternations of literals with
+    //! classes like `[0-9]{1,3}` and `.{0,10}`).
+
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        Literal(char),
+        /// Inclusive character ranges, e.g. `[0-9a-f]`.
+        Class(Vec<(char, char)>),
+        /// `.` or `\PC`: printable, non-control.
+        AnyPrintable,
+        Group(Alt),
+    }
+
+    type Seq = Vec<(Atom, (usize, usize))>;
+
+    #[derive(Clone, Debug)]
+    struct Alt {
+        arms: Vec<Seq>,
+    }
+
+    struct RegexParser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    impl<'a> RegexParser<'a> {
+        fn parse_alt(&mut self) -> Alt {
+            let mut arms = vec![self.parse_seq()];
+            while self.chars.peek() == Some(&'|') {
+                self.chars.next();
+                arms.push(self.parse_seq());
+            }
+            Alt { arms }
+        }
+
+        fn parse_seq(&mut self) -> Seq {
+            let mut seq = Seq::new();
+            while let Some(&c) = self.chars.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                self.chars.next();
+                let atom = match c {
+                    '(' => {
+                        let inner = self.parse_alt();
+                        assert_eq!(self.chars.next(), Some(')'), "unclosed group");
+                        Atom::Group(inner)
+                    }
+                    '[' => Atom::Class(self.parse_class()),
+                    '.' => Atom::AnyPrintable,
+                    '\\' => self.parse_escape(),
+                    c => Atom::Literal(c),
+                };
+                let rep = self.parse_rep();
+                seq.push((atom, rep));
+            }
+            seq
+        }
+
+        fn parse_class(&mut self) -> Vec<(char, char)> {
+            let mut ranges = Vec::new();
+            loop {
+                let c = self.chars.next().expect("unclosed class");
+                if c == ']' {
+                    break;
+                }
+                if self.chars.peek() == Some(&'-') {
+                    self.chars.next();
+                    let hi = self.chars.next().expect("unclosed class range");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class");
+            ranges
+        }
+
+        fn parse_escape(&mut self) -> Atom {
+            let c = self.chars.next().expect("dangling escape");
+            match c {
+                // Unicode-property escapes: \PC / \pC etc. The only one
+                // the workspace uses is \PC ("not control") — printable.
+                'P' | 'p' => {
+                    self.chars.next(); // consume the one-letter property
+                    Atom::AnyPrintable
+                }
+                'd' => Atom::Class(vec![('0', '9')]),
+                'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                's' => Atom::Class(vec![(' ', ' '), ('\t', '\t')]),
+                c => Atom::Literal(c),
+            }
+        }
+
+        fn parse_rep(&mut self) -> (usize, usize) {
+            match self.chars.peek() {
+                Some('{') => {
+                    self.chars.next();
+                    let mut lo = String::new();
+                    let mut hi = String::new();
+                    let mut in_hi = false;
+                    loop {
+                        let c = self.chars.next().expect("unclosed repetition");
+                        match c {
+                            '}' => break,
+                            ',' => in_hi = true,
+                            c => {
+                                if in_hi {
+                                    hi.push(c)
+                                } else {
+                                    lo.push(c)
+                                }
+                            }
+                        }
+                    }
+                    let lo_n: usize = lo.parse().expect("bad repetition bound");
+                    let hi_n = if !in_hi {
+                        lo_n
+                    } else if hi.is_empty() {
+                        lo_n + 8
+                    } else {
+                        hi.parse().expect("bad repetition bound")
+                    };
+                    (lo_n, hi_n)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    fn gen_printable(rng: &mut TestRng, out: &mut String) {
+        // mostly ASCII printable, occasionally multibyte — non-control
+        // either way, matching \PC
+        match rng.below(12) {
+            0 => out.push('é'),
+            1 => out.push('\u{2603}'), // snowman
+            _ => out.push((0x20 + rng.below(0x5F) as u8) as char),
+        }
+    }
+
+    fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::AnyPrintable => gen_printable(rng, out),
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                let code = lo as u32 + rng.below(span as u64) as u32;
+                out.push(char::from_u32(code).unwrap_or(lo));
+            }
+            Atom::Group(alt) => gen_alt(alt, rng, out),
+        }
+    }
+
+    fn gen_alt(alt: &Alt, rng: &mut TestRng, out: &mut String) {
+        let arm = &alt.arms[rng.below(alt.arms.len() as u64) as usize];
+        for (atom, (lo, hi)) in arm {
+            let count = lo + rng.below((hi - lo) as u64 + 1) as usize;
+            for _ in 0..count {
+                gen_atom(atom, rng, out);
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = RegexParser {
+            chars: pattern.chars().peekable(),
+        };
+        let alt = parser.parse_alt();
+        assert!(
+            parser.chars.next().is_none(),
+            "trailing regex input in {pattern:?}"
+        );
+        let mut out = String::new();
+        gen_alt(&alt, rng, &mut out);
+        out
+    }
+}
+
+/// The prelude: everything tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Crate alias, so `prop::collection::vec(..)` works.
+    pub use crate as prop;
+}
+
+/// Runs property tests: `proptest! { #![proptest_config(...)] #[test] fn name(x in strat) { .. } }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let cfg: $crate::test_runner::Config = $cfg;
+                let strat = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut ran: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while ran < cfg.cases {
+                    case += 1;
+                    if rejected > cfg.cases.saturating_mul(16).saturating_add(1024) {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections ({})",
+                            stringify!($name), rejected
+                        );
+                    }
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_)
+                        ) => rejected += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg)
+                        ) => panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), case, msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a proptest body (early-returns a failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current inputs; the runner draws a fresh case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Union::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_strategy_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::from_name("shape");
+        for _ in 0..200 {
+            let s = crate::string::generate("[0-9]{1,3} then", &mut rng);
+            assert!(s.ends_with(" then"), "{s:?}");
+            let digits = s.len() - " then".len();
+            assert!((1..=3).contains(&digits));
+        }
+    }
+
+    #[test]
+    fn printable_strategy_has_no_controls() {
+        let mut rng = crate::test_runner::TestRng::from_name("pc");
+        for _ in 0..100 {
+            let s = crate::string::generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3usize..9, (y, z) in (0u64..5, any::<bool>())) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert_eq!(z as u8 <= 1, true);
+        }
+
+        #[test]
+        fn assume_retries(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map_and_vec(
+            v in prop::collection::vec(prop_oneof![1u8..3, 7u8..9], 0..20),
+            s in (0usize..4).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.iter().all(|&x| (1..3).contains(&x) || (7..9).contains(&x)));
+            prop_assert!(s % 2 == 0 && s < 8);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor-based data model, values serialize into a
+//! small JSON-like [`Value`] tree; `serde_json` (also vendored) renders
+//! and parses that tree. `#[derive(serde::Serialize, serde::Deserialize)]`
+//! works on plain (non-generic) structs — named-field and tuple — which
+//! is every type the workspace derives on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and the vendored `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed (negative) integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- helpers used by the derive expansion ----
+
+/// Looks up `key` in a map value (derive helper).
+pub fn map_get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DeError> {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, val)| val)
+            .ok_or_else(|| DeError(format!("missing field `{key}`"))),
+        other => Err(DeError(format!(
+            "expected map for field `{key}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Views a value as a sequence of exactly `len` elements (derive helper).
+pub fn seq_get(v: &Value, len: usize) -> Result<&[Value], DeError> {
+    match v {
+        Value::Seq(items) if items.len() == len => Ok(items),
+        Value::Seq(items) => Err(DeError(format!(
+            "expected sequence of {len}, got {}",
+            items.len()
+        ))),
+        other => Err(DeError(format!("expected sequence, got {other:?}"))),
+    }
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) if *i >= 0 => <$t>::try_from(*i as u64)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::UInt(*self as u64) } else { Value::Int(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(DeError(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($n),+].len();
+                let items = seq_get(v, LEN)?;
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+    (0 A, 1 B, 2 C, 3 D, 4 E);
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // maps with non-string keys serialize as entry sequences
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|entry| {
+                    let pair = seq_get(entry, 2)?;
+                    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                })
+                .collect(),
+            other => Err(DeError(format!("expected entry sequence, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u16>::from_value(&vec![1u16, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        let key = (1u32, 2u16, 3u16);
+        assert_eq!(<(u32, u16, u16)>::from_value(&key.to_value()), Ok(key));
+    }
+}
