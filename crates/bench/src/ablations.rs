@@ -17,10 +17,12 @@ use psep_core::DecompositionTree;
 use psep_graph::bidijkstra::bidirectional_distance;
 use psep_graph::csr::CsrGraph;
 use psep_graph::dijkstra::dijkstra;
+use psep_graph::graph::Weight;
 use psep_graph::NodeId;
 use psep_oracle::label::build_labels;
 use psep_oracle::oracle::{build_oracle, OracleParams};
 use psep_oracle::thorup_zwick::ThorupZwickOracle;
+use psep_oracle::DistanceEstimator;
 use psep_planar::cycle::CycleSearch;
 use psep_routing::{Router, RoutingTables};
 
@@ -29,14 +31,36 @@ use crate::measure::{mean_micros, random_pairs, sample_stretch, timed};
 
 const SEED: u64 = 20060722;
 
-/// E3x — our structured oracle vs Thorup–Zwick vs point-to-point search.
+/// Bidirectional Dijkstra behind the [`DistanceEstimator`] interface, so
+/// the exact point-to-point baseline rides the same measurement loop as
+/// the preprocessed oracles.
+struct BidirectionalBaseline<'a> {
+    graph: &'a psep_graph::Graph,
+}
+
+impl DistanceEstimator for BidirectionalBaseline<'_> {
+    fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        bidirectional_distance(self.graph, u, v)
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn space_entries(&self) -> usize {
+        0
+    }
+}
+
+/// E3x — our structured oracle vs Thorup–Zwick vs point-to-point search,
+/// every contender behind the one [`DistanceEstimator`] interface.
 pub fn e3x_oracle_baselines(families: &[Family], n: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "| family | n | oracle | mean stretch | max stretch | space entries | query µs |"
+        "| family | n | oracle | ε bound | mean stretch | max stretch | space entries | query µs |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
     for &fam in families {
         let g = fam.make(n, SEED);
         let nn = g.num_nodes();
@@ -52,47 +76,38 @@ pub fn e3x_oracle_baselines(families: &[Family], n: usize) -> String {
         );
         let tz2 = ThorupZwickOracle::build(&g, 2, SEED);
         let tz3 = ThorupZwickOracle::build(&g, 3, SEED);
+        let exact = BidirectionalBaseline { graph: &g };
         let pairs = random_pairs(nn, 256, SEED ^ 11);
 
-        let rows: Vec<(String, _, usize)> = vec![
-            (
-                "path-sep ε=0.25 (1.25×)".into(),
-                Box::new(|u, v| ours.query(u, v)) as Box<dyn FnMut(_, _) -> Option<u64>>,
-                ours.space_entries(),
-            ),
-            (
-                "thorup-zwick k=2 (3×)".into(),
-                Box::new(|u, v| tz2.query(u, v)),
-                tz2.space_entries(),
-            ),
-            (
-                "thorup-zwick k=3 (5×)".into(),
-                Box::new(|u, v| tz3.query(u, v)),
-                tz3.space_entries(),
-            ),
-            (
-                "bidir. dijkstra (exact)".into(),
-                Box::new(|u, v| bidirectional_distance(&g, u, v)),
-                0,
-            ),
+        let rows: Vec<(&str, &dyn DistanceEstimator)> = vec![
+            ("path-sep ε=0.25 (1.25×)", &ours),
+            ("thorup-zwick k=2 (3×)", &tz2),
+            ("thorup-zwick k=3 (5×)", &tz3),
+            ("bidir. dijkstra (exact)", &exact),
         ];
-        for (name, mut query, space) in rows {
-            let stretch = sample_stretch(&g, 16, 32, SEED ^ 12, &mut query);
+        for (name, est) in rows {
+            let stretch = sample_stretch(&g, 16, 32, SEED ^ 12, |u, v| est.query(u, v));
+            assert!(
+                stretch.max <= 1.0 + est.epsilon() + 1e-9,
+                "{name}: stretch {} exceeds advertised 1 + ε",
+                stretch.max
+            );
             let mut i = 0usize;
             let us = mean_micros(256, || {
                 let (u, v) = pairs[i % pairs.len()];
                 i += 1;
-                let _ = query(u, v);
+                let _ = est.query(u, v);
             });
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {:.4} | {:.4} | {} | {:.2} |",
+                "| {} | {} | {} | {} | {:.4} | {:.4} | {} | {:.2} |",
                 fam.name(),
                 nn,
                 name,
+                1.0 + est.epsilon(),
                 stretch.mean,
                 stretch.max,
-                space,
+                est.space_entries(),
                 us
             );
         }

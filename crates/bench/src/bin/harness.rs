@@ -126,6 +126,17 @@ fn main() {
             Box::new(move || ex::e3_oracle(&e3_fams, e3_sizes, &[0.5, 0.25, 0.1])),
         ),
         (
+            "e3t",
+            "E3t — serving throughput: batch queries and the wire format",
+            Box::new(move || {
+                ex::e3t_throughput(
+                    &[Family::Grid, Family::KTree3],
+                    if quick { 400 } else { 1600 },
+                    if quick { 20_000 } else { 200_000 },
+                )
+            }),
+        ),
+        (
             "e4",
             "E4 — small-world greedy routing (Thm 3)",
             Box::new(move || ex::e4_smallworld(e4_sizes, trials)),

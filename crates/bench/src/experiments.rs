@@ -165,6 +165,91 @@ pub fn e3_oracle(families: &[Family], sizes: &[usize], epsilons: &[f64]) -> Stri
     out
 }
 
+/// E3t — the serving lifecycle (PR "flat labels + batch + wire"): wire
+/// round-trip fidelity and size, then batch-query throughput vs a
+/// sequential `query` loop across worker-thread counts.
+///
+/// Reported metrics: `oracle.wire.bytes_per_label` (wire bytes over
+/// label count, vs the in-memory arena), and
+/// `oracle.batch.pairs_per_sec` (best observed across thread counts,
+/// with per-count `oracle.batch.threadsNN.pairs_per_sec` gauges).
+pub fn e3t_throughput(families: &[Family], n: usize, pair_count: usize) -> String {
+    use psep_oracle::{wire, BatchQueryEngine};
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | wire bytes | bytes/label | arena bytes | threads | pairs/s | speedup |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for &fam in families {
+        let g = fam.make(n, SEED);
+        let nn = g.num_nodes();
+        let strat = fam.strategy();
+        let tree = DecompositionTree::build(&g, strat.as_ref());
+        let oracle = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: 0.25,
+                ..OracleParams::with_available_threads()
+            },
+        );
+
+        // wire round-trip must be bit-exact, for labels and for the tree
+        let bytes = wire::encode_labels(oracle.flat_labels(), oracle.epsilon());
+        let (back, eps_back) = wire::decode_labels(&bytes).expect("own artifact decodes");
+        assert!(
+            back == *oracle.flat_labels() && eps_back == oracle.epsilon(),
+            "wire round-trip is not bit-exact"
+        );
+        let tree_bytes = tree.encode();
+        assert!(
+            psep_core::DecompositionTree::decode(&tree_bytes).expect("own tree decodes") == tree,
+            "tree wire round-trip is not bit-exact"
+        );
+        let bytes_per_label = bytes.len() as f64 / nn as f64;
+        let arena_bytes = oracle.flat_labels().heap_bytes();
+        if psep_obs::enabled() {
+            psep_obs::counter("oracle.wire.bytes").add(bytes.len() as u64);
+            psep_obs::gauge("oracle.wire.bytes_per_label").set(bytes_per_label);
+            psep_obs::gauge("oracle.wire.arena_ratio").set(bytes.len() as f64 / arena_bytes as f64);
+        }
+
+        let pairs = crate::measure::random_pairs(nn, pair_count, SEED ^ 31);
+        let (seq_answers, seq_s) = timed(|| {
+            pairs
+                .iter()
+                .map(|&(u, v)| oracle.query(u, v))
+                .collect::<Vec<_>>()
+        });
+        let seq_pps = pairs.len() as f64 / seq_s;
+        let _ = writeln!(
+            out,
+            "| {} | {nn} | {} | {bytes_per_label:.1} | {arena_bytes} | seq | {seq_pps:.0} | 1.00× |",
+            fam.name(),
+            bytes.len(),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let engine = BatchQueryEngine::new(threads).min_chunk(64);
+            let (answers, batch_s) = timed(|| engine.run(&oracle, &pairs));
+            assert_eq!(answers, seq_answers, "batch answers diverge at t={threads}");
+            let pps = pairs.len() as f64 / batch_s;
+            if psep_obs::enabled() {
+                psep_obs::gauge("oracle.batch.pairs_per_sec").set_max(pps);
+                psep_obs::gauge(&format!("oracle.batch.threads{threads:02}.pairs_per_sec"))
+                    .set_max(pps);
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {nn} | - | - | - | {threads} | {pps:.0} | {:.2}× |",
+                fam.name(),
+                pps / seq_pps,
+            );
+        }
+    }
+    out
+}
+
 /// E4 — Theorem 3: expected greedy hops under the paper's augmentation
 /// vs Kleinberg inverse-square (grids only) and uniform contacts; hop
 /// growth should be poly-logarithmic for the paper's distribution and

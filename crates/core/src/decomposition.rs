@@ -10,15 +10,16 @@
 //! augmentation distribution are built over.
 
 use psep_graph::components::components;
-use psep_graph::graph::{Graph, NodeId};
+use psep_graph::graph::{Graph, NodeId, Weight};
 use psep_graph::view::{NodeMask, SubgraphView};
 
-use crate::separator::PathSeparator;
+use crate::separator::{PathGroup, PathSeparator, SepPath};
 use crate::strategy::SeparatorStrategy;
+use crate::wire::{put_varint, put_zigzag, seal, unseal, Cursor, WireError};
 
 /// One node of the decomposition tree: a component `H` and its separator
 /// `S(H)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecompNode {
     /// Parent node index (`None` for roots).
     pub parent: Option<usize>,
@@ -45,7 +46,7 @@ pub struct DecompNode {
 /// assert!(tree.depth() as f64 <= (64f64).log2() + 1.0);
 /// assert!(tree.max_paths_per_node() >= 1);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecompositionTree {
     nodes: Vec<DecompNode>,
     /// For each vertex: the node where it lies on the separator.
@@ -278,7 +279,220 @@ impl DecompositionTree {
             true
         }
     }
+
+    /// Encodes the tree as one `psep-tree/v1` artifact.
+    ///
+    /// Per node the wire stores `parent + 1` (0 marks a root), the
+    /// component's sorted vertices (delta varints), and the separator's
+    /// paths (vertex sequences zigzag-delta coded, positions as
+    /// prefix-difference varints). Depths, children, homes, and removal
+    /// groups are derived data and are recomputed on decode, exactly as
+    /// [`DecompositionTree::build`] assigns them.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, TREE_VERSION);
+        put_varint(&mut payload, self.home.len() as u64);
+        put_varint(&mut payload, self.nodes.len() as u64);
+        for node in &self.nodes {
+            put_varint(&mut payload, node.parent.map_or(0, |p| p as u64 + 1));
+            put_varint(&mut payload, node.vertices.len() as u64);
+            let mut prev = 0u64;
+            for (i, v) in node.vertices.iter().enumerate() {
+                let cur = v.0 as u64;
+                put_varint(&mut payload, if i == 0 { cur } else { cur - prev });
+                prev = cur;
+            }
+            put_varint(&mut payload, node.separator.num_groups() as u64);
+            for group in &node.separator.groups {
+                put_varint(&mut payload, group.num_paths() as u64);
+                for path in &group.paths {
+                    put_varint(&mut payload, path.len() as u64);
+                    let mut prev = 0i64;
+                    for (i, v) in path.vertices().iter().enumerate() {
+                        let cur = v.0 as i64;
+                        if i == 0 {
+                            put_varint(&mut payload, cur as u64);
+                        } else {
+                            put_zigzag(&mut payload, cur - prev);
+                        }
+                        prev = cur;
+                    }
+                    for i in 1..path.len() {
+                        put_varint(&mut payload, path.position(i) - path.position(i - 1));
+                    }
+                }
+            }
+        }
+        seal(TREE_MAGIC, &payload)
+    }
+
+    /// Decodes a `psep-tree/v1` artifact, verifying magic, version,
+    /// checksum, and every structural invariant (parent indices precede
+    /// their children, vertex ids fit the universe, every vertex lands
+    /// on exactly one separator).
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        let payload = unseal(TREE_MAGIC, data)?;
+        let mut c = Cursor::new(payload);
+        let version = c.varint()?;
+        if version != TREE_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let limit = payload.len();
+        let n = c.length(limit)?;
+        let num_nodes = c.length(limit)?;
+
+        let mut nodes: Vec<DecompNode> = Vec::with_capacity(num_nodes);
+        for idx in 0..num_nodes {
+            let parent_plus_one = c.length(num_nodes)?;
+            let parent = match parent_plus_one {
+                0 => None,
+                p if p <= idx => Some(p - 1),
+                _ => return Err(WireError::Corrupt("child precedes its parent")),
+            };
+            let depth = parent.map_or(0, |p| nodes[p].depth + 1);
+
+            let count = c.length(n)?;
+            if count == 0 {
+                return Err(WireError::Corrupt("empty component"));
+            }
+            let mut vertices = Vec::with_capacity(count);
+            let mut prev = 0u64;
+            for i in 0..count {
+                let raw = c.varint()?;
+                let cur = if i == 0 {
+                    raw
+                } else {
+                    if raw == 0 {
+                        return Err(WireError::Corrupt("component vertices not ascending"));
+                    }
+                    prev.checked_add(raw)
+                        .ok_or(WireError::Corrupt("vertex id overflows"))?
+                };
+                if cur >= n as u64 {
+                    return Err(WireError::Corrupt("vertex id exceeds universe"));
+                }
+                vertices.push(NodeId(cur as u32));
+                prev = cur;
+            }
+
+            let num_groups = c.length(limit)?;
+            let mut groups = Vec::with_capacity(num_groups);
+            for _ in 0..num_groups {
+                let num_paths = c.length(limit)?;
+                let mut paths = Vec::with_capacity(num_paths);
+                for _ in 0..num_paths {
+                    let len = c.length(n)?;
+                    if len == 0 {
+                        return Err(WireError::Corrupt("empty separator path"));
+                    }
+                    let mut pverts = Vec::with_capacity(len);
+                    let mut prev = 0i64;
+                    for i in 0..len {
+                        let cur = if i == 0 {
+                            let v = c.varint()?;
+                            i64::try_from(v)
+                                .map_err(|_| WireError::Corrupt("vertex id overflows"))?
+                        } else {
+                            prev.checked_add(c.zigzag()?)
+                                .ok_or(WireError::Corrupt("vertex id overflows"))?
+                        };
+                        if cur < 0 || cur >= n as i64 {
+                            return Err(WireError::Corrupt("path vertex exceeds universe"));
+                        }
+                        pverts.push(NodeId(cur as u32));
+                        prev = cur;
+                    }
+                    let mut prefix = Vec::with_capacity(len);
+                    prefix.push(0 as Weight);
+                    for _ in 1..len {
+                        let step = c.varint()?;
+                        let next = prefix
+                            .last()
+                            .unwrap()
+                            .checked_add(step)
+                            .ok_or(WireError::Corrupt("path position overflows"))?;
+                        prefix.push(next);
+                    }
+                    paths.push(
+                        SepPath::from_parts(pverts, prefix)
+                            .ok_or(WireError::Corrupt("malformed separator path"))?,
+                    );
+                }
+                groups.push(PathGroup::new(paths));
+            }
+
+            nodes.push(DecompNode {
+                parent,
+                depth,
+                vertices,
+                separator: PathSeparator::new(groups),
+                children: Vec::new(),
+            });
+        }
+        if c.remaining() != 0 {
+            return Err(WireError::Corrupt("trailing bytes after payload"));
+        }
+
+        // derived data: children from parents, homes by replaying the
+        // group-ascending first-assignment of `build`
+        let mut home = vec![u32::MAX; n];
+        let mut removal_group = vec![u32::MAX; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+        for (idx, node) in nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                children[p].push(idx);
+            }
+            for (gi, group) in node.separator.groups.iter().enumerate() {
+                for v in group.vertices() {
+                    if home[v.index()] == u32::MAX {
+                        home[v.index()] = idx as u32;
+                        removal_group[v.index()] = gi as u32;
+                    }
+                }
+            }
+        }
+        if home.contains(&u32::MAX) {
+            return Err(WireError::Corrupt("some vertex never lands on a separator"));
+        }
+        for (node, kids) in nodes.iter_mut().zip(children) {
+            node.children = kids;
+        }
+        Ok(DecompositionTree {
+            nodes,
+            home,
+            removal_group,
+        })
+    }
+
+    /// Writes the tree as one `psep-tree/v1` artifact.
+    pub fn save<W: std::io::Write>(&self, mut w: W) -> Result<(), WireError> {
+        w.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Reads a `psep-tree/v1` artifact back, verifying magic, version,
+    /// checksum, and structure.
+    pub fn load<R: std::io::Read>(mut r: R) -> Result<Self, WireError> {
+        let mut data = Vec::new();
+        r.read_to_end(&mut data)?;
+        Self::decode(&data)
+    }
+
+    /// [`Self::save`] to a filesystem path.
+    pub fn save_to_path<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), WireError> {
+        self.save(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// [`Self::load`] from a filesystem path.
+    pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self, WireError> {
+        Self::load(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
 }
+
+/// Magic bytes of a `psep-tree` artifact.
+pub const TREE_MAGIC: &[u8; 8] = b"PSEPTREE";
+/// Current tree format version.
+pub const TREE_VERSION: u64 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -361,6 +575,90 @@ mod tests {
         let s = t.summary();
         assert_eq!(s.lines().count(), t.depth() + 2); // header + levels
         assert!(s.contains("max comp"));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_exact_across_families() {
+        let cases: Vec<psep_graph::Graph> = vec![
+            grids::grid2d(7, 7, 1),
+            trees::random_weighted_tree(50, 9, 4),
+            ktree::random_k_tree(40, 3, 3).graph,
+            planar_families::apollonian(60, 5),
+        ];
+        for g in cases {
+            let t = DecompositionTree::build(&g, &AutoStrategy::default());
+            let mut buf = Vec::new();
+            t.save(&mut buf).unwrap();
+            let back = DecompositionTree::load(&buf[..]).unwrap();
+            assert_eq!(back, t);
+            check_tree(&g, &back).unwrap();
+        }
+    }
+
+    #[test]
+    fn wire_rejects_corruption() {
+        let g = grids::grid2d(5, 5, 1);
+        let t = DecompositionTree::build(&g, &AutoStrategy::default());
+        let buf = t.encode();
+        // checksum catches any bit flip in the body
+        for at in [9usize, buf.len() / 2, buf.len() - 5] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x02;
+            assert!(
+                matches!(
+                    DecompositionTree::decode(&bad),
+                    Err(crate::wire::WireError::ChecksumMismatch { .. })
+                ),
+                "flip at {at} not rejected"
+            );
+        }
+        assert!(matches!(
+            DecompositionTree::decode(&buf[..7]),
+            Err(crate::wire::WireError::Truncated)
+        ));
+        let mut wrong = buf.clone();
+        wrong[3] = b'X';
+        assert!(matches!(
+            DecompositionTree::decode(&wrong),
+            Err(crate::wire::WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_rejects_structurally_corrupt_payload() {
+        use crate::wire::{put_varint, seal};
+        // a node whose parent index points forward
+        let mut payload = Vec::new();
+        put_varint(&mut payload, TREE_VERSION);
+        put_varint(&mut payload, 1); // n = 1
+        put_varint(&mut payload, 1); // one node
+        put_varint(&mut payload, 2); // parent + 1 = 2 → parent 1 ≥ own index 0
+        let sealed = seal(TREE_MAGIC, &payload);
+        assert!(matches!(
+            DecompositionTree::decode(&sealed),
+            Err(crate::wire::WireError::Corrupt(_))
+        ));
+
+        // structurally fine node, but vertex 1 of 2 never gets a home
+        let mut payload = Vec::new();
+        put_varint(&mut payload, TREE_VERSION);
+        put_varint(&mut payload, 2); // n = 2
+        put_varint(&mut payload, 1); // one node
+        put_varint(&mut payload, 0); // root
+        put_varint(&mut payload, 2); // two vertices: 0, 1
+        put_varint(&mut payload, 0);
+        put_varint(&mut payload, 1);
+        put_varint(&mut payload, 1); // one group
+        put_varint(&mut payload, 1); // one path
+        put_varint(&mut payload, 1); // singleton path: vertex 0
+        put_varint(&mut payload, 0);
+        let sealed = seal(TREE_MAGIC, &payload);
+        assert!(matches!(
+            DecompositionTree::decode(&sealed),
+            Err(crate::wire::WireError::Corrupt(
+                "some vertex never lands on a separator"
+            ))
+        ));
     }
 
     #[test]

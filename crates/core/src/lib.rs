@@ -35,6 +35,7 @@ pub mod separator;
 pub mod strategy;
 pub mod strong;
 pub mod weighted;
+pub mod wire;
 
 pub use check::{check_separator, check_tree, SeparatorError};
 pub use decomposition::{DecompNode, DecompositionTree};

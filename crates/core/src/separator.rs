@@ -38,6 +38,21 @@ impl SepPath {
         SepPath { vertices, prefix }
     }
 
+    /// Reassembles a path from already-validated parts (wire decode);
+    /// checks only the internal invariants — non-empty, matching
+    /// lengths, `prefix[0] == 0`, non-decreasing prefix — not adjacency
+    /// in any graph (the artifact's checksum vouches for provenance).
+    pub(crate) fn from_parts(vertices: Vec<NodeId>, prefix: Vec<Weight>) -> Option<Self> {
+        if vertices.is_empty()
+            || vertices.len() != prefix.len()
+            || prefix[0] != 0
+            || prefix.windows(2).any(|w| w[0] > w[1])
+        {
+            return None;
+        }
+        Some(SepPath { vertices, prefix })
+    }
+
     /// A trivial single-vertex path (a minimum-cost path of any graph
     /// containing the vertex).
     pub fn singleton(v: NodeId) -> Self {
@@ -103,7 +118,7 @@ impl SepPath {
 /// One group `P_i`: the union of paths that are each minimum-cost in the
 /// *same* residual graph `G \ ⋃_{j<i} P_j` (paths within a group may
 /// intersect; the residual graph shrinks only between groups).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PathGroup {
     /// The paths of the group.
     pub paths: Vec<SepPath>,
@@ -134,7 +149,7 @@ impl PathGroup {
 }
 
 /// A separator `S = P₀ ∪ P₁ ∪ ⋯` (Definition 1).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PathSeparator {
     /// The groups, in removal order.
     pub groups: Vec<PathGroup>,

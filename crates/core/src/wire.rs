@@ -1,0 +1,303 @@
+//! Binary wire-format primitives shared by every `psep-*` artifact:
+//! LEB128 varints, zigzag signed encoding, a CRC-32 checksum, and a
+//! bounds-checked cursor.
+//!
+//! Artifacts built on these primitives (`psep-labels/v1` in the oracle
+//! crate, `psep-tree/v1` in this crate) share one envelope:
+//!
+//! ```text
+//! magic (8 bytes) | version varint | payload … | crc32(version‖payload) LE (4 bytes)
+//! ```
+//!
+//! The checksum covers everything after the magic and before itself, so
+//! any bit flip in the body is rejected before decoding begins.
+
+/// A wire-format decode failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The leading magic bytes did not match the expected artifact type.
+    BadMagic {
+        /// The magic the decoder expected.
+        expected: [u8; 8],
+        /// The bytes actually found (zero-padded if the input was short).
+        found: [u8; 8],
+    },
+    /// The artifact's version is newer than this decoder understands.
+    UnsupportedVersion(u64),
+    /// The stored checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact.
+        stored: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// The input ended before the payload was complete.
+    Truncated,
+    /// The payload decoded but violates a structural invariant.
+    Corrupt(&'static str),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` zigzag-mapped (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) as a
+/// varint, for deltas that can go either way.
+pub fn put_zigzag(buf: &mut Vec<u8>, v: i64) {
+    put_varint(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// A bounds-checked read cursor over a received byte buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.buf.get(self.pos) else {
+                return Err(WireError::Truncated);
+            };
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(WireError::Corrupt("varint overflows u64"));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads one varint and checks it fits `usize` and is at most
+    /// `limit` (a decompression-bomb guard derived from the input size).
+    pub fn length(&mut self, limit: usize) -> Result<usize, WireError> {
+        let v = self.varint()?;
+        if v > limit as u64 {
+            return Err(WireError::Corrupt("length exceeds plausible bound"));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads one zigzag-encoded signed varint.
+    pub fn zigzag(&mut self) -> Result<i64, WireError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+}
+
+/// Frames `payload` (which must begin with the version varint) with
+/// `magic` and the trailing CRC-32: the full artifact byte string.
+pub fn seal(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len() + 4);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Verifies `data`'s magic and checksum, returning the enclosed payload
+/// (version varint first).
+pub fn unseal<'a>(magic: &[u8; 8], data: &'a [u8]) -> Result<&'a [u8], WireError> {
+    if data.len() < 8 + 4 {
+        return Err(WireError::Truncated);
+    }
+    if &data[..8] != magic {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&data[..8]);
+        return Err(WireError::BadMagic {
+            expected: *magic,
+            found,
+        });
+    }
+    let payload = &data[8..data.len() - 4];
+    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.varint().unwrap(), v);
+            assert_eq!(c.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_zigzag(&mut buf, v);
+            assert_eq!(Cursor::new(&buf).zigzag().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_detected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 20);
+        buf.pop();
+        assert!(matches!(
+            Cursor::new(&buf).varint(),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let buf = [0xffu8; 11];
+        assert!(matches!(
+            Cursor::new(&buf).varint(),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // the canonical IEEE test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_rejection() {
+        let magic = b"PSEPTEST";
+        let payload = b"\x01hello world payload";
+        let sealed = seal(magic, payload);
+        assert_eq!(unseal(magic, &sealed).unwrap(), payload);
+
+        // flipped payload byte → checksum mismatch
+        let mut bad = sealed.clone();
+        bad[10] ^= 0x40;
+        assert!(matches!(
+            unseal(magic, &bad),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // wrong magic
+        assert!(matches!(
+            unseal(b"PSEPXXXX", &sealed),
+            Err(WireError::BadMagic { .. })
+        ));
+
+        // truncation
+        assert!(matches!(
+            unseal(magic, &sealed[..5]),
+            Err(WireError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,234 @@
+//! Parallel batch queries: serve a pair list across worker threads.
+//!
+//! A production oracle answers streams of queries, not single pairs.
+//! [`BatchQueryEngine`] splits a pair list into contiguous chunks, one
+//! per `std::thread` worker over the shared [`FlatLabels`] arena (reads
+//! only — no locks), and stitches the answers back in input order, so
+//! `query_many` is observationally identical to a sequential `query`
+//! loop. Workers skip per-query instrumentation and publish aggregated
+//! per-thread counters (`oracle.batch.workerNN.pairs`) once per chunk —
+//! experiment E3t measures the resulting `oracle.batch.pairs_per_sec`.
+//!
+//! [`FlatLabels`]: crate::flat::FlatLabels
+
+use psep_graph::graph::{NodeId, Weight};
+
+use crate::error::Error;
+use crate::oracle::DistanceOracle;
+
+/// A reusable parallel query engine with a fixed thread budget.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchQueryEngine {
+    threads: usize,
+    min_chunk: usize,
+}
+
+impl Default for BatchQueryEngine {
+    fn default() -> Self {
+        BatchQueryEngine::new(std::thread::available_parallelism().map_or(1, |p| p.get()))
+    }
+}
+
+impl BatchQueryEngine {
+    /// An engine with `threads` workers (`0` means the machine's
+    /// available parallelism).
+    pub fn new(threads: usize) -> Self {
+        BatchQueryEngine {
+            threads: if threads == 0 {
+                std::thread::available_parallelism().map_or(1, |p| p.get())
+            } else {
+                threads
+            },
+            min_chunk: 512,
+        }
+    }
+
+    /// Sets the minimum pairs per worker — below it, extra threads cost
+    /// more to start than they save (default 512).
+    pub fn min_chunk(mut self, min_chunk: usize) -> Self {
+        self.min_chunk = min_chunk.max(1);
+        self
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Answers every pair, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex id is out of range; [`Self::try_run`]
+    /// validates up front and returns an error instead.
+    pub fn run(&self, oracle: &DistanceOracle, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
+        let workers = self.worker_count(pairs.len());
+        psep_obs::counter!("oracle.batch.runs").incr();
+        let (answers, scanned) = if workers <= 1 {
+            let mut scanned = 0u64;
+            let answers = pairs
+                .iter()
+                .map(|&(u, v)| {
+                    let (ans, s) = oracle.query_uncounted(u, v);
+                    scanned += s;
+                    ans
+                })
+                .collect();
+            record_worker(0, pairs.len(), scanned);
+            (answers, scanned)
+        } else {
+            self.run_parallel(oracle, pairs, workers)
+        };
+        psep_obs::counter!("oracle.batch.pairs").add(pairs.len() as u64);
+        psep_obs::counter!("oracle.batch.candidates_scanned").add(scanned);
+        answers
+    }
+
+    /// [`Self::run`] with every vertex id validated first; a bad request
+    /// is an [`Error::NodeOutOfRange`], not a worker panic.
+    pub fn try_run(
+        &self,
+        oracle: &DistanceOracle,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Option<Weight>>, Error> {
+        let n = oracle.num_nodes();
+        for &(u, v) in pairs {
+            for node in [u, v] {
+                if node.index() >= n {
+                    return Err(Error::NodeOutOfRange { node, num_nodes: n });
+                }
+            }
+        }
+        Ok(self.run(oracle, pairs))
+    }
+
+    fn worker_count(&self, pairs: usize) -> usize {
+        self.threads.min(pairs.div_ceil(self.min_chunk)).max(1)
+    }
+
+    fn run_parallel(
+        &self,
+        oracle: &DistanceOracle,
+        pairs: &[(NodeId, NodeId)],
+        workers: usize,
+    ) -> (Vec<Option<Weight>>, u64) {
+        let chunk_size = pairs.len().div_ceil(workers);
+        let mut answers = Vec::with_capacity(pairs.len());
+        let mut scanned_total = 0u64;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut scanned = 0u64;
+                        let out: Vec<Option<Weight>> = chunk
+                            .iter()
+                            .map(|&(u, v)| {
+                                let (ans, s) = oracle.query_uncounted(u, v);
+                                scanned += s;
+                                ans
+                            })
+                            .collect();
+                        (out, scanned)
+                    })
+                })
+                .collect();
+            for (wi, h) in handles.into_iter().enumerate() {
+                let (out, scanned) = h.join().expect("batch query worker panicked");
+                record_worker(wi, out.len(), scanned);
+                scanned_total += scanned;
+                answers.extend(out);
+            }
+        });
+        (answers, scanned_total)
+    }
+}
+
+/// Publishes one worker's aggregated counters.
+fn record_worker(worker: usize, pairs: usize, scanned: u64) {
+    if psep_obs::enabled() {
+        psep_obs::counter(&format!("oracle.batch.worker{worker:02}.pairs")).add(pairs as u64);
+        psep_obs::counter(&format!("oracle.batch.worker{worker:02}.candidates")).add(scanned);
+    }
+}
+
+impl DistanceOracle {
+    /// Answers every `(u, v)` pair, in input order, chunked across the
+    /// machine's available parallelism — equivalent to (and on
+    /// multi-core hardware much faster than) a sequential
+    /// [`DistanceOracle::query`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex id is out of range; use
+    /// [`BatchQueryEngine::try_run`] to validate instead.
+    pub fn query_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
+        BatchQueryEngine::default().run(self, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+    use psep_graph::Graph;
+
+    fn grid_oracle(side: usize) -> (Graph, DistanceOracle) {
+        let g = grids::grid2d(side, side, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let o = crate::oracle::build_oracle(&g, &tree, crate::oracle::OracleParams::default());
+        (g, o)
+    }
+
+    fn all_pairs(n: u32) -> Vec<(NodeId, NodeId)> {
+        (0..n)
+            .flat_map(|u| (0..n).map(move |v| (NodeId(u), NodeId(v))))
+            .collect()
+    }
+
+    #[test]
+    fn query_many_matches_sequential_queries() {
+        let (_, o) = grid_oracle(7);
+        let pairs = all_pairs(49);
+        let sequential: Vec<_> = pairs.iter().map(|&(u, v)| o.query(u, v)).collect();
+        assert_eq!(o.query_many(&pairs), sequential);
+        for threads in [1, 2, 3, 8] {
+            let engine = BatchQueryEngine::new(threads).min_chunk(16);
+            assert_eq!(engine.run(&o, &pairs), sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let (_, o) = grid_oracle(3);
+        assert_eq!(o.query_many(&[]), Vec::<Option<Weight>>::new());
+        let one = [(NodeId(0), NodeId(8))];
+        assert_eq!(
+            BatchQueryEngine::new(8).run(&o, &one),
+            vec![o.query(NodeId(0), NodeId(8))]
+        );
+    }
+
+    #[test]
+    fn try_run_rejects_out_of_range_without_spawning() {
+        let (_, o) = grid_oracle(4);
+        let engine = BatchQueryEngine::new(2);
+        let bad = [(NodeId(0), NodeId(1)), (NodeId(3), NodeId(99))];
+        assert!(matches!(
+            engine.try_run(&o, &bad),
+            Err(Error::NodeOutOfRange { num_nodes: 16, .. })
+        ));
+        let good = [(NodeId(0), NodeId(1))];
+        assert_eq!(
+            engine.try_run(&o, &good).unwrap(),
+            vec![o.query(NodeId(0), NodeId(1))]
+        );
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(BatchQueryEngine::new(0).threads() >= 1);
+    }
+}

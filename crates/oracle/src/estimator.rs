@@ -1,0 +1,134 @@
+//! [`DistanceEstimator`] — the one interface every oracle in this crate
+//! answers to, so benchmarks, examples, and serving code can swap the
+//! path-separator oracle, the doubling variant, Thorup–Zwick, and the
+//! exact baselines without rewriting the measurement loop.
+
+use psep_graph::graph::{NodeId, Weight};
+
+use crate::doubling::DoublingOracle;
+use crate::exact::ExactOracle;
+use crate::oracle::DistanceOracle;
+use crate::thorup_zwick::ThorupZwickOracle;
+
+/// A distance oracle: point queries with a known worst-case error bound
+/// and a measurable space footprint.
+///
+/// The guarantee is `d(u,v) ≤ query(u,v) ≤ (1 + epsilon()) · d(u,v)`
+/// for connected pairs; `epsilon()` is `0.0` for exact oracles and
+/// `2k − 2` for a stretch-`2k−1` Thorup–Zwick oracle.
+pub trait DistanceEstimator {
+    /// Estimated distance, or `None` when the oracle cannot connect the
+    /// pair (disconnected, or a TZ query walk that dead-ends).
+    fn query(&self, u: NodeId, v: NodeId) -> Option<Weight>;
+
+    /// The worst-case relative error `ε` of [`Self::query`].
+    fn epsilon(&self) -> f64;
+
+    /// Stored entries — the space measure experiment E3 compares
+    /// (portal entries, bunch sizes, or matrix cells, per oracle kind).
+    fn space_entries(&self) -> usize;
+}
+
+impl DistanceEstimator for DistanceOracle {
+    fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        DistanceOracle::query(self, u, v)
+    }
+
+    fn epsilon(&self) -> f64 {
+        DistanceOracle::epsilon(self)
+    }
+
+    fn space_entries(&self) -> usize {
+        DistanceOracle::space_entries(self)
+    }
+}
+
+impl DistanceEstimator for DoublingOracle {
+    fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        DoublingOracle::query(self, u, v)
+    }
+
+    fn epsilon(&self) -> f64 {
+        DoublingOracle::epsilon(self)
+    }
+
+    fn space_entries(&self) -> usize {
+        DoublingOracle::space_entries(self)
+    }
+}
+
+impl DistanceEstimator for ExactOracle {
+    fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        ExactOracle::query(self, u, v)
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn space_entries(&self) -> usize {
+        ExactOracle::space_entries(self)
+    }
+}
+
+impl DistanceEstimator for ThorupZwickOracle {
+    fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        ThorupZwickOracle::query(self, u, v)
+    }
+
+    /// Stretch ≤ `2k − 1` means relative error at most `2k − 2`.
+    fn epsilon(&self) -> f64 {
+        (2 * self.k()) as f64 - 2.0
+    }
+
+    fn space_entries(&self) -> usize {
+        ThorupZwickOracle::space_entries(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+    use psep_graph::Graph;
+
+    /// The generic measurement loop the bench harness runs: worst
+    /// observed stretch must respect the advertised `epsilon`.
+    fn worst_stretch<E: DistanceEstimator + ?Sized>(g: &Graph, est: &E) -> f64 {
+        let exact = ExactOracle::build_apsp(g);
+        let mut worst = 1.0f64;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let Some(d) = exact.query(u, v) else { continue };
+                if d == 0 {
+                    continue;
+                }
+                let approx = est.query(u, v).expect("connected pair") as f64;
+                worst = worst.max(approx / d as f64);
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn every_oracle_honors_its_epsilon() {
+        let g = grids::grid2d(5, 5, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let ours = crate::oracle::build_oracle(&g, &tree, crate::oracle::OracleParams::default());
+        let tz = ThorupZwickOracle::build(&g, 2, 7);
+        let exact = ExactOracle::build_apsp(&g);
+
+        let oracles: Vec<&dyn DistanceEstimator> = vec![&ours, &tz, &exact];
+        for o in oracles {
+            let worst = worst_stretch(&g, o);
+            assert!(
+                worst <= 1.0 + o.epsilon() + 1e-9,
+                "stretch {worst} exceeds 1 + ε = {}",
+                1.0 + o.epsilon()
+            );
+            assert!(o.space_entries() > 0);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Contiguous (CSR-style) label storage: the whole oracle's entries and
+//! portals in four flat arrays.
+//!
+//! The nested [`DistanceLabel`] representation allocates one `Vec` per
+//! vertex plus one `Vec` per entry — friendly to construct, hostile to
+//! serve: a query chases two levels of pointers per entry and the
+//! allocator scatters labels across the heap. [`FlatLabels`] stores the
+//! same information as
+//!
+//! ```text
+//! entry_start:  n+1   u32  — entries of vertex v are entry_start[v]..entry_start[v+1]
+//! keys:         E     u64  — packed (node, group, path), ascending per vertex
+//! portal_start: E+1   u32  — portals of entry e are portal_start[e]..portal_start[e+1]
+//! portals:      P     PortalEntry
+//! ```
+//!
+//! so the merge-join of a query walks two contiguous key slices and the
+//! portal arena linearly. Construction is one pass and queries borrow
+//! [`LabelRef`] views; [`FlatLabels::to_labels`] converts back whenever
+//! the nested form is wanted (round-trips exactly).
+
+use psep_graph::graph::NodeId;
+
+use crate::error::Error;
+use crate::label::{unpack_key, DistanceLabel, LabelEntry, LabelStats, PortalEntry};
+
+/// All labels of one oracle in contiguous CSR-style arrays.
+///
+/// Invariants (maintained by every constructor):
+///
+/// * `entry_start` has `num_labels() + 1` elements, is non-decreasing,
+///   starts at 0 and ends at `keys.len()`;
+/// * `portal_start` has `keys.len() + 1` elements, is non-decreasing,
+///   starts at 0 and ends at `portals.len()`;
+/// * within each vertex's range, `keys` is strictly ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlatLabels {
+    entry_start: Vec<u32>,
+    keys: Vec<u64>,
+    portal_start: Vec<u32>,
+    portals: Vec<PortalEntry>,
+}
+
+impl FlatLabels {
+    /// Flattens nested labels (index = vertex id) into one arena.
+    pub fn from_labels(labels: &[DistanceLabel]) -> Self {
+        let num_entries: usize = labels.iter().map(|l| l.num_entries()).sum();
+        let num_portals: usize = labels.iter().map(|l| l.size()).sum();
+        let mut entry_start = Vec::with_capacity(labels.len() + 1);
+        let mut keys = Vec::with_capacity(num_entries);
+        let mut portal_start = Vec::with_capacity(num_entries + 1);
+        let mut portals = Vec::with_capacity(num_portals);
+        entry_start.push(0);
+        portal_start.push(0);
+        for label in labels {
+            for entry in &label.entries {
+                keys.push(entry.packed_key());
+                portals.extend_from_slice(&entry.portals);
+                portal_start.push(portals.len() as u32);
+            }
+            entry_start.push(keys.len() as u32);
+        }
+        FlatLabels {
+            entry_start,
+            keys,
+            portal_start,
+            portals,
+        }
+    }
+
+    /// Assembles an arena directly from its four arrays, validating the
+    /// CSR invariants. This is the entry point of the wire-format
+    /// decoder; in-process callers normally use [`FlatLabels::from_labels`].
+    pub fn from_parts(
+        entry_start: Vec<u32>,
+        keys: Vec<u64>,
+        portal_start: Vec<u32>,
+        portals: Vec<PortalEntry>,
+    ) -> Result<Self, Error> {
+        let corrupt = |what: &'static str| Err(Error::corrupt(what));
+        if entry_start.first() != Some(&0) || portal_start.first() != Some(&0) {
+            return corrupt("offset arrays must start at 0");
+        }
+        if *entry_start.last().unwrap() as usize != keys.len() {
+            return corrupt("entry_start must end at keys.len()");
+        }
+        if portal_start.len() != keys.len() + 1 {
+            return corrupt("portal_start must have one bound per entry plus one");
+        }
+        if *portal_start.last().unwrap() as usize != portals.len() {
+            return corrupt("portal_start must end at portals.len()");
+        }
+        if entry_start.windows(2).any(|w| w[0] > w[1]) {
+            return corrupt("entry_start must be non-decreasing");
+        }
+        if portal_start.windows(2).any(|w| w[0] > w[1]) {
+            return corrupt("portal_start must be non-decreasing");
+        }
+        for v in 0..entry_start.len() - 1 {
+            let range = entry_start[v] as usize..entry_start[v + 1] as usize;
+            if keys[range].windows(2).any(|w| w[0] >= w[1]) {
+                return corrupt("keys must be strictly ascending within a vertex");
+            }
+        }
+        Ok(FlatLabels {
+            entry_start,
+            keys,
+            portal_start,
+            portals,
+        })
+    }
+
+    /// Expands back to the nested per-vertex representation
+    /// (`from_labels(&flat.to_labels()) == flat`).
+    pub fn to_labels(&self) -> Vec<DistanceLabel> {
+        (0..self.num_labels())
+            .map(|v| {
+                let r = self.label(NodeId::from_index(v));
+                DistanceLabel {
+                    entries: r
+                        .entries()
+                        .map(|(key, portals)| {
+                            let (node, group, path) = unpack_key(key);
+                            LabelEntry {
+                                node,
+                                group,
+                                path,
+                                portals: portals.to_vec(),
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of labels (vertices).
+    pub fn num_labels(&self) -> usize {
+        self.entry_start.len() - 1
+    }
+
+    /// Total `(node, group, path)` entries across all labels.
+    pub fn num_entries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total portal entries — the oracle's space in the sense of
+    /// Theorem 2.
+    pub fn num_portals(&self) -> usize {
+        self.portals.len()
+    }
+
+    /// Borrowed view of `v`'s label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; use [`FlatLabels::try_label`] to
+    /// get an error instead.
+    pub fn label(&self, v: NodeId) -> LabelRef<'_> {
+        self.try_label(v).unwrap()
+    }
+
+    /// Borrowed view of `v`'s label, or [`Error::NodeOutOfRange`].
+    pub fn try_label(&self, v: NodeId) -> Result<LabelRef<'_>, Error> {
+        let i = v.index();
+        if i >= self.num_labels() {
+            return Err(Error::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_labels(),
+            });
+        }
+        let (lo, hi) = (
+            self.entry_start[i] as usize,
+            self.entry_start[i + 1] as usize,
+        );
+        Ok(LabelRef {
+            keys: &self.keys[lo..hi],
+            bounds: &self.portal_start[lo..=hi],
+            portals: &self.portals,
+        })
+    }
+
+    /// Raw arrays `(entry_start, keys, portal_start, portals)` — what
+    /// the wire format encodes.
+    pub fn as_parts(&self) -> (&[u32], &[u64], &[u32], &[PortalEntry]) {
+        (
+            &self.entry_start,
+            &self.keys,
+            &self.portal_start,
+            &self.portals,
+        )
+    }
+
+    /// Label statistics, computed from the offsets without materializing
+    /// nested labels.
+    pub fn stats(&self) -> LabelStats {
+        let n = self.num_labels();
+        if n == 0 {
+            return LabelStats::default();
+        }
+        let max_size = (0..n)
+            .map(|v| {
+                let (lo, hi) = (
+                    self.entry_start[v] as usize,
+                    self.entry_start[v + 1] as usize,
+                );
+                (self.portal_start[hi] - self.portal_start[lo]) as usize
+            })
+            .max()
+            .unwrap_or(0);
+        LabelStats {
+            mean_size: self.num_portals() as f64 / n as f64,
+            max_size,
+            mean_entries: self.num_entries() as f64 / n as f64,
+            mean_portals_per_entry: if self.num_entries() == 0 {
+                0.0
+            } else {
+                self.num_portals() as f64 / self.num_entries() as f64
+            },
+        }
+    }
+
+    /// Heap bytes of the arena — the in-memory footprint the wire
+    /// format's `bytes_per_label` is compared against.
+    pub fn heap_bytes(&self) -> usize {
+        self.entry_start.len() * 4
+            + self.keys.len() * 8
+            + self.portal_start.len() * 4
+            + self.portals.len() * std::mem::size_of::<PortalEntry>()
+    }
+}
+
+/// A borrowed label: key slice plus portal bounds into the shared arena.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelRef<'a> {
+    /// Packed `(node, group, path)` keys, strictly ascending.
+    keys: &'a [u64],
+    /// `keys.len() + 1` bounds into `portals`.
+    bounds: &'a [u32],
+    /// The whole portal arena (bounds are global indices).
+    portals: &'a [PortalEntry],
+}
+
+impl<'a> LabelRef<'a> {
+    /// The entries as `(packed key, portals)` pairs in ascending key
+    /// order — the shape the merge-join core consumes.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &'a [PortalEntry])> + '_ {
+        self.keys.iter().enumerate().map(|(i, &k)| {
+            (
+                k,
+                &self.portals[self.bounds[i] as usize..self.bounds[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Number of `(node, group, path)` entries.
+    pub fn num_entries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total portal entries (the label size of Theorem 2).
+    pub fn size(&self) -> usize {
+        (self.bounds[self.keys.len()] - self.bounds[0]) as usize
+    }
+
+    /// The portals stored for packed key `key`, if present.
+    pub fn portals_for(&self, key: u64) -> Option<&'a [PortalEntry]> {
+        let i = self.keys.binary_search(&key).ok()?;
+        Some(&self.portals[self.bounds[i] as usize..self.bounds[i + 1] as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::build_labels;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+
+    fn grid_labels() -> Vec<DistanceLabel> {
+        let g = grids::grid2d(6, 6, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        build_labels(&g, &tree, 0.25, 1)
+    }
+
+    #[test]
+    fn roundtrip_grid_labels() {
+        let labels = grid_labels();
+        let flat = FlatLabels::from_labels(&labels);
+        assert_eq!(flat.num_labels(), labels.len());
+        assert_eq!(
+            flat.num_portals(),
+            labels.iter().map(|l| l.size()).sum::<usize>()
+        );
+        assert_eq!(flat.to_labels(), labels);
+        // and converting again is bit-identical
+        assert_eq!(FlatLabels::from_labels(&flat.to_labels()), flat);
+    }
+
+    #[test]
+    fn stats_match_nested_stats() {
+        let labels = grid_labels();
+        let flat = FlatLabels::from_labels(&labels);
+        let nested = crate::label::label_stats(&labels);
+        let fs = flat.stats();
+        assert_eq!(fs.max_size, nested.max_size);
+        assert!((fs.mean_size - nested.mean_size).abs() < 1e-12);
+        assert!((fs.mean_entries - nested.mean_entries).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_ref_views_match_nested_entries() {
+        let labels = grid_labels();
+        let flat = FlatLabels::from_labels(&labels);
+        for (v, label) in labels.iter().enumerate() {
+            let r = flat.label(NodeId::from_index(v));
+            assert_eq!(r.num_entries(), label.num_entries());
+            assert_eq!(r.size(), label.size());
+            for ((key, portals), entry) in r.entries().zip(&label.entries) {
+                assert_eq!(key, entry.packed_key());
+                assert_eq!(portals, entry.portals.as_slice());
+                assert_eq!(r.portals_for(key), Some(entry.portals.as_slice()));
+            }
+        }
+        assert_eq!(flat.label(NodeId(0)).portals_for(u64::MAX), None);
+    }
+
+    #[test]
+    fn out_of_range_label_is_an_error() {
+        let flat = FlatLabels::from_labels(&grid_labels());
+        let err = flat.try_label(NodeId(999)).unwrap_err();
+        assert!(matches!(err, Error::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_invariants() {
+        let flat = FlatLabels::from_labels(&grid_labels());
+        let (es, keys, ps, portals) = flat.as_parts();
+        // valid parts reassemble
+        assert_eq!(
+            FlatLabels::from_parts(es.to_vec(), keys.to_vec(), ps.to_vec(), portals.to_vec())
+                .unwrap(),
+            flat
+        );
+        // descending keys within a vertex
+        let mut bad_keys = keys.to_vec();
+        bad_keys.swap(0, 1);
+        assert!(
+            FlatLabels::from_parts(es.to_vec(), bad_keys, ps.to_vec(), portals.to_vec()).is_err()
+        );
+        // truncated portal arena
+        assert!(FlatLabels::from_parts(
+            es.to_vec(),
+            keys.to_vec(),
+            ps.to_vec(),
+            portals[..portals.len() - 1].to_vec()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_labels_flatten() {
+        let flat = FlatLabels::from_labels(&[DistanceLabel::default(), DistanceLabel::default()]);
+        assert_eq!(flat.num_labels(), 2);
+        assert_eq!(flat.num_entries(), 0);
+        assert_eq!(flat.label(NodeId(1)).entries().count(), 0);
+        assert_eq!(flat.to_labels().len(), 2);
+    }
+}

@@ -38,6 +38,23 @@ impl LabelEntry {
     pub fn key(&self) -> (u32, u16, u16) {
         (self.node, self.group, self.path)
     }
+
+    /// The key packed into one `u64` — same ordering as [`Self::key`],
+    /// one comparison in the merge-join.
+    pub fn packed_key(&self) -> u64 {
+        pack_key(self.node, self.group, self.path)
+    }
+}
+
+/// Packs `(node, group, path)` into one `u64` preserving lexicographic
+/// order.
+pub fn pack_key(node: u32, group: u16, path: u16) -> u64 {
+    ((node as u64) << 32) | ((group as u64) << 16) | path as u64
+}
+
+/// Inverse of [`pack_key`].
+pub fn unpack_key(key: u64) -> (u32, u16, u16) {
+    ((key >> 32) as u32, (key >> 16) as u16, key as u16)
 }
 
 /// The `(1+ε)`-approximate distance label of one vertex: entries for
@@ -60,6 +77,15 @@ impl DistanceLabel {
     /// Number of `(node, group, path)` entries.
     pub fn num_entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The entries as `(packed key, portals)` pairs in ascending key
+    /// order — the shape the merge-join core consumes, shared with
+    /// [`crate::flat::LabelRef::entries`].
+    pub fn entry_slices(&self) -> impl Iterator<Item = (u64, &[PortalEntry])> {
+        self.entries
+            .iter()
+            .map(|e| (e.packed_key(), e.portals.as_slice()))
     }
 }
 

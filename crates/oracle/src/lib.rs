@@ -26,17 +26,26 @@
 //! and the query time `O(k/ε · log n)` shapes are measured by
 //! experiment E3.
 
+pub mod batch;
 pub mod directory;
 pub mod doubling;
+pub mod error;
+pub mod estimator;
 pub mod exact;
+pub mod flat;
 pub mod label;
 pub mod oracle;
 pub mod portals;
 pub mod thorup_zwick;
+pub mod wire;
 
+pub use batch::BatchQueryEngine;
 pub use directory::{ObjectDirectory, ObjectId};
 pub use doubling::{build_doubling_oracle, DoublingOracle, DoublingOracleParams};
+pub use error::Error;
+pub use estimator::DistanceEstimator;
 pub use exact::ExactOracle;
+pub use flat::{FlatLabels, LabelRef};
 pub use label::{DistanceLabel, LabelEntry, PortalEntry};
-pub use oracle::{build_oracle, DistanceOracle, OracleParams};
+pub use oracle::{build_oracle, DistanceOracle, OracleBuilder, OracleParams};
 pub use thorup_zwick::ThorupZwickOracle;

@@ -1,10 +1,12 @@
-//! The `(1+ε)`-approximate distance oracle (Theorem 2): all labels plus a
-//! merge-join query.
+//! The `(1+ε)`-approximate distance oracle (Theorem 2): all labels in a
+//! flat arena plus a merge-join query.
 
 use psep_core::decomposition::DecompositionTree;
 use psep_graph::graph::{Graph, NodeId, Weight, INFINITY};
 
-use crate::label::{build_labels, label_stats, DistanceLabel, LabelStats};
+use crate::error::Error;
+use crate::flat::{FlatLabels, LabelRef};
+use crate::label::{build_labels, unpack_key, DistanceLabel, LabelStats, PortalEntry};
 
 /// Construction parameters for [`build_oracle`].
 #[derive(Clone, Copy, Debug)]
@@ -35,7 +37,87 @@ impl OracleParams {
     }
 }
 
-/// The distance oracle: one [`DistanceLabel`] per vertex.
+/// Validating builder for [`DistanceOracle`] — the fallible counterpart
+/// of [`build_oracle`].
+///
+/// # Example
+///
+/// ```
+/// use psep_core::{DecompositionTree, AutoStrategy};
+/// use psep_graph::generators::grids;
+/// use psep_graph::NodeId;
+/// use psep_oracle::OracleBuilder;
+///
+/// let g = grids::grid2d(6, 6, 1);
+/// let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+/// let oracle = OracleBuilder::new()
+///     .epsilon(0.25)
+///     .threads(2)
+///     .build(&g, &tree)
+///     .unwrap();
+/// assert!(oracle.query(NodeId(0), NodeId(35)).is_some());
+/// assert!(OracleBuilder::new().epsilon(-1.0).build(&g, &tree).is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct OracleBuilder {
+    epsilon: f64,
+    threads: usize,
+}
+
+impl Default for OracleBuilder {
+    fn default() -> Self {
+        let p = OracleParams::default();
+        OracleBuilder {
+            epsilon: p.epsilon,
+            threads: p.threads,
+        }
+    }
+}
+
+impl OracleBuilder {
+    /// A builder with the default parameters (`ε = 0.25`, one thread).
+    pub fn new() -> Self {
+        OracleBuilder::default()
+    }
+
+    /// Sets the approximation parameter `ε` (validated in
+    /// [`Self::build`]: must be positive and finite).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the number of construction worker threads; `0` means the
+    /// machine's available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the oracle, rejecting invalid parameters as
+    /// [`Error::InvalidEpsilon`] instead of panicking.
+    pub fn build(self, g: &Graph, tree: &DecompositionTree) -> Result<DistanceOracle, Error> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(Error::InvalidEpsilon(self.epsilon));
+        }
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        };
+        Ok(build_oracle(
+            g,
+            tree,
+            OracleParams {
+                epsilon: self.epsilon,
+                threads,
+            },
+        ))
+    }
+}
+
+/// The distance oracle: every vertex's label in one [`FlatLabels`]
+/// arena.
 ///
 /// Queries satisfy `d(u,v) ≤ query(u,v) ≤ (1+ε) · d(u,v)` for connected
 /// pairs (`None` for disconnected pairs), because:
@@ -46,7 +128,7 @@ impl OracleParams {
 ///   produces a candidate within `1+ε` (see the crate docs).
 #[derive(Clone, Debug)]
 pub struct DistanceOracle {
-    labels: Vec<DistanceLabel>,
+    flat: FlatLabels,
     epsilon: f64,
 }
 
@@ -67,17 +149,28 @@ pub struct DistanceOracle {
 /// assert!((10..=12).contains(&est)); // true distance 10, ε = 0.25
 /// ```
 pub fn build_oracle(g: &Graph, tree: &DecompositionTree, params: OracleParams) -> DistanceOracle {
+    let labels = build_labels(g, tree, params.epsilon, params.threads);
     DistanceOracle {
-        labels: build_labels(g, tree, params.epsilon, params.threads),
+        flat: FlatLabels::from_labels(&labels),
         epsilon: params.epsilon,
     }
 }
 
 impl DistanceOracle {
-    /// Builds an oracle directly from labels (e.g. labels shipped from a
-    /// distributed deployment — Theorem 2's labeling-scheme reading).
+    /// Builds an oracle directly from nested labels (e.g. labels shipped
+    /// from a distributed deployment — Theorem 2's labeling-scheme
+    /// reading).
     pub fn from_labels(labels: Vec<DistanceLabel>, epsilon: f64) -> Self {
-        DistanceOracle { labels, epsilon }
+        DistanceOracle {
+            flat: FlatLabels::from_labels(&labels),
+            epsilon,
+        }
+    }
+
+    /// Builds an oracle from an already-flat arena (e.g. one loaded from
+    /// the wire format).
+    pub fn from_flat(flat: FlatLabels, epsilon: f64) -> Self {
+        DistanceOracle { flat, epsilon }
     }
 
     /// The approximation parameter `ε`.
@@ -85,36 +178,94 @@ impl DistanceOracle {
         self.epsilon
     }
 
-    /// The labels (index = vertex id).
-    pub fn labels(&self) -> &[DistanceLabel] {
-        &self.labels
+    /// The flat label arena.
+    pub fn flat_labels(&self) -> &FlatLabels {
+        &self.flat
+    }
+
+    /// The labels in nested per-vertex form (materialized; the oracle
+    /// itself stores only the flat arena).
+    pub fn to_labels(&self) -> Vec<DistanceLabel> {
+        self.flat.to_labels()
+    }
+
+    /// Number of vertices the oracle covers.
+    pub fn num_nodes(&self) -> usize {
+        self.flat.num_labels()
     }
 
     /// The label of `v` — what a distributed deployment would store at
     /// `v` (Theorem 2's labeling scheme).
-    pub fn label(&self, v: NodeId) -> &DistanceLabel {
-        &self.labels[v.index()]
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; [`Self::try_label`] returns an
+    /// error instead.
+    pub fn label(&self, v: NodeId) -> LabelRef<'_> {
+        self.flat.label(v)
+    }
+
+    /// The label of `v`, or [`Error::NodeOutOfRange`].
+    pub fn try_label(&self, v: NodeId) -> Result<LabelRef<'_>, Error> {
+        self.flat.try_label(v)
     }
 
     /// `(1+ε)`-approximate distance between `u` and `v`; `None` if
     /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range; [`Self::try_query`] returns
+    /// an error instead.
     pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.try_query(u, v).unwrap()
+    }
+
+    /// `(1+ε)`-approximate distance, with out-of-range vertex ids
+    /// reported as [`Error::NodeOutOfRange`] — the serving entry point:
+    /// a malformed request must not take the process down.
+    pub fn try_query(&self, u: NodeId, v: NodeId) -> Result<Option<Weight>, Error> {
+        let lu = self.flat.try_label(u)?;
+        let lv = self.flat.try_label(v)?;
         if u == v {
-            return Some(0);
+            return Ok(Some(0));
         }
-        let est = query_labels(&self.labels[u.index()], &self.labels[v.index()]);
-        (est != INFINITY).then_some(est)
+        let (scanned, best) = merge_join_best(lu.entries(), lv.entries());
+        record_query(scanned);
+        Ok(best.map(|(w, ..)| w))
+    }
+
+    /// Like [`Self::query`] but skips per-query instrumentation — the
+    /// batch engine's hot path; workers publish aggregated counters once
+    /// per chunk instead.
+    pub(crate) fn query_uncounted(&self, u: NodeId, v: NodeId) -> (Option<Weight>, u64) {
+        if u == v {
+            return (Some(0), 0);
+        }
+        let (scanned, best) =
+            merge_join_best(self.flat.label(u).entries(), self.flat.label(v).entries());
+        (best.map(|(w, ..)| w), scanned)
+    }
+
+    /// Like [`Self::query`] but also returns the witnessing entry and
+    /// portal pair. `None` when the labels share no entry (`u == v`
+    /// included: a self-query crosses no separator path).
+    pub fn explain(&self, u: NodeId, v: NodeId) -> Option<(Weight, QueryWitness)> {
+        let (scanned, best) =
+            merge_join_best(self.flat.label(u).entries(), self.flat.label(v).entries());
+        record_query(scanned);
+        best.map(|(w, key, pu, pv)| (w, QueryWitness::new(key, pu, pv)))
     }
 
     /// Total space in portal entries (the `O(k/ε · n log n)` of
     /// Theorem 2).
     pub fn space_entries(&self) -> usize {
-        self.labels.iter().map(|l| l.size()).sum()
+        self.flat.num_portals()
     }
 
     /// Label statistics.
     pub fn stats(&self) -> LabelStats {
-        label_stats(&self.labels)
+        self.flat.stats()
     }
 }
 
@@ -136,82 +287,95 @@ pub struct QueryWitness {
     pub dist_v: Weight,
 }
 
-/// Like [`query_labels`] but also returns the witnessing entry and
-/// portal pair. `None` when the labels share no entry.
-pub fn query_labels_explain(
-    lu: &DistanceLabel,
-    lv: &DistanceLabel,
-) -> Option<(Weight, QueryWitness)> {
-    let mut best: Option<(Weight, QueryWitness)> = None;
-    let (a, b) = (&lu.entries, &lv.entries);
-    let (mut i, mut j) = (0usize, 0usize);
+impl QueryWitness {
+    fn new(key: u64, pu: PortalEntry, pv: PortalEntry) -> Self {
+        let (node, group, path) = unpack_key(key);
+        QueryWitness {
+            node,
+            group,
+            path,
+            dist_u: pu.dist,
+            along: pu.pos.abs_diff(pv.pos),
+            dist_v: pv.dist,
+        }
+    }
+}
+
+/// The one merge-join core every query path funnels through: walks two
+/// ascending `(key, portals)` streams, and on each key match scans the
+/// portal-pair cross product for the cheapest
+/// `d_J(u,p) + d_Q(p,q) + d_J(q,v)` candidate.
+///
+/// Returns the number of candidates scanned and the best candidate as
+/// `(weight, key, portal_u, portal_v)` (`None` when the streams share no
+/// key). Works identically over nested labels
+/// ([`DistanceLabel::entry_slices`]) and flat views
+/// ([`LabelRef::entries`]), so representation changes land here exactly
+/// once.
+fn merge_join_best<'a>(
+    mut a: impl Iterator<Item = (u64, &'a [PortalEntry])>,
+    mut b: impl Iterator<Item = (u64, &'a [PortalEntry])>,
+) -> (u64, Option<(Weight, u64, PortalEntry, PortalEntry)>) {
     let mut scanned: u64 = 0;
-    while i < a.len() && j < b.len() {
-        match a[i].key().cmp(&b[j].key()) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+    let mut best: Option<(Weight, u64, PortalEntry, PortalEntry)> = None;
+    let (mut na, mut nb) = (a.next(), b.next());
+    while let (Some((ka, pa)), Some((kb, pb))) = (na, nb) {
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => na = a.next(),
+            std::cmp::Ordering::Greater => nb = b.next(),
             std::cmp::Ordering::Equal => {
-                scanned += (a[i].portals.len() * b[j].portals.len()) as u64;
-                for pu in &a[i].portals {
-                    for pv in &b[j].portals {
+                scanned += (pa.len() * pb.len()) as u64;
+                for pu in pa {
+                    for pv in pb {
                         let along = pu.pos.abs_diff(pv.pos);
                         let cand = pu.dist.saturating_add(along).saturating_add(pv.dist);
-                        if best.is_none_or(|(c, _)| cand < c) {
-                            best = Some((
-                                cand,
-                                QueryWitness {
-                                    node: a[i].node,
-                                    group: a[i].group,
-                                    path: a[i].path,
-                                    dist_u: pu.dist,
-                                    along,
-                                    dist_v: pv.dist,
-                                },
-                            ));
+                        if best.is_none_or(|(c, ..)| cand < c) {
+                            best = Some((cand, ka, *pu, *pv));
                         }
                     }
                 }
-                i += 1;
-                j += 1;
+                na = a.next();
+                nb = b.next();
             }
         }
     }
+    (scanned, best)
+}
+
+/// Publishes one query's instrumentation. Candidates accumulate locally
+/// in the merge-join; the query loop is the oracle's hot path and must
+/// not touch shared counters per portal pair.
+fn record_query(scanned: u64) {
     psep_obs::counter!("oracle.query.invocations").incr();
     psep_obs::counter!("oracle.query.candidates_scanned").add(scanned);
-    best
 }
 
 /// Label-only distance estimate — usable by any two parties holding just
 /// the two labels (the distributed reading of Theorem 2). Returns
 /// [`INFINITY`] when the labels share no entry.
 pub fn query_labels(lu: &DistanceLabel, lv: &DistanceLabel) -> Weight {
-    let mut best = INFINITY;
-    let (a, b) = (&lu.entries, &lv.entries);
-    let (mut i, mut j) = (0usize, 0usize);
-    // Candidates accumulate locally; the query loop is the oracle's hot
-    // path and must not touch shared counters per portal pair.
-    let mut scanned: u64 = 0;
-    while i < a.len() && j < b.len() {
-        match a[i].key().cmp(&b[j].key()) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                scanned += (a[i].portals.len() * b[j].portals.len()) as u64;
-                for pu in &a[i].portals {
-                    for pv in &b[j].portals {
-                        let along = pu.pos.abs_diff(pv.pos);
-                        let cand = pu.dist.saturating_add(along).saturating_add(pv.dist);
-                        best = best.min(cand);
-                    }
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    psep_obs::counter!("oracle.query.invocations").incr();
-    psep_obs::counter!("oracle.query.candidates_scanned").add(scanned);
-    best
+    let (scanned, best) = merge_join_best(lu.entry_slices(), lv.entry_slices());
+    record_query(scanned);
+    best.map_or(INFINITY, |(w, ..)| w)
+}
+
+/// Like [`query_labels`] but also returns the witnessing entry and
+/// portal pair. `None` when the labels share no entry.
+pub fn query_labels_explain(
+    lu: &DistanceLabel,
+    lv: &DistanceLabel,
+) -> Option<(Weight, QueryWitness)> {
+    let (scanned, best) = merge_join_best(lu.entry_slices(), lv.entry_slices());
+    record_query(scanned);
+    best.map(|(w, key, pu, pv)| (w, QueryWitness::new(key, pu, pv)))
+}
+
+/// Label-only distance estimate over two flat views — same contract as
+/// [`query_labels`], zero materialization.
+pub fn query_label_refs(lu: LabelRef<'_>, lv: LabelRef<'_>) -> Weight {
+    let (scanned, best) = merge_join_best(lu.entries(), lv.entries());
+    record_query(scanned);
+    best.map_or(INFINITY, |(w, ..)| w)
 }
 
 #[cfg(test)]
@@ -356,15 +520,23 @@ mod tests {
     fn explain_agrees_with_query_and_decomposes_the_estimate() {
         let g = grids::grid2d(6, 6, 1);
         let o = build(&g, 0.25);
+        let labels = o.to_labels();
         for u in g.nodes() {
             for v in g.nodes() {
                 if u == v {
                     continue;
                 }
                 let est = o.query(u, v).unwrap();
-                let (w_est, w) = query_labels_explain(o.label(u), o.label(v)).unwrap();
+                let (w_est, w) = o.explain(u, v).unwrap();
                 assert_eq!(est, w_est);
                 assert_eq!(w.dist_u + w.along + w.dist_v, est);
+                // the nested-label paths agree with the flat paths
+                assert_eq!(query_labels(&labels[u.index()], &labels[v.index()]), est);
+                assert_eq!(
+                    query_labels_explain(&labels[u.index()], &labels[v.index()]),
+                    Some((w_est, w))
+                );
+                assert_eq!(query_label_refs(o.label(u), o.label(v)), est);
             }
         }
     }
@@ -373,8 +545,65 @@ mod tests {
     fn space_accounting() {
         let g = grids::grid2d(6, 6, 1);
         let o = build(&g, 0.25);
-        let total: usize = o.labels().iter().map(|l| l.size()).sum();
+        let total: usize = o.to_labels().iter().map(|l| l.size()).sum();
         assert_eq!(o.space_entries(), total);
         assert!(total > 0);
+    }
+
+    #[test]
+    fn try_query_rejects_out_of_range() {
+        let g = grids::grid2d(4, 4, 1);
+        let o = build(&g, 0.5);
+        assert!(matches!(
+            o.try_query(NodeId(0), NodeId(16)),
+            Err(Error::NodeOutOfRange { num_nodes: 16, .. })
+        ));
+        assert!(matches!(
+            o.try_query(NodeId(99), NodeId(0)),
+            Err(Error::NodeOutOfRange { .. })
+        ));
+        assert_eq!(
+            o.try_query(NodeId(0), NodeId(15)).unwrap(),
+            o.query(NodeId(0), NodeId(15))
+        );
+        assert!(o.try_label(NodeId(16)).is_err());
+    }
+
+    #[test]
+    fn builder_validates_and_matches_build_oracle() {
+        let g = grids::grid2d(5, 5, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let built = OracleBuilder::new().epsilon(0.25).build(&g, &tree).unwrap();
+        let direct = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: 0.25,
+                threads: 1,
+            },
+        );
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(built.query(u, v), direct.query(u, v));
+            }
+        }
+        assert!(matches!(
+            OracleBuilder::new().epsilon(0.0).build(&g, &tree),
+            Err(Error::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            OracleBuilder::new().epsilon(f64::NAN).build(&g, &tree),
+            Err(Error::InvalidEpsilon(_))
+        ));
+        // threads(0) means auto and still builds deterministically
+        let auto = OracleBuilder::new()
+            .epsilon(0.25)
+            .threads(0)
+            .build(&g, &tree)
+            .unwrap();
+        assert_eq!(
+            auto.query(NodeId(0), NodeId(24)),
+            built.query(NodeId(0), NodeId(24))
+        );
     }
 }

@@ -1,0 +1,97 @@
+//! Property tests for the flat label arena and the `psep-labels/v1`
+//! wire format: `FlatLabels` is a lossless re-encoding of
+//! `Vec<DistanceLabel>`, the wire round-trip is bit-exact, and any
+//! corrupted byte is rejected.
+
+use proptest::prelude::*;
+use psep_core::strategy::AutoStrategy;
+use psep_core::DecompositionTree;
+use psep_graph::generators::{grids, ktree, randomize_weights, trees};
+use psep_graph::Graph;
+use psep_oracle::label::build_labels;
+use psep_oracle::oracle::DistanceOracle;
+use psep_oracle::wire::{decode_labels, encode_labels};
+use psep_oracle::FlatLabels;
+
+/// A small graph from one of the generator families, chosen by `pick`.
+fn make_graph(pick: u8, size: usize, seed: u64) -> Graph {
+    match pick % 4 {
+        0 => grids::grid2d(size.max(2), size.max(2), 1),
+        1 => randomize_weights(&grids::grid2d(size.max(2), size.max(2), 1), 1, 12, seed),
+        2 => trees::random_weighted_tree(size * size + 2, 9, seed),
+        _ => ktree::random_k_tree(size * size + 4, 2, seed).graph,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flattening nested labels and converting back reproduces them
+    /// exactly, and the per-vertex views agree entry by entry.
+    #[test]
+    fn flat_labels_roundtrip_nested(pick in 0u8..4, size in 2usize..6, seed in any::<u64>(), eps_tenths in 1u32..8) {
+        let g = make_graph(pick, size, seed);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let labels = build_labels(&g, &tree, eps_tenths as f64 / 10.0, 1);
+        let flat = FlatLabels::from_labels(&labels);
+        prop_assert_eq!(flat.to_labels(), labels.clone());
+        prop_assert_eq!(flat.num_labels(), labels.len());
+        for (v, nested) in labels.iter().enumerate() {
+            let view = flat.label(psep_graph::NodeId(v as u32));
+            prop_assert_eq!(view.num_entries(), nested.num_entries());
+            prop_assert_eq!(view.size(), nested.size());
+            for ((ka, pa), (kb, pb)) in view.entries().zip(nested.entry_slices()) {
+                prop_assert_eq!(ka, kb);
+                prop_assert_eq!(pa, pb);
+            }
+        }
+    }
+
+    /// The wire round-trip is bit-exact: same arena, same epsilon, same
+    /// answers.
+    #[test]
+    fn wire_roundtrip_is_bit_exact(pick in 0u8..4, size in 2usize..6, seed in any::<u64>()) {
+        let g = make_graph(pick, size, seed);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let labels = build_labels(&g, &tree, 0.25, 1);
+        let flat = FlatLabels::from_labels(&labels);
+        let bytes = encode_labels(&flat, 0.25);
+        let (back, eps) = decode_labels(&bytes).expect("own artifact decodes");
+        prop_assert_eq!(&back, &flat);
+        prop_assert_eq!(eps, 0.25);
+    }
+
+    /// Flipping any single byte of the artifact makes it undecodable:
+    /// magic, payload, and checksum bytes are all covered.
+    #[test]
+    fn any_corrupted_byte_is_rejected(size in 2usize..5, seed in any::<u64>(), flip in any::<u16>(), bit in 0u8..8) {
+        let g = make_graph(1, size, seed);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let labels = build_labels(&g, &tree, 0.5, 1);
+        let flat = FlatLabels::from_labels(&labels);
+        let bytes = encode_labels(&flat, 0.5);
+        let mut bad = bytes.clone();
+        let at = flip as usize % bad.len();
+        bad[at] ^= 1 << bit;
+        prop_assert!(decode_labels(&bad).is_err(), "flip at byte {} bit {} accepted", at, bit);
+        // and the pristine copy still decodes
+        prop_assert!(decode_labels(&bytes).is_ok());
+    }
+
+    /// A loaded oracle answers every query identically to the one that
+    /// was saved.
+    #[test]
+    fn loaded_oracle_answers_identically(pick in 0u8..4, size in 2usize..5, seed in any::<u64>()) {
+        let g = make_graph(pick, size, seed);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let oracle = psep_oracle::build_oracle(&g, &tree, psep_oracle::OracleParams::default());
+        let mut buf = Vec::new();
+        oracle.save(&mut buf).expect("save");
+        let back = DistanceOracle::load(&buf[..]).expect("load");
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(back.query(u, v), oracle.query(u, v));
+            }
+        }
+    }
+}

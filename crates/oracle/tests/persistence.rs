@@ -30,6 +30,55 @@ fn labels_roundtrip_through_serde() {
 }
 
 #[test]
+fn binary_wire_lifecycle_through_the_filesystem() {
+    // the full serving lifecycle: build once, ship both artifacts to
+    // disk, reload in a fresh process image, serve identically
+    let g = grids::grid2d(7, 7, 1);
+    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+    let oracle = psep_oracle::build_oracle(&g, &tree, psep_oracle::OracleParams::default());
+
+    let dir = std::env::temp_dir().join(format!("psep-wire-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let labels_path = dir.join("grid.psep-labels");
+    let tree_path = dir.join("grid.psep-tree");
+
+    oracle.save_to_path(&labels_path).unwrap();
+    tree.save_to_path(&tree_path).unwrap();
+
+    let oracle2 = DistanceOracle::load_from_path(&labels_path).unwrap();
+    let tree2 = DecompositionTree::load_from_path(&tree_path).unwrap();
+    assert_eq!(tree2, tree);
+    assert_eq!(oracle2.epsilon(), oracle.epsilon());
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(oracle2.query(u, v), oracle.query(u, v));
+        }
+    }
+    // labels rebuilt from the reloaded tree match the shipped ones
+    let rebuilt = psep_oracle::build_oracle(&g, &tree2, psep_oracle::OracleParams::default());
+    assert_eq!(rebuilt.flat_labels(), oracle2.flat_labels());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wire_is_denser_than_json() {
+    let g = grids::grid2d(7, 7, 1);
+    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+    let labels = build_labels(&g, &tree, 0.25, 1);
+    let json = serde_json::to_string(&labels).unwrap();
+    let oracle = DistanceOracle::from_labels(labels, 0.25);
+    let mut wire = Vec::new();
+    oracle.save(&mut wire).unwrap();
+    assert!(
+        wire.len() * 4 < json.len(),
+        "wire {} not ≪ json {}",
+        wire.len(),
+        json.len()
+    );
+}
+
+#[test]
 fn single_label_is_compact_json() {
     let g = grids::grid2d(5, 5, 1);
     let tree = DecompositionTree::build(&g, &AutoStrategy::default());

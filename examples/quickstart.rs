@@ -9,7 +9,7 @@ use path_separators::core::strategy::AutoStrategy;
 use path_separators::core::{check_tree, DecompositionTree};
 use path_separators::graph::dijkstra::distance;
 use path_separators::graph::generators::{grids, randomize_weights};
-use path_separators::oracle::oracle::{build_oracle, OracleParams};
+use path_separators::OracleBuilder;
 
 fn main() {
     // A 32×32 weighted grid — think of it as a small road network.
@@ -31,14 +31,11 @@ fn main() {
 
     // 2. Build the (1+ε)-approximate distance oracle (Theorem 2).
     let eps = 0.1;
-    let oracle = build_oracle(
-        &g,
-        &tree,
-        OracleParams {
-            epsilon: eps,
-            threads: 4,
-        },
-    );
+    let oracle = OracleBuilder::new()
+        .epsilon(eps)
+        .threads(4)
+        .build(&g, &tree)
+        .expect("epsilon is finite and positive");
     let stats = oracle.stats();
     println!(
         "oracle: ε = {eps}, mean label = {:.1} portal entries, total = {} (vs {} for APSP)",

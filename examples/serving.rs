@@ -1,0 +1,110 @@
+//! Serving: the build → save → load → batch-query lifecycle.
+//!
+//! ```text
+//! cargo run --example serving --release
+//! ```
+//!
+//! One process builds the oracle and ships two checksummed binary
+//! artifacts (`psep-labels/v1`, `psep-tree/v1`); a serving process
+//! reloads them and answers pair lists in parallel with `query_many`.
+//! The final comparison is generic over `DistanceEstimator`, the trait
+//! every oracle in the crate implements.
+
+use std::time::Instant;
+
+use path_separators::core::strategy::AutoStrategy;
+use path_separators::core::DecompositionTree;
+use path_separators::graph::generators::{grids, randomize_weights};
+use path_separators::graph::NodeId;
+use path_separators::oracle::{ExactOracle, ThorupZwickOracle};
+use path_separators::{BatchQueryEngine, DistanceEstimator, DistanceOracle, OracleBuilder};
+
+/// The generic serving report: any `DistanceEstimator` can stand in.
+fn describe<E: DistanceEstimator>(name: &str, est: &E) {
+    println!(
+        "  {name:<22} guarantee ≤ {:.2}×   space = {} entries",
+        1.0 + est.epsilon(),
+        est.space_entries()
+    );
+}
+
+fn main() {
+    // -- build side ------------------------------------------------------
+    let g = randomize_weights(&grids::grid2d(40, 40, 1), 1, 9, 7);
+    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+    let oracle = OracleBuilder::new()
+        .epsilon(0.25)
+        .threads(0) // 0 = all available cores
+        .build(&g, &tree)
+        .expect("valid parameters");
+    println!(
+        "built: n = {}, ε = {}, {} portal entries",
+        g.num_nodes(),
+        oracle.epsilon(),
+        oracle.space_entries()
+    );
+
+    // ship both artifacts: labels for serving, tree for rebuilds
+    let dir = std::env::temp_dir().join("psep-serving-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let labels_path = dir.join("grid.psep-labels");
+    let tree_path = dir.join("grid.psep-tree");
+    oracle.save_to_path(&labels_path).expect("save labels");
+    tree.save_to_path(&tree_path).expect("save tree");
+    let wire_bytes = std::fs::metadata(&labels_path).unwrap().len();
+    println!(
+        "saved: {} bytes on the wire ({:.1} bytes/label, {} in memory)",
+        wire_bytes,
+        wire_bytes as f64 / g.num_nodes() as f64,
+        oracle.flat_labels().heap_bytes()
+    );
+
+    // -- serving side ----------------------------------------------------
+    let served = DistanceOracle::load_from_path(&labels_path).expect("checksummed load");
+    let _tree_again = DecompositionTree::load_from_path(&tree_path).expect("tree reloads");
+    assert_eq!(served.flat_labels(), oracle.flat_labels()); // bit-exact
+
+    // a pair workload, answered sequentially and in parallel
+    let n = g.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..100_000u64)
+        .map(|i| {
+            let u = (i.wrapping_mul(2654435761) >> 7) as u32 % n;
+            let v = (i.wrapping_mul(40503) >> 3) as u32 % n;
+            (NodeId(u), NodeId(v))
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let sequential: Vec<_> = pairs.iter().map(|&(u, v)| served.query(u, v)).collect();
+    let seq_s = t0.elapsed().as_secs_f64();
+    println!(
+        "sequential: {} pairs in {seq_s:.2}s ({:.0} pairs/s)",
+        pairs.len(),
+        pairs.len() as f64 / seq_s
+    );
+
+    for threads in [2usize, 4] {
+        let engine = BatchQueryEngine::new(threads);
+        let t0 = Instant::now();
+        let batched = engine.run(&served, &pairs);
+        let s = t0.elapsed().as_secs_f64();
+        assert_eq!(batched, sequential); // same answers, same order
+        println!(
+            "batch t={threads}:  {} pairs in {s:.2}s ({:.0} pairs/s, {:.2}× sequential)",
+            pairs.len(),
+            pairs.len() as f64 / s,
+            seq_s / s
+        );
+    }
+
+    // -- one interface over every oracle ---------------------------------
+    println!("estimators (generic over DistanceEstimator):");
+    describe("path-sep ε=0.25", &served);
+    let tz = ThorupZwickOracle::build(&g, 2, 1);
+    describe("thorup-zwick k=2", &tz);
+    let exact = ExactOracle::on_line(&g);
+    describe("dijkstra (exact)", &exact);
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("done.");
+}

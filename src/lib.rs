@@ -43,5 +43,8 @@ pub use psep_smallworld as smallworld;
 // The most common types, re-exported at the crate root.
 pub use psep_core::{AutoStrategy, DecompositionTree, PathSeparator, SepPath, SeparatorStrategy};
 pub use psep_graph::{Graph, NodeId, Weight};
-pub use psep_oracle::{build_oracle, DistanceOracle, ObjectDirectory, OracleParams};
+pub use psep_oracle::{
+    build_oracle, BatchQueryEngine, DistanceEstimator, DistanceOracle, ObjectDirectory,
+    OracleBuilder, OracleParams,
+};
 pub use psep_routing::{Router, RoutingTables};

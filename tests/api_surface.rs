@@ -80,7 +80,7 @@ fn oracle_from_labels_matches_built_oracle() {
             threads: 1,
         },
     );
-    let relabeled = DistanceOracle::from_labels(built.labels().to_vec(), 0.5);
+    let relabeled = DistanceOracle::from_labels(built.to_labels(), 0.5);
     for u in g.nodes() {
         for v in g.nodes() {
             assert_eq!(built.query(u, v), relabeled.query(u, v));
