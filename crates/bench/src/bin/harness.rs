@@ -137,6 +137,16 @@ fn main() {
             }),
         ),
         (
+            "e3b",
+            "E3b — parallel construction throughput with bit-identity",
+            Box::new(move || {
+                ex::e3b_build_throughput(
+                    &[Family::Grid, Family::KTree3],
+                    if quick { 400 } else { 1600 },
+                )
+            }),
+        ),
+        (
             "e4",
             "E4 — small-world greedy routing (Thm 3)",
             Box::new(move || ex::e4_smallworld(e4_sizes, trials)),

@@ -250,6 +250,75 @@ pub fn e3t_throughput(families: &[Family], n: usize, pair_count: usize) -> Strin
     out
 }
 
+/// E3b — parallel construction (PR "deterministic parallel build"):
+/// decomposition-tree and label build throughput across worker-thread
+/// counts, with the bit-identity guarantee asserted inline — every
+/// thread count must serialize to the sequential run's exact
+/// `psep-tree/v1` and `psep-labels/v1` wire bytes.
+///
+/// Reported metrics: `core.build.nodes_per_sec` and
+/// `oracle.label.vertices_per_sec` (best observed across thread counts,
+/// with per-count `core.build.threadsNN.*` /
+/// `oracle.label.threadsNN.*` gauges).
+pub fn e3b_build_throughput(families: &[Family], n: usize) -> String {
+    use psep_core::decomposition::DecompositionParams;
+    use psep_oracle::label::build_labels;
+    use psep_oracle::{wire, FlatLabels};
+    const EPSILON: f64 = 0.25;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | threads | tree s | tree speedup | labels s | labels speedup | identical |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for &fam in families {
+        let g = fam.make(n, SEED);
+        let nn = g.num_nodes();
+        let strat = fam.strategy();
+
+        let (base_tree, base_tree_s) = timed(|| DecompositionTree::build(&g, strat.as_ref()));
+        let base_tree_bytes = base_tree.encode();
+        let (base_labels, base_label_s) = timed(|| build_labels(&g, &base_tree, EPSILON, 1));
+        let base_label_bytes = wire::encode_labels(&FlatLabels::from_labels(&base_labels), EPSILON);
+        let _ = writeln!(
+            out,
+            "| {} | {nn} | seq | {base_tree_s:.2} | 1.00× | {base_label_s:.2} | 1.00× | yes |",
+            fam.name(),
+        );
+
+        for threads in [1usize, 2, 4] {
+            let params = DecompositionParams { threads };
+            let (tree, tree_s) =
+                timed(|| DecompositionTree::build_with(&g, strat.as_ref(), &params));
+            let (labels, label_s) = timed(|| build_labels(&g, &tree, EPSILON, threads));
+            let identical = tree.encode() == base_tree_bytes
+                && wire::encode_labels(&FlatLabels::from_labels(&labels), EPSILON)
+                    == base_label_bytes;
+            assert!(identical, "parallel build diverged at t={threads}");
+            let tree_nps = tree.nodes().len() as f64 / tree_s;
+            let label_vps = nn as f64 / label_s;
+            if psep_obs::enabled() {
+                psep_obs::gauge("core.build.nodes_per_sec").set_max(tree_nps);
+                psep_obs::gauge(&format!("core.build.threads{threads:02}.nodes_per_sec"))
+                    .set_max(tree_nps);
+                psep_obs::gauge("oracle.label.vertices_per_sec").set_max(label_vps);
+                psep_obs::gauge(&format!(
+                    "oracle.label.threads{threads:02}.vertices_per_sec"
+                ))
+                .set_max(label_vps);
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {nn} | {threads} | {tree_s:.2} | {:.2}× | {label_s:.2} | {:.2}× | yes |",
+                fam.name(),
+                base_tree_s / tree_s,
+                base_label_s / label_s,
+            );
+        }
+    }
+    out
+}
+
 /// E4 — Theorem 3: expected greedy hops under the paper's augmentation
 /// vs Kleinberg inverse-square (grids only) and uniform contacts; hop
 /// growth should be poly-logarithmic for the paper's distribution and

@@ -100,18 +100,9 @@ pub fn mean_micros(iters: usize, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64
 }
 
-/// Random vertex pairs (deterministic in `seed`).
-pub fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| {
-            (
-                NodeId::from_index(rng.gen_range(0..n)),
-                NodeId::from_index(rng.gen_range(0..n)),
-            )
-        })
-        .collect()
-}
+// Random vertex pairs (deterministic in `seed`); shared with the
+// workspace test suites via the test-kit.
+pub use psep_testkit::random_pairs;
 
 #[cfg(test)]
 mod tests {

@@ -9,6 +9,8 @@
 //! the context chain that labels, routing tables, and the small-world
 //! augmentation distribution are built over.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use psep_graph::components::components;
 use psep_graph::graph::{Graph, NodeId, Weight};
 use psep_graph::view::{NodeMask, SubgraphView};
@@ -16,6 +18,44 @@ use psep_graph::view::{NodeMask, SubgraphView};
 use crate::separator::{PathGroup, PathSeparator, SepPath};
 use crate::strategy::SeparatorStrategy;
 use crate::wire::{put_varint, put_zigzag, seal, unseal, Cursor, WireError};
+
+/// The number of worker threads construction entry points should use:
+/// the `PSEP_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism (1 if it
+/// cannot be determined).
+pub fn available_threads() -> usize {
+    if let Ok(raw) = std::env::var("PSEP_THREADS") {
+        if let Ok(t) = raw.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Construction parameters for [`DecompositionTree::build_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct DecompositionParams {
+    /// Worker threads for separator computation (`1` = sequential).
+    pub threads: usize,
+}
+
+impl Default for DecompositionParams {
+    fn default() -> Self {
+        DecompositionParams { threads: 1 }
+    }
+}
+
+impl DecompositionParams {
+    /// Parameters with `threads` set to [`available_threads`] (honoring
+    /// `PSEP_THREADS`).
+    pub fn with_available_threads() -> Self {
+        DecompositionParams {
+            threads: available_threads(),
+        }
+    }
+}
 
 /// One node of the decomposition tree: a component `H` and its separator
 /// `S(H)`.
@@ -58,7 +98,8 @@ pub struct DecompositionTree {
 
 impl DecompositionTree {
     /// Builds the decomposition tree of `g` (all components) using
-    /// `strategy` at every node.
+    /// `strategy` at every node, sequentially. Equivalent to
+    /// [`Self::build_with`] at `threads = 1`.
     ///
     /// # Panics
     ///
@@ -66,70 +107,165 @@ impl DecompositionTree {
     /// of a component (which would loop forever), or if some vertex never
     /// acquires a home (strategy produced vertices outside the component).
     pub fn build(g: &Graph, strategy: &dyn SeparatorStrategy) -> Self {
+        Self::build_with(g, strategy, &DecompositionParams::default())
+    }
+
+    /// Builds the decomposition tree with `params.threads` workers.
+    ///
+    /// The result is **bit-identical** to [`Self::build`] at every
+    /// thread count: after a separator is removed, sibling components
+    /// are independent, so each frontier wave fans its
+    /// `strategy.separate` calls (the dominant cost) across
+    /// `std::thread::scope` workers; the node numbering — the only
+    /// order-sensitive part — is then produced by a sequential replay of
+    /// the exact depth-first stack discipline of the sequential build,
+    /// consuming the precomputed separators. The equivalence suite
+    /// compares `psep-tree/v1` wire bytes across thread counts to lock
+    /// this down.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::build`]; a panic in any worker (e.g. a strategy that
+    /// fails to halve) propagates.
+    pub fn build_with(
+        g: &Graph,
+        strategy: &dyn SeparatorStrategy,
+        params: &DecompositionParams,
+    ) -> Self {
         let _span = psep_obs::span!("decomp_build");
         let n = g.num_nodes();
         let mut nodes: Vec<DecompNode> = Vec::new();
         let mut home = vec![u32::MAX; n];
         let mut removal_group = vec![u32::MAX; n];
 
-        // roots: connected components of g
-        let mut work: Vec<(Option<usize>, usize, Vec<NodeId>)> = components(g)
-            .into_iter()
-            .map(|c| (None, 0usize, c))
-            .collect();
-
-        while let Some((parent, depth, comp)) = work.pop() {
-            psep_obs::counter!("core.decomp.separator_calls").incr();
-            let sep = strategy.separate(g, &comp);
-            let node_idx = nodes.len();
-            let sep_vertices = sep.vertices();
-            assert!(
-                !sep_vertices.is_empty(),
-                "strategy {} removed nothing from a component of size {}",
-                strategy.name(),
-                comp.len()
-            );
-            // record homes and removal groups
-            for (gi, group) in sep.groups.iter().enumerate() {
-                for v in group.vertices() {
-                    if home[v.index()] == u32::MAX {
-                        home[v.index()] = node_idx as u32;
-                        removal_group[v.index()] = gi as u32;
-                    } else {
-                        debug_assert_eq!(
-                            home[v.index()],
-                            node_idx as u32,
-                            "vertex {v:?} separated twice"
-                        );
-                        // keep the earliest group index
+        if params.threads <= 1 {
+            // sequential: expand and assemble in one depth-first pass
+            let mut work: Vec<(Option<usize>, usize, Vec<NodeId>)> = components(g)
+                .into_iter()
+                .map(|c| (None, 0usize, c))
+                .collect();
+            while let Some((parent, depth, comp)) = work.pop() {
+                let (sep, child_comps) = expand_component(g, strategy, &comp, n);
+                let node_idx = nodes.len();
+                record_homes(&sep, node_idx, &mut home, &mut removal_group);
+                for cc in child_comps {
+                    work.push((Some(node_idx), depth + 1, cc));
+                }
+                if let Some(p) = parent {
+                    nodes[p].children.push(node_idx);
+                }
+                nodes.push(DecompNode {
+                    parent,
+                    depth,
+                    vertices: comp,
+                    separator: sep,
+                    children: Vec::new(),
+                });
+            }
+        } else {
+            // Phase 1 — wave-parallel expansion. The *set* of components
+            // (and each component's separator) is independent of
+            // traversal order, so every frontier wave fans out across
+            // workers claiming slots from a shared cursor.
+            struct Prep {
+                comp: Vec<NodeId>,
+                sep: Option<PathSeparator>,
+                children: Vec<usize>,
+            }
+            let mut preps: Vec<Prep> = components(g)
+                .into_iter()
+                .map(|c| Prep {
+                    comp: c,
+                    sep: None,
+                    children: Vec::new(),
+                })
+                .collect();
+            let num_roots = preps.len();
+            let mut wave: Vec<usize> = (0..num_roots).collect();
+            while !wave.is_empty() {
+                let workers = params.threads.min(wave.len());
+                let mut results: Vec<Option<(PathSeparator, Vec<Vec<NodeId>>)>> =
+                    (0..wave.len()).map(|_| None).collect();
+                if workers <= 1 {
+                    for (slot, &idx) in wave.iter().enumerate() {
+                        results[slot] = Some(expand_component(g, strategy, &preps[idx].comp, n));
+                    }
+                } else {
+                    let cursor = AtomicUsize::new(0);
+                    let (preps_ref, wave_ref) = (&preps, &wave);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..workers)
+                            .map(|_| {
+                                s.spawn(|| {
+                                    let mut local = Vec::new();
+                                    let (mut comps, mut verts) = (0u64, 0u64);
+                                    loop {
+                                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                                        if slot >= wave_ref.len() {
+                                            break;
+                                        }
+                                        let comp = &preps_ref[wave_ref[slot]].comp;
+                                        comps += 1;
+                                        verts += comp.len() as u64;
+                                        local.push((slot, expand_component(g, strategy, comp, n)));
+                                    }
+                                    (local, comps, verts)
+                                })
+                            })
+                            .collect();
+                        for (w, h) in handles.into_iter().enumerate() {
+                            let (local, comps, verts) =
+                                h.join().expect("decomposition worker panicked");
+                            record_build_worker(w, comps, verts);
+                            for (slot, res) in local {
+                                results[slot] = Some(res);
+                            }
+                        }
+                    });
+                }
+                let mut next = Vec::new();
+                for (slot, &idx) in wave.iter().enumerate() {
+                    let (sep, child_comps) = results[slot].take().expect("unclaimed wave slot");
+                    preps[idx].sep = Some(sep);
+                    for cc in child_comps {
+                        let ci = preps.len();
+                        preps.push(Prep {
+                            comp: cc,
+                            sep: None,
+                            children: Vec::new(),
+                        });
+                        preps[idx].children.push(ci);
+                        next.push(ci);
                     }
                 }
+                wave = next;
             }
-            // children: components of comp \ S
-            let mut mask = NodeMask::from_nodes(n, comp.iter().copied());
-            mask.remove_all(sep_vertices.iter().copied());
-            let view = SubgraphView::new(g, &mask);
-            let child_comps = components(&view);
-            for cc in child_comps {
-                assert!(
-                    cc.len() <= comp.len() / 2,
-                    "strategy {} failed to halve: child {} of parent {}",
-                    strategy.name(),
-                    cc.len(),
-                    comp.len()
-                );
-                work.push((Some(node_idx), depth + 1, cc));
+
+            // Phase 2 — sequential replay of the sequential build's
+            // exact LIFO stack discipline over the prepared components,
+            // so the nodes vector (hence the wire encoding) comes out
+            // bit-identical.
+            let mut work: Vec<(Option<usize>, usize, usize)> =
+                (0..num_roots).map(|i| (None, 0usize, i)).collect();
+            while let Some((parent, depth, pi)) = work.pop() {
+                let node_idx = nodes.len();
+                let comp = std::mem::take(&mut preps[pi].comp);
+                let sep = preps[pi].sep.take().expect("separator missing for prep");
+                record_homes(&sep, node_idx, &mut home, &mut removal_group);
+                for &ci in &preps[pi].children {
+                    work.push((Some(node_idx), depth + 1, ci));
+                }
+                if let Some(p) = parent {
+                    nodes[p].children.push(node_idx);
+                }
+                nodes.push(DecompNode {
+                    parent,
+                    depth,
+                    vertices: comp,
+                    separator: sep,
+                    children: Vec::new(),
+                });
             }
-            if let Some(p) = parent {
-                nodes[p].children.push(node_idx);
-            }
-            nodes.push(DecompNode {
-                parent,
-                depth,
-                vertices: comp,
-                separator: sep,
-                children: Vec::new(),
-            });
         }
 
         for v in g.nodes() {
@@ -489,6 +625,70 @@ impl DecompositionTree {
     }
 }
 
+/// Expands one component: computes its separator and the connected
+/// components of `comp \ S`, asserting the non-empty and halving
+/// invariants. Pure in `(g, strategy, comp)` — safe to call from any
+/// worker; both build paths funnel through it.
+fn expand_component(
+    g: &Graph,
+    strategy: &dyn SeparatorStrategy,
+    comp: &[NodeId],
+    n: usize,
+) -> (PathSeparator, Vec<Vec<NodeId>>) {
+    psep_obs::counter!("core.decomp.separator_calls").incr();
+    let sep = strategy.separate(g, comp);
+    let sep_vertices = sep.vertices();
+    assert!(
+        !sep_vertices.is_empty(),
+        "strategy {} removed nothing from a component of size {}",
+        strategy.name(),
+        comp.len()
+    );
+    let mut mask = NodeMask::from_nodes(n, comp.iter().copied());
+    mask.remove_all(sep_vertices.iter().copied());
+    let view = SubgraphView::new(g, &mask);
+    let child_comps = components(&view);
+    for cc in &child_comps {
+        assert!(
+            cc.len() <= comp.len() / 2,
+            "strategy {} failed to halve: child {} of parent {}",
+            strategy.name(),
+            cc.len(),
+            comp.len()
+        );
+    }
+    (sep, child_comps)
+}
+
+/// Records homes and removal groups for every separator vertex of one
+/// node (first assignment wins — the earliest group index).
+fn record_homes(sep: &PathSeparator, node_idx: usize, home: &mut [u32], removal_group: &mut [u32]) {
+    for (gi, group) in sep.groups.iter().enumerate() {
+        for v in group.vertices() {
+            if home[v.index()] == u32::MAX {
+                home[v.index()] = node_idx as u32;
+                removal_group[v.index()] = gi as u32;
+            } else {
+                debug_assert_eq!(
+                    home[v.index()],
+                    node_idx as u32,
+                    "vertex {v:?} separated twice"
+                );
+                // keep the earliest group index
+            }
+        }
+    }
+}
+
+/// Publishes one build worker's aggregated counters (mirrors the batch
+/// engine's `oracle.batch.workerNN.*` rollup).
+fn record_build_worker(worker: usize, components: u64, vertices: u64) {
+    if psep_obs::enabled() {
+        psep_obs::counter(&format!("core.build.worker{worker:02}.components")).add(components);
+        psep_obs::counter(&format!("core.build.worker{worker:02}.vertices")).add(vertices);
+    }
+}
+
 /// Magic bytes of a `psep-tree` artifact.
 pub const TREE_MAGIC: &[u8; 8] = b"PSEPTREE";
 /// Current tree format version.
@@ -659,6 +859,58 @@ mod tests {
                 "some vertex never lands on a separator"
             ))
         ));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let cases: Vec<psep_graph::Graph> = vec![
+            grids::grid2d(9, 9, 1),
+            trees::random_weighted_tree(70, 9, 2),
+            ktree::random_k_tree(50, 3, 5).graph,
+            planar_families::apollonian(60, 7),
+        ];
+        for g in cases {
+            let seq = DecompositionTree::build(&g, &AutoStrategy::default());
+            let seq_bytes = seq.encode();
+            for threads in [1usize, 2, 4, 8] {
+                let par = DecompositionTree::build_with(
+                    &g,
+                    &AutoStrategy::default(),
+                    &DecompositionParams { threads },
+                );
+                assert_eq!(par, seq, "tree differs at {threads} threads");
+                assert_eq!(
+                    par.encode(),
+                    seq_bytes,
+                    "wire bytes differ at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_disconnected_and_tiny_inputs() {
+        let mut g = psep_graph::Graph::new(7);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(2), NodeId(3), 1);
+        g.add_edge(NodeId(3), NodeId(4), 2);
+        // vertices 5 and 6 are isolated singleton components
+        let seq = DecompositionTree::build(&g, &TreeCenterStrategy);
+        let par = DecompositionTree::build_with(
+            &g,
+            &TreeCenterStrategy,
+            &DecompositionParams { threads: 4 },
+        );
+        assert_eq!(par, seq);
+        assert_eq!(par.encode(), seq.encode());
+        check_tree(&g, &par).unwrap();
+    }
+
+    #[test]
+    fn params_with_available_threads_is_positive_and_env_overridable() {
+        assert!(DecompositionParams::default().threads == 1);
+        assert!(DecompositionParams::with_available_threads().threads >= 1);
+        assert!(available_threads() >= 1);
     }
 
     #[test]

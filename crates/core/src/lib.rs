@@ -38,7 +38,7 @@ pub mod weighted;
 pub mod wire;
 
 pub use check::{check_separator, check_tree, SeparatorError};
-pub use decomposition::{DecompNode, DecompositionTree};
+pub use decomposition::{available_threads, DecompNode, DecompositionParams, DecompositionTree};
 pub use separator::{PathGroup, PathSeparator, SepPath};
 pub use strategy::{
     AutoStrategy, FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy,

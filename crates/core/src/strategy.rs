@@ -25,7 +25,12 @@ use crate::separator::{PathGroup, PathSeparator, SepPath};
 
 /// A separator strategy: given a connected component of `g`, produce a
 /// Definition-1 separator for it.
-pub trait SeparatorStrategy {
+///
+/// `Sync` is a supertrait so `&dyn SeparatorStrategy` can be shared
+/// across the parallel build's scoped workers
+/// ([`crate::DecompositionTree::build_with`]); strategies take `&self`
+/// and every implementation is stateless, so this costs nothing.
+pub trait SeparatorStrategy: Sync {
     /// Computes a separator of the subgraph of `g` induced by
     /// `component` (which the caller guarantees to be connected).
     fn separate(&self, g: &Graph, component: &[NodeId]) -> PathSeparator;

@@ -5,10 +5,12 @@
 
 use proptest::prelude::*;
 
-use psep_core::check::{check_separator, SeparatorError};
+use psep_core::check::{check_separator, check_tree, SeparatorError};
+use psep_core::decomposition::DecompositionParams;
 use psep_core::separator::{PathGroup, PathSeparator, SepPath};
 use psep_core::strategy::{AutoStrategy, SeparatorStrategy};
-use psep_graph::generators::{grids, ktree};
+use psep_core::DecompositionTree;
+use psep_graph::generators::{grids, ktree, trees};
 use psep_graph::{Graph, NodeId};
 
 fn valid_instance(seed: u64) -> (Graph, Vec<NodeId>, PathSeparator) {
@@ -108,6 +110,50 @@ proptest! {
         let err = check_separator(&g, &comp, &bogus, None).unwrap_err();
         let caught = matches!(err, SeparatorError::NotShortest { .. });
         prop_assert!(caught);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trees built by the parallel two-phase construction satisfy every
+    /// Definition 1 invariant the checker knows about — the checker is
+    /// the trust anchor for the parallel path too, not just bit-identity
+    /// against the sequential build.
+    #[test]
+    fn parallel_built_trees_validate(
+        seed in 0u64..5000,
+        threads in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        let g = ktree::partial_k_tree(28, 3, 0.6, seed);
+        let tree = DecompositionTree::build_with(
+            &g,
+            &AutoStrategy::default(),
+            &DecompositionParams { threads },
+        );
+        prop_assert!(check_tree(&g, &tree).is_ok());
+        let bound = (g.num_nodes() as f64).log2().ceil() as usize + 1;
+        prop_assert!(tree.depth() < bound, "halving violated: depth {}", tree.depth());
+    }
+
+    /// Same invariants on weighted random trees, whose single-vertex
+    /// separators exercise the tiny-component path of the wave build.
+    #[test]
+    fn parallel_built_trees_validate_on_weighted_trees(
+        seed in 0u64..5000,
+        threads in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        let g = trees::random_weighted_tree(40, 9, seed);
+        let tree = DecompositionTree::build_with(
+            &g,
+            &AutoStrategy::default(),
+            &DecompositionParams { threads },
+        );
+        prop_assert!(check_tree(&g, &tree).is_ok());
+        // every vertex has exactly one home node
+        for v in g.nodes() {
+            prop_assert!(tree.home(v) < tree.nodes().len());
+        }
     }
 }
 

@@ -177,6 +177,129 @@ pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> Shorte
     ShortestPaths { dist, parent }
 }
 
+/// Reusable Dijkstra arenas for workloads that run many searches over
+/// the same id universe (e.g. per-source portal Dijkstras during label
+/// construction).
+///
+/// A fresh [`dijkstra`] call allocates `O(universe)` dist/parent arrays
+/// every time; `DijkstraScratch` allocates them once and resets only the
+/// entries the previous run touched, so a search that reaches `r`
+/// vertices costs `O(r log r)` regardless of the universe size. Each
+/// worker thread owns one scratch. Results are identical to [`dijkstra`]
+/// (same deterministic smaller-id tie-breaking), and every run counts
+/// toward `graph.dijkstra.invocations` / `graph.dijkstra.edges_relaxed`
+/// exactly like the allocating entry points.
+#[derive(Clone, Debug)]
+pub struct DijkstraScratch {
+    dist: Vec<Weight>,
+    parent: Vec<Option<NodeId>>,
+    heap: BinaryHeap<Reverse<(Weight, u32)>>,
+    touched: Vec<u32>,
+}
+
+impl DijkstraScratch {
+    /// A scratch for graphs with id universe `universe`.
+    pub fn new(universe: usize) -> Self {
+        DijkstraScratch {
+            dist: vec![INFINITY; universe],
+            parent: vec![None; universe],
+            heap: BinaryHeap::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// The id universe this scratch was sized for.
+    pub fn universe(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Runs Dijkstra from `sources` over `g`, reusing the arenas.
+    /// Distances and parents are readable until the next `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s universe differs from [`Self::universe`] or if a
+    /// source is not contained in `g`.
+    pub fn run<G: GraphRef>(&mut self, g: &G, sources: &[NodeId]) {
+        assert_eq!(
+            g.universe(),
+            self.dist.len(),
+            "scratch sized for a different universe"
+        );
+        psep_obs::counter!("graph.dijkstra.invocations").incr();
+        for &t in &self.touched {
+            self.dist[t as usize] = INFINITY;
+            self.parent[t as usize] = None;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        for &s in sources {
+            assert!(g.contains_node(s), "source {s:?} not in graph");
+            if self.dist[s.index()] != 0 {
+                self.dist[s.index()] = 0;
+                self.touched.push(s.0);
+                self.heap.push(Reverse((0, s.0)));
+            }
+        }
+        let mut relaxed: u64 = 0;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            let u = NodeId(u);
+            if d > self.dist[u.index()] {
+                continue; // stale entry
+            }
+            for e in g.neighbors(u) {
+                relaxed += 1;
+                let nd = d.saturating_add(e.weight);
+                let entry = &mut self.dist[e.to.index()];
+                if nd < *entry || (nd == *entry && self.parent[e.to.index()].is_some_and(|p| u < p))
+                {
+                    if *entry == INFINITY {
+                        self.touched.push(e.to.0);
+                    }
+                    *entry = nd;
+                    self.parent[e.to.index()] = Some(u);
+                    self.heap.push(Reverse((nd, e.to.0)));
+                }
+            }
+        }
+        psep_obs::counter!("graph.dijkstra.edges_relaxed").add(relaxed);
+    }
+
+    /// Distance from the closest source of the last run, or `None` if
+    /// unreachable.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Option<Weight> {
+        let d = self.dist[v.index()];
+        (d != INFINITY).then_some(d)
+    }
+
+    /// Raw distance array of the last run; unreachable is [`INFINITY`].
+    #[inline]
+    pub fn dist_raw(&self) -> &[Weight] {
+        &self.dist
+    }
+
+    /// Parent of `v` in the last run's shortest-path forest.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Vertices the last run reached, with their distances, in discovery
+    /// order (sources first). Cheap: proportional to the reached set,
+    /// not the universe.
+    pub fn reached(&self) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.touched
+            .iter()
+            .map(|&t| (NodeId(t), self.dist[t as usize]))
+    }
+
+    /// The last run's reached set as an owned `(vertex, distance)` list.
+    pub fn reached_vec(&self) -> Vec<(NodeId, Weight)> {
+        self.reached().collect()
+    }
+}
+
 /// Exact distance between two vertices, or `None` if disconnected.
 pub fn distance<G: GraphRef>(g: &G, u: NodeId, v: NodeId) -> Option<Weight> {
     dijkstra_to(g, u, v).dist(v)
@@ -272,6 +395,57 @@ mod tests {
         let sp = dijkstra_to(&g, NodeId(0), NodeId(3));
         assert_eq!(sp.dist(NodeId(3)), Some(2));
         assert_eq!(distance(&g, NodeId(0), NodeId(2)), Some(3));
+    }
+
+    #[test]
+    fn scratch_matches_fresh_dijkstra_across_reuses() {
+        let g = weighted_diamond();
+        let mut scratch = DijkstraScratch::new(4);
+        assert_eq!(scratch.universe(), 4);
+        // reuse the same scratch over different sources and views; every
+        // run must agree with an allocating dijkstra() call
+        for round in 0..3 {
+            for s in 0..4u32 {
+                let src = NodeId(s);
+                scratch.run(&g, &[src]);
+                let fresh = dijkstra(&g, &[src]);
+                for v in g.nodes() {
+                    assert_eq!(scratch.dist(v), fresh.dist(v), "round {round} src {s}");
+                    assert_eq!(scratch.parent(v), fresh.parent(v), "round {round} src {s}");
+                }
+                let mut reached: Vec<_> = scratch.reached_vec();
+                reached.sort_unstable();
+                let mut expect: Vec<_> = fresh
+                    .reached_nodes()
+                    .map(|v| (v, fresh.dist(v).unwrap()))
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(reached, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_resets_between_masked_views() {
+        let g = weighted_diamond();
+        let mut scratch = DijkstraScratch::new(4);
+        scratch.run(&g, &[NodeId(0)]);
+        assert_eq!(scratch.dist(NodeId(3)), Some(2));
+        let mut mask = NodeMask::all(4);
+        mask.remove(NodeId(1));
+        let view = SubgraphView::new(&g, &mask);
+        scratch.run(&view, &[NodeId(0)]);
+        assert_eq!(scratch.dist(NodeId(3)), Some(6)); // forced through the 5-edge
+        assert_eq!(scratch.dist(NodeId(1)), None); // stale entry was reset
+        assert_eq!(scratch.reached().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universe")]
+    fn scratch_rejects_wrong_universe() {
+        let g = weighted_diamond();
+        let mut scratch = DijkstraScratch::new(3);
+        scratch.run(&g, &[NodeId(0)]);
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! Distance labels (Theorem 2) and their node-major parallel
+//! Distance labels (Theorem 2) and their path-major parallel
 //! construction.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use psep_core::decomposition::DecompositionTree;
-use psep_graph::dijkstra::dijkstra;
+use psep_graph::dijkstra::DijkstraScratch;
 use psep_graph::graph::{Graph, NodeId, Weight};
 use psep_graph::view::SubgraphView;
-
-use crate::portals::select_portals;
 
 /// One portal of a separator path: its position (prefix-sum cost) along
 /// the path, and the distance from the label's owner in the residual
@@ -91,11 +91,23 @@ impl DistanceLabel {
 
 /// Builds the distance labels of every vertex of `g` over `tree`.
 ///
-/// Construction is node-major: for each `(node, group)` the residual
-/// graph `J` is materialized once, then one Dijkstra per alive vertex
-/// collects distances to all group paths at once. With `threads > 1` the
-/// per-vertex Dijkstras run on crossbeam scoped threads (the output is
-/// deterministic regardless of thread count).
+/// Construction is path-major: for each `(node, group)` the residual
+/// graph `J` is materialized once, then one Dijkstra **per separator
+/// path vertex** (not per alive vertex — `d_J` is symmetric in an
+/// undirected graph) distributes that vertex's distances to every alive
+/// vertex's incremental portal greedy. Since the greedy scans path
+/// vertices in ascending path order, replaying its decisions per target
+/// as the sources arrive in that same order reproduces the node-major
+/// `select_portals` output exactly — while running `Σ |path|` Dijkstras
+/// per level instead of one per alive vertex, i.e. `O(n)` total instead
+/// of `O(n · depth)`.
+///
+/// With `threads > 1` the per-source Dijkstras fan out in blocks across
+/// `std::thread::scope` workers, each owning a reusable
+/// [`DijkstraScratch`] arena; greedy application stays sequential in
+/// source order between blocks, so the output is **bit-identical** at
+/// every thread count (the equivalence suite compares `psep-labels/v1`
+/// wire bytes to lock this down).
 pub fn build_labels(
     g: &Graph,
     tree: &DecompositionTree,
@@ -106,6 +118,10 @@ pub fn build_labels(
     let _span = psep_obs::span!("build_labels");
     let n = g.num_nodes();
     let mut labels: Vec<DistanceLabel> = vec![DistanceLabel::default(); n];
+    let workers = threads.max(1);
+    // per-worker reusable Dijkstra arenas, shared across all levels
+    let mut scratches: Vec<DijkstraScratch> =
+        (0..workers).map(|_| DijkstraScratch::new(n)).collect();
 
     for (h, node) in tree.nodes().iter().enumerate() {
         for gi in 0..node.separator.num_groups() {
@@ -115,47 +131,129 @@ pub fn build_labels(
             }
             let mask = tree.residual_mask(n, h, gi);
             let view = SubgraphView::new(g, &mask);
-            let alive: Vec<NodeId> = mask.iter().collect();
-            // worker: produce (vertex, entries) pairs for a chunk
-            let work = |chunk: &[NodeId]| -> Vec<(NodeId, Vec<LabelEntry>)> {
-                let mut out = Vec::with_capacity(chunk.len());
-                for &v in chunk {
-                    let sp = dijkstra(&view, &[v]);
-                    let mut entries = Vec::new();
-                    for (pi, q) in paths.iter().enumerate() {
-                        let portals = select_portals(sp.dist_raw(), q, epsilon);
-                        if !portals.is_empty() {
-                            entries.push(LabelEntry {
-                                node: h as u32,
-                                group: gi as u16,
-                                path: pi as u16,
-                                portals,
-                            });
-                        }
-                    }
-                    out.push((v, entries));
-                }
-                out
-            };
-            let results: Vec<(NodeId, Vec<LabelEntry>)> = if threads <= 1 || alive.len() < 64 {
-                work(&alive)
-            } else {
-                let chunk_size = alive.len().div_ceil(threads);
-                let chunks: Vec<&[NodeId]> = alive.chunks(chunk_size).collect();
-                crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = chunks
-                        .into_iter()
-                        .map(|c| s.spawn(move |_| work(c)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("label worker panicked"))
-                        .collect()
+            // sources: every path vertex present in J, in (path, index)
+            // order — the order the portal greedy scans them
+            let sources: Vec<(u32, u32)> = paths
+                .iter()
+                .enumerate()
+                .flat_map(|(pi, q)| {
+                    q.vertices()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, x)| mask.contains(**x))
+                        .map(move |(xi, _)| (pi as u32, xi as u32))
                 })
-                .expect("crossbeam scope failed")
+                .collect();
+            // per-(path, vertex) greedy state: portals chosen so far as
+            // (path index, d_J) pairs
+            let mut chosen: Vec<Vec<Vec<(u32, Weight)>>> =
+                paths.iter().map(|_| vec![Vec::new(); n]).collect();
+            // One greedy step: source (pi, xi) offers itself as a portal
+            // to every vertex it reached; a vertex accepts unless an
+            // earlier-chosen portal already covers it within (1+ε) —
+            // exactly the per-vertex scan of the node-major greedy.
+            let apply = |chosen: &mut Vec<Vec<Vec<(u32, Weight)>>>,
+                         pi: u32,
+                         xi: u32,
+                         reached: &[(NodeId, Weight)]| {
+                let q = &paths[pi as usize];
+                for &(v, dx) in reached {
+                    let state = &mut chosen[pi as usize][v.index()];
+                    let covered = state.iter().any(|&(p, dp)| {
+                        let reach = dp.saturating_add(q.along(p as usize, xi as usize));
+                        (reach as f64) <= (1.0 + epsilon) * (dx as f64)
+                    });
+                    if !covered {
+                        state.push((xi, dx));
+                    }
+                }
             };
-            for (v, entries) in results {
-                labels[v.index()].entries.extend(entries);
+
+            if workers <= 1 || sources.len() < 2 * workers {
+                let scratch = &mut scratches[0];
+                let (mut srcs, mut reach) = (0u64, 0u64);
+                for &(pi, xi) in &sources {
+                    let x = paths[pi as usize].vertices()[xi as usize];
+                    scratch.run(&view, &[x]);
+                    let reached = scratch.reached_vec();
+                    srcs += 1;
+                    reach += reached.len() as u64;
+                    apply(&mut chosen, pi, xi, &reached);
+                }
+                record_label_worker(0, srcs, reach);
+            } else {
+                // Block-parallel: Dijkstras fan out within a block, the
+                // greedy replays sequentially in source order between
+                // blocks — so the block size cannot affect the output.
+                let block = (workers * 8).max(16);
+                for start in (0..sources.len()).step_by(block) {
+                    let slice = &sources[start..sources.len().min(start + block)];
+                    let mut results: Vec<Option<Vec<(NodeId, Weight)>>> = vec![None; slice.len()];
+                    let cursor = AtomicUsize::new(0);
+                    let (cursor_ref, view_ref, paths_ref) = (&cursor, &view, paths);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = scratches
+                            .iter_mut()
+                            .take(slice.len())
+                            .map(|scratch| {
+                                s.spawn(move || {
+                                    let mut local = Vec::new();
+                                    let (mut srcs, mut reach) = (0u64, 0u64);
+                                    loop {
+                                        let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                                        if i >= slice.len() {
+                                            break;
+                                        }
+                                        let (pi, xi) = slice[i];
+                                        let x = paths_ref[pi as usize].vertices()[xi as usize];
+                                        scratch.run(view_ref, &[x]);
+                                        let r = scratch.reached_vec();
+                                        srcs += 1;
+                                        reach += r.len() as u64;
+                                        local.push((i, r));
+                                    }
+                                    (local, srcs, reach)
+                                })
+                            })
+                            .collect();
+                        for (w, handle) in handles.into_iter().enumerate() {
+                            let (local, srcs, reach) =
+                                handle.join().expect("label worker panicked");
+                            record_label_worker(w, srcs, reach);
+                            for (i, r) in local {
+                                results[i] = Some(r);
+                            }
+                        }
+                    });
+                    for (i, &(pi, xi)) in slice.iter().enumerate() {
+                        let reached = results[i].take().expect("unclaimed source");
+                        apply(&mut chosen, pi, xi, &reached);
+                    }
+                }
+            }
+
+            // emit per-vertex entries in ascending (vertex, path) order,
+            // converting greedy state to portal entries
+            for v in mask.iter() {
+                for (pi, q) in paths.iter().enumerate() {
+                    let state = std::mem::take(&mut chosen[pi][v.index()]);
+                    if state.is_empty() {
+                        continue;
+                    }
+                    let portals = state
+                        .into_iter()
+                        .map(|(xi, d)| PortalEntry {
+                            pos: q.position(xi as usize),
+                            dist: d,
+                        })
+                        .collect();
+                    labels[v.index()].entries.push(LabelEntry {
+                        node: h as u32,
+                        group: gi as u16,
+                        path: pi as u16,
+                        portals,
+                    });
+                }
             }
         }
     }
@@ -176,6 +274,17 @@ pub fn build_labels(
         psep_obs::gauge("oracle.labels.mean_entries").set(stats.mean_entries);
     }
     labels
+}
+
+/// Publishes per-worker label-construction counters
+/// (`oracle.label.workerNN.sources` / `.reached`), mirroring the batch
+/// engine's `oracle.batch.workerNN.*` rollup.
+fn record_label_worker(worker: usize, sources: u64, reached: u64) {
+    if !psep_obs::enabled() {
+        return;
+    }
+    psep_obs::counter(&format!("oracle.label.worker{worker:02}.sources")).add(sources);
+    psep_obs::counter(&format!("oracle.label.worker{worker:02}.reached")).add(reached);
 }
 
 /// Label-size statistics over a set of labels.

@@ -27,11 +27,13 @@ impl Default for OracleParams {
 }
 
 impl OracleParams {
-    /// Default parameters with `threads` set to the machine's available
-    /// parallelism (1 if it cannot be determined).
+    /// Default parameters with `threads` set by
+    /// [`psep_core::available_threads`]: the `PSEP_THREADS` environment
+    /// variable if set, else the machine's available parallelism (1 if
+    /// it cannot be determined).
     pub fn with_available_threads() -> Self {
         OracleParams {
-            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            threads: psep_core::available_threads(),
             ..OracleParams::default()
         }
     }
@@ -87,8 +89,9 @@ impl OracleBuilder {
         self
     }
 
-    /// Sets the number of construction worker threads; `0` means the
-    /// machine's available parallelism.
+    /// Sets the number of construction worker threads; `0` means
+    /// auto-detect via [`psep_core::available_threads`] (`PSEP_THREADS`
+    /// or the machine's available parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -101,7 +104,7 @@ impl OracleBuilder {
             return Err(Error::InvalidEpsilon(self.epsilon));
         }
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |p| p.get())
+            psep_core::available_threads()
         } else {
             self.threads
         };

@@ -4,43 +4,10 @@
 
 use psep_core::strategy::AutoStrategy;
 use psep_core::DecompositionTree;
-use psep_graph::generators::{grids, ktree, planar_families, randomize_weights, special, trees};
+use psep_graph::generators::grids;
 use psep_graph::{Graph, NodeId};
 use psep_oracle::{build_oracle, BatchQueryEngine, OracleParams};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-fn families() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("grid", grids::grid2d(8, 8, 1)),
-        (
-            "weighted-grid",
-            randomize_weights(&grids::grid2d(7, 7, 1), 1, 16, 5),
-        ),
-        ("tree", trees::random_weighted_tree(70, 9, 7)),
-        ("ktree3", ktree::random_k_tree(60, 3, 11).graph),
-        ("apollonian", planar_families::apollonian(60, 13)),
-        (
-            "triangulated-grid",
-            planar_families::triangulated_grid(7, 7, 17),
-        ),
-        ("outerplanar", planar_families::random_outerplanar(50, 19)),
-        ("hypercube", special::hypercube(6)),
-    ]
-}
-
-fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| {
-            (
-                NodeId::from_index(rng.gen_range(0..n)),
-                NodeId::from_index(rng.gen_range(0..n)),
-            )
-        })
-        .collect()
-}
+use psep_testkit::{equivalence_families as families, random_pairs};
 
 #[test]
 fn query_many_equals_sequential_on_every_family() {

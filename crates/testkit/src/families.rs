@@ -1,0 +1,139 @@
+//! Named graph families with per-family recommended separator
+//! strategies, shared by the experiments and the test suites.
+
+use psep_core::strategy::{
+    AutoStrategy, FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy,
+    TreeCenterStrategy, TreewidthStrategy,
+};
+use psep_graph::generators::{grids, ktree, planar_families, special, trees};
+use psep_graph::Graph;
+
+/// The evaluation families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Uniform random recursive tree (`K₃`-minor-free).
+    Tree,
+    /// Random maximal outerplanar (`K₄`-, `K_{2,3}`-minor-free).
+    Outerplanar,
+    /// Connected partial 2-tree (series-parallel, `K₄`-minor-free).
+    SeriesParallel,
+    /// Random `k`-tree of width 3 (`K₅`-minor-free).
+    KTree3,
+    /// Unweighted square grid (planar).
+    Grid,
+    /// Grid with random cell diagonals (planar, treewidth `Θ(√n)`).
+    TriangulatedGrid,
+    /// Random Apollonian network (planar maximal).
+    Apollonian,
+    /// Torus (genus 1).
+    Torus,
+    /// `t×t` mesh plus universal apex (`K₆`-minor-free, §5.2).
+    MeshApex,
+}
+
+/// All families, in display order.
+pub const ALL_FAMILIES: [Family; 9] = [
+    Family::Tree,
+    Family::Outerplanar,
+    Family::SeriesParallel,
+    Family::KTree3,
+    Family::Grid,
+    Family::TriangulatedGrid,
+    Family::Apollonian,
+    Family::Torus,
+    Family::MeshApex,
+];
+
+impl Family {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Tree => "tree",
+            Family::Outerplanar => "outerplanar",
+            Family::SeriesParallel => "series-parallel",
+            Family::KTree3 => "3-tree",
+            Family::Grid => "grid",
+            Family::TriangulatedGrid => "tri-grid",
+            Family::Apollonian => "apollonian",
+            Family::Torus => "torus",
+            Family::MeshApex => "mesh+apex",
+        }
+    }
+
+    /// Generates an instance with roughly `n` vertices.
+    pub fn make(self, n: usize, seed: u64) -> Graph {
+        let side = (n as f64).sqrt().round() as usize;
+        match self {
+            Family::Tree => trees::random_tree(n, seed),
+            Family::Outerplanar => planar_families::random_outerplanar(n, seed),
+            Family::SeriesParallel => ktree::series_parallel(n, seed),
+            Family::KTree3 => ktree::random_k_tree(n, 3, seed).graph,
+            Family::Grid => grids::grid2d(side.max(2), side.max(2), 1),
+            Family::TriangulatedGrid => {
+                planar_families::triangulated_grid(side.max(2), side.max(2), seed)
+            }
+            Family::Apollonian => planar_families::apollonian(n, seed),
+            Family::Torus => grids::torus2d(side.max(3), side.max(3)),
+            Family::MeshApex => special::mesh_with_apex(side.max(2)),
+        }
+    }
+
+    /// The per-family recommended strategy (the per-family guarantee the
+    /// paper's theory provides).
+    pub fn strategy(self) -> Box<dyn SeparatorStrategy> {
+        match self {
+            Family::Tree => Box::new(TreeCenterStrategy),
+            Family::Outerplanar | Family::SeriesParallel | Family::KTree3 => {
+                Box::new(TreewidthStrategy)
+            }
+            Family::Grid | Family::TriangulatedGrid | Family::Apollonian => {
+                Box::new(FundamentalCycleStrategy::default())
+            }
+            Family::Torus | Family::MeshApex => Box::new(IterativeStrategy::default()),
+        }
+    }
+
+    /// A reasonable general-purpose strategy (dispatching).
+    pub fn auto() -> Box<dyn SeparatorStrategy> {
+        Box::new(AutoStrategy::default())
+    }
+
+    /// Whether the family is planar (for experiment E2).
+    pub fn is_planar(self) -> bool {
+        matches!(
+            self,
+            Family::Tree
+                | Family::Outerplanar
+                | Family::SeriesParallel
+                | Family::Grid
+                | Family::TriangulatedGrid
+                | Family::Apollonian
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::components::is_connected;
+
+    #[test]
+    fn all_families_generate_connected_graphs() {
+        for fam in ALL_FAMILIES {
+            let g = fam.make(120, 3);
+            assert!(is_connected(&g), "{} disconnected", fam.name());
+            assert!(g.num_nodes() >= 100, "{} too small", fam.name());
+        }
+    }
+
+    #[test]
+    fn strategies_separate_their_families() {
+        for fam in ALL_FAMILIES {
+            let g = fam.make(100, 1);
+            let comp: Vec<_> = g.nodes().collect();
+            let sep = fam.strategy().separate(&g, &comp);
+            psep_core::check::check_separator(&g, &comp, &sep, None)
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+#![warn(missing_docs)]
+//! Shared test support for the `path-separators` workspace.
+//!
+//! Before this crate existed, the seeded evaluation families and RNG
+//! helpers were duplicated across `tests/pipeline.rs`,
+//! `tests/property_pipeline.rs`, `crates/bench/src/families.rs`, and
+//! `crates/oracle/tests/batch_equivalence.rs` — four copies that could
+//! (and did) drift. This crate is the single home:
+//!
+//! * [`families`] — the named [`families::Family`] generators with
+//!   per-family recommended strategies (also re-exported by
+//!   `psep-bench` for the experiments);
+//! * [`pipeline_families`] — the ten named end-to-end pipeline
+//!   instances (graph + strategy) the integration suites walk;
+//! * [`equivalence_families`] — the eight seeded instances every
+//!   "parallel == sequential" equivalence suite covers;
+//! * [`random_pairs`] — deterministic query-pair sampling;
+//! * [`arb_graph`] — the workspace's proptest graph strategy;
+//! * [`THREAD_COUNTS`] — the thread counts equivalence suites sweep.
+
+pub mod families;
+
+use proptest::prelude::*;
+use psep_core::strategy::{
+    AutoStrategy, FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy,
+    TreeCenterStrategy, TreewidthStrategy,
+};
+use psep_graph::generators::{grids, ktree, planar_families, randomize_weights, special, trees};
+use psep_graph::{Graph, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Thread counts the parallel-equivalence suites sweep: the sequential
+/// fallback, the smallest real fan-out, and an oversubscribed count.
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The ten named end-to-end pipeline instances: one representative per
+/// minor-free family the paper covers, each with its recommended
+/// strategy, at fixed seeds. Used by the cross-crate pipeline suites
+/// (decomposition → oracle → routing).
+pub fn pipeline_families() -> Vec<(&'static str, Graph, Box<dyn SeparatorStrategy>)> {
+    vec![
+        (
+            "tree",
+            trees::random_weighted_tree(120, 7, 1),
+            Box::new(TreeCenterStrategy),
+        ),
+        (
+            "outerplanar",
+            planar_families::random_outerplanar(100, 2),
+            Box::new(TreewidthStrategy),
+        ),
+        (
+            "series-parallel",
+            ktree::series_parallel(110, 3),
+            Box::new(TreewidthStrategy),
+        ),
+        (
+            "2-tree",
+            ktree::random_weighted_k_tree(100, 2, 5, 4).graph,
+            Box::new(TreewidthStrategy),
+        ),
+        (
+            "grid",
+            grids::grid2d(10, 10, 1),
+            Box::new(FundamentalCycleStrategy::default()),
+        ),
+        (
+            "tri-grid",
+            planar_families::triangulated_grid(9, 9, 5),
+            Box::new(FundamentalCycleStrategy::default()),
+        ),
+        (
+            "apollonian",
+            planar_families::apollonian(90, 6),
+            Box::new(IterativeStrategy::default()),
+        ),
+        (
+            "torus",
+            grids::torus2d(9, 9),
+            Box::new(IterativeStrategy::default()),
+        ),
+        (
+            "mesh+apex",
+            special::mesh_with_apex(9),
+            Box::new(IterativeStrategy::default()),
+        ),
+        (
+            "auto-on-er",
+            special::erdos_renyi_connected(90, 0.05, 8),
+            Box::new(AutoStrategy::default()),
+        ),
+    ]
+}
+
+/// The eight seeded instances every "parallel == sequential" equivalence
+/// suite covers — one per generator family the paper's experiments use,
+/// small enough that the full suite stays fast.
+pub fn equivalence_families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid", grids::grid2d(8, 8, 1)),
+        (
+            "weighted-grid",
+            randomize_weights(&grids::grid2d(7, 7, 1), 1, 16, 5),
+        ),
+        ("tree", trees::random_weighted_tree(70, 9, 7)),
+        ("ktree3", ktree::random_k_tree(60, 3, 11).graph),
+        ("apollonian", planar_families::apollonian(60, 13)),
+        (
+            "triangulated-grid",
+            planar_families::triangulated_grid(7, 7, 17),
+        ),
+        ("outerplanar", planar_families::random_outerplanar(50, 19)),
+        ("hypercube", special::hypercube(6)),
+    ]
+}
+
+/// Random vertex pairs (deterministic in `seed`).
+pub fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                NodeId::from_index(rng.gen_range(0..n)),
+                NodeId::from_index(rng.gen_range(0..n)),
+            )
+        })
+        .collect()
+}
+
+/// The workspace's proptest graph strategy: random weighted trees,
+/// random weighted `k`-trees, and connected partial 3-trees — the
+/// bounded-treewidth shapes every layer must handle.
+pub fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (10usize..60, any::<u64>()).prop_map(|(n, s)| trees::random_weighted_tree(n, 9, s)),
+        (10usize..50, 1usize..4, any::<u64>()).prop_map(|(n, k, s)| ktree::random_weighted_k_tree(
+            n.max(k + 2),
+            k,
+            5,
+            s
+        )
+        .graph),
+        (8usize..40, any::<u64>()).prop_map(|(n, s)| ktree::partial_k_tree(n, 3, 0.6, s)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::components::is_connected;
+
+    #[test]
+    fn pipeline_families_are_connected_and_named_uniquely() {
+        let fams = pipeline_families();
+        assert_eq!(fams.len(), 10);
+        let mut names: Vec<_> = fams.iter().map(|(n, ..)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+        for (name, g, _) in &fams {
+            assert!(is_connected(g), "{name} disconnected");
+        }
+    }
+
+    #[test]
+    fn equivalence_families_are_connected() {
+        let fams = equivalence_families();
+        assert_eq!(fams.len(), 8);
+        for (name, g) in &fams {
+            assert!(is_connected(g), "{name} disconnected");
+            assert!(g.num_nodes() >= 40, "{name} too small");
+        }
+    }
+
+    #[test]
+    fn pairs_are_deterministic() {
+        assert_eq!(random_pairs(10, 5, 3), random_pairs(10, 5, 3));
+        assert_ne!(random_pairs(10, 5, 3), random_pairs(10, 5, 4));
+    }
+}

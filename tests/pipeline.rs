@@ -3,71 +3,13 @@
 //! family.
 
 use path_separators::core::check_tree;
-use path_separators::core::strategy::{
-    AutoStrategy, FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy,
-    TreeCenterStrategy, TreewidthStrategy,
-};
+use path_separators::core::strategy::{AutoStrategy, FundamentalCycleStrategy, SeparatorStrategy};
 use path_separators::core::DecompositionTree;
 use path_separators::graph::dijkstra::dijkstra;
-use path_separators::graph::generators::{grids, ktree, planar_families, special, trees};
-use path_separators::graph::Graph;
+use path_separators::graph::generators::grids;
 use path_separators::oracle::oracle::{build_oracle, OracleParams};
 use path_separators::routing::{Router, RoutingTables};
-
-fn families() -> Vec<(&'static str, Graph, Box<dyn SeparatorStrategy>)> {
-    vec![
-        (
-            "tree",
-            trees::random_weighted_tree(120, 7, 1),
-            Box::new(TreeCenterStrategy),
-        ),
-        (
-            "outerplanar",
-            planar_families::random_outerplanar(100, 2),
-            Box::new(TreewidthStrategy),
-        ),
-        (
-            "series-parallel",
-            ktree::series_parallel(110, 3),
-            Box::new(TreewidthStrategy),
-        ),
-        (
-            "2-tree",
-            ktree::random_weighted_k_tree(100, 2, 5, 4).graph,
-            Box::new(TreewidthStrategy),
-        ),
-        (
-            "grid",
-            grids::grid2d(10, 10, 1),
-            Box::new(FundamentalCycleStrategy::default()),
-        ),
-        (
-            "tri-grid",
-            planar_families::triangulated_grid(9, 9, 5),
-            Box::new(FundamentalCycleStrategy::default()),
-        ),
-        (
-            "apollonian",
-            planar_families::apollonian(90, 6),
-            Box::new(IterativeStrategy::default()),
-        ),
-        (
-            "torus",
-            grids::torus2d(9, 9),
-            Box::new(IterativeStrategy::default()),
-        ),
-        (
-            "mesh+apex",
-            special::mesh_with_apex(9),
-            Box::new(IterativeStrategy::default()),
-        ),
-        (
-            "auto-on-er",
-            special::erdos_renyi_connected(90, 0.05, 8),
-            Box::new(AutoStrategy::default()),
-        ),
-    ]
-}
+use psep_testkit::pipeline_families as families;
 
 #[test]
 fn decomposition_validates_on_every_family() {

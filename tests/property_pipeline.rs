@@ -7,24 +7,10 @@ use path_separators::core::check_tree;
 use path_separators::core::strategy::AutoStrategy;
 use path_separators::core::DecompositionTree;
 use path_separators::graph::dijkstra::dijkstra;
-use path_separators::graph::generators::{ktree, trees};
-use path_separators::graph::{Graph, NodeId};
+use path_separators::graph::NodeId;
 use path_separators::oracle::oracle::{build_oracle, OracleParams};
 use path_separators::routing::{Router, RoutingTables};
-
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    prop_oneof![
-        (10usize..60, any::<u64>()).prop_map(|(n, s)| trees::random_weighted_tree(n, 9, s)),
-        (10usize..50, 1usize..4, any::<u64>()).prop_map(|(n, k, s)| ktree::random_weighted_k_tree(
-            n.max(k + 2),
-            k,
-            5,
-            s
-        )
-        .graph),
-        (8usize..40, any::<u64>()).prop_map(|(n, s)| ktree::partial_k_tree(n, 3, 0.6, s)),
-    ]
-}
+use psep_testkit::arb_graph;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
