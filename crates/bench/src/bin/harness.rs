@@ -162,6 +162,17 @@ fn main() {
             Box::new(move || ex::e6_routing(&e6_fams, e6_sizes)),
         ),
         (
+            "e6t",
+            "E6t — routing serving: parallel build, wire format, batch routing",
+            Box::new(move || {
+                ex::e6t_routing_serving(
+                    &[Family::Grid, Family::KTree3],
+                    if quick { 400 } else { 1600 },
+                    if quick { 2_000 } else { 20_000 },
+                )
+            }),
+        ),
+        (
             "e7",
             "E7 — lower bounds (Thm 5–7, §5.2)",
             Box::new(ex::e7_lower_bounds),

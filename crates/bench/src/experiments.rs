@@ -548,6 +548,88 @@ pub fn e6_routing(families: &[Family], sizes: &[usize]) -> String {
     out
 }
 
+/// E6t — routing as a service (PR "one serving architecture"): parallel
+/// table construction with bit-identity asserted inline, the
+/// `psep-routing/v1` wire format (size vs the in-memory arena), and
+/// `route_many` throughput vs a sequential `route` loop across
+/// worker-thread counts.
+///
+/// Reported metrics: `routing.wire.bytes_per_vertex` (wire bytes over
+/// vertex count, vs the in-memory arena) and
+/// `routing.batch.routes_per_sec` (best observed across thread counts,
+/// with per-count `routing.batch.threadsNN.routes_per_sec` gauges).
+pub fn e6t_routing_serving(families: &[Family], n: usize, pair_count: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | build s | wire bytes | bytes/vertex | arena bytes | threads | routes/s | speedup |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for &fam in families {
+        let g = fam.make(n, SEED);
+        let nn = g.num_nodes();
+        let strat = fam.strategy();
+        let tree = DecompositionTree::build(&g, strat.as_ref());
+        let (tables, build_s) = timed(|| RoutingTables::build(&g, &tree));
+
+        // every thread count must serialize to the sequential build's
+        // exact psep-routing/v1 bytes, and the round-trip is bit-exact
+        let mut bytes = Vec::new();
+        tables.save(&mut bytes).expect("writing to a Vec");
+        for threads in [2usize, 4] {
+            let mut par_bytes = Vec::new();
+            RoutingTables::build_with(&g, &tree, threads)
+                .save(&mut par_bytes)
+                .expect("writing to a Vec");
+            assert_eq!(par_bytes, bytes, "parallel build diverged at t={threads}");
+        }
+        let loaded = RoutingTables::load(&bytes[..]).expect("own artifact decodes");
+        assert!(loaded == tables, "wire round-trip is not bit-exact");
+
+        let bytes_per_vertex = bytes.len() as f64 / nn as f64;
+        let arena_bytes = tables.flat().heap_bytes();
+        if psep_obs::enabled() {
+            psep_obs::counter("routing.wire.bytes").add(bytes.len() as u64);
+            psep_obs::gauge("routing.wire.bytes_per_vertex").set(bytes_per_vertex);
+            psep_obs::gauge("routing.wire.arena_ratio")
+                .set(bytes.len() as f64 / arena_bytes as f64);
+        }
+
+        let router = Router::new(&g, tables);
+        let pairs = crate::measure::random_pairs(nn, pair_count, SEED ^ 41);
+        let (seq_answers, seq_s) = timed(|| {
+            pairs
+                .iter()
+                .map(|&(u, t)| router.route(u, t, &router.tables().label(t)))
+                .collect::<Vec<_>>()
+        });
+        let seq_rps = pairs.len() as f64 / seq_s;
+        let _ = writeln!(
+            out,
+            "| {} | {nn} | {build_s:.2} | {} | {bytes_per_vertex:.1} | {arena_bytes} | seq | {seq_rps:.0} | 1.00× |",
+            fam.name(),
+            bytes.len(),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let (answers, batch_s) = timed(|| router.route_many_with(&pairs, threads));
+            assert_eq!(answers, seq_answers, "batch routes diverge at t={threads}");
+            let rps = pairs.len() as f64 / batch_s;
+            if psep_obs::enabled() {
+                psep_obs::gauge("routing.batch.routes_per_sec").set_max(rps);
+                psep_obs::gauge(&format!("routing.batch.threads{threads:02}.routes_per_sec"))
+                    .set_max(rps);
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {nn} | - | - | - | - | {threads} | {rps:.0} | {:.2}× |",
+                fam.name(),
+                rps / seq_rps,
+            );
+        }
+    }
+    out
+}
+
 /// E7 — the lower bounds of §5.1–5.2 and Theorem 7: strong separators of
 /// mesh+apex grow like `√n` while the sequential (Definition 1) budget
 /// stays flat; `K_{r,n−r}` needs `≥ r/2` paths; the weighted

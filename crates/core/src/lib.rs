@@ -25,12 +25,16 @@
 //!   Theorem 6/7 experiments;
 //! * [`doubling`] — `(k, α)`-doubling separators (§5.3): isometric
 //!   low-doubling pieces instead of paths, with the 3D-mesh plane
-//!   strategy of Theorem 8's motivating example.
+//!   strategy of Theorem 8's motivating example;
+//! * [`exec`] — the shared [`ShardedRunner`] worker pattern every
+//!   parallel surface (batch queries, label/table construction,
+//!   small-world builds) runs on, with input-order bit-identity.
 
 pub mod check;
 pub mod decomposition;
 pub mod dissection;
 pub mod doubling;
+pub mod exec;
 pub mod separator;
 pub mod strategy;
 pub mod strong;
@@ -39,6 +43,7 @@ pub mod wire;
 
 pub use check::{check_separator, check_tree, SeparatorError};
 pub use decomposition::{available_threads, DecompNode, DecompositionParams, DecompositionTree};
+pub use exec::{ShardObs, ShardedRunner};
 pub use separator::{PathGroup, PathSeparator, SepPath};
 pub use strategy::{
     AutoStrategy, FundamentalCycleStrategy, IterativeStrategy, SeparatorStrategy,

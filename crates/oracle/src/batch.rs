@@ -1,58 +1,61 @@
 //! Parallel batch queries: serve a pair list across worker threads.
 //!
 //! A production oracle answers streams of queries, not single pairs.
-//! [`BatchQueryEngine`] splits a pair list into contiguous chunks, one
-//! per `std::thread` worker over the shared [`FlatLabels`] arena (reads
-//! only — no locks), and stitches the answers back in input order, so
-//! `query_many` is observationally identical to a sequential `query`
-//! loop. Workers skip per-query instrumentation and publish aggregated
-//! per-thread counters (`oracle.batch.workerNN.pairs`) once per chunk —
-//! experiment E3t measures the resulting `oracle.batch.pairs_per_sec`.
+//! [`BatchQueryEngine`] fans a pair list out across a
+//! [`psep_core::exec::ShardedRunner`] — `std::thread` workers over the
+//! shared [`FlatLabels`] arena (reads only — no locks) — and the runner
+//! stitches the answers back in input order, so `query_many` is
+//! observationally identical to a sequential `query` loop. Workers skip
+//! per-query instrumentation and publish aggregated per-thread counters
+//! (`oracle.batch.workerNN.pairs`) once per run — experiment E3t
+//! measures the resulting `oracle.batch.pairs_per_sec`.
 //!
 //! [`FlatLabels`]: crate::flat::FlatLabels
 
+use psep_core::exec::{ShardObs, ShardedRunner};
 use psep_graph::graph::{NodeId, Weight};
 
 use crate::error::Error;
 use crate::oracle::DistanceOracle;
 
+/// Counter names for batch-query workers.
+const BATCH_OBS: ShardObs = ShardObs {
+    prefix: "oracle.batch",
+    items: "pairs",
+    units: "candidates",
+};
+
 /// A reusable parallel query engine with a fixed thread budget.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchQueryEngine {
-    threads: usize,
-    min_chunk: usize,
+    runner: ShardedRunner,
 }
 
 impl Default for BatchQueryEngine {
     fn default() -> Self {
-        BatchQueryEngine::new(std::thread::available_parallelism().map_or(1, |p| p.get()))
+        BatchQueryEngine::new(0)
     }
 }
 
 impl BatchQueryEngine {
     /// An engine with `threads` workers (`0` means the machine's
-    /// available parallelism).
+    /// available parallelism, honoring `PSEP_THREADS`).
     pub fn new(threads: usize) -> Self {
         BatchQueryEngine {
-            threads: if threads == 0 {
-                std::thread::available_parallelism().map_or(1, |p| p.get())
-            } else {
-                threads
-            },
-            min_chunk: 512,
+            runner: ShardedRunner::new(threads).min_chunk(512),
         }
     }
 
     /// Sets the minimum pairs per worker — below it, extra threads cost
     /// more to start than they save (default 512).
     pub fn min_chunk(mut self, min_chunk: usize) -> Self {
-        self.min_chunk = min_chunk.max(1);
+        self.runner = self.runner.min_chunk(min_chunk);
         self
     }
 
     /// The configured thread budget.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.runner.threads()
     }
 
     /// Answers every pair, in input order.
@@ -62,23 +65,10 @@ impl BatchQueryEngine {
     /// Panics if any vertex id is out of range; [`Self::try_run`]
     /// validates up front and returns an error instead.
     pub fn run(&self, oracle: &DistanceOracle, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
-        let workers = self.worker_count(pairs.len());
         psep_obs::counter!("oracle.batch.runs").incr();
-        let (answers, scanned) = if workers <= 1 {
-            let mut scanned = 0u64;
-            let answers = pairs
-                .iter()
-                .map(|&(u, v)| {
-                    let (ans, s) = oracle.query_uncounted(u, v);
-                    scanned += s;
-                    ans
-                })
-                .collect();
-            record_worker(0, pairs.len(), scanned);
-            (answers, scanned)
-        } else {
-            self.run_parallel(oracle, pairs, workers)
-        };
+        let (answers, scanned) = self.runner.map(pairs, Some(&BATCH_OBS), |&(u, v)| {
+            oracle.query_uncounted(u, v)
+        });
         psep_obs::counter!("oracle.batch.pairs").add(pairs.len() as u64);
         psep_obs::counter!("oracle.batch.candidates_scanned").add(scanned);
         answers
@@ -100,55 +90,6 @@ impl BatchQueryEngine {
             }
         }
         Ok(self.run(oracle, pairs))
-    }
-
-    fn worker_count(&self, pairs: usize) -> usize {
-        self.threads.min(pairs.div_ceil(self.min_chunk)).max(1)
-    }
-
-    fn run_parallel(
-        &self,
-        oracle: &DistanceOracle,
-        pairs: &[(NodeId, NodeId)],
-        workers: usize,
-    ) -> (Vec<Option<Weight>>, u64) {
-        let chunk_size = pairs.len().div_ceil(workers);
-        let mut answers = Vec::with_capacity(pairs.len());
-        let mut scanned_total = 0u64;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = pairs
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    s.spawn(move || {
-                        let mut scanned = 0u64;
-                        let out: Vec<Option<Weight>> = chunk
-                            .iter()
-                            .map(|&(u, v)| {
-                                let (ans, s) = oracle.query_uncounted(u, v);
-                                scanned += s;
-                                ans
-                            })
-                            .collect();
-                        (out, scanned)
-                    })
-                })
-                .collect();
-            for (wi, h) in handles.into_iter().enumerate() {
-                let (out, scanned) = h.join().expect("batch query worker panicked");
-                record_worker(wi, out.len(), scanned);
-                scanned_total += scanned;
-                answers.extend(out);
-            }
-        });
-        (answers, scanned_total)
-    }
-}
-
-/// Publishes one worker's aggregated counters.
-fn record_worker(worker: usize, pairs: usize, scanned: u64) {
-    if psep_obs::enabled() {
-        psep_obs::counter(&format!("oracle.batch.worker{worker:02}.pairs")).add(pairs as u64);
-        psep_obs::counter(&format!("oracle.batch.worker{worker:02}.candidates")).add(scanned);
     }
 }
 

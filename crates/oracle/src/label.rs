@@ -1,9 +1,8 @@
 //! Distance labels (Theorem 2) and their path-major parallel
 //! construction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use psep_core::decomposition::DecompositionTree;
+use psep_core::exec::{ShardObs, ShardedRunner};
 use psep_graph::dijkstra::DijkstraScratch;
 use psep_graph::graph::{Graph, NodeId, Weight};
 use psep_graph::view::SubgraphView;
@@ -102,12 +101,12 @@ impl DistanceLabel {
 /// per level instead of one per alive vertex, i.e. `O(n)` total instead
 /// of `O(n · depth)`.
 ///
-/// With `threads > 1` the per-source Dijkstras fan out in blocks across
-/// `std::thread::scope` workers, each owning a reusable
-/// [`DijkstraScratch`] arena; greedy application stays sequential in
-/// source order between blocks, so the output is **bit-identical** at
-/// every thread count (the equivalence suite compares `psep-labels/v1`
-/// wire bytes to lock this down).
+/// With `threads > 1` the per-source Dijkstras fan out in blocks on a
+/// [`ShardedRunner`], each worker owning a reusable [`DijkstraScratch`]
+/// arena; the runner returns each block's results in source order and
+/// greedy application stays sequential between blocks, so the output is
+/// **bit-identical** at every thread count (the equivalence suite
+/// compares `psep-labels/v1` wire bytes to lock this down).
 pub fn build_labels(
     g: &Graph,
     tree: &DecompositionTree,
@@ -119,6 +118,12 @@ pub fn build_labels(
     let n = g.num_nodes();
     let mut labels: Vec<DistanceLabel> = vec![DistanceLabel::default(); n];
     let workers = threads.max(1);
+    let runner = ShardedRunner::new(workers);
+    const LABEL_OBS: ShardObs = ShardObs {
+        prefix: "oracle.label",
+        items: "sources",
+        units: "reached",
+    };
     // per-worker reusable Dijkstra arenas, shared across all levels
     let mut scratches: Vec<DijkstraScratch> =
         (0..workers).map(|_| DijkstraScratch::new(n)).collect();
@@ -169,66 +174,29 @@ pub fn build_labels(
                 }
             };
 
-            if workers <= 1 || sources.len() < 2 * workers {
-                let scratch = &mut scratches[0];
-                let (mut srcs, mut reach) = (0u64, 0u64);
-                for &(pi, xi) in &sources {
-                    let x = paths[pi as usize].vertices()[xi as usize];
-                    scratch.run(&view, &[x]);
-                    let reached = scratch.reached_vec();
-                    srcs += 1;
-                    reach += reached.len() as u64;
-                    apply(&mut chosen, pi, xi, &reached);
-                }
-                record_label_worker(0, srcs, reach);
-            } else {
-                // Block-parallel: Dijkstras fan out within a block, the
-                // greedy replays sequentially in source order between
-                // blocks — so the block size cannot affect the output.
-                let block = (workers * 8).max(16);
-                for start in (0..sources.len()).step_by(block) {
-                    let slice = &sources[start..sources.len().min(start + block)];
-                    let mut results: Vec<Option<Vec<(NodeId, Weight)>>> = vec![None; slice.len()];
-                    let cursor = AtomicUsize::new(0);
-                    let (cursor_ref, view_ref, paths_ref) = (&cursor, &view, paths);
-                    std::thread::scope(|s| {
-                        let handles: Vec<_> = scratches
-                            .iter_mut()
-                            .take(slice.len())
-                            .map(|scratch| {
-                                s.spawn(move || {
-                                    let mut local = Vec::new();
-                                    let (mut srcs, mut reach) = (0u64, 0u64);
-                                    loop {
-                                        let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                                        if i >= slice.len() {
-                                            break;
-                                        }
-                                        let (pi, xi) = slice[i];
-                                        let x = paths_ref[pi as usize].vertices()[xi as usize];
-                                        scratch.run(view_ref, &[x]);
-                                        let r = scratch.reached_vec();
-                                        srcs += 1;
-                                        reach += r.len() as u64;
-                                        local.push((i, r));
-                                    }
-                                    (local, srcs, reach)
-                                })
-                            })
-                            .collect();
-                        for (w, handle) in handles.into_iter().enumerate() {
-                            let (local, srcs, reach) =
-                                handle.join().expect("label worker panicked");
-                            record_label_worker(w, srcs, reach);
-                            for (i, r) in local {
-                                results[i] = Some(r);
-                            }
-                        }
-                    });
-                    for (i, &(pi, xi)) in slice.iter().enumerate() {
-                        let reached = results[i].take().expect("unclaimed source");
-                        apply(&mut chosen, pi, xi, &reached);
-                    }
+            // Block-parallel on the shared runner: Dijkstras fan out
+            // within a block, the greedy replays sequentially in source
+            // order between blocks — so neither the block size nor the
+            // claim schedule can affect the output. One block per
+            // 8 × workers sources bounds the reached-lists held live.
+            let block = (workers * 8).max(16);
+            for start in (0..sources.len()).step_by(block) {
+                let slice = &sources[start..sources.len().min(start + block)];
+                let view_ref = &view;
+                let (results, _) = runner.run(
+                    slice,
+                    Some(&LABEL_OBS),
+                    &mut scratches,
+                    |scratch, &(pi, xi)| {
+                        let x = paths[pi as usize].vertices()[xi as usize];
+                        scratch.run(view_ref, &[x]);
+                        let r = scratch.reached_vec();
+                        let reach = r.len() as u64;
+                        (r, reach)
+                    },
+                );
+                for (&(pi, xi), reached) in slice.iter().zip(&results) {
+                    apply(&mut chosen, pi, xi, reached);
                 }
             }
 
@@ -274,17 +242,6 @@ pub fn build_labels(
         psep_obs::gauge("oracle.labels.mean_entries").set(stats.mean_entries);
     }
     labels
-}
-
-/// Publishes per-worker label-construction counters
-/// (`oracle.label.workerNN.sources` / `.reached`), mirroring the batch
-/// engine's `oracle.batch.workerNN.*` rollup.
-fn record_label_worker(worker: usize, sources: u64, reached: u64) {
-    if !psep_obs::enabled() {
-        return;
-    }
-    psep_obs::counter(&format!("oracle.label.worker{worker:02}.sources")).add(sources);
-    psep_obs::counter(&format!("oracle.label.worker{worker:02}.reached")).add(reached);
 }
 
 /// Label-size statistics over a set of labels.

@@ -47,10 +47,14 @@ impl Router {
                 }
             }
             let entry = label_entry(label_t, key);
-            let info = &self.tables().table(cur)[&key];
-            match info.on_path {
+            let info = self
+                .tables()
+                .table(cur)
+                .get(key)
+                .expect("climb/walk stays within T_Q");
+            match info.on_path() {
                 None => {
-                    let parent = info.parent.expect("off-path vertex has a parent");
+                    let parent = info.parent().expect("off-path vertex has a parent");
                     cost += self.edge_weight(cur, parent);
                     cur = parent;
                     route.push(cur);
@@ -74,14 +78,22 @@ impl Router {
         // locked descent, as in the base router
         let entry = label_entry(label_t, key);
         while cur != t {
-            let info = &self.tables().table(cur)[&key];
+            let info = self
+                .tables()
+                .table(cur)
+                .get(key)
+                .expect("descent stays within T_Q");
             let child = info
-                .children
+                .children()
                 .iter()
                 .copied()
                 .find(|&c| {
-                    let ci = &self.tables().table(c)[&key];
-                    ci.dfs <= entry.dfs && entry.dfs < ci.subtree_end
+                    let ci = self
+                        .tables()
+                        .table(c)
+                        .get(key)
+                        .expect("child shares the key");
+                    ci.dfs() <= entry.dfs && entry.dfs < ci.subtree_end()
                 })
                 .expect("descent stays within the subtree");
             cost += self.edge_weight(cur, child);
@@ -98,11 +110,11 @@ impl Router {
     /// Remaining cost of plan `key` from `w`, or `None` if `w` has no
     /// entry for the key.
     fn remaining(&self, w: NodeId, key: RouteKey, label_t: &RoutingLabel) -> Option<Weight> {
-        let info = self.tables().table(w).get(&key)?;
+        let info = self.tables().table(w).get(key)?;
         let entry = label_t.entries.iter().find(|e| e.key == key)?;
         Some(
-            info.dist
-                .saturating_add(info.entry_pos.abs_diff(entry.entry_pos))
+            info.dist()
+                .saturating_add(info.entry_pos().abs_diff(entry.entry_pos))
                 .saturating_add(entry.dist),
         )
     }

@@ -1,0 +1,459 @@
+//! Contiguous (CSR-style) routing-table storage: every vertex's table
+//! in five flat arrays, mirroring `psep_oracle::FlatLabels`.
+//!
+//! The nested representation allocates one `BTreeMap` per vertex plus
+//! one `Vec` per entry's children — friendly to construct, hostile to
+//! serve: every forwarding decision chases pointers across the heap.
+//! [`FlatTables`] stores the same information as
+//!
+//! ```text
+//! entry_start: n+1  u32       — entries of vertex v are entry_start[v]..entry_start[v+1]
+//! keys:        E    u64       — packed (node, group, path), ascending per vertex
+//! infos:       E    EntryInfo — dist, entry_pos, parent, DFS interval, on-path links
+//! child_start: E+1  u32       — children of entry e are child_start[e]..child_start[e+1]
+//! children:    C    NodeId    — ascending per entry
+//! ```
+//!
+//! so plan selection binary-searches one contiguous key slice and the
+//! interval descent scans a contiguous child slice. Lookups borrow
+//! [`TableRef`]/[`EntryRef`] views; [`FlatTables::to_nested`] converts
+//! back whenever the nested exchange form is wanted (round-trips
+//! exactly).
+
+use psep_graph::graph::{NodeId, Weight};
+use psep_oracle::label::{pack_key, unpack_key};
+
+use crate::error::Error;
+use crate::tables::{OnPathInfo, PathInfo, RouteKey};
+use std::collections::BTreeMap;
+
+/// One entry's fixed-size fields (everything of [`PathInfo`] except the
+/// variable-length children list, which lives in the child arena).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct EntryInfo {
+    pub dist: Weight,
+    pub entry_pos: Weight,
+    pub parent: Option<NodeId>,
+    pub dfs: u32,
+    pub subtree_end: u32,
+    pub on_path: Option<OnPathInfo>,
+}
+
+/// All routing tables of one graph in contiguous CSR-style arrays.
+///
+/// Invariants (maintained by every constructor):
+///
+/// * `entry_start` has `num_nodes() + 1` elements, is non-decreasing,
+///   starts at 0 and ends at `keys.len()`;
+/// * `child_start` has `keys.len() + 1` elements, is non-decreasing,
+///   starts at 0 and ends at `children.len()`;
+/// * within each vertex's range, `keys` is strictly ascending;
+/// * within each entry's range, `children` is strictly ascending;
+/// * every vertex id (parent, child, on-path prev/next) is `< num_nodes()`
+///   and every DFS interval is non-empty (`dfs < subtree_end`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlatTables {
+    entry_start: Vec<u32>,
+    keys: Vec<u64>,
+    infos: Vec<EntryInfo>,
+    child_start: Vec<u32>,
+    children: Vec<NodeId>,
+}
+
+impl FlatTables {
+    /// Flattens per-vertex `(packed key, info)` lists (already in
+    /// ascending key order) into one arena. The construction path of
+    /// [`crate::RoutingTables::build_with`].
+    pub(crate) fn from_vertex_lists(lists: Vec<Vec<(u64, PathInfo)>>) -> Self {
+        let num_entries: usize = lists.iter().map(|l| l.len()).sum();
+        let mut entry_start = Vec::with_capacity(lists.len() + 1);
+        let mut keys = Vec::with_capacity(num_entries);
+        let mut infos = Vec::with_capacity(num_entries);
+        let mut child_start = Vec::with_capacity(num_entries + 1);
+        let mut children = Vec::new();
+        entry_start.push(0u32);
+        child_start.push(0u32);
+        for list in lists {
+            for (key, info) in list {
+                keys.push(key);
+                children.extend_from_slice(&info.children);
+                child_start.push(children.len() as u32);
+                infos.push(EntryInfo {
+                    dist: info.dist,
+                    entry_pos: info.entry_pos,
+                    parent: info.parent,
+                    dfs: info.dfs,
+                    subtree_end: info.subtree_end,
+                    on_path: info.on_path,
+                });
+            }
+            entry_start.push(keys.len() as u32);
+        }
+        FlatTables {
+            entry_start,
+            keys,
+            infos,
+            child_start,
+            children,
+        }
+    }
+
+    /// Flattens the nested per-vertex representation.
+    pub fn from_nested(per_vertex: &[BTreeMap<RouteKey, PathInfo>]) -> Self {
+        FlatTables::from_vertex_lists(
+            per_vertex
+                .iter()
+                .map(|table| {
+                    table
+                        .iter()
+                        .map(|(&(node, group, path), info)| {
+                            (pack_key(node, group, path), info.clone())
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Expands back to the nested per-vertex representation
+    /// (`from_nested(&flat.to_nested()) == flat`).
+    pub fn to_nested(&self) -> Vec<BTreeMap<RouteKey, PathInfo>> {
+        (0..self.num_nodes())
+            .map(|v| {
+                self.table(NodeId::from_index(v))
+                    .entries()
+                    .map(|(key, e)| (key, e.to_info()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Assembles an arena directly from its five arrays, validating
+    /// every invariant. This is the entry point of the wire-format
+    /// decoder.
+    pub(crate) fn from_parts(
+        entry_start: Vec<u32>,
+        keys: Vec<u64>,
+        infos: Vec<EntryInfo>,
+        child_start: Vec<u32>,
+        children: Vec<NodeId>,
+    ) -> Result<Self, Error> {
+        let corrupt = |what: &'static str| Err(Error::corrupt(what));
+        if entry_start.first() != Some(&0) || child_start.first() != Some(&0) {
+            return corrupt("offset arrays must start at 0");
+        }
+        if *entry_start.last().unwrap() as usize != keys.len() {
+            return corrupt("entry_start must end at keys.len()");
+        }
+        if infos.len() != keys.len() {
+            return corrupt("one info record per key");
+        }
+        if child_start.len() != keys.len() + 1 {
+            return corrupt("child_start must have one bound per entry plus one");
+        }
+        if *child_start.last().unwrap() as usize != children.len() {
+            return corrupt("child_start must end at children.len()");
+        }
+        if entry_start.windows(2).any(|w| w[0] > w[1]) {
+            return corrupt("entry_start must be non-decreasing");
+        }
+        if child_start.windows(2).any(|w| w[0] > w[1]) {
+            return corrupt("child_start must be non-decreasing");
+        }
+        for v in 0..entry_start.len() - 1 {
+            let range = entry_start[v] as usize..entry_start[v + 1] as usize;
+            if keys[range].windows(2).any(|w| w[0] >= w[1]) {
+                return corrupt("keys must be strictly ascending within a vertex");
+            }
+        }
+        let n = entry_start.len() - 1;
+        let in_range = |v: Option<NodeId>| v.is_none_or(|v| v.index() < n);
+        for info in &infos {
+            if info.dfs >= info.subtree_end {
+                return corrupt("DFS interval must be non-empty");
+            }
+            if !in_range(info.parent) {
+                return corrupt("parent vertex out of range");
+            }
+            if let Some(op) = info.on_path {
+                if !in_range(op.prev) || !in_range(op.next) {
+                    return corrupt("on-path link out of range");
+                }
+            }
+        }
+        if children.iter().any(|c| c.index() >= n) {
+            return corrupt("child vertex out of range");
+        }
+        for e in 0..keys.len() {
+            let range = child_start[e] as usize..child_start[e + 1] as usize;
+            if children[range].windows(2).any(|w| w[0] >= w[1]) {
+                return corrupt("children must be strictly ascending within an entry");
+            }
+        }
+        Ok(FlatTables {
+            entry_start,
+            keys,
+            infos,
+            child_start,
+            children,
+        })
+    }
+
+    /// The raw arrays — what the wire format encodes.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn as_parts(&self) -> (&[u32], &[u64], &[EntryInfo], &[u32], &[NodeId]) {
+        (
+            &self.entry_start,
+            &self.keys,
+            &self.infos,
+            &self.child_start,
+            &self.children,
+        )
+    }
+
+    /// Number of vertices covered.
+    pub fn num_nodes(&self) -> usize {
+        self.entry_start.len() - 1
+    }
+
+    /// Total `(node, group, path)` entries across all tables.
+    pub fn num_entries(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total child records across all entries.
+    pub fn num_children(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Borrowed view of `v`'s table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; use [`FlatTables::try_table`] to
+    /// get an error instead.
+    pub fn table(&self, v: NodeId) -> TableRef<'_> {
+        self.try_table(v).unwrap()
+    }
+
+    /// Borrowed view of `v`'s table, or [`Error::NodeOutOfRange`].
+    pub fn try_table(&self, v: NodeId) -> Result<TableRef<'_>, Error> {
+        let i = v.index();
+        if i >= self.num_nodes() {
+            return Err(Error::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes(),
+            });
+        }
+        Ok(TableRef {
+            flat: self,
+            lo: self.entry_start[i] as usize,
+            hi: self.entry_start[i + 1] as usize,
+        })
+    }
+
+    /// Heap bytes of the arena — the in-memory footprint the wire
+    /// format's size is compared against in experiment E6t.
+    pub fn heap_bytes(&self) -> usize {
+        self.entry_start.len() * 4
+            + self.keys.len() * 8
+            + self.infos.len() * std::mem::size_of::<EntryInfo>()
+            + self.child_start.len() * 4
+            + self.children.len() * 4
+    }
+}
+
+/// A borrowed routing table: one vertex's entry range in the arena.
+#[derive(Clone, Copy, Debug)]
+pub struct TableRef<'a> {
+    flat: &'a FlatTables,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> TableRef<'a> {
+    /// Number of `(node, group, path)` entries.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the table has no entries (an unreachable vertex).
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The entry for `key`, if present (binary search).
+    pub fn get(&self, key: RouteKey) -> Option<EntryRef<'a>> {
+        let packed = pack_key(key.0, key.1, key.2);
+        let i = self.flat.keys[self.lo..self.hi]
+            .binary_search(&packed)
+            .ok()?;
+        Some(EntryRef {
+            flat: self.flat,
+            e: self.lo + i,
+        })
+    }
+
+    /// All entries as `(key, entry)` pairs in ascending key order.
+    pub fn entries(&self) -> impl Iterator<Item = (RouteKey, EntryRef<'a>)> + '_ {
+        let flat = self.flat;
+        (self.lo..self.hi).map(move |e| (unpack_key(flat.keys[e]), EntryRef { flat, e }))
+    }
+}
+
+/// A borrowed routing-table entry.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryRef<'a> {
+    flat: &'a FlatTables,
+    e: usize,
+}
+
+impl<'a> EntryRef<'a> {
+    fn info(&self) -> &'a EntryInfo {
+        &self.flat.infos[self.e]
+    }
+
+    /// `d_J(v, Q)` — distance to the nearest path vertex.
+    pub fn dist(&self) -> Weight {
+        self.info().dist
+    }
+
+    /// Position of the nearest entry point `x_v` on `Q`.
+    pub fn entry_pos(&self) -> Weight {
+        self.info().entry_pos
+    }
+
+    /// Parent toward `Q` in the multi-source tree `T_Q` (`None` on `Q`).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.info().parent
+    }
+
+    /// DFS preorder index in `T_Q`.
+    pub fn dfs(&self) -> u32 {
+        self.info().dfs
+    }
+
+    /// One past the largest DFS index in the subtree.
+    pub fn subtree_end(&self) -> u32 {
+        self.info().subtree_end
+    }
+
+    /// On-path links, set iff the vertex lies on `Q`.
+    pub fn on_path(&self) -> Option<OnPathInfo> {
+        self.info().on_path
+    }
+
+    /// Children in `T_Q` (for interval routing downward), ascending.
+    pub fn children(&self) -> &'a [NodeId] {
+        let (lo, hi) = (
+            self.flat.child_start[self.e] as usize,
+            self.flat.child_start[self.e + 1] as usize,
+        );
+        &self.flat.children[lo..hi]
+    }
+
+    /// Materializes the nested [`PathInfo`] record.
+    pub fn to_info(&self) -> PathInfo {
+        let info = self.info();
+        PathInfo {
+            dist: info.dist,
+            entry_pos: info.entry_pos,
+            parent: info.parent,
+            dfs: info.dfs,
+            subtree_end: info.subtree_end,
+            children: self.children().to_vec(),
+            on_path: info.on_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::RoutingTables;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+
+    fn grid_tables() -> RoutingTables {
+        let g = grids::grid2d(6, 6, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        RoutingTables::build(&g, &tree)
+    }
+
+    #[test]
+    fn nested_roundtrip_is_exact() {
+        let tables = grid_tables();
+        let nested = tables.flat().to_nested();
+        assert_eq!(&FlatTables::from_nested(&nested), tables.flat());
+        // and the views match the nested maps entry for entry
+        for (v, table) in nested.iter().enumerate() {
+            let r = tables.flat().table(NodeId::from_index(v));
+            assert_eq!(r.len(), table.len());
+            for ((key, entry), (&nkey, ninfo)) in r.entries().zip(table.iter()) {
+                assert_eq!(key, nkey);
+                assert_eq!(&entry.to_info(), ninfo);
+                assert_eq!(entry.children(), ninfo.children.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_table_is_an_error() {
+        let tables = grid_tables();
+        assert!(matches!(
+            tables.flat().try_table(NodeId(999)),
+            Err(Error::NodeOutOfRange { num_nodes: 36, .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_rejects_broken_invariants() {
+        let tables = grid_tables();
+        let (es, keys, infos, cs, ch) = tables.flat().as_parts();
+        let reassembled = FlatTables::from_parts(
+            es.to_vec(),
+            keys.to_vec(),
+            infos.to_vec(),
+            cs.to_vec(),
+            ch.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(&reassembled, tables.flat());
+        // descending keys within a vertex
+        let mut bad_keys = keys.to_vec();
+        bad_keys.swap(0, 1);
+        assert!(FlatTables::from_parts(
+            es.to_vec(),
+            bad_keys,
+            infos.to_vec(),
+            cs.to_vec(),
+            ch.to_vec()
+        )
+        .is_err());
+        // an empty DFS interval
+        let mut bad_infos = infos.to_vec();
+        bad_infos[0].subtree_end = bad_infos[0].dfs;
+        assert!(FlatTables::from_parts(
+            es.to_vec(),
+            keys.to_vec(),
+            bad_infos,
+            cs.to_vec(),
+            ch.to_vec()
+        )
+        .is_err());
+        // a child id beyond n
+        if !ch.is_empty() {
+            let mut bad_ch = ch.to_vec();
+            bad_ch[0] = NodeId(10_000);
+            assert!(FlatTables::from_parts(
+                es.to_vec(),
+                keys.to_vec(),
+                infos.to_vec(),
+                cs.to_vec(),
+                bad_ch
+            )
+            .is_err());
+        }
+    }
+}

@@ -27,12 +27,24 @@
 //! experiment E6 reports against the paper's `1+ε` — is far closer to 1
 //! on the evaluation families. The oracle-greedy forwarding baseline
 //! ([`greedy::OracleGreedyRouter`]) is included for comparison.
+//!
+//! The crate has the same serving shape as `psep-oracle`: tables live
+//! in a CSR-style [`FlatTables`] arena, persist as checksummed
+//! `psep-routing/v1` artifacts ([`RoutingTables::save`]/`load`), build
+//! in parallel bit-identically at every thread count, answer batch
+//! requests via [`Router::route_many`], and reject bad input through
+//! typed [`Error`]s ([`Router::try_route`]) instead of panicking.
 
 pub mod adaptive;
+pub mod error;
+pub mod flat;
 pub mod greedy;
 pub mod router;
 pub mod tables;
+pub mod wire;
 
+pub use error::Error;
+pub use flat::{EntryRef, FlatTables, TableRef};
 pub use greedy::OracleGreedyRouter;
 pub use router::{RouteOutcome, Router};
-pub use tables::{RoutingLabel, RoutingTables};
+pub use tables::{RouteKey, RoutingLabel, RoutingTables};

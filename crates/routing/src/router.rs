@@ -1,11 +1,22 @@
-//! The routing simulator: plan selection and message forwarding.
+//! The routing simulator: plan selection, message forwarding, and batch
+//! routing.
 
+use psep_core::exec::{ShardObs, ShardedRunner};
 use psep_graph::graph::{Graph, NodeId, Weight};
 
+use crate::error::Error;
+use crate::flat::EntryRef;
 use crate::tables::{RouteKey, RoutingLabel, RoutingTables};
 
+/// Counter names for batch-routing workers.
+const ROUTE_OBS: ShardObs = ShardObs {
+    prefix: "routing.batch",
+    items: "routes",
+    units: "hops",
+};
+
 /// The result of routing one message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteOutcome {
     /// The full vertex route, starting at the source and ending at the
     /// target.
@@ -56,6 +67,11 @@ impl Router {
         &self.tables
     }
 
+    /// The graph the router forwards over.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
     /// The routing label (address) of `v`.
     pub fn label(&self, v: NodeId) -> RoutingLabel {
         self.tables.label(v)
@@ -69,10 +85,10 @@ impl Router {
         let table = self.tables.table(u);
         let mut best: Option<(RouteKey, Weight)> = None;
         for e in &label_t.entries {
-            if let Some(info) = table.get(&e.key) {
+            if let Some(info) = table.get(e.key) {
                 let cost = info
-                    .dist
-                    .saturating_add(info.entry_pos.abs_diff(e.entry_pos))
+                    .dist()
+                    .saturating_add(info.entry_pos().abs_diff(e.entry_pos))
                     .saturating_add(e.dist);
                 if best.is_none_or(|(_, c)| cost < c) {
                     best = Some((e.key, cost));
@@ -82,12 +98,26 @@ impl Router {
         best
     }
 
+    /// The table entry of `cur` for `key`, which every phase of an
+    /// executing route relies on.
+    fn entry(&self, cur: NodeId, key: RouteKey) -> EntryRef<'_> {
+        self.tables
+            .table(cur)
+            .get(key)
+            .expect("route stays within T_Q, where every vertex has the key")
+    }
+
     /// Routes a message from `u` to `t` (whose label the caller supplies,
     /// playing the role of the address on the envelope). Returns `None`
     /// when `u` and `t` share no decomposition path (disconnected).
     ///
     /// Delivery is guaranteed for connected pairs, and the executed cost
     /// equals the plan cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `t` is out of range; [`Self::try_route`]
+    /// validates first and returns an error instead.
     pub fn route(&self, u: NodeId, t: NodeId, label_t: &RoutingLabel) -> Option<RouteOutcome> {
         if u == t {
             return Some(RouteOutcome {
@@ -108,11 +138,11 @@ impl Router {
 
         // Phase A: climb to the path along T_Q parents.
         loop {
-            let info = &self.tables.table(cur)[&key];
-            if info.on_path.is_some() {
+            let info = self.entry(cur, key);
+            if info.on_path().is_some() {
                 break;
             }
-            let parent = info.parent.expect("off-path vertex has a parent");
+            let parent = info.parent().expect("off-path vertex has a parent");
             cost += self.edge_weight(cur, parent);
             cur = parent;
             route.push(cur);
@@ -120,8 +150,8 @@ impl Router {
 
         // Phase B: walk along Q to the target's entry position.
         loop {
-            let info = &self.tables.table(cur)[&key];
-            let op = info.on_path.expect("phase B stays on the path");
+            let info = self.entry(cur, key);
+            let op = info.on_path().expect("phase B stays on the path");
             if op.pos == target_entry.entry_pos {
                 break;
             }
@@ -137,18 +167,18 @@ impl Router {
 
         // Phase C: descend T_Q by interval routing to dfs(t).
         while cur != t {
-            let info = &self.tables.table(cur)[&key];
+            let info = self.entry(cur, key);
             debug_assert!(
-                info.dfs <= target_entry.dfs && target_entry.dfs < info.subtree_end,
+                info.dfs() <= target_entry.dfs && target_entry.dfs < info.subtree_end(),
                 "target not in current subtree"
             );
             let child = info
-                .children
+                .children()
                 .iter()
                 .copied()
                 .find(|&c| {
-                    let ci = &self.tables.table(c)[&key];
-                    ci.dfs <= target_entry.dfs && target_entry.dfs < ci.subtree_end
+                    let ci = self.entry(c, key);
+                    ci.dfs() <= target_entry.dfs && target_entry.dfs < ci.subtree_end()
                 })
                 .expect("some child interval contains the target");
             cost += self.edge_weight(cur, child);
@@ -161,6 +191,71 @@ impl Router {
             route,
             cost,
         })
+    }
+
+    /// [`Self::route`] with both endpoints validated first; a bad
+    /// request is an [`Error::NodeOutOfRange`], not a panic.
+    pub fn try_route(
+        &self,
+        u: NodeId,
+        t: NodeId,
+        label_t: &RoutingLabel,
+    ) -> Result<Option<RouteOutcome>, Error> {
+        let n = self.tables.num_nodes();
+        for node in [u, t] {
+            if node.index() >= n {
+                return Err(Error::NodeOutOfRange { node, num_nodes: n });
+            }
+        }
+        Ok(self.route(u, t, label_t))
+    }
+
+    /// Routes every `(u, t)` pair, in input order, fanning out across
+    /// the machine's available parallelism (honoring `PSEP_THREADS`) —
+    /// bit-identical to a sequential [`Self::route`] loop with each
+    /// target's own label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex id is out of range; use
+    /// [`Self::try_route_many`] to validate instead.
+    pub fn route_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<RouteOutcome>> {
+        self.route_many_with(pairs, 0)
+    }
+
+    /// [`Self::route_many`] with an explicit thread budget (`0` means
+    /// available parallelism).
+    pub fn route_many_with(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<Option<RouteOutcome>> {
+        psep_obs::counter!("routing.batch.runs").incr();
+        let runner = ShardedRunner::new(threads).min_chunk(64);
+        let (outcomes, hops) = runner.map(pairs, Some(&ROUTE_OBS), |&(u, t)| {
+            let out = self.route(u, t, &self.tables.label(t));
+            let hops = out.as_ref().map_or(0, |o| o.hops as u64);
+            (out, hops)
+        });
+        psep_obs::counter!("routing.batch.routes").add(pairs.len() as u64);
+        psep_obs::counter!("routing.batch.hops").add(hops);
+        outcomes
+    }
+
+    /// [`Self::route_many`] with every vertex id validated first.
+    pub fn try_route_many(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Option<RouteOutcome>>, Error> {
+        let n = self.tables.num_nodes();
+        for &(u, t) in pairs {
+            for node in [u, t] {
+                if node.index() >= n {
+                    return Err(Error::NodeOutOfRange { node, num_nodes: n });
+                }
+            }
+        }
+        Ok(self.route_many(pairs))
     }
 
     pub(crate) fn edge_weight(&self, u: NodeId, v: NodeId) -> Weight {
@@ -274,5 +369,46 @@ mod tests {
         assert!(router
             .route(NodeId(0), NodeId(2), &router.label(NodeId(2)))
             .is_none());
+    }
+
+    #[test]
+    fn route_many_matches_sequential_routes() {
+        let g = grids::grid2d(6, 6, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        let pairs: Vec<(NodeId, NodeId)> = (0..36u32)
+            .flat_map(|u| (0..36u32).map(move |t| (NodeId(u), NodeId(t))))
+            .collect();
+        let sequential: Vec<_> = pairs
+            .iter()
+            .map(|&(u, t)| router.route(u, t, &router.label(t)))
+            .collect();
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                router.route_many_with(&pairs, threads),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_route_rejects_out_of_range() {
+        let g = grids::grid2d(4, 4, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        let label = router.label(NodeId(3));
+        assert!(matches!(
+            router.try_route(NodeId(99), NodeId(3), &label),
+            Err(Error::NodeOutOfRange { num_nodes: 16, .. })
+        ));
+        assert!(matches!(
+            router.try_route_many(&[(NodeId(0), NodeId(77))]),
+            Err(Error::NodeOutOfRange { num_nodes: 16, .. })
+        ));
+        assert_eq!(
+            router.try_route(NodeId(0), NodeId(3), &label).unwrap(),
+            router.route(NodeId(0), NodeId(3), &label)
+        );
     }
 }

@@ -1,0 +1,383 @@
+//! `psep-routing/v1` — the versioned, checksummed binary wire format
+//! for routing tables, so a compact-routing scheme can be built once,
+//! shipped, and served (abstract item 3's tables as portable artifacts).
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic   b"PSEPROUT"                               8 bytes
+//! version 1
+//! n       number of vertices
+//! E       total entries        C  total children
+//! entry count per vertex                            n varints
+//! keys    per vertex: first absolute, then deltas   E varints
+//! dists   raw varints                               E varints
+//! entry positions, raw varints                      E varints
+//! dfs     raw varints                               E varints
+//! spans   subtree_end − dfs (≥ 1)                   E varints
+//! parents 0 = none, else vertex id + 1              E varints
+//! on-path 0 = off path; 1 followed by pos,
+//!         prev + 1 | 0, next + 1 | 0                E records
+//! child count per entry                             E varints
+//! children per entry: first absolute, then deltas   C varints
+//! crc32   over version‖…‖children, little-endian    4 bytes
+//! ```
+//!
+//! Keys are strictly ascending within a vertex and children within an
+//! entry, so both streams delta-code to a byte or two per element.
+//! Decoding verifies magic, version, and checksum before touching the
+//! payload, and every structural invariant after (via
+//! `FlatTables::from_parts`); corrupt input yields an [`Error`], never
+//! a panic.
+
+use std::io::{Read, Write};
+
+use psep_core::wire::{put_varint, seal, unseal, Cursor, WireError};
+use psep_graph::graph::NodeId;
+
+use crate::error::Error;
+use crate::flat::{EntryInfo, FlatTables};
+use crate::tables::{OnPathInfo, RoutingTables};
+
+/// Magic bytes of a `psep-routing` artifact.
+pub const TABLES_MAGIC: &[u8; 8] = b"PSEPROUT";
+/// Current format version.
+pub const TABLES_VERSION: u64 = 1;
+
+fn put_opt_node(payload: &mut Vec<u8>, v: Option<NodeId>) {
+    put_varint(payload, v.map_or(0, |v| v.0 as u64 + 1));
+}
+
+/// Encodes a table arena as one `psep-routing/v1` artifact.
+pub fn encode_tables(flat: &FlatTables) -> Vec<u8> {
+    let (entry_start, keys, infos, child_start, children) = flat.as_parts();
+    let n = entry_start.len() - 1;
+    let mut payload = Vec::with_capacity(16 + n + keys.len() * 6 + children.len() * 2);
+    put_varint(&mut payload, TABLES_VERSION);
+    put_varint(&mut payload, n as u64);
+    put_varint(&mut payload, keys.len() as u64);
+    put_varint(&mut payload, children.len() as u64);
+    for v in 0..n {
+        put_varint(&mut payload, (entry_start[v + 1] - entry_start[v]) as u64);
+    }
+    for v in 0..n {
+        let mut prev = 0u64;
+        for (i, &key) in keys[entry_start[v] as usize..entry_start[v + 1] as usize]
+            .iter()
+            .enumerate()
+        {
+            put_varint(&mut payload, if i == 0 { key } else { key - prev });
+            prev = key;
+        }
+    }
+    for info in infos {
+        put_varint(&mut payload, info.dist);
+    }
+    for info in infos {
+        put_varint(&mut payload, info.entry_pos);
+    }
+    for info in infos {
+        put_varint(&mut payload, info.dfs as u64);
+    }
+    for info in infos {
+        put_varint(&mut payload, (info.subtree_end - info.dfs) as u64);
+    }
+    for info in infos {
+        put_opt_node(&mut payload, info.parent);
+    }
+    for info in infos {
+        match info.on_path {
+            None => put_varint(&mut payload, 0),
+            Some(op) => {
+                put_varint(&mut payload, 1);
+                put_varint(&mut payload, op.pos);
+                put_opt_node(&mut payload, op.prev);
+                put_opt_node(&mut payload, op.next);
+            }
+        }
+    }
+    for e in 0..keys.len() {
+        put_varint(&mut payload, (child_start[e + 1] - child_start[e]) as u64);
+    }
+    for e in 0..keys.len() {
+        let mut prev = 0u64;
+        for (i, &c) in children[child_start[e] as usize..child_start[e + 1] as usize]
+            .iter()
+            .enumerate()
+        {
+            let raw = c.0 as u64;
+            put_varint(&mut payload, if i == 0 { raw } else { raw - prev });
+            prev = raw;
+        }
+    }
+    seal(TABLES_MAGIC, &payload)
+}
+
+fn get_opt_node(c: &mut Cursor<'_>, n: usize) -> Result<Option<NodeId>, Error> {
+    match c.varint()? {
+        0 => Ok(None),
+        raw if (raw - 1) < n as u64 => Ok(Some(NodeId((raw - 1) as u32))),
+        _ => Err(Error::corrupt("vertex id out of range")),
+    }
+}
+
+/// Decodes a `psep-routing/v1` artifact back into a table arena.
+pub fn decode_tables(data: &[u8]) -> Result<FlatTables, Error> {
+    let payload = unseal(TABLES_MAGIC, data)?;
+    let mut c = Cursor::new(payload);
+    let version = c.varint()?;
+    if version != TABLES_VERSION {
+        return Err(WireError::UnsupportedVersion(version).into());
+    }
+    // every vertex, entry, and child costs at least one payload byte,
+    // so the input length bounds all three counts
+    let limit = payload.len();
+    let n = c.length(limit)?;
+    let num_entries = c.length(limit)?;
+    let num_children = c.length(limit)?;
+    if num_entries > u32::MAX as usize || num_children > u32::MAX as usize {
+        return Err(Error::corrupt("entry or child count exceeds u32 offsets"));
+    }
+
+    let mut entry_start = Vec::with_capacity(n + 1);
+    entry_start.push(0u32);
+    for _ in 0..n {
+        let count = c.length(num_entries)?;
+        let next = entry_start.last().unwrap() + count as u32;
+        if next as usize > num_entries {
+            return Err(Error::corrupt("entry counts exceed declared total"));
+        }
+        entry_start.push(next);
+    }
+    if *entry_start.last().unwrap() as usize != num_entries {
+        return Err(Error::corrupt("entry counts do not sum to declared total"));
+    }
+
+    let mut keys = Vec::with_capacity(num_entries);
+    for v in 0..n {
+        let count = (entry_start[v + 1] - entry_start[v]) as usize;
+        let mut prev = 0u64;
+        for i in 0..count {
+            let raw = c.varint()?;
+            let key = if i == 0 {
+                raw
+            } else {
+                prev.checked_add(raw)
+                    .ok_or(Error::corrupt("key delta overflows"))?
+            };
+            keys.push(key);
+            prev = key;
+        }
+    }
+
+    let mut infos: Vec<EntryInfo> = Vec::with_capacity(num_entries);
+    for _ in 0..num_entries {
+        infos.push(EntryInfo {
+            dist: c.varint()?,
+            entry_pos: 0,
+            parent: None,
+            dfs: 0,
+            subtree_end: 0,
+            on_path: None,
+        });
+    }
+    for info in &mut infos {
+        info.entry_pos = c.varint()?;
+    }
+    for info in &mut infos {
+        let dfs = c.varint()?;
+        if dfs > u32::MAX as u64 {
+            return Err(Error::corrupt("dfs index exceeds u32"));
+        }
+        info.dfs = dfs as u32;
+    }
+    for info in &mut infos {
+        let span = c.varint()?;
+        let end = info.dfs as u64 + span;
+        if span == 0 || end > u32::MAX as u64 {
+            return Err(Error::corrupt("subtree span out of range"));
+        }
+        info.subtree_end = end as u32;
+    }
+    for info in &mut infos {
+        info.parent = get_opt_node(&mut c, n)?;
+    }
+    for info in &mut infos {
+        info.on_path = match c.varint()? {
+            0 => None,
+            1 => Some(OnPathInfo {
+                pos: c.varint()?,
+                prev: get_opt_node(&mut c, n)?,
+                next: get_opt_node(&mut c, n)?,
+            }),
+            _ => return Err(Error::corrupt("on-path flag must be 0 or 1")),
+        };
+    }
+
+    let mut child_start = Vec::with_capacity(num_entries + 1);
+    child_start.push(0u32);
+    for _ in 0..num_entries {
+        let count = c.length(num_children)?;
+        let next = child_start.last().unwrap() + count as u32;
+        if next as usize > num_children {
+            return Err(Error::corrupt("child counts exceed declared total"));
+        }
+        child_start.push(next);
+    }
+    if *child_start.last().unwrap() as usize != num_children {
+        return Err(Error::corrupt("child counts do not sum to declared total"));
+    }
+
+    let mut children: Vec<NodeId> = Vec::with_capacity(num_children);
+    for e in 0..num_entries {
+        let count = (child_start[e + 1] - child_start[e]) as usize;
+        let mut prev = 0u64;
+        for i in 0..count {
+            let raw = c.varint()?;
+            let id = if i == 0 {
+                raw
+            } else {
+                prev.checked_add(raw)
+                    .ok_or(Error::corrupt("child delta overflows"))?
+            };
+            if id >= n as u64 {
+                return Err(Error::corrupt("child vertex out of range"));
+            }
+            children.push(NodeId(id as u32));
+            prev = id;
+        }
+    }
+    if c.remaining() != 0 {
+        return Err(Error::corrupt("trailing bytes after payload"));
+    }
+    FlatTables::from_parts(entry_start, keys, infos, child_start, children)
+}
+
+impl RoutingTables {
+    /// Writes the tables as one `psep-routing/v1` artifact.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), Error> {
+        w.write_all(&encode_tables(self.flat()))?;
+        Ok(())
+    }
+
+    /// Reads a `psep-routing/v1` artifact back into serving tables,
+    /// verifying magic, version, checksum, and structure.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, Error> {
+        let mut data = Vec::new();
+        r.read_to_end(&mut data)?;
+        Ok(RoutingTables::from_flat(decode_tables(&data)?))
+    }
+
+    /// [`Self::save`] to a filesystem path.
+    pub fn save_to_path<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), Error> {
+        self.save(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// [`Self::load`] from a filesystem path.
+    pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self, Error> {
+        Self::load(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_core::strategy::AutoStrategy;
+    use psep_core::DecompositionTree;
+    use psep_graph::generators::grids;
+    use psep_graph::NodeId;
+
+    fn grid_tables() -> RoutingTables {
+        let g = grids::grid2d(6, 6, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        RoutingTables::build(&g, &tree)
+    }
+
+    #[test]
+    fn save_load_is_bit_exact() {
+        let t = grid_tables();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = RoutingTables::load(&buf[..]).unwrap();
+        assert_eq!(back, t);
+        for v in 0..36u32 {
+            assert_eq!(back.label(NodeId(v)), t.label(NodeId(v)));
+        }
+        // re-encoding is byte-identical
+        let mut buf2 = Vec::new();
+        back.save(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn wire_is_smaller_than_arena() {
+        let t = grid_tables();
+        let bytes = encode_tables(t.flat());
+        assert!(
+            bytes.len() < t.flat().heap_bytes(),
+            "wire {} >= arena {}",
+            bytes.len(),
+            t.flat().heap_bytes()
+        );
+    }
+
+    #[test]
+    fn corrupted_byte_is_rejected_by_checksum() {
+        let t = grid_tables();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        for at in [9usize, buf.len() / 2, buf.len() - 5] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                matches!(
+                    RoutingTables::load(&bad[..]),
+                    Err(Error::Wire(WireError::ChecksumMismatch { .. }))
+                ),
+                "flip at {at} not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_bad_magic_and_version_are_rejected() {
+        let t = grid_tables();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        assert!(matches!(
+            RoutingTables::load(&buf[..buf.len() - 1]),
+            Err(Error::Wire(WireError::ChecksumMismatch { .. }))
+        ));
+        assert!(matches!(
+            RoutingTables::load(&buf[..6]),
+            Err(Error::Wire(WireError::Truncated))
+        ));
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            RoutingTables::load(&wrong_magic[..]),
+            Err(Error::Wire(WireError::BadMagic { .. }))
+        ));
+        // version bump with a re-sealed checksum → unsupported version
+        let mut payload = buf[8..buf.len() - 4].to_vec();
+        payload[0] = 2;
+        let resealed = seal(TABLES_MAGIC, &payload);
+        assert!(matches!(
+            RoutingTables::load(&resealed[..]),
+            Err(Error::Wire(WireError::UnsupportedVersion(2)))
+        ));
+    }
+
+    #[test]
+    fn structurally_corrupt_but_checksummed_payload_is_rejected() {
+        // hand-build a payload whose counts disagree, with a valid crc
+        let mut payload = Vec::new();
+        put_varint(&mut payload, TABLES_VERSION);
+        put_varint(&mut payload, 1); // n = 1
+        put_varint(&mut payload, 5); // E = 5 …
+        put_varint(&mut payload, 0); // C = 0
+        put_varint(&mut payload, 2); // … but vertex 0 claims 2 entries
+        let sealed = seal(TABLES_MAGIC, &payload);
+        assert!(RoutingTables::load(&sealed[..]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! The routing-table serving contract, checked across every testkit
+//! family and thread count:
+//!
+//! * parallel construction serializes to exactly the sequential build's
+//!   `psep-routing/v1` wire bytes;
+//! * the flat arena and its nested projection describe the same tables;
+//! * `route_many` answers exactly like one-at-a-time `route`;
+//! * wire round-trips are bit-exact, and any single corrupted byte in
+//!   an artifact is rejected.
+
+use rand::{Rng, SeedableRng};
+
+use psep_core::strategy::AutoStrategy;
+use psep_core::DecompositionTree;
+use psep_routing::{Router, RoutingTables};
+use psep_testkit::{equivalence_families, random_pairs, THREAD_COUNTS};
+
+fn artifact_bytes(tables: &RoutingTables) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    tables.save(&mut bytes).expect("writing to a Vec");
+    bytes
+}
+
+#[test]
+fn parallel_tables_are_bit_identical_on_every_family() {
+    for (name, g) in equivalence_families() {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let base = RoutingTables::build(&g, &tree);
+        let base_bytes = artifact_bytes(&base);
+        for threads in THREAD_COUNTS {
+            let tables = RoutingTables::build_with(&g, &tree, threads);
+            assert_eq!(
+                artifact_bytes(&tables),
+                base_bytes,
+                "family {name}: wire bytes differ at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_and_nested_tables_agree_on_every_family() {
+    for (name, g) in equivalence_families() {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        let rebuilt = RoutingTables::from_nested(&tables.to_nested());
+        assert_eq!(
+            tables, rebuilt,
+            "family {name}: nested projection lost data"
+        );
+        for v in g.nodes() {
+            let nested = &tables.to_nested()[v.index()];
+            let flat = tables.table(v);
+            assert_eq!(flat.len(), nested.len(), "family {name}: {v:?} table size");
+            for (key, info) in flat.entries() {
+                assert_eq!(nested[&key], info.to_info(), "family {name}: {v:?} {key:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn route_many_matches_route_on_every_family() {
+    for (name, g) in equivalence_families() {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let router = Router::new(&g, RoutingTables::build(&g, &tree));
+        let pairs = random_pairs(g.num_nodes(), 60, 0xE6);
+        let expected: Vec<_> = pairs
+            .iter()
+            .map(|&(u, t)| router.route(u, t, &router.label(t)))
+            .collect();
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                router.route_many_with(&pairs, threads),
+                expected,
+                "family {name}: batch answers differ at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_roundtrip_is_bit_exact_on_every_family() {
+    for (name, g) in equivalence_families() {
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let tables = RoutingTables::build(&g, &tree);
+        let bytes = artifact_bytes(&tables);
+        let loaded = RoutingTables::load(&bytes[..]).expect("clean artifact loads");
+        assert_eq!(loaded, tables, "family {name}: loaded tables differ");
+        assert_eq!(
+            artifact_bytes(&loaded),
+            bytes,
+            "family {name}: re-encode is not bit-exact"
+        );
+    }
+}
+
+#[test]
+fn any_single_corrupted_byte_is_rejected() {
+    let (_, g) = &equivalence_families()[0];
+    let tree = DecompositionTree::build(g, &AutoStrategy::default());
+    let tables = RoutingTables::build(g, &tree);
+    let bytes = artifact_bytes(&tables);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xBADC0DE);
+    for _ in 0..100 {
+        let mut bad = bytes.clone();
+        let pos = rng.gen_range(0..bad.len());
+        let mask = rng.gen_range(1..=255u8); // never a no-op flip
+        bad[pos] ^= mask;
+        assert!(
+            RoutingTables::load(&bad[..]).is_err(),
+            "flipping byte {pos} with {mask:#04x} went undetected"
+        );
+    }
+}

@@ -2,15 +2,22 @@
 //! decomposition tree.
 
 use psep_core::decomposition::DecompositionTree;
-use psep_graph::dijkstra::dijkstra;
+use psep_core::exec::{ShardObs, ShardedRunner};
+use psep_graph::dijkstra::DijkstraScratch;
 use psep_graph::graph::{Graph, NodeId};
 
 use crate::landmarks::select_landmarks;
 
+const AUGMENT_OBS: ShardObs = ShardObs {
+    prefix: "smallworld.augment",
+    items: "sources",
+    units: "landmarks",
+};
+
 /// One level of a vertex's distribution: the paths of `S(H_τ(v))`, each
 /// with the vertex's Claim 1 landmark list (empty if the path is
 /// unreachable in its residual graph).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LevelChoices {
     /// Per path of the level's separator: the landmark vertex ids.
     pub paths: Vec<Vec<NodeId>>,
@@ -23,7 +30,7 @@ pub struct LevelChoices {
 /// `τ`, uniform path `Q` of `S(H_τ(v))`, uniform landmark of `L(Q)`;
 /// when the chosen path has no landmarks (unreachable in `J`), no
 /// long-range edge is added for that trial.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Augmentation {
     per_vertex: Vec<Vec<LevelChoices>>,
 }
@@ -33,7 +40,8 @@ pub struct Augmentation {
 /// landmark scales).
 ///
 /// Node-major construction: one Dijkstra per (alive vertex, node, group),
-/// exactly like label construction.
+/// exactly like label construction. Equivalent to
+/// [`build_augmentation_with`] at one thread.
 ///
 /// # Example
 ///
@@ -52,6 +60,22 @@ pub struct Augmentation {
 /// assert!((0..50).any(|_| aug.sample_contact(NodeId(0), &mut rng).is_some()));
 /// ```
 pub fn build_augmentation(g: &Graph, tree: &DecompositionTree, log_delta: u32) -> Augmentation {
+    build_augmentation_with(g, tree, log_delta, 1)
+}
+
+/// [`build_augmentation`] with an explicit worker count (`0` = all
+/// available threads, honouring `PSEP_THREADS`).
+///
+/// The per-source Dijkstra runs are sharded over a
+/// [`ShardedRunner`] and merged in input order, so the resulting
+/// distribution is **identical** at every thread count (and to the
+/// sequential build).
+pub fn build_augmentation_with(
+    g: &Graph,
+    tree: &DecompositionTree,
+    log_delta: u32,
+    threads: usize,
+) -> Augmentation {
     let n = g.num_nodes();
     // chain level of each node per vertex: level index within the chain
     // is the node's depth (chains follow parent pointers), so per-vertex
@@ -76,6 +100,10 @@ pub fn build_augmentation(g: &Graph, tree: &DecompositionTree, log_delta: u32) -
         })
         .collect();
 
+    let runner = ShardedRunner::new(threads);
+    let mut scratches: Vec<DijkstraScratch> = (0..runner.threads())
+        .map(|_| DijkstraScratch::new(n))
+        .collect();
     for (h, node) in tree.nodes().iter().enumerate() {
         // flattened path index offset per group
         let mut flat_offset: Vec<usize> = Vec::with_capacity(node.separator.num_groups());
@@ -92,16 +120,26 @@ pub fn build_augmentation(g: &Graph, tree: &DecompositionTree, log_delta: u32) -
             }
             let mask = tree.residual_mask(n, h, gi);
             let view = psep_graph::SubgraphView::new(g, &mask);
-            for v in mask.iter() {
-                let sp = dijkstra(&view, &[v]);
-                let depth = node.depth;
-                for (pi, q) in paths.iter().enumerate() {
-                    let lm = select_landmarks(sp.dist_raw(), q, log_delta);
-                    if lm.is_empty() {
-                        continue;
+            let view_ref = &view;
+            let alive: Vec<NodeId> = mask.iter().collect();
+            let (results, _) =
+                runner.run(&alive, Some(&AUGMENT_OBS), &mut scratches, |scratch, &v| {
+                    scratch.run(view_ref, &[v]);
+                    let mut per_path: Vec<Vec<NodeId>> = Vec::with_capacity(paths.len());
+                    let mut found = 0u64;
+                    for q in paths {
+                        let lm = select_landmarks(scratch.dist_raw(), q, log_delta);
+                        found += lm.len() as u64;
+                        per_path.push(lm.iter().map(|&i| q.vertices()[i]).collect());
                     }
-                    let ids: Vec<NodeId> = lm.iter().map(|&i| q.vertices()[i]).collect();
-                    per_vertex[v.index()][depth].paths[flat_offset[gi] + pi] = ids;
+                    (per_path, found)
+                });
+            let depth = node.depth;
+            for (&v, per_path) in alive.iter().zip(results) {
+                for (pi, ids) in per_path.into_iter().enumerate() {
+                    if !ids.is_empty() {
+                        per_vertex[v.index()][depth].paths[flat_offset[gi] + pi] = ids;
+                    }
                 }
             }
         }
@@ -190,6 +228,17 @@ mod tests {
                     assert!(c.index() < g.num_nodes());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = grids::grid2d(8, 8, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let base = build_augmentation(&g, &tree, 5);
+        for threads in [2, 4] {
+            let par = build_augmentation_with(&g, &tree, 5, threads);
+            assert_eq!(base, par, "threads={threads} diverged");
         }
     }
 

@@ -23,7 +23,7 @@ pub mod landmarks;
 pub mod sim;
 pub mod variants;
 
-pub use augment::{build_augmentation, Augmentation};
+pub use augment::{build_augmentation, build_augmentation_with, Augmentation};
 pub use baselines::{KleinbergGrid, UniformAugmentation};
 pub use landmarks::{claim1_holds, select_landmarks};
 pub use sim::{greedy_route, ContactRule, GreedySim, SimStats};

@@ -2,18 +2,16 @@
 //! program: a client **locates** the nearest replica with distance
 //! labels (Theorem 2), then **routes** a request to it with the compact
 //! routing scheme, paying close to the optimal cost with only
-//! logarithmic state per node.
+//! logarithmic state per node. The whole stack is built and served
+//! through the [`LocationService`] facade.
 //!
 //! ```text
 //! cargo run -p path-separators --example locate_and_route --release
 //! ```
 
-use path_separators::core::strategy::FundamentalCycleStrategy;
 use path_separators::graph::dijkstra::dijkstra;
 use path_separators::graph::generators::{planar_families, randomize_weights};
-use path_separators::{
-    build_oracle, DecompositionTree, NodeId, ObjectDirectory, OracleParams, Router, RoutingTables,
-};
+use path_separators::{LocationService, NodeId, ObjectDirectory, ServiceParams};
 
 fn main() {
     // a weighted planar overlay
@@ -21,20 +19,17 @@ fn main() {
     let g = randomize_weights(&base, 1, 12, 77);
     println!("overlay: {} nodes, {} links", g.num_nodes(), g.num_edges());
 
-    // ONE decomposition powers both systems
-    let tree = DecompositionTree::build(&g, &FundamentalCycleStrategy::default());
+    // ONE build call: decomposition tree, oracle, and routing tables
     let eps = 0.25;
-    let oracle = build_oracle(
+    let svc = LocationService::build(
         &g,
-        &tree,
-        OracleParams {
+        ServiceParams {
             epsilon: eps,
             threads: 4,
         },
     );
-    let router = Router::new(&g, RoutingTables::build(&g, &tree));
 
-    let mut dir = ObjectDirectory::new(oracle);
+    let mut dir = ObjectDirectory::new(svc.oracle().clone());
     let replicas = [NodeId(3), NodeId(197), NodeId(385)];
     for &r in &replicas {
         dir.register(7, r);
@@ -47,9 +42,7 @@ fn main() {
         // 1. locate the (approximately) nearest replica, labels only
         let (replica, est) = dir.locate(client, 7).expect("registered object");
         // 2. route to it with the compact scheme
-        let out = router
-            .route(client, replica, &router.label(replica))
-            .expect("connected");
+        let out = svc.route(client, replica).expect("connected");
         // evaluate end-to-end against the true optimum
         let sp = dijkstra(&g, &[client]);
         let optimal = replicas.iter().map(|&r| sp.dist(r).unwrap()).min().unwrap();

@@ -1,23 +1,23 @@
-//! Serving: the build → save → load → batch-query lifecycle.
+//! Serving: the build → save → load → batch-serve lifecycle.
 //!
 //! ```text
 //! cargo run --example serving --release
 //! ```
 //!
-//! One process builds the oracle and ships two checksummed binary
-//! artifacts (`psep-labels/v1`, `psep-tree/v1`); a serving process
-//! reloads them and answers pair lists in parallel with `query_many`.
-//! The final comparison is generic over `DistanceEstimator`, the trait
-//! every oracle in the crate implements.
+//! One process builds the whole serving stack through
+//! [`LocationService`] and ships it as a single checksummed
+//! `psep-bundle/v1` artifact (graph + decomposition tree + distance
+//! labels + routing tables); a serving process reloads the bundle and
+//! answers distance queries *and* routes requests in parallel with
+//! `query_many` / `route_many`. The final comparison is generic over
+//! `DistanceEstimator`, the trait every oracle in the crate implements.
 
 use std::time::Instant;
 
-use path_separators::core::strategy::AutoStrategy;
-use path_separators::core::DecompositionTree;
 use path_separators::graph::generators::{grids, randomize_weights};
 use path_separators::graph::NodeId;
 use path_separators::oracle::{ExactOracle, ThorupZwickOracle};
-use path_separators::{BatchQueryEngine, DistanceEstimator, DistanceOracle, OracleBuilder};
+use path_separators::{DistanceEstimator, LocationService, ServiceParams};
 
 /// The generic serving report: any `DistanceEstimator` can stand in.
 fn describe<E: DistanceEstimator>(name: &str, est: &E) {
@@ -31,38 +31,38 @@ fn describe<E: DistanceEstimator>(name: &str, est: &E) {
 fn main() {
     // -- build side ------------------------------------------------------
     let g = randomize_weights(&grids::grid2d(40, 40, 1), 1, 9, 7);
-    let tree = DecompositionTree::build(&g, &AutoStrategy::default());
-    let oracle = OracleBuilder::new()
-        .epsilon(0.25)
-        .threads(0) // 0 = all available cores
-        .build(&g, &tree)
-        .expect("valid parameters");
+    let svc = LocationService::build(
+        &g,
+        ServiceParams {
+            epsilon: 0.25,
+            threads: 0, // 0 = all available cores; still bit-identical
+        },
+    );
+    let (mean_table, max_table) = svc.router().tables().table_stats();
     println!(
-        "built: n = {}, ε = {}, {} portal entries",
+        "built: n = {}, ε = {}, {} portal entries, routing tables mean {mean_table:.1} / max {max_table} entries",
         g.num_nodes(),
-        oracle.epsilon(),
-        oracle.space_entries()
+        svc.epsilon(),
+        svc.oracle().space_entries(),
     );
 
-    // ship both artifacts: labels for serving, tree for rebuilds
+    // ship ONE artifact: graph, tree, labels, and tables together
     let dir = std::env::temp_dir().join("psep-serving-example");
     std::fs::create_dir_all(&dir).expect("temp dir");
-    let labels_path = dir.join("grid.psep-labels");
-    let tree_path = dir.join("grid.psep-tree");
-    oracle.save_to_path(&labels_path).expect("save labels");
-    tree.save_to_path(&tree_path).expect("save tree");
-    let wire_bytes = std::fs::metadata(&labels_path).unwrap().len();
+    let bundle_path = dir.join("grid.psep-bundle");
+    svc.save_to_path(&bundle_path).expect("save bundle");
+    let wire_bytes = std::fs::metadata(&bundle_path).unwrap().len();
     println!(
-        "saved: {} bytes on the wire ({:.1} bytes/label, {} in memory)",
+        "saved: {} bytes on the wire ({:.1} bytes/vertex; labels {} B + tables {} B in memory)",
         wire_bytes,
         wire_bytes as f64 / g.num_nodes() as f64,
-        oracle.flat_labels().heap_bytes()
+        svc.oracle().flat_labels().heap_bytes(),
+        svc.router().tables().flat().heap_bytes(),
     );
 
     // -- serving side ----------------------------------------------------
-    let served = DistanceOracle::load_from_path(&labels_path).expect("checksummed load");
-    let _tree_again = DecompositionTree::load_from_path(&tree_path).expect("tree reloads");
-    assert_eq!(served.flat_labels(), oracle.flat_labels()); // bit-exact
+    let served = LocationService::load_from_path(&bundle_path).expect("checksummed load");
+    assert_eq!(served.to_bytes(), svc.to_bytes()); // bit-exact
 
     // a pair workload, answered sequentially and in parallel
     let n = g.num_nodes() as u32;
@@ -83,23 +83,33 @@ fn main() {
         pairs.len() as f64 / seq_s
     );
 
-    for threads in [2usize, 4] {
-        let engine = BatchQueryEngine::new(threads);
-        let t0 = Instant::now();
-        let batched = engine.run(&served, &pairs);
-        let s = t0.elapsed().as_secs_f64();
-        assert_eq!(batched, sequential); // same answers, same order
-        println!(
-            "batch t={threads}:  {} pairs in {s:.2}s ({:.0} pairs/s, {:.2}× sequential)",
-            pairs.len(),
-            pairs.len() as f64 / s,
-            seq_s / s
-        );
-    }
+    let t0 = Instant::now();
+    let batched = served.query_many(&pairs);
+    let s = t0.elapsed().as_secs_f64();
+    assert_eq!(batched, sequential); // same answers, same order
+    println!(
+        "query_many: {} pairs in {s:.2}s ({:.0} pairs/s, {:.2}× sequential)",
+        pairs.len(),
+        pairs.len() as f64 / s,
+        seq_s / s
+    );
+
+    // routing the same workload, in parallel
+    let route_pairs = &pairs[..10_000];
+    let t0 = Instant::now();
+    let routes = served.route_many(route_pairs);
+    let s = t0.elapsed().as_secs_f64();
+    let hops: usize = routes.iter().flatten().map(|o| o.hops).sum();
+    println!(
+        "route_many: {} routes in {s:.2}s ({:.0} routes/s, {} total hops)",
+        route_pairs.len(),
+        route_pairs.len() as f64 / s,
+        hops
+    );
 
     // -- one interface over every oracle ---------------------------------
     println!("estimators (generic over DistanceEstimator):");
-    describe("path-sep ε=0.25", &served);
+    describe("path-sep ε=0.25", served.oracle());
     let tz = ThorupZwickOracle::build(&g, 2, 1);
     describe("thorup-zwick k=2", &tz);
     let exact = ExactOracle::on_line(&g);

@@ -40,6 +40,8 @@ pub use psep_routing as routing;
 /// Small-worldization and greedy-routing simulation.
 pub use psep_smallworld as smallworld;
 
+pub mod service;
+
 // The most common types, re-exported at the crate root.
 pub use psep_core::{AutoStrategy, DecompositionTree, PathSeparator, SepPath, SeparatorStrategy};
 pub use psep_graph::{Graph, NodeId, Weight};
@@ -48,3 +50,4 @@ pub use psep_oracle::{
     OracleBuilder, OracleParams,
 };
 pub use psep_routing::{Router, RoutingTables};
+pub use service::{LocationService, ServiceError, ServiceParams};

@@ -1,0 +1,543 @@
+//! One-stop serving facade: build, persist, and serve a graph's whole
+//! object-location stack as a single unit.
+//!
+//! [`LocationService`] bundles the four artifacts the paper's
+//! applications share — the graph, its decomposition tree, the
+//! Theorem 2 distance oracle, and the compact-routing tables — behind
+//! one build call and one versioned container format, `psep-bundle/v1`:
+//!
+//! ```text
+//! "PSEPBNDL" | version | graph section | tree | labels | tables | crc32
+//! ```
+//!
+//! The graph section is a canonical delta-coded edge list (edges sorted
+//! by `(u, v)`), so re-encoding a loaded bundle reproduces the input
+//! byte-for-byte. The tree, labels, and tables sections embed the
+//! existing sealed `psep-tree/v1`, `psep-labels/v1`, and
+//! `psep-routing/v1` artifacts unchanged — each keeps its own magic and
+//! checksum, and the outer envelope adds a whole-bundle CRC-32 on top.
+//! On load, every section is re-validated and the sections are checked
+//! against each other (all must agree on the vertex count), so a bundle
+//! spliced together from mismatched artifacts is rejected with a typed
+//! error instead of serving wrong answers.
+
+use std::io::{Read, Write};
+
+use psep_core::wire::{put_varint, seal, unseal, Cursor, WireError};
+use psep_core::{AutoStrategy, DecompositionParams, DecompositionTree};
+use psep_graph::{Graph, NodeId, Weight};
+use psep_oracle::{build_oracle, DistanceOracle, OracleParams};
+use psep_routing::{RouteOutcome, Router, RoutingLabel, RoutingTables};
+
+/// Magic bytes of a `psep-bundle/v1` artifact.
+pub const BUNDLE_MAGIC: &[u8; 8] = b"PSEPBNDL";
+
+/// Current bundle format version.
+pub const BUNDLE_VERSION: u64 = 1;
+
+/// A failure while building, loading, or querying a [`LocationService`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The bundle envelope or graph section is malformed.
+    Wire(WireError),
+    /// The embedded oracle artifact failed to decode, or an oracle
+    /// request was invalid.
+    Oracle(psep_oracle::Error),
+    /// The embedded routing artifact failed to decode, or a routing
+    /// request was invalid.
+    Routing(psep_routing::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Wire(e) => write!(f, "bundle: {e}"),
+            ServiceError::Oracle(e) => write!(f, "oracle: {e}"),
+            ServiceError::Routing(e) => write!(f, "routing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Wire(e) => Some(e),
+            ServiceError::Oracle(e) => Some(e),
+            ServiceError::Routing(e) => Some(e),
+        }
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+impl From<psep_oracle::Error> for ServiceError {
+    fn from(e: psep_oracle::Error) -> Self {
+        ServiceError::Oracle(e)
+    }
+}
+
+impl From<psep_routing::Error> for ServiceError {
+    fn from(e: psep_routing::Error) -> Self {
+        ServiceError::Routing(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Wire(WireError::Io(e))
+    }
+}
+
+/// Build parameters for [`LocationService::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceParams {
+    /// Approximation parameter of the distance oracle.
+    pub epsilon: f64,
+    /// Worker threads for every construction stage (`0` = all available
+    /// threads, honouring `PSEP_THREADS`). Construction is bit-identical
+    /// at every thread count.
+    pub threads: usize,
+}
+
+impl Default for ServiceParams {
+    fn default() -> Self {
+        ServiceParams {
+            epsilon: 0.25,
+            threads: 1,
+        }
+    }
+}
+
+/// The full serving stack for one graph: decomposition tree, distance
+/// oracle, and compact-routing tables, built together and persisted as
+/// one `psep-bundle/v1` artifact.
+///
+/// # Example
+///
+/// ```
+/// use path_separators::{LocationService, NodeId, ServiceParams};
+/// use psep_graph::generators::grids;
+///
+/// let g = grids::grid2d(6, 6, 1);
+/// let svc = LocationService::build(&g, ServiceParams::default());
+/// // distance query and actual route agree on this unweighted grid
+/// let est = svc.query(NodeId(0), NodeId(35)).unwrap();
+/// let out = svc.route(NodeId(0), NodeId(35)).unwrap();
+/// assert!(out.cost as f64 <= (1.0 + svc.epsilon()) * 10.0);
+/// assert!(est >= 10);
+///
+/// // round-trip through the bundle format
+/// let bytes = svc.to_bytes();
+/// let back = LocationService::from_bytes(&bytes).unwrap();
+/// assert_eq!(back.to_bytes(), bytes);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocationService {
+    graph: Graph,
+    tree: DecompositionTree,
+    oracle: DistanceOracle,
+    router: Router,
+}
+
+impl LocationService {
+    /// Builds the whole stack for `g`: decomposition tree, distance
+    /// oracle, and routing tables, all with `params.threads` workers.
+    pub fn build(g: &Graph, params: ServiceParams) -> Self {
+        let span = psep_obs::span!("service_build");
+        let tree = DecompositionTree::build_with(
+            g,
+            &AutoStrategy::default(),
+            &DecompositionParams {
+                threads: params.threads.max(1),
+            },
+        );
+        let oracle = build_oracle(
+            g,
+            &tree,
+            OracleParams {
+                epsilon: params.epsilon,
+                threads: params.threads,
+            },
+        );
+        let tables = RoutingTables::build_with(g, &tree, params.threads);
+        let router = Router::new(g, tables);
+        drop(span);
+        LocationService {
+            graph: g.clone(),
+            tree,
+            oracle,
+            router,
+        }
+    }
+
+    /// Assembles a service from prebuilt parts, checking that every part
+    /// covers the same vertex set.
+    pub fn from_parts(
+        graph: Graph,
+        tree: DecompositionTree,
+        oracle: DistanceOracle,
+        router: Router,
+    ) -> Result<Self, ServiceError> {
+        let n = graph.num_nodes();
+        if oracle.num_nodes() != n || router.tables().num_nodes() != n {
+            return Err(WireError::Corrupt("bundle sections disagree on vertex count").into());
+        }
+        Ok(LocationService {
+            graph,
+            tree,
+            oracle,
+            router,
+        })
+    }
+
+    /// The served graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The decomposition tree the oracle and tables were built over.
+    pub fn tree(&self) -> &DecompositionTree {
+        &self.tree
+    }
+
+    /// The distance oracle.
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// The compact router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Number of vertices served.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The oracle's approximation parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.oracle.epsilon()
+    }
+
+    /// `(1+ε)`-approximate distance between `u` and `v`; `None` if
+    /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range; [`Self::try_query`]
+    /// returns an error instead.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.oracle.query(u, v)
+    }
+
+    /// [`Self::query`] with out-of-range ids reported as typed errors.
+    pub fn try_query(&self, u: NodeId, v: NodeId) -> Result<Option<Weight>, ServiceError> {
+        Ok(self.oracle.try_query(u, v)?)
+    }
+
+    /// Answers a batch of distance queries in parallel (identical to
+    /// querying one by one).
+    pub fn query_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
+        self.oracle.query_many(pairs)
+    }
+
+    /// Routes a message from `u` to `t`, resolving `t`'s routing label
+    /// from the local tables; `None` for disconnected pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range; [`Self::try_route`]
+    /// returns an error instead.
+    pub fn route(&self, u: NodeId, t: NodeId) -> Option<RouteOutcome> {
+        self.router.route(u, t, &self.router.tables().label(t))
+    }
+
+    /// [`Self::route`] with out-of-range ids reported as typed errors.
+    pub fn try_route(&self, u: NodeId, t: NodeId) -> Result<Option<RouteOutcome>, ServiceError> {
+        let label = self.router.tables().try_label(t)?;
+        Ok(self.router.try_route(u, t, &label)?)
+    }
+
+    /// The routing label (address) of `t` — what `t` would publish in a
+    /// distributed deployment, for use with [`Router::route`].
+    pub fn routing_label(&self, t: NodeId) -> RoutingLabel {
+        self.router.tables().label(t)
+    }
+
+    /// Routes a batch of `(source, target)` pairs in parallel (identical
+    /// to routing one by one).
+    pub fn route_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<RouteOutcome>> {
+        self.router.route_many(pairs)
+    }
+
+    /// Encodes the whole service as one `psep-bundle/v1` artifact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, BUNDLE_VERSION);
+        let graph = encode_graph(&self.graph);
+        let tree = self.tree.encode();
+        let mut labels = Vec::new();
+        self.oracle
+            .save(&mut labels)
+            .expect("writing to a Vec cannot fail");
+        let mut tables = Vec::new();
+        self.router
+            .tables()
+            .save(&mut tables)
+            .expect("writing to a Vec cannot fail");
+        for section in [&graph, &tree, &labels, &tables] {
+            put_varint(&mut payload, section.len() as u64);
+            payload.extend_from_slice(section);
+        }
+        seal(BUNDLE_MAGIC, &payload)
+    }
+
+    /// Decodes a `psep-bundle/v1` artifact, re-validating every section
+    /// and their mutual consistency.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ServiceError> {
+        let payload = unseal(BUNDLE_MAGIC, data)?;
+        let mut c = Cursor::new(payload);
+        let version = c.varint()?;
+        if version != BUNDLE_VERSION {
+            return Err(WireError::UnsupportedVersion(version).into());
+        }
+        let limit = payload.len();
+        let mut sections: Vec<&[u8]> = Vec::with_capacity(4);
+        for _ in 0..4 {
+            let len = c.length(limit)?;
+            sections.push(c.bytes(len)?);
+        }
+        if c.remaining() != 0 {
+            return Err(WireError::Corrupt("trailing bytes after bundle sections").into());
+        }
+        let graph = decode_graph(sections[0])?;
+        let tree = DecompositionTree::decode(sections[1])?;
+        let oracle = DistanceOracle::load(sections[2])?;
+        let tables = RoutingTables::load(sections[3])?;
+        let router = Router::new(&graph, tables);
+        Self::from_parts(graph, tree, oracle, router)
+    }
+
+    /// Writes the bundle to `w`.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), ServiceError> {
+        w.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a bundle from `r`.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, ServiceError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save_to_path<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), ServiceError> {
+        self.save(std::fs::File::create(path)?)
+    }
+
+    /// Reads a bundle from a file.
+    pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self, ServiceError> {
+        Self::load(std::fs::File::open(path)?)
+    }
+}
+
+/// Canonical graph section: `n`, `m`, then edges sorted by `(u, v)`,
+/// with `u` delta-coded across edges and `v` delta-coded within each
+/// vertex's run (both strictly ascending, so the deltas also reject
+/// self-loops and parallel edges on decode).
+fn encode_graph(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, g.num_nodes() as u64);
+    put_varint(&mut out, g.num_edges() as u64);
+    let mut edges: Vec<(NodeId, NodeId, Weight)> = g.edge_list().collect();
+    edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    let mut prev_u = 0u32;
+    let mut prev_v = 0u32;
+    for (u, v, w) in edges {
+        let du = u.0 - prev_u;
+        put_varint(&mut out, du as u64);
+        if du > 0 {
+            prev_v = u.0; // v > u always; restart the v deltas at u
+        }
+        put_varint(&mut out, (v.0 - prev_v - 1) as u64);
+        put_varint(&mut out, w);
+        prev_u = u.0;
+        prev_v = v.0;
+    }
+    out
+}
+
+fn decode_graph(data: &[u8]) -> Result<Graph, WireError> {
+    let mut c = Cursor::new(data);
+    let n = c.length(u32::MAX as usize)?;
+    // each edge takes >= 3 bytes, so the input length bounds the count
+    let m = c.length(data.len())?;
+    let mut g = Graph::new(n);
+    let mut prev_u = 0u32;
+    let mut prev_v = 0u32;
+    for _ in 0..m {
+        let du = c.length(u32::MAX as usize)? as u32;
+        let u = prev_u
+            .checked_add(du)
+            .ok_or(WireError::Corrupt("edge endpoint overflows u32"))?;
+        if du > 0 {
+            prev_v = u;
+        }
+        let dv = c.length(u32::MAX as usize)? as u32;
+        let v = prev_v
+            .checked_add(dv)
+            .and_then(|x| x.checked_add(1))
+            .ok_or(WireError::Corrupt("edge endpoint overflows u32"))?;
+        if v as usize >= n {
+            return Err(WireError::Corrupt("edge endpoint out of range"));
+        }
+        let w = c.varint()?;
+        if w == 0 {
+            return Err(WireError::Corrupt("zero edge weight"));
+        }
+        // u < v and strict (u, v) ordering hold by construction of the
+        // deltas, so add_edge's invariants are satisfied
+        g.add_edge(NodeId(u), NodeId(v), w);
+        prev_u = u;
+        prev_v = v;
+    }
+    if c.remaining() != 0 {
+        return Err(WireError::Corrupt("trailing bytes after edge list"));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psep_graph::generators::{grids, ktree};
+
+    fn service() -> (Graph, LocationService) {
+        let g = grids::grid2d(6, 6, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        (g, svc)
+    }
+
+    #[test]
+    fn graph_section_roundtrips_weighted_graphs() {
+        let g = ktree::random_weighted_k_tree(40, 3, 9, 11).graph;
+        let bytes = encode_graph(&g);
+        let back = decode_graph(&bytes).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        for (u, v, w) in g.edge_list() {
+            assert_eq!(back.edge_weight(u, v), Some(w));
+        }
+        // canonical: re-encoding reproduces the bytes
+        assert_eq!(encode_graph(&back), bytes);
+    }
+
+    #[test]
+    fn queries_and_routes_match_the_underlying_parts() {
+        let (g, svc) = service();
+        for (u, v) in [(NodeId(0), NodeId(35)), (NodeId(7), NodeId(7))] {
+            assert_eq!(svc.query(u, v), svc.oracle().query(u, v));
+            let direct = svc
+                .router()
+                .route(u, v, &svc.router().tables().label(v))
+                .unwrap();
+            assert_eq!(svc.route(u, v).unwrap(), direct);
+        }
+        let pairs: Vec<_> = g.nodes().map(|v| (NodeId(0), v)).collect();
+        let many = svc.query_many(&pairs);
+        let routes = svc.route_many(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(many[i], svc.query(u, v));
+            assert_eq!(routes[i], svc.route(u, v));
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrip_is_bit_exact() {
+        let (_, svc) = service();
+        let bytes = svc.to_bytes();
+        let back = LocationService::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.num_nodes(), svc.num_nodes());
+        assert_eq!(back.epsilon(), svc.epsilon());
+        assert_eq!(
+            back.query(NodeId(0), NodeId(35)),
+            svc.query(NodeId(0), NodeId(35))
+        );
+        assert_eq!(
+            back.route(NodeId(0), NodeId(35)),
+            svc.route(NodeId(0), NodeId(35))
+        );
+    }
+
+    #[test]
+    fn corrupted_bundles_are_rejected() {
+        let (_, svc) = service();
+        let bytes = svc.to_bytes();
+        // whole-bundle checksum catches any body flip
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(matches!(
+            LocationService::from_bytes(&bad),
+            Err(ServiceError::Wire(WireError::ChecksumMismatch { .. }))
+        ));
+        // wrong magic
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            LocationService::from_bytes(&bad),
+            Err(ServiceError::Wire(WireError::BadMagic { .. }))
+        ));
+        // truncation
+        assert!(LocationService::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn mismatched_sections_are_rejected() {
+        let (g, svc) = service();
+        let other = grids::grid2d(4, 4, 1);
+        let small = LocationService::build(&other, ServiceParams::default());
+        let spliced = LocationService::from_parts(
+            g.clone(),
+            svc.tree().clone(),
+            small.oracle().clone(),
+            svc.router().clone(),
+        );
+        assert!(matches!(
+            spliced,
+            Err(ServiceError::Wire(WireError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, svc) = service();
+        let path = std::env::temp_dir().join("psep-service-test.bundle");
+        svc.save_to_path(&path).unwrap();
+        let back = LocationService::load_from_path(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.to_bytes(), svc.to_bytes());
+    }
+
+    #[test]
+    fn try_variants_reject_out_of_range() {
+        let (_, svc) = service();
+        let bad = NodeId(10_000);
+        assert!(matches!(
+            svc.try_query(NodeId(0), bad),
+            Err(ServiceError::Oracle(_))
+        ));
+        assert!(matches!(
+            svc.try_route(NodeId(0), bad),
+            Err(ServiceError::Routing(_))
+        ));
+        assert!(svc.try_query(NodeId(0), NodeId(1)).unwrap().is_some());
+    }
+}

@@ -81,12 +81,12 @@ proptest! {
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         let tables = RoutingTables::build(&g, &tree);
         for v in g.nodes() {
-            for (key, info) in tables.table(v) {
-                prop_assert!(info.dfs < info.subtree_end);
-                for &c in &info.children {
-                    let ci = &tables.table(c)[key];
-                    prop_assert!(info.dfs < ci.dfs);
-                    prop_assert!(ci.subtree_end <= info.subtree_end);
+            for (key, info) in tables.table(v).entries() {
+                prop_assert!(info.dfs() < info.subtree_end());
+                for &c in info.children() {
+                    let ci = tables.table(c).get(key).unwrap();
+                    prop_assert!(info.dfs() < ci.dfs());
+                    prop_assert!(ci.subtree_end() <= info.subtree_end());
                 }
             }
         }
