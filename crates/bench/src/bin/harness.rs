@@ -8,11 +8,14 @@
 //! ```
 //!
 //! With `--json <path>` the harness also writes a machine-readable
-//! report (`BENCH_*.json` convention): one entry per experiment with its
+//! `psep-bench-report/v2` report: one entry per experiment with its
 //! wall-clock time, the instrumentation snapshot collected while it ran
-//! (counters, gauges, per-phase span timings from `psep-obs`), and the
-//! rendered markdown table. Counters are reset between experiments, so
-//! each snapshot is that experiment's own traffic.
+//! (counters, gauges, latency/size histograms, per-phase span timings
+//! from `psep-obs`) wrapped in a CRC'd `psep-metrics/v1` envelope, and
+//! the rendered markdown table. Counters are reset between experiments,
+//! so each snapshot is that experiment's own traffic. Per-worker
+//! `*.workerNN.*` series are rolled up into aggregates; pass `--detail`
+//! to keep the raw per-worker series as well.
 
 use psep_bench::ablations as ab;
 use psep_bench::experiments as ex;
@@ -22,6 +25,7 @@ use psep_bench::measure::timed;
 struct Args {
     quick: bool,
     large: bool,
+    detail: bool,
     names: Vec<String>,
     json_path: Option<String>,
 }
@@ -30,6 +34,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         large: false,
+        detail: false,
         names: Vec::new(),
         json_path: None,
     };
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "quick" => args.quick = true,
             "large" => args.large = true,
+            "--detail" => args.detail = true,
             "--json" => {
                 let Some(path) = it.next() else {
                     eprintln!("--json requires a file path");
@@ -247,7 +253,13 @@ fn main() {
             name,
             title,
             wall_s,
-            snapshot: psep_obs::snapshot(),
+            // Per-worker series are rolled up into aggregates by default;
+            // `--detail` keeps the raw `*.workerNN.*` series alongside.
+            snapshot: if args.detail {
+                psep_obs::snapshot_detailed()
+            } else {
+                psep_obs::snapshot()
+            },
             table,
         });
     }
@@ -266,7 +278,7 @@ fn render_report(reports: &[Report], quick: bool, large: bool) -> String {
     let mut w = psep_obs::JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.string("psep-bench-report/v1");
+    w.string("psep-bench-report/v2");
     w.key("mode");
     w.string(if quick {
         "quick"
@@ -286,7 +298,7 @@ fn render_report(reports: &[Report], quick: bool, large: bool) -> String {
         w.key("wall_s");
         w.number(r.wall_s);
         w.key("metrics");
-        r.snapshot.write_json(&mut w);
+        write_metrics_envelope(&mut w, &r.snapshot);
         w.key("table_md");
         w.string(&r.table);
         w.end_object();
@@ -296,6 +308,23 @@ fn render_report(reports: &[Report], quick: bool, large: bool) -> String {
     let mut out = w.finish();
     out.push('\n');
     out
+}
+
+/// Wraps a snapshot in the versioned `psep-metrics/v1` envelope. The
+/// CRC is computed over the snapshot's canonical (sorted-key) JSON
+/// bytes, so consumers can verify a report's metrics blocks without
+/// re-deriving any layout knowledge.
+fn write_metrics_envelope(w: &mut psep_obs::JsonWriter, snapshot: &psep_obs::Snapshot) {
+    let body = snapshot.to_json();
+    let crc = psep_core::wire::crc32(body.as_bytes());
+    w.begin_object();
+    w.key("schema");
+    w.string("psep-metrics/v1");
+    w.key("crc32");
+    w.uint(crc as u64);
+    w.key("metrics");
+    w.raw(&body);
+    w.end_object();
 }
 
 fn section(title: &str) {

@@ -137,6 +137,16 @@ impl DecompositionTree {
         let mut nodes: Vec<DecompNode> = Vec::new();
         let mut home = vec![u32::MAX; n];
         let mut removal_group = vec![u32::MAX; n];
+        // per-level wall time: summed expansions (sequential) or wave
+        // wall time (parallel, where wave index == depth); published as
+        // `core.build.levelNN.build_ns` gauges below
+        let mut level_ns: Vec<u128> = Vec::new();
+        let bump_level = |level_ns: &mut Vec<u128>, depth: usize, ns: u128| {
+            if level_ns.len() <= depth {
+                level_ns.resize(depth + 1, 0);
+            }
+            level_ns[depth] += ns;
+        };
 
         if params.threads <= 1 {
             // sequential: expand and assemble in one depth-first pass
@@ -145,7 +155,14 @@ impl DecompositionTree {
                 .map(|c| (None, 0usize, c))
                 .collect();
             while let Some((parent, depth, comp)) = work.pop() {
+                let t0 = psep_obs::now_if_enabled();
                 let (sep, child_comps) = expand_component(g, strategy, &comp, n);
+                if let Some(t0) = t0 {
+                    let elapsed = t0.elapsed().as_nanos();
+                    psep_obs::histogram!("core.build.expand_ns")
+                        .record(elapsed.min(u64::MAX as u128) as u64);
+                    bump_level(&mut level_ns, depth, elapsed);
+                }
                 let node_idx = nodes.len();
                 record_homes(&sep, node_idx, &mut home, &mut removal_group);
                 for cc in child_comps {
@@ -182,13 +199,19 @@ impl DecompositionTree {
                 .collect();
             let num_roots = preps.len();
             let mut wave: Vec<usize> = (0..num_roots).collect();
+            let mut wave_depth = 0usize;
             while !wave.is_empty() {
+                let t_wave = psep_obs::now_if_enabled();
                 let workers = params.threads.min(wave.len());
                 let mut results: Vec<Option<(PathSeparator, Vec<Vec<NodeId>>)>> =
                     (0..wave.len()).map(|_| None).collect();
                 if workers <= 1 {
                     for (slot, &idx) in wave.iter().enumerate() {
+                        let t0 = psep_obs::now_if_enabled();
                         results[slot] = Some(expand_component(g, strategy, &preps[idx].comp, n));
+                        if let Some(t0) = t0 {
+                            psep_obs::histogram!("core.build.expand_ns").record_elapsed(t0);
+                        }
                     }
                 } else {
                     let cursor = AtomicUsize::new(0);
@@ -207,7 +230,12 @@ impl DecompositionTree {
                                         let comp = &preps_ref[wave_ref[slot]].comp;
                                         comps += 1;
                                         verts += comp.len() as u64;
+                                        let t0 = psep_obs::now_if_enabled();
                                         local.push((slot, expand_component(g, strategy, comp, n)));
+                                        if let Some(t0) = t0 {
+                                            psep_obs::histogram!("core.build.expand_ns")
+                                                .record_elapsed(t0);
+                                        }
                                     }
                                     (local, comps, verts)
                                 })
@@ -238,6 +266,10 @@ impl DecompositionTree {
                         next.push(ci);
                     }
                 }
+                if let Some(t0) = t_wave {
+                    bump_level(&mut level_ns, wave_depth, t0.elapsed().as_nanos());
+                }
+                wave_depth += 1;
                 wave = next;
             }
 
@@ -266,6 +298,10 @@ impl DecompositionTree {
                     children: Vec::new(),
                 });
             }
+        }
+
+        for (level, ns) in level_ns.iter().enumerate() {
+            psep_obs::gauge(&format!("core.build.level{level:02}.build_ns")).set(*ns as f64);
         }
 
         for v in g.nodes() {

@@ -43,6 +43,55 @@ impl ShardObs {
         psep_obs::counter(&format!("{}.worker{worker:02}.{}", self.prefix, self.items)).add(items);
         psep_obs::counter(&format!("{}.worker{worker:02}.{}", self.prefix, self.units)).add(units);
     }
+
+    /// Per-worker distribution handles for one sharded run:
+    /// `<prefix>.workerNN.<units>` (work units per item) and
+    /// `<prefix>.workerNN.latency_ns` (wall time per item). Snapshots
+    /// roll these up into `<prefix>.<units>` / `<prefix>.latency_ns`
+    /// ([`psep_obs::Snapshot::rollup_workers`]); because histogram merge
+    /// is order-independent, the rolled-up distributions are identical
+    /// at every thread count.
+    pub fn worker_hists(&self, worker: usize) -> WorkerHists {
+        if !psep_obs::enabled() {
+            return WorkerHists {
+                units: None,
+                latency: None,
+            };
+        }
+        WorkerHists {
+            units: Some(psep_obs::histogram(&format!(
+                "{}.worker{worker:02}.{}",
+                self.prefix, self.units
+            ))),
+            latency: Some(psep_obs::histogram(&format!(
+                "{}.worker{worker:02}.latency_ns",
+                self.prefix
+            ))),
+        }
+    }
+}
+
+/// Histogram handles held by one sharded worker (see
+/// [`ShardObs::worker_hists`]); `None` inside when recording is
+/// disabled, making construction and recording free.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerHists {
+    units: Option<&'static psep_obs::Histogram>,
+    latency: Option<&'static psep_obs::Histogram>,
+}
+
+impl WorkerHists {
+    /// Records one item's work units and, when `start` came from
+    /// [`psep_obs::now_if_enabled`], its wall time.
+    #[inline]
+    pub fn record(&self, units: u64, start: Option<std::time::Instant>) {
+        if let Some(h) = self.units {
+            h.record(units);
+        }
+        if let (Some(h), Some(t0)) = (self.latency, start) {
+            h.record_elapsed(t0);
+        }
+    }
 }
 
 /// A reusable sharded executor with a fixed thread budget.

@@ -119,11 +119,13 @@ pub fn dijkstra_with_limit<G: GraphRef>(g: &G, sources: &[NodeId], limit: Weight
     // Relaxations accumulate locally; one atomic add at the end keeps
     // the hot loop free of shared-cache-line traffic.
     let mut relaxed: u64 = 0;
+    let mut pops: u64 = 0;
     while let Some(Reverse((d, u))) = heap.pop() {
         let u = NodeId(u);
         if d > dist[u.index()] {
             continue; // stale entry
         }
+        pops += 1;
         for e in g.neighbors(u) {
             relaxed += 1;
             let nd = d.saturating_add(e.weight);
@@ -139,6 +141,7 @@ pub fn dijkstra_with_limit<G: GraphRef>(g: &G, sources: &[NodeId], limit: Weight
         }
     }
     psep_obs::counter!("graph.dijkstra.edges_relaxed").add(relaxed);
+    psep_obs::histogram!("graph.dijkstra.pops").record(pops);
     ShortestPaths { dist, parent }
 }
 
@@ -154,11 +157,13 @@ pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> Shorte
     dist[source.index()] = 0;
     heap.push(Reverse((0, source.0)));
     let mut relaxed: u64 = 0;
+    let mut pops: u64 = 0;
     while let Some(Reverse((d, u))) = heap.pop() {
         let u = NodeId(u);
         if d > dist[u.index()] {
             continue;
         }
+        pops += 1;
         if u == target {
             break;
         }
@@ -174,6 +179,7 @@ pub fn dijkstra_to<G: GraphRef>(g: &G, source: NodeId, target: NodeId) -> Shorte
         }
     }
     psep_obs::counter!("graph.dijkstra.edges_relaxed").add(relaxed);
+    psep_obs::histogram!("graph.dijkstra.pops").record(pops);
     ShortestPaths { dist, parent }
 }
 
@@ -242,11 +248,13 @@ impl DijkstraScratch {
             }
         }
         let mut relaxed: u64 = 0;
+        let mut pops: u64 = 0;
         while let Some(Reverse((d, u))) = self.heap.pop() {
             let u = NodeId(u);
             if d > self.dist[u.index()] {
                 continue; // stale entry
             }
+            pops += 1;
             for e in g.neighbors(u) {
                 relaxed += 1;
                 let nd = d.saturating_add(e.weight);
@@ -263,6 +271,7 @@ impl DijkstraScratch {
             }
         }
         psep_obs::counter!("graph.dijkstra.edges_relaxed").add(relaxed);
+        psep_obs::histogram!("graph.dijkstra.pops").record(pops);
     }
 
     /// Distance from the closest source of the last run, or `None` if

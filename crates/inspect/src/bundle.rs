@@ -1,0 +1,200 @@
+//! Inspection of sealed `psep-bundle/v1` artifacts.
+//!
+//! Walks the envelope without deserializing (section sizes and
+//! per-section CRCs), then loads the bundle through
+//! [`LocationService::from_bytes`] — which re-validates every inner
+//! format — and summarizes per-vertex label and routing-table entry
+//! counts as [`HistogramStat`]s.
+
+use path_separators::service::{BUNDLE_MAGIC, BUNDLE_VERSION};
+use path_separators::LocationService;
+use psep_core::wire::{crc32, unseal, Cursor};
+use psep_graph::NodeId;
+use psep_obs::{HistogramStat, JsonWriter};
+
+/// Names of the four bundle sections, in wire order.
+pub const SECTION_NAMES: [&str; 4] = ["graph", "tree", "labels", "tables"];
+
+/// Size and checksum of one bundle section.
+#[derive(Clone, Debug)]
+pub struct SectionStat {
+    /// Section name (see [`SECTION_NAMES`]).
+    pub name: &'static str,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+    /// CRC-32 (IEEE) of the encoded section.
+    pub crc32: u32,
+}
+
+/// Everything `psep-inspect bundle` reports about an artifact.
+#[derive(Clone, Debug)]
+pub struct BundleStats {
+    /// Bundle wire version.
+    pub version: u64,
+    /// Total artifact size in bytes (envelope included).
+    pub total_bytes: usize,
+    /// Per-section sizes and checksums, wire order.
+    pub sections: Vec<SectionStat>,
+    /// Vertices in the bundled graph.
+    pub num_nodes: usize,
+    /// Edges in the bundled graph.
+    pub num_edges: usize,
+    /// The oracle's approximation parameter.
+    pub epsilon: f64,
+    /// Per-vertex distance-label entry counts.
+    pub label_entries: HistogramStat,
+    /// Per-vertex routing-table entry counts.
+    pub table_entries: HistogramStat,
+}
+
+impl BundleStats {
+    /// Inspects a serialized bundle. Fails if the envelope is
+    /// malformed or any inner section fails its own validation.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+        let payload = unseal(BUNDLE_MAGIC, data).map_err(|e| e.to_string())?;
+        let mut c = Cursor::new(payload);
+        let version = c.varint().map_err(|e| e.to_string())?;
+        if version != BUNDLE_VERSION {
+            return Err(format!("unsupported bundle version {version}"));
+        }
+        let mut sections = Vec::with_capacity(4);
+        for name in SECTION_NAMES {
+            let len = c.length(payload.len()).map_err(|e| e.to_string())?;
+            let bytes = c.bytes(len).map_err(|e| e.to_string())?;
+            sections.push(SectionStat {
+                name,
+                bytes: len,
+                crc32: crc32(bytes),
+            });
+        }
+        if c.remaining() != 0 {
+            return Err("trailing bytes after bundle sections".into());
+        }
+
+        let svc = LocationService::from_bytes(data).map_err(|e| e.to_string())?;
+        let n = svc.num_nodes();
+        let mut label_entries = HistogramStat::new("bundle.label.entries");
+        let mut table_entries = HistogramStat::new("bundle.table.entries");
+        for v in 0..n {
+            let v = NodeId(v as u32);
+            label_entries.record(svc.oracle().label(v).num_entries() as u64);
+            table_entries.record(svc.router().tables().table_entries(v) as u64);
+        }
+        Ok(BundleStats {
+            version,
+            total_bytes: data.len(),
+            sections,
+            num_nodes: n,
+            num_edges: svc.graph().num_edges(),
+            epsilon: svc.epsilon(),
+            label_entries,
+            table_entries,
+        })
+    }
+
+    /// Human-readable rendering, one fact per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "psep-bundle/v{} ({} bytes, {} nodes, {} edges, epsilon {})\n",
+            self.version, self.total_bytes, self.num_nodes, self.num_edges, self.epsilon
+        ));
+        for s in &self.sections {
+            out.push_str(&format!(
+                "  section {:<7} {:>10} bytes  crc32 {:08x}\n",
+                s.name, s.bytes, s.crc32
+            ));
+        }
+        for h in [&self.label_entries, &self.table_entries] {
+            out.push_str(&format!(
+                "  {:<22} count {:>7}  mean {:>8.2}  p50 {:>6}  p99 {:>6}  max {:>6}\n",
+                h.name,
+                h.count,
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+                h.max
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable rendering (compact JSON).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.string("psep-bundle-stats/v1");
+        w.key("version");
+        w.uint(self.version);
+        w.key("total_bytes");
+        w.uint(self.total_bytes as u64);
+        w.key("num_nodes");
+        w.uint(self.num_nodes as u64);
+        w.key("num_edges");
+        w.uint(self.num_edges as u64);
+        w.key("epsilon");
+        w.number(self.epsilon);
+        w.key("sections");
+        w.begin_array();
+        for s in &self.sections {
+            w.begin_object();
+            w.key("name");
+            w.string(s.name);
+            w.key("bytes");
+            w.uint(s.bytes as u64);
+            w.key("crc32");
+            w.uint(s.crc32 as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("histograms");
+        w.begin_array();
+        self.label_entries.write_json(&mut w);
+        self.table_entries.write_json(&mut w);
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use path_separators::service::ServiceParams;
+    use psep_graph::generators::grids;
+
+    #[test]
+    fn stats_match_a_small_service() {
+        let g = grids::grid2d(6, 6, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let bytes = svc.to_bytes();
+        let stats = BundleStats::from_bytes(&bytes).unwrap();
+        assert_eq!(stats.version, BUNDLE_VERSION);
+        assert_eq!(stats.total_bytes, bytes.len());
+        assert_eq!(stats.num_nodes, 36);
+        assert_eq!(stats.sections.len(), 4);
+        assert!(stats.sections.iter().all(|s| s.bytes > 0));
+        assert_eq!(stats.label_entries.count, 36);
+        assert_eq!(stats.table_entries.count, 36);
+        assert!(stats.label_entries.max >= 1);
+        let text = stats.render_text();
+        assert!(text.contains("section graph"));
+        let json = stats.to_json();
+        assert!(json.contains("\"schema\":\"psep-bundle-stats/v1\""));
+        assert!(json.contains("\"name\":\"bundle.label.entries\""));
+    }
+
+    #[test]
+    fn corrupt_bundles_are_rejected() {
+        let g = grids::grid2d(4, 4, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let mut bytes = svc.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(BundleStats::from_bytes(&bytes).is_err());
+        assert!(BundleStats::from_bytes(b"not a bundle").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Threshold-based comparison of two bench reports.
+//!
+//! The perf gate's contract: throughput gauges (names ending in
+//! `_per_sec`) may not drop below `1 - throughput_drop` of the
+//! baseline, and histogram tail latency (p99) may not exceed
+//! `quantile_blowup ×` the baseline. Metrics present in the baseline
+//! but missing from the fresh run are warnings, not failures — quick
+//! runs legitimately skip experiments.
+
+use crate::report::Report;
+
+/// Thresholds for [`diff_reports`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Maximum tolerated fractional drop of a `*_per_sec` gauge
+    /// (0.30 = fail below 70% of baseline).
+    pub throughput_drop: f64,
+    /// Maximum tolerated multiplicative growth of a histogram's p99.
+    pub quantile_blowup: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            throughput_drop: 0.30,
+            quantile_blowup: 4.0,
+        }
+    }
+}
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Gate-failing regression.
+    Regression,
+    /// Noteworthy but non-failing (e.g. a metric disappeared).
+    Warning,
+}
+
+/// One diff observation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Severity of the observation.
+    pub severity: Severity,
+    /// Experiment the metric belongs to.
+    pub experiment: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value (0 when missing).
+    pub base: f64,
+    /// Fresh value (0 when missing).
+    pub fresh: f64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The full result of a report diff.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    /// All findings, regressions first.
+    pub findings: Vec<Finding>,
+    /// Number of metrics compared (throughput gauges + histograms).
+    pub compared: usize,
+}
+
+impl DiffOutcome {
+    /// True when at least one gate-failing regression was found.
+    pub fn has_regression(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| f.severity == Severity::Regression)
+    }
+}
+
+/// Compares `fresh` against the `base` baseline under `cfg`.
+pub fn diff_reports(base: &Report, fresh: &Report, cfg: &DiffConfig) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    for be in &base.experiments {
+        let Some(fe) = fresh.experiments.iter().find(|e| e.name == be.name) else {
+            out.findings.push(Finding {
+                severity: Severity::Warning,
+                experiment: be.name.clone(),
+                metric: String::new(),
+                base: 0.0,
+                fresh: 0.0,
+                message: format!("experiment `{}` missing from fresh report", be.name),
+            });
+            continue;
+        };
+        // Throughput gauges: one-sided lower bound.
+        for (name, base_v) in &be.metrics.gauges {
+            if !name.ends_with("_per_sec") || *base_v <= 0.0 {
+                continue;
+            }
+            let Some(fresh_v) = fe.metrics.gauge(name) else {
+                out.findings.push(Finding {
+                    severity: Severity::Warning,
+                    experiment: be.name.clone(),
+                    metric: name.clone(),
+                    base: *base_v,
+                    fresh: 0.0,
+                    message: format!("gauge `{name}` missing from fresh report"),
+                });
+                continue;
+            };
+            out.compared += 1;
+            let floor = base_v * (1.0 - cfg.throughput_drop);
+            if fresh_v < floor {
+                out.findings.push(Finding {
+                    severity: Severity::Regression,
+                    experiment: be.name.clone(),
+                    metric: name.clone(),
+                    base: *base_v,
+                    fresh: fresh_v,
+                    message: format!(
+                        "throughput `{name}` dropped {:.1}% ({:.1} -> {:.1}, floor {:.1})",
+                        100.0 * (1.0 - fresh_v / base_v),
+                        base_v,
+                        fresh_v,
+                        floor
+                    ),
+                });
+            }
+        }
+        // Histogram tails: one-sided upper bound on p99.
+        for bh in &be.metrics.histograms {
+            if bh.count == 0 {
+                continue;
+            }
+            let Some(fh) = fe.metrics.histogram(&bh.name) else {
+                out.findings.push(Finding {
+                    severity: Severity::Warning,
+                    experiment: be.name.clone(),
+                    metric: bh.name.clone(),
+                    base: bh.p99 as f64,
+                    fresh: 0.0,
+                    message: format!("histogram `{}` missing from fresh report", bh.name),
+                });
+                continue;
+            };
+            if fh.count == 0 {
+                continue;
+            }
+            out.compared += 1;
+            // max(p99, 1) keeps all-zero baselines from tripping on any
+            // nonzero fresh value.
+            let ceiling = (bh.p99.max(1) as f64) * cfg.quantile_blowup;
+            if fh.p99 as f64 > ceiling {
+                out.findings.push(Finding {
+                    severity: Severity::Regression,
+                    experiment: be.name.clone(),
+                    metric: bh.name.clone(),
+                    base: bh.p99 as f64,
+                    fresh: fh.p99 as f64,
+                    message: format!(
+                        "histogram `{}` p99 blew up {:.1}x ({} -> {}, ceiling {:.0})",
+                        bh.name,
+                        fh.p99 as f64 / bh.p99.max(1) as f64,
+                        bh.p99,
+                        fh.p99,
+                        ceiling
+                    ),
+                });
+            }
+        }
+    }
+    out.findings.sort_by_key(|f| match f.severity {
+        Severity::Regression => 0,
+        Severity::Warning => 1,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Experiment, HistSummary, Metrics, Report};
+
+    fn report(qps: f64, p99: u64) -> Report {
+        Report {
+            schema: "psep-bench-report/v2".into(),
+            mode: "quick".into(),
+            experiments: vec![Experiment {
+                name: "e3t".into(),
+                title: String::new(),
+                wall_s: 1.0,
+                declared_crc32: None,
+                metrics: Metrics {
+                    counters: vec![],
+                    gauges: vec![("oracle.qps_per_sec".into(), qps)],
+                    histograms: vec![HistSummary {
+                        name: "oracle.batch.latency_ns".into(),
+                        count: 100,
+                        sum: 100 * p99,
+                        min: 1,
+                        max: p99,
+                        p50: p99 / 2,
+                        p90: p99,
+                        p99,
+                        p999: p99,
+                    }],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_diff_has_no_regressions() {
+        let base = report(1000.0, 5000);
+        let fresh = report(950.0, 6000);
+        let out = diff_reports(&base, &fresh, &DiffConfig::default());
+        assert!(!out.has_regression(), "{:?}", out.findings);
+        assert_eq!(out.compared, 2);
+    }
+
+    #[test]
+    fn halved_throughput_is_a_regression() {
+        let base = report(1000.0, 5000);
+        let fresh = report(500.0, 5000);
+        let out = diff_reports(&base, &fresh, &DiffConfig::default());
+        assert!(out.has_regression());
+        assert_eq!(out.findings[0].severity, Severity::Regression);
+        assert!(out.findings[0].message.contains("throughput"));
+    }
+
+    #[test]
+    fn p99_blowup_is_a_regression() {
+        let base = report(1000.0, 5000);
+        let fresh = report(1000.0, 25_000);
+        let out = diff_reports(&base, &fresh, &DiffConfig::default());
+        assert!(out.has_regression());
+        assert!(out.findings[0].message.contains("p99"));
+    }
+
+    #[test]
+    fn missing_experiment_is_only_a_warning() {
+        let base = report(1000.0, 5000);
+        let fresh = Report {
+            schema: base.schema.clone(),
+            mode: base.mode.clone(),
+            experiments: vec![],
+        };
+        let out = diff_reports(&base, &fresh, &DiffConfig::default());
+        assert!(!out.has_regression());
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].severity, Severity::Warning);
+    }
+}

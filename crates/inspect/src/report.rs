@@ -1,0 +1,360 @@
+//! Parser for the harness's `--json` bench reports.
+//!
+//! Accepts both `psep-bench-report/v1` (metrics inline as a raw
+//! snapshot object) and `/v2` (metrics wrapped in a `psep-metrics/v1`
+//! envelope carrying a CRC over the snapshot's canonical bytes). The
+//! parser keeps only what the differ needs: counters, gauges, and
+//! histogram summaries.
+
+use serde::Value;
+
+/// A parsed bench report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Report schema string, e.g. `"psep-bench-report/v2"`.
+    pub schema: String,
+    /// Harness mode: `"quick"`, `"default"`, or `"large"`.
+    pub mode: String,
+    /// One entry per experiment that ran.
+    pub experiments: Vec<Experiment>,
+}
+
+/// One experiment's slice of a report.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Short experiment name (`"e3t"`, ...).
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Wall-clock seconds for the whole experiment.
+    pub wall_s: f64,
+    /// CRC declared by the `psep-metrics/v1` envelope, when present.
+    pub declared_crc32: Option<u64>,
+    /// The metrics snapshot collected while the experiment ran.
+    pub metrics: Metrics,
+}
+
+/// The subset of a `psep-obs` snapshot the differ consumes.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// `(name, value)` counters, report order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, report order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, report order.
+    pub histograms: Vec<HistSummary>,
+}
+
+/// Summary of one latency/size histogram.
+#[derive(Clone, Debug)]
+pub struct HistSummary {
+    /// Metric name, e.g. `"oracle.batch.latency_ns"`.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// 99.9th-percentile estimate.
+    pub p999: u64,
+}
+
+impl Metrics {
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, val)| val),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(u) => Some(*u),
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// Parses a bench report from JSON text. Accepts schema
+/// `psep-bench-report/v1` and `/v2`.
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let schema = get(&doc, "schema")
+        .and_then(as_str)
+        .ok_or("report has no `schema` string")?
+        .to_string();
+    if !schema.starts_with("psep-bench-report/") {
+        return Err(format!("unknown report schema `{schema}`"));
+    }
+    let mode = get(&doc, "mode")
+        .and_then(as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let Some(Value::Seq(exps)) = get(&doc, "experiments") else {
+        return Err("report has no `experiments` array".into());
+    };
+    let mut experiments = Vec::with_capacity(exps.len());
+    for e in exps {
+        let name = get(e, "name")
+            .and_then(as_str)
+            .ok_or("experiment has no `name`")?
+            .to_string();
+        let title = get(e, "title").and_then(as_str).unwrap_or("").to_string();
+        let wall_s = get(e, "wall_s").and_then(as_f64).unwrap_or(0.0);
+        let raw_metrics = get(e, "metrics").ok_or("experiment has no `metrics`")?;
+        // v2 wraps the snapshot in a psep-metrics/v1 envelope; v1 puts
+        // the snapshot inline. Distinguish by the envelope's schema key.
+        let (snapshot, declared_crc32) = if get(raw_metrics, "schema").and_then(as_str)
+            == Some("psep-metrics/v1")
+        {
+            (
+                get(raw_metrics, "metrics").ok_or("psep-metrics/v1 envelope has no `metrics`")?,
+                get(raw_metrics, "crc32").and_then(as_u64),
+            )
+        } else {
+            (raw_metrics, None)
+        };
+        experiments.push(Experiment {
+            name,
+            title,
+            wall_s,
+            declared_crc32,
+            metrics: parse_snapshot(snapshot)?,
+        });
+    }
+    Ok(Report {
+        schema,
+        mode,
+        experiments,
+    })
+}
+
+fn parse_snapshot(v: &Value) -> Result<Metrics, String> {
+    let mut m = Metrics::default();
+    // Counters and gauges render as name-keyed objects
+    // (`{"a.b":7,...}`); tolerate the `[{"name":..,"value":..}]` array
+    // shape too (the NDJSON stream and hand-written fixtures use it).
+    match get(v, "counters") {
+        Some(Value::Map(entries)) => {
+            for (name, value) in entries {
+                m.counters.push((name.clone(), as_u64(value).unwrap_or(0)));
+            }
+        }
+        Some(Value::Seq(items)) => {
+            for c in items {
+                let name = get(c, "name").and_then(as_str).ok_or("counter sans name")?;
+                let value = get(c, "value").and_then(as_u64).unwrap_or(0);
+                m.counters.push((name.to_string(), value));
+            }
+        }
+        _ => {}
+    }
+    match get(v, "gauges") {
+        Some(Value::Map(entries)) => {
+            for (name, value) in entries {
+                m.gauges.push((name.clone(), as_f64(value).unwrap_or(0.0)));
+            }
+        }
+        Some(Value::Seq(items)) => {
+            for g in items {
+                let name = get(g, "name").and_then(as_str).ok_or("gauge sans name")?;
+                let value = get(g, "value").and_then(as_f64).unwrap_or(0.0);
+                m.gauges.push((name.to_string(), value));
+            }
+        }
+        _ => {}
+    }
+    if let Some(Value::Seq(items)) = get(v, "histograms") {
+        for h in items {
+            let name = get(h, "name")
+                .and_then(as_str)
+                .ok_or("histogram sans name")?;
+            let field = |key: &str| get(h, key).and_then(as_u64).unwrap_or(0);
+            m.histograms.push(HistSummary {
+                name: name.to_string(),
+                count: field("count"),
+                sum: field("sum"),
+                min: field("min"),
+                max: field("max"),
+                p50: field("p50"),
+                p90: field("p90"),
+                p99: field("p99"),
+                p999: field("p999"),
+            });
+        }
+    }
+    Ok(m)
+}
+
+/// Verifies every `psep-metrics/v1` envelope CRC in the raw report
+/// text, returning how many envelopes were checked. The CRC covers the
+/// snapshot's canonical compact JSON bytes exactly as the harness wrote
+/// them, so verification scans the original text rather than
+/// re-serializing a parsed tree.
+pub fn verify_metric_crcs(text: &str) -> Result<usize, String> {
+    const NEEDLE: &str = "\"schema\":\"psep-metrics/v1\",\"crc32\":";
+    let mut checked = 0;
+    let mut from = 0;
+    while let Some(at) = text[from..].find(NEEDLE) {
+        let num_start = from + at + NEEDLE.len();
+        let rest = &text[num_start..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let declared: u64 = digits
+            .parse()
+            .map_err(|_| "malformed crc32 in metrics envelope".to_string())?;
+        let after = &rest[digits.len()..];
+        let body_key = "\"metrics\":";
+        let Some(body_at) = after.find(body_key) else {
+            return Err("metrics envelope has no `metrics` body".into());
+        };
+        let body = &after[body_at + body_key.len()..];
+        let span = balanced_object_span(body).ok_or("unbalanced metrics object")?;
+        let actual = psep_core::wire::crc32(&body.as_bytes()[..span]) as u64;
+        if actual != declared {
+            return Err(format!(
+                "metrics CRC mismatch: declared {declared}, computed {actual}"
+            ));
+        }
+        checked += 1;
+        from = num_start + digits.len();
+    }
+    Ok(checked)
+}
+
+/// Byte length of the balanced JSON object starting at `text[0]`
+/// (which must be `{`), respecting string literals and escapes.
+fn balanced_object_span(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    if bytes.first() != Some(&b'{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v2_report() -> String {
+        // Mirrors Snapshot::to_json: counters/gauges as keyed objects,
+        // histograms as an array of objects.
+        let metrics = r#"{"counters":{"a.b":7},"gauges":{"x.qps_per_sec":125.5},"histograms":[{"name":"x.lat","count":3,"sum":30,"min":5,"max":15,"p50":10,"p90":15,"p99":15,"p999":15,"buckets":[[5,1],[10,1],[15,1]]}],"spans":[]}"#;
+        let crc = psep_core::wire::crc32(metrics.as_bytes());
+        format!(
+            concat!(
+                r#"{{"schema":"psep-bench-report/v2","mode":"quick","experiments":["#,
+                r#"{{"name":"e3t","title":"T","wall_s":1.5,"metrics":{{"schema":"psep-metrics/v1","crc32":{crc},"metrics":{metrics}}},"table_md":""}}"#,
+                r#"]}}"#
+            ),
+            crc = crc,
+            metrics = metrics,
+        )
+    }
+
+    #[test]
+    fn parses_v2_and_verifies_crc() {
+        let text = v2_report();
+        let r = parse_report(&text).unwrap();
+        assert_eq!(r.schema, "psep-bench-report/v2");
+        assert_eq!(r.experiments.len(), 1);
+        let e = &r.experiments[0];
+        assert_eq!(e.name, "e3t");
+        assert!(e.declared_crc32.is_some());
+        assert_eq!(e.metrics.counter("a.b"), Some(7));
+        assert_eq!(e.metrics.gauge("x.qps_per_sec"), Some(125.5));
+        let h = e.metrics.histogram("x.lat").unwrap();
+        assert_eq!((h.count, h.p50, h.p99), (3, 10, 15));
+        assert_eq!(verify_metric_crcs(&text), Ok(1));
+    }
+
+    #[test]
+    fn corrupted_crc_is_detected() {
+        let text = v2_report().replace("\"crc32\":", "\"crc32\":9");
+        assert!(verify_metric_crcs(&text).is_err());
+    }
+
+    #[test]
+    fn parses_v1_inline_metrics() {
+        let text = r#"{"schema":"psep-bench-report/v1","mode":"default","experiments":[{"name":"e1","title":"","wall_s":0.1,"metrics":{"counters":{},"gauges":{"g":2},"spans":[]},"table_md":""}]}"#;
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.experiments[0].declared_crc32, None);
+        assert_eq!(r.experiments[0].metrics.gauge("g"), Some(2.0));
+        assert_eq!(verify_metric_crcs(text), Ok(0));
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        assert!(parse_report(r#"{"schema":"nope/v9","experiments":[]}"#).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end exit-code contract of the `psep-inspect` binary: clean
+//! diffs exit 0, injected regressions exit 1, bad usage exits 2, and
+//! bundle inspection works on a real serialized service.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use path_separators::service::ServiceParams;
+use path_separators::LocationService;
+use psep_graph::generators::grids;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_psep-inspect"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("psep-inspect-cli-{}-{name}", std::process::id()));
+    p
+}
+
+/// A minimal v2 report with one experiment, a throughput gauge, and a
+/// latency histogram — the shapes the gate checks.
+fn synth_report(qps: f64, p99: u64) -> String {
+    let metrics = format!(
+        concat!(
+            r#"{{"counters":{{"oracle.batch.pairs":1000}},"#,
+            r#""gauges":{{"oracle.batch.queries_per_sec":{qps}}},"#,
+            r#""histograms":[{{"name":"oracle.batch.latency_ns","count":1000,"sum":{sum},"#,
+            r#""min":10,"max":{p99},"p50":{p50},"p90":{p99},"p99":{p99},"p999":{p99},"#,
+            r#""buckets":[[100,1000]]}}],"spans":[]}}"#
+        ),
+        qps = qps,
+        sum = 1000 * p99,
+        p50 = p99 / 2,
+        p99 = p99,
+    );
+    let crc = psep_core::wire::crc32(metrics.as_bytes());
+    format!(
+        concat!(
+            r#"{{"schema":"psep-bench-report/v2","mode":"quick","experiments":["#,
+            r#"{{"name":"e3t","title":"throughput","wall_s":1.0,"#,
+            r#""metrics":{{"schema":"psep-metrics/v1","crc32":{crc},"metrics":{metrics}}},"#,
+            r#""table_md":""}}]}}"#
+        ),
+        crc = crc,
+        metrics = metrics,
+    )
+}
+
+#[test]
+fn diff_exit_codes_gate_regressions() {
+    let base_path = tmp("base.json");
+    let clean_path = tmp("clean.json");
+    let slow_path = tmp("slow.json");
+    std::fs::write(&base_path, synth_report(1000.0, 5_000)).unwrap();
+    // Within thresholds: slightly slower, slightly fatter tail.
+    std::fs::write(&clean_path, synth_report(900.0, 8_000)).unwrap();
+    // Injected 2x regression: half the throughput, 8x the p99.
+    std::fs::write(&slow_path, synth_report(500.0, 40_000)).unwrap();
+
+    let out = bin()
+        .args([
+            "diff",
+            base_path.to_str().unwrap(),
+            clean_path.to_str().unwrap(),
+        ])
+        .clone_output();
+    assert_eq!(out.0, Some(0), "clean diff must exit 0: {}", out.1);
+    assert!(out.1.contains("verdict: OK"), "{}", out.1);
+
+    let out = bin()
+        .args([
+            "diff",
+            base_path.to_str().unwrap(),
+            slow_path.to_str().unwrap(),
+        ])
+        .clone_output();
+    assert_eq!(out.0, Some(1), "regression diff must exit 1: {}", out.1);
+    assert!(out.1.contains("REGRESSION"), "{}", out.1);
+    assert!(out.1.contains("verdict: FAIL"), "{}", out.1);
+
+    // Self-diff is always clean.
+    let self_diff = bin()
+        .args([
+            "diff",
+            base_path.to_str().unwrap(),
+            base_path.to_str().unwrap(),
+        ])
+        .clone_output();
+    assert_eq!(self_diff.0, Some(0));
+
+    // JSON mode carries the verdict too.
+    let out = bin()
+        .args([
+            "diff",
+            base_path.to_str().unwrap(),
+            slow_path.to_str().unwrap(),
+            "--json",
+        ])
+        .clone_output();
+    assert_eq!(out.0, Some(1));
+    assert!(out.1.contains("\"regression\":true"), "{}", out.1);
+
+    // A loosened quantile factor with a tightened-to-zero threshold
+    // still fails on the throughput drop.
+    let tuned = bin()
+        .args([
+            "diff",
+            base_path.to_str().unwrap(),
+            slow_path.to_str().unwrap(),
+            "--threshold",
+            "0.9",
+            "--quantile-factor",
+            "100.0",
+        ])
+        .clone_output();
+    assert_eq!(tuned.0, Some(0), "loose thresholds pass");
+
+    for p in [&base_path, &clean_path, &slow_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn usage_and_parse_errors_exit_2() {
+    assert_eq!(bin().clone_output().0, Some(2));
+    assert_eq!(
+        bin().args(["diff", "only-one.json"]).clone_output().0,
+        Some(2)
+    );
+    assert_eq!(
+        bin()
+            .args(["report", "/nonexistent/psep-report.json"])
+            .clone_output()
+            .0,
+        Some(2)
+    );
+
+    let garbled = tmp("garbled.json");
+    std::fs::write(&garbled, "{not json").unwrap();
+    assert_eq!(
+        bin()
+            .args(["report", garbled.to_str().unwrap()])
+            .clone_output()
+            .0,
+        Some(2)
+    );
+    let _ = std::fs::remove_file(&garbled);
+}
+
+#[test]
+fn report_subcommand_verifies_crcs() {
+    let path = tmp("report.json");
+    std::fs::write(&path, synth_report(1234.0, 777)).unwrap();
+    let out = bin()
+        .args(["report", path.to_str().unwrap()])
+        .clone_output();
+    assert_eq!(out.0, Some(0), "{}", out.1);
+    assert!(out.1.contains("1 metric CRCs verified"), "{}", out.1);
+
+    // Corrupt the CRC: the report subcommand must reject the file.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.replace("\"crc32\":", "\"crc32\":9")).unwrap();
+    let out = bin()
+        .args(["report", path.to_str().unwrap()])
+        .clone_output();
+    assert_eq!(out.0, Some(2), "corrupt CRC must exit 2: {}", out.1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bundle_subcommand_reads_a_real_artifact() {
+    let g = grids::grid2d(5, 5, 1);
+    let svc = LocationService::build(&g, ServiceParams::default());
+    let path = tmp("bundle.bin");
+    std::fs::write(&path, svc.to_bytes()).unwrap();
+
+    let out = bin()
+        .args(["bundle", path.to_str().unwrap()])
+        .clone_output();
+    assert_eq!(out.0, Some(0), "{}", out.1);
+    for section in ["graph", "tree", "labels", "tables"] {
+        assert!(out.1.contains(section), "missing `{section}` in: {}", out.1);
+    }
+
+    let out = bin()
+        .args(["bundle", path.to_str().unwrap(), "--json"])
+        .clone_output();
+    assert_eq!(out.0, Some(0));
+    assert!(out.1.contains("\"schema\":\"psep-bundle-stats/v1\""));
+
+    // Corrupt one byte: exit 2.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes).unwrap();
+    let out = bin()
+        .args(["bundle", path.to_str().unwrap()])
+        .clone_output();
+    assert_eq!(out.0, Some(2), "corrupt bundle must exit 2: {}", out.1);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Runs the command, returning (exit code, stdout + stderr).
+trait CloneOutput {
+    fn clone_output(self) -> (Option<i32>, String);
+}
+
+impl CloneOutput for &mut Command {
+    fn clone_output(self) -> (Option<i32>, String) {
+        let out = self.output().expect("spawn psep-inspect");
+        let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+        text.push_str(&String::from_utf8_lossy(&out.stderr));
+        (out.status.code(), text)
+    }
+}

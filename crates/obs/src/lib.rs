@@ -12,6 +12,13 @@
 //!   (component-size fractions, paths per level, label statistics);
 //! * [`span!`] — RAII hierarchical span timers (`build/labels/dijkstra`)
 //!   aggregated into count/total/max per path;
+//! * [`histogram!`] — lock-free log-linear-bucketed distributions
+//!   (per-query latency, candidates scanned, hop counts) with exact
+//!   count/sum/min/max and bounded-error p50–p999 quantiles; per-worker
+//!   histograms merge bit-identically at snapshot time regardless of
+//!   thread count ([`Snapshot::rollup_workers`]);
+//! * [`TraceRing`] — an opt-in, per-call ring buffer of structured
+//!   [`TraceEvent`]s for explaining one slow query, drained to NDJSON;
 //! * [`snapshot`] — a point-in-time [`Snapshot`] of everything, with a
 //!   hand-rolled JSON renderer and an NDJSON line emitter.
 //!
@@ -43,6 +50,12 @@ pub use noop::*;
 mod json;
 pub use json::JsonWriter;
 
+mod hist;
+pub use hist::{bucket_index, bucket_lower, HistogramStat, NUM_BUCKETS, SUB_BITS, SUB_COUNT};
+
+mod trace;
+pub use trace::{RoutePhase, TraceEvent, TraceRing};
+
 /// A span-statistics record: how often a span path ran and for how long.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SpanStat {
@@ -63,6 +76,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Gauges: `(name, value)`. Integral values render as integers.
     pub gauges: Vec<(String, f64)>,
+    /// Latency/size distributions, sorted by name.
+    pub histograms: Vec<HistogramStat>,
     /// Aggregated span timings.
     pub spans: Vec<SpanStat>,
 }
@@ -81,13 +96,95 @@ impl Snapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Histogram stats by exact name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
     /// Span stats by exact path, if present.
     pub fn span(&self, path: &str) -> Option<&SpanStat> {
         self.spans.iter().find(|s| s.path == path)
     }
 
+    /// Sorts every section by metric name (and every histogram's
+    /// buckets by index) so that [`Snapshot::to_json`] is byte-stable
+    /// for equal metric contents regardless of construction order.
+    pub fn normalize(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        for h in &mut self.histograms {
+            h.buckets.sort_by_key(|&(i, _)| i);
+        }
+        self.spans.sort_by(|a, b| a.path.cmp(&b.path));
+    }
+
+    /// Rolls per-worker `<prefix>.workerNN.<suffix>` counters and
+    /// histograms up into `<prefix>.<suffix>` aggregates. Counter
+    /// aggregates are inserted only when the aggregate name is not
+    /// already published (the batch engines publish their own totals);
+    /// histogram aggregates merge into any existing histogram of that
+    /// name. When `keep_detail` is false the per-worker series are
+    /// removed afterwards. Because histogram merge is commutative and
+    /// associative, the rolled-up snapshot is identical at every
+    /// thread count for the same multiset of recorded values.
+    pub fn rollup_workers(&mut self, keep_detail: bool) {
+        fn aggregate_name(name: &str) -> Option<String> {
+            let pos = name.find(".worker")?;
+            let rest = &name[pos + ".worker".len()..];
+            let digits = rest.bytes().take_while(|b| b.is_ascii_digit()).count();
+            if digits == 0 || !rest[digits..].starts_with('.') {
+                return None;
+            }
+            Some(format!("{}{}", &name[..pos], &rest[digits..]))
+        }
+
+        let mut counter_sums: Vec<(String, u64)> = Vec::new();
+        for (name, value) in &self.counters {
+            if let Some(agg) = aggregate_name(name) {
+                match counter_sums.iter_mut().find(|(n, _)| *n == agg) {
+                    Some((_, v)) => *v += value,
+                    None => counter_sums.push((agg, *value)),
+                }
+            }
+        }
+        for (agg, sum) in counter_sums {
+            if self.counter(&agg).is_none() {
+                self.counters.push((agg, sum));
+            }
+        }
+
+        let mut hist_merges: Vec<HistogramStat> = Vec::new();
+        for h in &self.histograms {
+            if let Some(agg) = aggregate_name(&h.name) {
+                match hist_merges.iter_mut().find(|m| m.name == agg) {
+                    Some(m) => m.merge(h),
+                    None => {
+                        let mut m = h.clone();
+                        m.name = agg;
+                        hist_merges.push(m);
+                    }
+                }
+            }
+        }
+        for merged in hist_merges {
+            match self.histograms.iter_mut().find(|h| h.name == merged.name) {
+                Some(existing) => existing.merge(&merged),
+                None => self.histograms.push(merged),
+            }
+        }
+
+        if !keep_detail {
+            self.counters.retain(|(n, _)| aggregate_name(n).is_none());
+            self.gauges.retain(|(n, _)| aggregate_name(n).is_none());
+            self.histograms
+                .retain(|h| aggregate_name(&h.name).is_none());
+        }
+        self.normalize();
+    }
+
     /// Renders the snapshot as one JSON object:
-    /// `{"counters": {…}, "gauges": {…}, "spans": [{…}, …]}`.
+    /// `{"counters": {…}, "gauges": {…}, "histograms": […], "spans": […]}`.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         self.write_json(&mut w);
@@ -112,6 +209,12 @@ impl Snapshot {
             w.number(*value);
         }
         w.end_object();
+        w.key("histograms");
+        w.begin_array();
+        for h in &self.histograms {
+            h.write_json(w);
+        }
+        w.end_array();
         w.key("spans");
         w.begin_array();
         for s in &self.spans {
@@ -131,7 +234,7 @@ impl Snapshot {
     }
 
     /// Writes the snapshot as NDJSON: one line per metric, each tagged
-    /// with `"type"` (`counter` | `gauge` | `span`) and the optional
+    /// with `"type"` (`counter` | `gauge` | `histogram` | `span`) and the optional
     /// `scope` (e.g. the experiment name) on every line.
     pub fn write_ndjson<W: std::io::Write>(
         &self,
@@ -167,6 +270,17 @@ impl Snapshot {
             w.string(name);
             w.key("value");
             w.number(*value);
+            w.end_object();
+            writeln!(out, "{}", w.finish())?;
+        }
+        for h in &self.histograms {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("type");
+            w.string("histogram");
+            scope_fields(&mut w);
+            w.key("value");
+            h.write_json(&mut w);
             w.end_object();
             writeln!(out, "{}", w.finish())?;
         }

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::{Snapshot, SpanStat};
+use crate::{bucket_index, HistogramStat, Snapshot, SpanStat, NUM_BUCKETS};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -110,6 +110,112 @@ impl Gauge {
     }
 }
 
+/// A lock-free log-linear-bucketed histogram. Obtain via
+/// [`histogram!`] (static name, cached per call site) or [`histogram`]
+/// (dynamic name). Recording is one bucket-index computation plus five
+/// relaxed atomic RMWs; concurrent recorders never contend on a lock.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Records one value if recording is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records the nanoseconds elapsed since `start` (from
+    /// [`now_if_enabled`]) if recording is enabled.
+    #[inline]
+    pub fn record_elapsed(&self, start: Instant) {
+        self.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the histogram into a snapshot-side [`HistogramStat`].
+    pub fn stat(&self, name: &str) -> HistogramStat {
+        let count = self.count();
+        let mut stat = HistogramStat::new(name);
+        if count == 0 {
+            return stat;
+        }
+        stat.count = count;
+        stat.sum = self.sum.load(Ordering::Relaxed);
+        stat.min = self.min.load(Ordering::Relaxed);
+        stat.max = self.max.load(Ordering::Relaxed);
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n != 0 {
+                stat.buckets.push((i as u32, n));
+            }
+        }
+        stat
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// `Some(Instant::now())` when recording is enabled, `None` otherwise
+/// (and a `const None` without the `obs` feature) — the cheap way to
+/// time a region only when someone is listening:
+///
+/// ```ignore
+/// let t0 = psep_obs::now_if_enabled();
+/// /* … hot work … */
+/// if let Some(t0) = t0 { psep_obs::histogram!("x.latency_ns").record_elapsed(t0); }
+/// ```
+#[inline]
+pub fn now_if_enabled() -> Option<Instant> {
+    enabled().then(Instant::now)
+}
+
 #[derive(Clone, Copy, Debug, Default)]
 struct SpanAgg {
     count: u64,
@@ -120,6 +226,7 @@ struct SpanAgg {
 struct Registry {
     counters: Mutex<BTreeMap<String, &'static Counter>>,
     gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
     spans: Mutex<BTreeMap<String, SpanAgg>>,
 }
 
@@ -128,6 +235,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
         spans: Mutex::new(BTreeMap::new()),
     })
 }
@@ -155,6 +263,18 @@ pub fn gauge(name: &str) -> &'static Gauge {
     let g: &'static Gauge = Box::leak(Box::new(Gauge::default()));
     map.insert(name.to_owned(), g);
     g
+}
+
+/// Looks up (or registers) the histogram `name`. Prefer
+/// [`histogram!`] on hot paths — it caches this lookup per call site.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut map = registry().histograms.lock().unwrap();
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::default()));
+    map.insert(name.to_owned(), h);
+    h
 }
 
 thread_local! {
@@ -211,13 +331,32 @@ pub fn reset() {
     for g in reg.gauges.lock().unwrap().values() {
         g.value.store(0f64.to_bits(), Ordering::Relaxed);
     }
+    for h in reg.histograms.lock().unwrap().values() {
+        h.reset();
+    }
     reg.spans.lock().unwrap().clear();
 }
 
-/// Takes a sorted point-in-time copy of every metric. Zero-valued
-/// counters and gauges are skipped (they carry no information and would
-/// bloat reports with every name ever registered).
+/// Takes a sorted point-in-time copy of every metric with per-worker
+/// `*.workerNN.*` series rolled up into aggregates and dropped
+/// ([`Snapshot::rollup_workers`]). Zero-valued counters, gauges, and
+/// histograms are skipped (they carry no information and would bloat
+/// reports with every name ever registered).
 pub fn snapshot() -> Snapshot {
+    let mut snap = snapshot_raw();
+    snap.rollup_workers(false);
+    snap
+}
+
+/// Like [`snapshot`] but keeps the per-worker `*.workerNN.*` series
+/// alongside the rolled-up aggregates (the harness `--detail` flag).
+pub fn snapshot_detailed() -> Snapshot {
+    let mut snap = snapshot_raw();
+    snap.rollup_workers(true);
+    snap
+}
+
+fn snapshot_raw() -> Snapshot {
     let reg = registry();
     let counters = reg
         .counters
@@ -235,6 +374,14 @@ pub fn snapshot() -> Snapshot {
         .map(|(name, g)| (name.clone(), g.get()))
         .filter(|(_, v)| *v != 0.0)
         .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, h)| h.stat(name))
+        .filter(|h| !h.is_empty())
+        .collect();
     let spans = reg
         .spans
         .lock()
@@ -250,6 +397,7 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         counters,
         gauges,
+        histograms,
         spans,
     }
 }
@@ -271,6 +419,16 @@ macro_rules! gauge {
         static __PSEP_OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::Gauge> =
             ::std::sync::OnceLock::new();
         *__PSEP_OBS_GAUGE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// Cached-per-call-site histogram handle (live form).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __PSEP_OBS_HISTOGRAM: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__PSEP_OBS_HISTOGRAM.get_or_init(|| $crate::histogram($name))
     }};
 }
 

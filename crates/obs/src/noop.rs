@@ -64,11 +64,46 @@ impl Gauge {
     }
 }
 
+/// Zero-sized histogram stand-in.
+#[derive(Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_elapsed(&self, _start: std::time::Instant) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always an empty stat.
+    #[inline(always)]
+    pub fn stat(&self, name: &str) -> crate::HistogramStat {
+        crate::HistogramStat::new(name)
+    }
+}
+
+/// Always `None`; combined with `const false` [`enabled`], timing
+/// blocks guarded on it are dead-code eliminated.
+#[inline(always)]
+pub fn now_if_enabled() -> Option<std::time::Instant> {
+    None
+}
+
 /// Shared statics so `counter!`/`gauge!` can hand out `'static`
 /// references without a registry.
 pub static NOOP_COUNTER: Counter = Counter;
 /// See [`NOOP_COUNTER`].
 pub static NOOP_GAUGE: Gauge = Gauge;
+/// See [`NOOP_COUNTER`].
+pub static NOOP_HISTOGRAM: Histogram = Histogram;
 
 /// Returns the shared no-op counter regardless of `name`.
 #[inline(always)]
@@ -80,6 +115,12 @@ pub fn counter(_name: &str) -> &'static Counter {
 #[inline(always)]
 pub fn gauge(_name: &str) -> &'static Gauge {
     &NOOP_GAUGE
+}
+
+/// Returns the shared no-op histogram regardless of `name`.
+#[inline(always)]
+pub fn histogram(_name: &str) -> &'static Histogram {
+    &NOOP_HISTOGRAM
 }
 
 /// Zero-sized span guard stand-in.
@@ -101,6 +142,12 @@ pub fn snapshot() -> Snapshot {
     Snapshot::default()
 }
 
+/// Always an empty snapshot.
+#[inline(always)]
+pub fn snapshot_detailed() -> Snapshot {
+    Snapshot::default()
+}
+
 /// Cached-per-call-site counter handle (no-op form).
 #[macro_export]
 macro_rules! counter {
@@ -114,6 +161,14 @@ macro_rules! counter {
 macro_rules! gauge {
     ($name:expr) => {
         &$crate::NOOP_GAUGE
+    };
+}
+
+/// Cached-per-call-site histogram handle (no-op form).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {
+        &$crate::NOOP_HISTOGRAM
     };
 }
 

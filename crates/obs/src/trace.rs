@@ -1,0 +1,392 @@
+//! Per-call structured tracing: explain *one* query instead of
+//! aggregating all of them.
+//!
+//! A [`TraceRing`] is a fixed-capacity ring buffer of [`TraceEvent`]s
+//! owned by the caller and passed explicitly into the `*_traced` entry
+//! points (`DistanceOracle::query_traced`, `Router::route_traced`,
+//! `LocationService::{query,route}_traced`). Because tracing is opt-in
+//! per call — not an ambient global — it costs nothing on untraced
+//! paths and is **not** gated behind the `obs` cargo feature.
+//!
+//! When the ring fills, the oldest events are overwritten and counted
+//! in [`TraceRing::dropped`]; a slow-query postmortem keeps the tail of
+//! the story, which is where the answer usually is. Events drain to
+//! NDJSON via [`TraceRing::write_ndjson`].
+
+use std::collections::VecDeque;
+
+use crate::JsonWriter;
+
+/// Which phase of greedy interval routing a hop belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePhase {
+    /// Phase A: climbing from the source to the separator path.
+    Climb,
+    /// Phase B: walking along the separator path by position.
+    Path,
+    /// Phase C: descending into the target's subtree by DFS interval.
+    Descend,
+}
+
+impl RoutePhase {
+    /// Stable lowercase name used in NDJSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RoutePhase::Climb => "climb",
+            RoutePhase::Path => "path",
+            RoutePhase::Descend => "descend",
+        }
+    }
+}
+
+/// One structured trace event. Variants mirror the stack's hot paths:
+/// oracle queries (merge-join over portal entries), label-construction
+/// Dijkstras, and the three-phase greedy route walk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A distance query began for the pair `(u, v)`.
+    QueryStart {
+        /// Source vertex id.
+        u: u32,
+        /// Target vertex id.
+        v: u32,
+    },
+    /// A distance query finished.
+    QueryEnd {
+        /// Whether any portal pair connected the two labels.
+        found: bool,
+        /// The estimated distance (0 when not found).
+        dist: u64,
+        /// Portal-pair candidates scanned by the merge-join.
+        candidates: u64,
+        /// Wall time of the query in nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// The merge-join aligned one `(node, group, path)` key present in
+    /// both labels.
+    MergeKey {
+        /// Packed `(node, group)` label key.
+        key: u64,
+        /// Candidate portal pairs scanned under this key.
+        pairs: u64,
+    },
+    /// A Dijkstra run completed (label construction / explain paths).
+    Dijkstra {
+        /// Source vertex id.
+        source: u32,
+        /// Heap pops performed.
+        pops: u64,
+        /// Edges relaxed.
+        relaxed: u64,
+    },
+    /// A route request began for `(u, target)`.
+    RouteStart {
+        /// Source vertex id.
+        u: u32,
+        /// Target vertex id.
+        target: u32,
+    },
+    /// The route advanced one edge.
+    RouteHop {
+        /// Which routing phase made the hop.
+        phase: RoutePhase,
+        /// Vertex the hop left.
+        from: u32,
+        /// Vertex the hop entered.
+        to: u32,
+        /// Weight of the traversed edge.
+        edge_cost: u64,
+    },
+    /// A route request finished.
+    RouteEnd {
+        /// Whether the target was reached.
+        delivered: bool,
+        /// Total hops taken.
+        hops: u64,
+        /// Total cost of the walked route.
+        cost: u64,
+        /// Wall time of the route in nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// A free-form labeled measurement for ad-hoc instrumentation.
+    Mark {
+        /// Static label, e.g. `"bundle.load"`.
+        label: &'static str,
+        /// The measured value.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type tag used in NDJSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::QueryStart { .. } => "query_start",
+            TraceEvent::QueryEnd { .. } => "query_end",
+            TraceEvent::MergeKey { .. } => "merge_key",
+            TraceEvent::Dijkstra { .. } => "dijkstra",
+            TraceEvent::RouteStart { .. } => "route_start",
+            TraceEvent::RouteHop { .. } => "route_hop",
+            TraceEvent::RouteEnd { .. } => "route_end",
+            TraceEvent::Mark { .. } => "mark",
+        }
+    }
+
+    /// Renders the event as one JSON object value.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("event");
+        w.string(self.kind());
+        match *self {
+            TraceEvent::QueryStart { u, v } => {
+                w.key("u");
+                w.uint(u as u64);
+                w.key("v");
+                w.uint(v as u64);
+            }
+            TraceEvent::QueryEnd {
+                found,
+                dist,
+                candidates,
+                elapsed_ns,
+            } => {
+                w.key("found");
+                w.boolean(found);
+                w.key("dist");
+                w.uint(dist);
+                w.key("candidates");
+                w.uint(candidates);
+                w.key("elapsed_ns");
+                w.uint(elapsed_ns);
+            }
+            TraceEvent::MergeKey { key, pairs } => {
+                w.key("key");
+                w.uint(key);
+                w.key("pairs");
+                w.uint(pairs);
+            }
+            TraceEvent::Dijkstra {
+                source,
+                pops,
+                relaxed,
+            } => {
+                w.key("source");
+                w.uint(source as u64);
+                w.key("pops");
+                w.uint(pops);
+                w.key("relaxed");
+                w.uint(relaxed);
+            }
+            TraceEvent::RouteStart { u, target } => {
+                w.key("u");
+                w.uint(u as u64);
+                w.key("target");
+                w.uint(target as u64);
+            }
+            TraceEvent::RouteHop {
+                phase,
+                from,
+                to,
+                edge_cost,
+            } => {
+                w.key("phase");
+                w.string(phase.as_str());
+                w.key("from");
+                w.uint(from as u64);
+                w.key("to");
+                w.uint(to as u64);
+                w.key("edge_cost");
+                w.uint(edge_cost);
+            }
+            TraceEvent::RouteEnd {
+                delivered,
+                hops,
+                cost,
+                elapsed_ns,
+            } => {
+                w.key("delivered");
+                w.boolean(delivered);
+                w.key("hops");
+                w.uint(hops);
+                w.key("cost");
+                w.uint(cost);
+                w.key("elapsed_ns");
+                w.uint(elapsed_ns);
+            }
+            TraceEvent::Mark { label, value } => {
+                w.key("label");
+                w.string(label);
+                w.key("value");
+                w.uint(value);
+            }
+        }
+        w.end_object();
+    }
+}
+
+/// A fixed-capacity ring of [`TraceEvent`]s; oldest events are
+/// overwritten when full.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    seq: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            seq: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.seq += 1;
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of events held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sequence number of the next event (total events ever pushed).
+    pub fn total_pushed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Iterates the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Removes and returns all retained events, oldest first, resetting
+    /// the dropped count.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.dropped = 0;
+        self.events.drain(..).collect()
+    }
+
+    /// Empties the ring without returning events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Writes the retained events as NDJSON, one `{"seq":…,"event":…}`
+    /// line per event (oldest first), `seq` being the global push index
+    /// so dropped gaps are visible.
+    pub fn write_ndjson<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        let first_seq = self.seq - self.events.len() as u64;
+        for (i, e) in self.events.iter().enumerate() {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("seq");
+            w.uint(first_seq + i as u64);
+            w.key("trace");
+            e.write_json(&mut w);
+            w.end_object();
+            writeln!(out, "{}", w.finish())?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for TraceRing {
+    /// A ring with a postmortem-friendly default capacity of 4096.
+    fn default() -> Self {
+        TraceRing::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u32 {
+            r.push(TraceEvent::QueryStart { u: i, v: i });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total_pushed(), 5);
+        let kept: Vec<u32> = r
+            .iter()
+            .map(|e| match e {
+                TraceEvent::QueryStart { u, .. } => *u,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ndjson_lines_carry_global_seq() {
+        let mut r = TraceRing::new(2);
+        r.push(TraceEvent::Mark {
+            label: "a",
+            value: 1,
+        });
+        r.push(TraceEvent::Mark {
+            label: "b",
+            value: 2,
+        });
+        r.push(TraceEvent::Mark {
+            label: "c",
+            value: 3,
+        });
+        let mut buf = Vec::new();
+        r.write_ndjson(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"seq":1,"#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""label":"c""#));
+    }
+
+    #[test]
+    fn drain_returns_in_order_and_resets() {
+        let mut r = TraceRing::new(8);
+        r.push(TraceEvent::RouteStart { u: 1, target: 2 });
+        r.push(TraceEvent::RouteEnd {
+            delivered: true,
+            hops: 3,
+            cost: 9,
+            elapsed_ns: 100,
+        });
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        assert!(r.is_empty());
+        assert_eq!(events[0].kind(), "route_start");
+        assert_eq!(events[1].kind(), "route_end");
+    }
+}

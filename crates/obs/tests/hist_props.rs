@@ -1,0 +1,119 @@
+//! Property tests for the log-linear histogram: quantile estimates stay
+//! within one bucket (≤ 1/16 relative error) of the exact order
+//! statistic, and merge is commutative/associative — the algebra that
+//! makes per-worker rollups thread-count independent.
+//!
+//! These exercise the snapshot-side [`HistogramStat`], which is shared
+//! by the live and no-op builds, so they run with or without the `obs`
+//! feature.
+
+use proptest::prelude::*;
+use psep_obs::{bucket_index, HistogramStat, SUB_COUNT};
+
+fn stat_of(name: &str, values: &[u64]) -> HistogramStat {
+    let mut h = HistogramStat::new(name);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The same rank convention `HistogramStat::quantile` uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        mut values in prop::collection::vec(0u64..1_000_000_000, 1..400),
+        q_ppm in 0u64..1_000_001,
+    ) {
+        let q = q_ppm as f64 / 1_000_000.0;
+        let h = stat_of("q", &values);
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q).unwrap();
+        // the estimate lands in the exact value's bucket, from below
+        prop_assert_eq!(bucket_index(est), bucket_index(exact));
+        prop_assert!(est <= exact);
+        prop_assert!(
+            (exact - est) as f64 <= (exact as f64 / SUB_COUNT as f64).max(0.0) + 1e-9,
+            "estimate {est} too far below exact {exact}"
+        );
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = stat_of("e", &values);
+        prop_assert_eq!(h.count, values.len() as u64);
+        let mut sum = 0u64;
+        for &v in &values {
+            sum = sum.wrapping_add(v);
+        }
+        prop_assert_eq!(h.sum, sum);
+        prop_assert_eq!(h.min, *values.iter().min().unwrap());
+        prop_assert_eq!(h.max, *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_union(
+        xs in prop::collection::vec(0u64..1_000_000, 0..100),
+        ys in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let a = stat_of("m", &xs);
+        let b = stat_of("m", &ys);
+        let union: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        let expected = stat_of("m", &union);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &expected);
+        prop_assert_eq!(&ba, &expected);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..60),
+        ys in prop::collection::vec(0u64..1_000_000, 0..60),
+        zs in prop::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (a, b, c) = (stat_of("m", &xs), stat_of("m", &ys), stat_of("m", &zs));
+
+        let mut left = a.clone(); // (a ⊕ b) ⊕ c
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone(); // a ⊕ (b ⊕ c)
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Splitting one value stream across any number of workers and
+    /// merging back yields the identical histogram — the invariant the
+    /// `ShardedRunner` rollup depends on.
+    #[test]
+    fn sharded_merge_is_partition_independent(
+        values in prop::collection::vec(0u64..10_000_000, 1..200),
+        workers in 1usize..8,
+    ) {
+        let expected = stat_of("w", &values);
+        let mut shards = vec![HistogramStat::new("w"); workers];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % workers].record(v);
+        }
+        let mut merged = HistogramStat::new("w");
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged, expected);
+    }
+}

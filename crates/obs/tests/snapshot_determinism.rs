@@ -1,0 +1,158 @@
+//! Byte-stability of snapshot rendering and correctness of the
+//! per-worker rollup. These operate on [`Snapshot`] values directly
+//! (shared between live and no-op builds), so they run with or without
+//! the `obs` feature.
+
+use psep_obs::{HistogramStat, Snapshot, SpanStat};
+
+fn hist(name: &str, values: &[u64]) -> HistogramStat {
+    let mut h = HistogramStat::new(name);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The same logical snapshot assembled in two different orders.
+fn scrambled_pair() -> (Snapshot, Snapshot) {
+    let mk = |reversed: bool| {
+        let mut s = Snapshot {
+            counters: vec![("b.count".into(), 2), ("a.count".into(), 1)],
+            gauges: vec![("z.gauge".into(), 0.5), ("m.gauge".into(), 3.0)],
+            histograms: vec![hist("y.lat", &[5, 900, 17]), hist("x.lat", &[1, 2, 3])],
+            spans: vec![
+                SpanStat {
+                    path: "b/inner".into(),
+                    count: 1,
+                    total_s: 0.25,
+                    max_s: 0.25,
+                },
+                SpanStat {
+                    path: "a/outer".into(),
+                    count: 2,
+                    total_s: 1.0,
+                    max_s: 0.75,
+                },
+            ],
+        };
+        if reversed {
+            s.counters.reverse();
+            s.gauges.reverse();
+            s.histograms.reverse();
+            s.spans.reverse();
+        }
+        s.normalize();
+        s
+    };
+    (mk(false), mk(true))
+}
+
+#[test]
+fn to_json_is_byte_stable_across_construction_order() {
+    let (a, b) = scrambled_pair();
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+    // stable across repeated rendering too
+    assert_eq!(a.to_json(), a.to_json());
+}
+
+#[test]
+fn ndjson_is_byte_stable_and_one_line_per_metric() {
+    let (a, b) = scrambled_pair();
+    let render = |s: &Snapshot| {
+        let mut buf = Vec::new();
+        s.write_ndjson(&mut buf, Some("scope")).unwrap();
+        String::from_utf8(buf).unwrap()
+    };
+    let (ta, tb) = (render(&a), render(&b));
+    assert_eq!(ta, tb);
+    assert_eq!(
+        ta.lines().count(),
+        a.counters.len() + a.gauges.len() + a.histograms.len() + a.spans.len()
+    );
+    assert!(ta.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+#[test]
+fn json_shape_includes_histograms_section() {
+    let (a, _) = scrambled_pair();
+    let json = a.to_json();
+    assert!(json.contains(r#""histograms":[{"name":"x.lat""#), "{json}");
+    assert!(json.contains(r#""p50":"#));
+    assert!(json.contains(r#""buckets":[["#));
+}
+
+#[test]
+fn rollup_sums_worker_counters_and_merges_worker_histograms() {
+    let mut s = Snapshot {
+        counters: vec![
+            ("oracle.batch.worker00.pairs".into(), 10),
+            ("oracle.batch.worker01.pairs".into(), 32),
+            // an already-published aggregate must not be double-counted
+            ("oracle.batch.pairs".into(), 42),
+            ("oracle.batch.worker00.candidates".into(), 7),
+            ("oracle.batch.worker01.candidates".into(), 8),
+            ("plain.counter".into(), 5),
+        ],
+        gauges: vec![("plain.gauge".into(), 1.0)],
+        histograms: vec![
+            hist("oracle.batch.worker00.latency_ns", &[100, 200]),
+            hist("oracle.batch.worker01.latency_ns", &[300]),
+        ],
+        spans: vec![],
+    };
+    let mut expected_hist = hist("oracle.batch.latency_ns", &[100, 200, 300]);
+    expected_hist.buckets.sort_by_key(|&(i, _)| i);
+
+    let mut detailed = s.clone();
+    detailed.rollup_workers(true);
+    // aggregates appear …
+    assert_eq!(detailed.counter("oracle.batch.candidates"), Some(15));
+    assert_eq!(detailed.counter("oracle.batch.pairs"), Some(42));
+    assert_eq!(
+        detailed.histogram("oracle.batch.latency_ns"),
+        Some(&expected_hist)
+    );
+    // … and per-worker series are kept
+    assert_eq!(detailed.counter("oracle.batch.worker01.pairs"), Some(32));
+    assert!(detailed
+        .histogram("oracle.batch.worker00.latency_ns")
+        .is_some());
+
+    s.rollup_workers(false);
+    assert_eq!(s.counter("oracle.batch.candidates"), Some(15));
+    assert_eq!(s.counter("oracle.batch.pairs"), Some(42));
+    assert_eq!(s.histogram("oracle.batch.latency_ns"), Some(&expected_hist));
+    assert_eq!(s.counter("oracle.batch.worker01.pairs"), None);
+    assert!(s.histogram("oracle.batch.worker00.latency_ns").is_none());
+    assert_eq!(s.counter("plain.counter"), Some(5));
+    assert_eq!(s.gauge("plain.gauge"), Some(1.0));
+}
+
+#[test]
+fn rollup_is_idempotent_and_order_independent() {
+    let mut s = Snapshot {
+        counters: vec![
+            ("x.worker01.items".into(), 3),
+            ("x.worker00.items".into(), 4),
+        ],
+        gauges: vec![],
+        histograms: vec![
+            hist("x.worker01.lat", &[9, 9, 9]),
+            hist("x.worker00.lat", &[1]),
+        ],
+        spans: vec![],
+    };
+    let mut t = s.clone();
+    t.counters.reverse();
+    t.histograms.reverse();
+    s.rollup_workers(false);
+    t.rollup_workers(false);
+    assert_eq!(s, t);
+    let again = {
+        let mut a = s.clone();
+        a.rollup_workers(false);
+        a
+    };
+    assert_eq!(again, s);
+}

@@ -8,7 +8,10 @@
 //! observationally identical to a sequential `query` loop. Workers skip
 //! per-query instrumentation and publish aggregated per-thread counters
 //! (`oracle.batch.workerNN.pairs`) once per run — experiment E3t
-//! measures the resulting `oracle.batch.pairs_per_sec`.
+//! measures the resulting `oracle.batch.pairs_per_sec` — plus
+//! per-worker candidates/latency histograms that snapshots roll up into
+//! `oracle.batch.candidates` / `oracle.batch.latency_ns`
+//! thread-count-independently.
 //!
 //! [`FlatLabels`]: crate::flat::FlatLabels
 
@@ -66,9 +69,17 @@ impl BatchQueryEngine {
     /// validates up front and returns an error instead.
     pub fn run(&self, oracle: &DistanceOracle, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
         psep_obs::counter!("oracle.batch.runs").incr();
-        let (answers, scanned) = self.runner.map(pairs, Some(&BATCH_OBS), |&(u, v)| {
-            oracle.query_uncounted(u, v)
-        });
+        let mut scratches: Vec<_> = (0..self.runner.worker_count(pairs.len()))
+            .map(|w| BATCH_OBS.worker_hists(w))
+            .collect();
+        let (answers, scanned) =
+            self.runner
+                .run(pairs, Some(&BATCH_OBS), &mut scratches, |hists, &(u, v)| {
+                    let t0 = psep_obs::now_if_enabled();
+                    let (answer, scanned) = oracle.query_uncounted(u, v);
+                    hists.record(scanned, t0);
+                    (answer, scanned)
+                });
         psep_obs::counter!("oracle.batch.pairs").add(pairs.len() as u64);
         psep_obs::counter!("oracle.batch.candidates_scanned").add(scanned);
         answers

@@ -128,12 +128,16 @@ pub fn build_labels(
     let mut scratches: Vec<DijkstraScratch> =
         (0..workers).map(|_| DijkstraScratch::new(n)).collect();
 
+    // wall time per decomposition level, published as gauges below
+    let mut level_ns: Vec<u128> = Vec::new();
+
     for (h, node) in tree.nodes().iter().enumerate() {
         for gi in 0..node.separator.num_groups() {
             let paths = &node.separator.groups[gi].paths;
             if paths.is_empty() {
                 continue;
             }
+            let t_group = psep_obs::now_if_enabled();
             let mask = tree.residual_mask(n, h, gi);
             let view = SubgraphView::new(g, &mask);
             // sources: every path vertex present in J, in (path, index)
@@ -223,7 +227,19 @@ pub fn build_labels(
                     });
                 }
             }
+            if let Some(t0) = t_group {
+                let elapsed = t0.elapsed().as_nanos();
+                psep_obs::histogram!("oracle.label.group_build_ns")
+                    .record(elapsed.min(u64::MAX as u128) as u64);
+                if level_ns.len() <= node.depth {
+                    level_ns.resize(node.depth + 1, 0);
+                }
+                level_ns[node.depth] += elapsed;
+            }
         }
+    }
+    for (level, ns) in level_ns.iter().enumerate() {
+        psep_obs::gauge(&format!("oracle.label.level{level:02}.build_ns")).set(*ns as f64);
     }
     for label in &mut labels {
         label.entries.sort_by_key(|e| e.key());

@@ -228,6 +228,7 @@ impl DistanceOracle {
     /// reported as [`Error::NodeOutOfRange`] — the serving entry point:
     /// a malformed request must not take the process down.
     pub fn try_query(&self, u: NodeId, v: NodeId) -> Result<Option<Weight>, Error> {
+        let t0 = psep_obs::now_if_enabled();
         let lu = self.flat.try_label(u)?;
         let lv = self.flat.try_label(v)?;
         if u == v {
@@ -235,7 +236,47 @@ impl DistanceOracle {
         }
         let (scanned, best) = merge_join_best(lu.entries(), lv.entries());
         record_query(scanned);
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("oracle.query.latency_ns").record_elapsed(t0);
+        }
         Ok(best.map(|(w, ..)| w))
+    }
+
+    /// Like [`Self::try_query`] but narrates the merge-join into `ring`:
+    /// a [`TraceEvent::QueryStart`], one [`TraceEvent::MergeKey`] per
+    /// aligned `(node, group, path)` key, and a closing
+    /// [`TraceEvent::QueryEnd`] with candidates scanned and wall time —
+    /// enough to explain why *this* query was slow. Tracing is per-call
+    /// opt-in and records regardless of the global obs gate.
+    pub fn query_traced(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        ring: &mut psep_obs::TraceRing,
+    ) -> Result<Option<Weight>, Error> {
+        let t0 = std::time::Instant::now();
+        ring.push(psep_obs::TraceEvent::QueryStart {
+            u: u.index() as u32,
+            v: v.index() as u32,
+        });
+        let lu = self.flat.try_label(u)?;
+        let lv = self.flat.try_label(v)?;
+        let (scanned, result) = if u == v {
+            (0, Some(0))
+        } else {
+            let (scanned, best) = merge_join_core(lu.entries(), lv.entries(), |key, pairs| {
+                ring.push(psep_obs::TraceEvent::MergeKey { key, pairs });
+            });
+            record_query(scanned);
+            (scanned, best.map(|(w, ..)| w))
+        };
+        ring.push(psep_obs::TraceEvent::QueryEnd {
+            found: result.is_some(),
+            dist: result.unwrap_or(0),
+            candidates: scanned,
+            elapsed_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        });
+        Ok(result)
     }
 
     /// Like [`Self::query`] but skips per-query instrumentation — the
@@ -316,8 +357,19 @@ impl QueryWitness {
 /// ([`LabelRef::entries`]), so representation changes land here exactly
 /// once.
 fn merge_join_best<'a>(
+    a: impl Iterator<Item = (u64, &'a [PortalEntry])>,
+    b: impl Iterator<Item = (u64, &'a [PortalEntry])>,
+) -> (u64, Option<(Weight, u64, PortalEntry, PortalEntry)>) {
+    // the no-op observer inlines away; the hot path pays nothing
+    merge_join_core(a, b, |_, _| ())
+}
+
+/// [`merge_join_best`] with a per-matched-key observer — the traced
+/// query path records one [`TraceEvent::MergeKey`] per aligned key.
+fn merge_join_core<'a>(
     mut a: impl Iterator<Item = (u64, &'a [PortalEntry])>,
     mut b: impl Iterator<Item = (u64, &'a [PortalEntry])>,
+    mut on_key: impl FnMut(u64, u64),
 ) -> (u64, Option<(Weight, u64, PortalEntry, PortalEntry)>) {
     let mut scanned: u64 = 0;
     let mut best: Option<(Weight, u64, PortalEntry, PortalEntry)> = None;
@@ -327,7 +379,9 @@ fn merge_join_best<'a>(
             std::cmp::Ordering::Less => na = a.next(),
             std::cmp::Ordering::Greater => nb = b.next(),
             std::cmp::Ordering::Equal => {
-                scanned += (pa.len() * pb.len()) as u64;
+                let pairs = (pa.len() * pb.len()) as u64;
+                scanned += pairs;
+                on_key(ka, pairs);
                 for pu in pa {
                     for pv in pb {
                         let along = pu.pos.abs_diff(pv.pos);
@@ -351,6 +405,7 @@ fn merge_join_best<'a>(
 fn record_query(scanned: u64) {
     psep_obs::counter!("oracle.query.invocations").incr();
     psep_obs::counter!("oracle.query.candidates_scanned").add(scanned);
+    psep_obs::histogram!("oracle.query.candidates").record(scanned);
 }
 
 /// Label-only distance estimate — usable by any two parties holding just

@@ -119,6 +119,66 @@ impl Router {
     /// Panics if `u` or `t` is out of range; [`Self::try_route`]
     /// validates first and returns an error instead.
     pub fn route(&self, u: NodeId, t: NodeId, label_t: &RoutingLabel) -> Option<RouteOutcome> {
+        let t0 = psep_obs::now_if_enabled();
+        let out = self.route_observed(u, t, label_t, |_, _, _, _| ());
+        if let Some(o) = &out {
+            psep_obs::histogram!("routing.route.hops").record(o.hops as u64);
+        }
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("routing.route.latency_ns").record_elapsed(t0);
+        }
+        out
+    }
+
+    /// Like [`Self::route`] but narrates the walk into `ring`: a
+    /// [`TraceEvent::RouteStart`], one [`TraceEvent::RouteHop`] per
+    /// forwarded edge tagged with its phase (climb / path / descend),
+    /// and a closing [`TraceEvent::RouteEnd`] with hops, cost, and wall
+    /// time. Tracing is per-call opt-in and records regardless of the
+    /// global obs gate.
+    ///
+    /// [`TraceEvent::RouteStart`]: psep_obs::TraceEvent::RouteStart
+    /// [`TraceEvent::RouteHop`]: psep_obs::TraceEvent::RouteHop
+    /// [`TraceEvent::RouteEnd`]: psep_obs::TraceEvent::RouteEnd
+    pub fn route_traced(
+        &self,
+        u: NodeId,
+        t: NodeId,
+        label_t: &RoutingLabel,
+        ring: &mut psep_obs::TraceRing,
+    ) -> Option<RouteOutcome> {
+        let t0 = std::time::Instant::now();
+        ring.push(psep_obs::TraceEvent::RouteStart {
+            u: u.index() as u32,
+            target: t.index() as u32,
+        });
+        let out = self.route_observed(u, t, label_t, |phase, from, to, edge_cost| {
+            ring.push(psep_obs::TraceEvent::RouteHop {
+                phase,
+                from: from.index() as u32,
+                to: to.index() as u32,
+                edge_cost,
+            });
+        });
+        ring.push(psep_obs::TraceEvent::RouteEnd {
+            delivered: out.is_some(),
+            hops: out.as_ref().map_or(0, |o| o.hops as u64),
+            cost: out.as_ref().map_or(0, |o| o.cost),
+            elapsed_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        });
+        out
+    }
+
+    /// The forwarding core behind [`Self::route`] / [`Self::route_traced`]:
+    /// `on_hop(phase, from, to, edge_cost)` observes every forwarded edge
+    /// (the untraced path passes a no-op closure that inlines away).
+    fn route_observed(
+        &self,
+        u: NodeId,
+        t: NodeId,
+        label_t: &RoutingLabel,
+        mut on_hop: impl FnMut(psep_obs::RoutePhase, NodeId, NodeId, Weight),
+    ) -> Option<RouteOutcome> {
         if u == t {
             return Some(RouteOutcome {
                 route: vec![u],
@@ -143,7 +203,9 @@ impl Router {
                 break;
             }
             let parent = info.parent().expect("off-path vertex has a parent");
-            cost += self.edge_weight(cur, parent);
+            let w = self.edge_weight(cur, parent);
+            on_hop(psep_obs::RoutePhase::Climb, cur, parent, w);
+            cost += w;
             cur = parent;
             route.push(cur);
         }
@@ -160,7 +222,9 @@ impl Router {
             } else {
                 op.prev.expect("target position is on the path")
             };
-            cost += self.edge_weight(cur, step);
+            let w = self.edge_weight(cur, step);
+            on_hop(psep_obs::RoutePhase::Path, cur, step, w);
+            cost += w;
             cur = step;
             route.push(cur);
         }
@@ -181,7 +245,9 @@ impl Router {
                     ci.dfs() <= target_entry.dfs && target_entry.dfs < ci.subtree_end()
                 })
                 .expect("some child interval contains the target");
-            cost += self.edge_weight(cur, child);
+            let w = self.edge_weight(cur, child);
+            on_hop(psep_obs::RoutePhase::Descend, cur, child, w);
+            cost += w;
             cur = child;
             route.push(cur);
         }
@@ -232,11 +298,17 @@ impl Router {
     ) -> Vec<Option<RouteOutcome>> {
         psep_obs::counter!("routing.batch.runs").incr();
         let runner = ShardedRunner::new(threads).min_chunk(64);
-        let (outcomes, hops) = runner.map(pairs, Some(&ROUTE_OBS), |&(u, t)| {
-            let out = self.route(u, t, &self.tables.label(t));
-            let hops = out.as_ref().map_or(0, |o| o.hops as u64);
-            (out, hops)
-        });
+        let mut scratches: Vec<_> = (0..runner.worker_count(pairs.len()))
+            .map(|w| ROUTE_OBS.worker_hists(w))
+            .collect();
+        let (outcomes, hops) =
+            runner.run(pairs, Some(&ROUTE_OBS), &mut scratches, |hists, &(u, t)| {
+                let t0 = psep_obs::now_if_enabled();
+                let out = self.route(u, t, &self.tables.label(t));
+                let hops = out.as_ref().map_or(0, |o| o.hops as u64);
+                hists.record(hops, t0);
+                (out, hops)
+            });
         psep_obs::counter!("routing.batch.routes").add(pairs.len() as u64);
         psep_obs::counter!("routing.batch.hops").add(hops);
         outcomes

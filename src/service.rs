@@ -148,6 +148,7 @@ impl LocationService {
     /// oracle, and routing tables, all with `params.threads` workers.
     pub fn build(g: &Graph, params: ServiceParams) -> Self {
         let span = psep_obs::span!("service_build");
+        let t0 = psep_obs::now_if_enabled();
         let tree = DecompositionTree::build_with(
             g,
             &AutoStrategy::default(),
@@ -165,6 +166,9 @@ impl LocationService {
         );
         let tables = RoutingTables::build_with(g, &tree, params.threads);
         let router = Router::new(g, tables);
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.build_ns").record_elapsed(t0);
+        }
         drop(span);
         LocationService {
             graph: g.clone(),
@@ -232,12 +236,35 @@ impl LocationService {
     /// Panics if a vertex id is out of range; [`Self::try_query`]
     /// returns an error instead.
     pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        self.oracle.query(u, v)
+        let t0 = psep_obs::now_if_enabled();
+        let out = self.oracle.query(u, v);
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.query.latency_ns").record_elapsed(t0);
+        }
+        out
     }
 
     /// [`Self::query`] with out-of-range ids reported as typed errors.
     pub fn try_query(&self, u: NodeId, v: NodeId) -> Result<Option<Weight>, ServiceError> {
-        Ok(self.oracle.try_query(u, v)?)
+        let t0 = psep_obs::now_if_enabled();
+        let out = self.oracle.try_query(u, v)?;
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.query.latency_ns").record_elapsed(t0);
+        }
+        Ok(out)
+    }
+
+    /// [`Self::try_query`] narrated into `ring`: query start/end plus
+    /// one event per merge-join key — the end-to-end way to explain one
+    /// slow distance request (see
+    /// [`DistanceOracle::query_traced`](psep_oracle::DistanceOracle::query_traced)).
+    pub fn query_traced(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        ring: &mut psep_obs::TraceRing,
+    ) -> Result<Option<Weight>, ServiceError> {
+        Ok(self.oracle.query_traced(u, v, ring)?)
     }
 
     /// Answers a batch of distance queries in parallel (identical to
@@ -254,13 +281,36 @@ impl LocationService {
     /// Panics if a vertex id is out of range; [`Self::try_route`]
     /// returns an error instead.
     pub fn route(&self, u: NodeId, t: NodeId) -> Option<RouteOutcome> {
-        self.router.route(u, t, &self.router.tables().label(t))
+        let t0 = psep_obs::now_if_enabled();
+        let out = self.router.route(u, t, &self.router.tables().label(t));
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.route.latency_ns").record_elapsed(t0);
+        }
+        out
     }
 
     /// [`Self::route`] with out-of-range ids reported as typed errors.
     pub fn try_route(&self, u: NodeId, t: NodeId) -> Result<Option<RouteOutcome>, ServiceError> {
+        let t0 = psep_obs::now_if_enabled();
         let label = self.router.tables().try_label(t)?;
-        Ok(self.router.try_route(u, t, &label)?)
+        let out = self.router.try_route(u, t, &label)?;
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.route.latency_ns").record_elapsed(t0);
+        }
+        Ok(out)
+    }
+
+    /// [`Self::try_route`] narrated into `ring`: route start/end plus
+    /// one hop event per forwarded edge, tagged with its phase (see
+    /// [`Router::route_traced`]).
+    pub fn route_traced(
+        &self,
+        u: NodeId,
+        t: NodeId,
+        ring: &mut psep_obs::TraceRing,
+    ) -> Result<Option<RouteOutcome>, ServiceError> {
+        let label = self.router.tables().try_label(t)?;
+        Ok(self.router.route_traced(u, t, &label, ring))
     }
 
     /// The routing label (address) of `t` — what `t` would publish in a
@@ -300,6 +350,15 @@ impl LocationService {
     /// Decodes a `psep-bundle/v1` artifact, re-validating every section
     /// and their mutual consistency.
     pub fn from_bytes(data: &[u8]) -> Result<Self, ServiceError> {
+        let t0 = psep_obs::now_if_enabled();
+        let svc = Self::from_bytes_inner(data)?;
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.load_ns").record_elapsed(t0);
+        }
+        Ok(svc)
+    }
+
+    fn from_bytes_inner(data: &[u8]) -> Result<Self, ServiceError> {
         let payload = unseal(BUNDLE_MAGIC, data)?;
         let mut c = Cursor::new(payload);
         let version = c.varint()?;

@@ -1,0 +1,73 @@
+//! Histogram rollups must be independent of worker count: running the
+//! same batch workload under 1, 2, and 4 threads has to produce
+//! bit-identical merged histograms for every value-deterministic
+//! metric (candidate scans per query, hops per route). Latency
+//! histograms are excluded — their recorded values are wall-clock.
+//!
+//! Sole test in this binary: it toggles the process-wide `psep-obs`
+//! enable flag and resets the registry, which would race with any
+//! other obs-reading test in the same process.
+
+use path_separators::service::ServiceParams;
+use path_separators::{BatchQueryEngine, LocationService, NodeId};
+use psep_graph::generators::grids;
+
+#[test]
+fn histogram_rollups_are_thread_count_independent() {
+    psep_obs::set_enabled(true);
+    if !psep_obs::enabled() {
+        return; // compiled with the no-op backend
+    }
+
+    let g = grids::grid2d(12, 12, 1);
+    let svc = LocationService::build(&g, ServiceParams::default());
+    let n = svc.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..400u32)
+        .map(|i| (NodeId(i * 7 % n), NodeId((i * 13 + 5) % n)))
+        .collect();
+
+    let mut snaps = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        psep_obs::reset();
+        let engine = BatchQueryEngine::new(threads).min_chunk(16);
+        let answers = engine.run(svc.oracle(), &pairs);
+        assert_eq!(answers.len(), pairs.len());
+        let outcomes = svc.router().route_many_with(&pairs, threads);
+        assert_eq!(outcomes.len(), pairs.len());
+        snaps.push((threads, psep_obs::snapshot()));
+    }
+
+    let (_, base) = &snaps[0];
+    for name in [
+        "oracle.batch.candidates",
+        "routing.batch.hops",
+        "routing.route.hops",
+    ] {
+        let h0 = base.histogram(name).unwrap_or_else(|| {
+            panic!(
+                "histogram `{name}` missing; present: {:?}",
+                base.histograms.iter().map(|h| &h.name).collect::<Vec<_>>()
+            )
+        });
+        assert!(h0.count > 0, "`{name}` recorded nothing");
+        for (threads, snap) in &snaps[1..] {
+            let h = snap
+                .histogram(name)
+                .unwrap_or_else(|| panic!("`{name}` missing at {threads} threads"));
+            assert_eq!(h0, h, "`{name}` differs between 1 and {threads} threads");
+        }
+    }
+
+    // Aggregated worker counters must also be partition-independent,
+    // and per-worker series must be rolled out of the default snapshot.
+    for (threads, snap) in &snaps {
+        assert!(
+            !snap.counters.iter().any(|(n, _)| n.contains(".worker")),
+            "worker series leaked into default snapshot at {threads} threads"
+        );
+        assert!(
+            !snap.histograms.iter().any(|h| h.name.contains(".worker")),
+            "worker histograms leaked into default snapshot at {threads} threads"
+        );
+    }
+}
