@@ -20,7 +20,9 @@
 use psep_bench::ablations as ab;
 use psep_bench::experiments as ex;
 use psep_bench::families::Family;
+use psep_bench::loadgen::{self, LoadgenConfig};
 use psep_bench::measure::timed;
+use psep_bench::report::{render_report, ExperimentReport};
 
 struct Args {
     quick: bool,
@@ -55,15 +57,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// One experiment's contribution to the JSON report.
-struct Report {
-    name: &'static str,
-    title: &'static str,
-    wall_s: f64,
-    snapshot: psep_obs::Snapshot,
-    table: String,
 }
 
 fn main() {
@@ -179,6 +172,21 @@ fn main() {
             }),
         ),
         (
+            "eserve",
+            "E-serve — network serving throughput over psep-rpc/v1",
+            Box::new(move || {
+                loadgen::self_contained(
+                    Family::Grid,
+                    if quick { 400 } else { 1600 },
+                    Default::default(),
+                    &LoadgenConfig {
+                        duration: std::time::Duration::from_millis(if quick { 400 } else { 1200 }),
+                        ..LoadgenConfig::default()
+                    },
+                )
+            }),
+        ),
+        (
             "e7",
             "E7 — lower bounds (Thm 5–7, §5.2)",
             Box::new(ex::e7_lower_bounds),
@@ -240,7 +248,7 @@ fn main() {
         ),
     ];
 
-    let mut reports: Vec<Report> = Vec::new();
+    let mut reports: Vec<ExperimentReport> = Vec::new();
     for (name, title, run) in experiments {
         if !want(name) {
             continue;
@@ -249,9 +257,9 @@ fn main() {
         let (table, wall_s) = timed(run);
         section(title);
         print!("{table}");
-        reports.push(Report {
-            name,
-            title,
+        reports.push(ExperimentReport {
+            name: name.to_string(),
+            title: title.to_string(),
             wall_s,
             // Per-worker series are rolled up into aggregates by default;
             // `--detail` keeps the raw `*.workerNN.*` series alongside.
@@ -265,66 +273,20 @@ fn main() {
     }
 
     if let Some(path) = &args.json_path {
-        let json = render_report(&reports, quick, large);
+        let mode = if quick {
+            "quick"
+        } else if large {
+            "large"
+        } else {
+            "default"
+        };
+        let json = render_report(&reports, mode);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("wrote {} experiment reports to {path}", reports.len());
     }
-}
-
-fn render_report(reports: &[Report], quick: bool, large: bool) -> String {
-    let mut w = psep_obs::JsonWriter::new();
-    w.begin_object();
-    w.key("schema");
-    w.string("psep-bench-report/v2");
-    w.key("mode");
-    w.string(if quick {
-        "quick"
-    } else if large {
-        "large"
-    } else {
-        "default"
-    });
-    w.key("experiments");
-    w.begin_array();
-    for r in reports {
-        w.begin_object();
-        w.key("name");
-        w.string(r.name);
-        w.key("title");
-        w.string(r.title);
-        w.key("wall_s");
-        w.number(r.wall_s);
-        w.key("metrics");
-        write_metrics_envelope(&mut w, &r.snapshot);
-        w.key("table_md");
-        w.string(&r.table);
-        w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-    let mut out = w.finish();
-    out.push('\n');
-    out
-}
-
-/// Wraps a snapshot in the versioned `psep-metrics/v1` envelope. The
-/// CRC is computed over the snapshot's canonical (sorted-key) JSON
-/// bytes, so consumers can verify a report's metrics blocks without
-/// re-deriving any layout knowledge.
-fn write_metrics_envelope(w: &mut psep_obs::JsonWriter, snapshot: &psep_obs::Snapshot) {
-    let body = snapshot.to_json();
-    let crc = psep_core::wire::crc32(body.as_bytes());
-    w.begin_object();
-    w.key("schema");
-    w.string("psep-metrics/v1");
-    w.key("crc32");
-    w.uint(crc as u64);
-    w.key("metrics");
-    w.raw(&body);
-    w.end_object();
 }
 
 fn section(title: &str) {

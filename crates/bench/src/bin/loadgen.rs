@@ -1,0 +1,174 @@
+//! Load generator for `psep-serve` — the `eserve` experiment.
+//!
+//! ```text
+//! # self-contained: spawn an in-process daemon on a loopback port
+//! cargo run -p psep-bench --bin loadgen --release -- --family grid --n 400
+//!
+//! # hammer an external daemon (pool sized from its Stats answer)
+//! cargo run -p psep-bench --bin loadgen --release -- --addr 127.0.0.1:9553
+//!
+//! # CI: machine-readable psep-bench-report/v2 for psep-inspect diff
+//! cargo run -p psep-bench --bin loadgen --release -- --family grid --n 400 \
+//!     --duration-ms 1500 --json reports/eserve.json
+//! ```
+//!
+//! Self-contained mode verifies every batch answer bit-identical to the
+//! in-process service before hammering; external mode verifies the
+//! daemon against itself (batch element == single request).
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use path_separators::api::{Request, Response};
+use path_separators::ServiceParams;
+use psep_bench::loadgen::{self, LoadgenConfig};
+use psep_bench::measure::timed;
+use psep_bench::report::{render_report, ExperimentReport};
+use psep_serve::Client;
+use psep_testkit::families::{Family, ALL_FAMILIES};
+
+struct Args {
+    addr: Option<String>,
+    family: Family,
+    n: usize,
+    epsilon: f64,
+    threads: usize,
+    cfg: LoadgenConfig,
+    json_path: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  loadgen --family NAME --n N [--epsilon EPS] [--threads T] [OPTIONS]\n  loadgen --addr HOST:PORT [OPTIONS]\n\noptions: --concurrency C --duration-ms MS --batch B --pairs P --seed S --json PATH\nfamilies: {}",
+        ALL_FAMILIES
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        family: Family::Grid,
+        n: 400,
+        epsilon: 0.25,
+        threads: 1,
+        cfg: LoadgenConfig::default(),
+        json_path: None,
+    };
+    fn value<'a>(it: &mut std::slice::Iter<'a, String>, key: &str) -> &'a str {
+        match it.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("--{key} requires a value");
+                usage()
+            }
+        }
+    }
+    fn num<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, key: &str) -> T {
+        let v = value(it, key);
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key}: cannot parse `{v}`");
+            usage()
+        })
+    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = Some(value(&mut it, "addr").to_string()),
+            "--family" => {
+                let v = value(&mut it, "family");
+                args.family = match ALL_FAMILIES.iter().copied().find(|f| f.name() == v) {
+                    Some(f) => f,
+                    None => {
+                        eprintln!("--family: unknown family `{v}`");
+                        usage()
+                    }
+                };
+            }
+            "--n" => args.n = num(&mut it, "n"),
+            "--epsilon" => args.epsilon = num(&mut it, "epsilon"),
+            "--threads" => args.threads = num(&mut it, "threads"),
+            "--concurrency" => args.cfg.concurrency = num(&mut it, "concurrency"),
+            "--duration-ms" => {
+                args.cfg.duration = Duration::from_millis(num(&mut it, "duration-ms"))
+            }
+            "--batch" => args.cfg.batch = num(&mut it, "batch"),
+            "--pairs" => args.cfg.pair_pool = num(&mut it, "pairs"),
+            "--seed" => args.cfg.seed = num(&mut it, "seed"),
+            "--json" => args.json_path = Some(value(&mut it, "json").to_string()),
+            _ => {
+                eprintln!("unexpected argument `{a}`");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if args.json_path.is_some() {
+        psep_obs::set_enabled(true);
+    } else {
+        psep_obs::enable_from_env();
+    }
+    psep_obs::reset();
+
+    let run = || match &args.addr {
+        Some(addr) => {
+            let addr: SocketAddr = match addr.parse() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("--addr: cannot parse `{addr}`: {e}");
+                    usage()
+                }
+            };
+            // size the pair pool from the daemon's own stats
+            let mut client = Client::connect(addr).expect("connecting to daemon");
+            let num_nodes = match client.call(&Request::Stats).expect("stats request") {
+                Response::Stats(s) => s.num_nodes as usize,
+                other => panic!("Stats answered with {other:?}"),
+            };
+            drop(client);
+            let mut out = format!("daemon {addr} · {num_nodes} vertices\n\n");
+            out.push_str(&loadgen::run_against(addr, None, num_nodes, &args.cfg));
+            out
+        }
+        None => loadgen::self_contained(
+            args.family,
+            args.n,
+            ServiceParams {
+                epsilon: args.epsilon,
+                threads: args.threads,
+            },
+            &args.cfg,
+        ),
+    };
+    let (table, wall_s) = timed(run);
+
+    println!();
+    println!("## E-serve — network serving throughput over psep-rpc/v1");
+    println!();
+    print!("{table}");
+
+    if let Some(path) = &args.json_path {
+        let report = ExperimentReport {
+            name: "eserve".to_string(),
+            title: "E-serve — network serving throughput over psep-rpc/v1".to_string(),
+            wall_s,
+            snapshot: psep_obs::snapshot(),
+            table,
+        };
+        let json = render_report(std::slice::from_ref(&report), "loadgen");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote eserve report to {path}");
+    }
+}

@@ -10,4 +10,6 @@
 pub mod ablations;
 pub mod experiments;
 pub mod families;
+pub mod loadgen;
 pub mod measure;
+pub mod report;

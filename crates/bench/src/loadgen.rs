@@ -1,0 +1,359 @@
+//! The serving load generator: hammer a `psep-serve` daemon over
+//! `psep-rpc/v1` at configurable concurrency and duration, verify the
+//! answers, and report client-observed throughput and round-trip
+//! latency (experiment `eserve` in EXPERIMENTS.md).
+//!
+//! Two modes share all measurement code:
+//!
+//! * **self-contained** ([`self_contained`]) — build a family graph and
+//!   its [`LocationService`], spawn a real [`psep_serve::Server`] on an
+//!   ephemeral loopback port, and hammer it. Because the service is in
+//!   hand, every wire answer is first verified **bit-identical** to
+//!   in-process `query_many`/`route_many` over the whole pair pool.
+//!   Server-side `serve.*` metrics land in the same process-wide
+//!   snapshot as the client-side `serve.loadgen.*` ones, so one report
+//!   carries both ends of every request.
+//! * **external** ([`run_against`]) — hammer an already-running daemon
+//!   at `--addr`. Batch answers are verified against single-request
+//!   answers over the wire (the daemon is a black box, but it must at
+//!   least agree with itself).
+//!
+//! Client-observed metrics: `serve.loadgen.<op>.requests_per_sec`,
+//! `.pairs_per_sec`, and `serve.loadgen.<op>.rtt_ns` histograms, plus
+//! the cross-op totals `serve.loadgen.requests_per_sec` and
+//! `serve.loadgen.pairs_per_sec` — all gate-compatible with
+//! `psep-inspect diff`.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use path_separators::api::{Request, Response};
+use path_separators::{LocationService, NodeId, ServiceParams};
+use psep_serve::{Client, ServeConfig, Server};
+use psep_testkit::families::Family;
+use psep_testkit::random_pairs;
+
+/// Load-generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent connections (one worker thread each).
+    pub concurrency: usize,
+    /// How long each operation phase hammers the daemon.
+    pub duration: Duration,
+    /// Pairs per `QueryMany`/`RouteMany` request.
+    pub batch: usize,
+    /// Size of the sampled `(source, target)` pair pool.
+    pub pair_pool: usize,
+    /// Pair-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            concurrency: 4,
+            duration: Duration::from_secs(2),
+            batch: 256,
+            pair_pool: 2048,
+            seed: 42,
+        }
+    }
+}
+
+/// The operations a phase can hammer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    Query,
+    QueryMany,
+    Route,
+    RouteMany,
+}
+
+impl Op {
+    const ALL: [Op; 4] = [Op::Query, Op::QueryMany, Op::Route, Op::RouteMany];
+
+    fn name(self) -> &'static str {
+        match self {
+            Op::Query => "query",
+            Op::QueryMany => "query_many",
+            Op::Route => "route",
+            Op::RouteMany => "route_many",
+        }
+    }
+
+    fn request(self, pairs: &[(NodeId, NodeId)], cursor: usize, batch: usize) -> Request {
+        let at = |i: usize| pairs[i % pairs.len()];
+        match self {
+            Op::Query => {
+                let (u, v) = at(cursor);
+                Request::Query { u, v }
+            }
+            Op::Route => {
+                let (u, t) = at(cursor);
+                Request::Route { u, t }
+            }
+            Op::QueryMany => Request::QueryMany {
+                pairs: (0..batch).map(|k| at(cursor + k)).collect(),
+            },
+            Op::RouteMany => Request::RouteMany {
+                pairs: (0..batch).map(|k| at(cursor + k)).collect(),
+            },
+        }
+    }
+}
+
+/// One phase's merged measurements.
+struct PhaseStats {
+    requests: u64,
+    pairs: u64,
+    elapsed_s: f64,
+    /// Client-observed round-trip times, nanoseconds, sorted.
+    rtts_ns: Vec<u64>,
+}
+
+impl PhaseStats {
+    fn quantile(&self, q: f64) -> u64 {
+        if self.rtts_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.rtts_ns.len() - 1) as f64 * q).round() as usize;
+        self.rtts_ns[idx]
+    }
+}
+
+/// Hammers one operation for `cfg.duration` with `cfg.concurrency`
+/// connections. Every response must be the op's success variant.
+fn hammer_phase(
+    addr: SocketAddr,
+    op: Op,
+    pairs: &[(NodeId, NodeId)],
+    cfg: &LoadgenConfig,
+) -> PhaseStats {
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    let per_worker: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("loadgen connect");
+                    let mut requests = 0u64;
+                    let mut sent_pairs = 0u64;
+                    let mut rtts = Vec::new();
+                    // stride the pool so workers don't lockstep on pairs
+                    let mut cursor = w * 7919;
+                    while Instant::now() < deadline {
+                        let req = op.request(pairs, cursor, cfg.batch);
+                        cursor += req.pair_count().max(1);
+                        let t0 = Instant::now();
+                        let resp = client.call(&req).expect("loadgen call failed");
+                        rtts.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        let ok = matches!(
+                            (op, &resp),
+                            (Op::Query, Response::Distance(_))
+                                | (Op::QueryMany, Response::Distances(_))
+                                | (Op::Route, Response::Route(_))
+                                | (Op::RouteMany, Response::Routes(_))
+                        );
+                        assert!(ok, "{op:?} answered with {resp:?}");
+                        requests += 1;
+                        sent_pairs += req.pair_count() as u64;
+                    }
+                    (requests, sent_pairs, rtts)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut stats = PhaseStats {
+        requests: 0,
+        pairs: 0,
+        elapsed_s,
+        rtts_ns: Vec::new(),
+    };
+    for (requests, sent_pairs, rtts) in per_worker {
+        stats.requests += requests;
+        stats.pairs += sent_pairs;
+        stats.rtts_ns.extend(rtts);
+    }
+    stats.rtts_ns.sort_unstable();
+    if psep_obs::enabled() {
+        let name = op.name();
+        psep_obs::counter(&format!("serve.loadgen.{name}.requests")).add(stats.requests);
+        psep_obs::gauge(&format!("serve.loadgen.{name}.requests_per_sec"))
+            .set(stats.requests as f64 / elapsed_s);
+        psep_obs::gauge(&format!("serve.loadgen.{name}.pairs_per_sec"))
+            .set(stats.pairs as f64 / elapsed_s);
+        let hist = psep_obs::histogram(&format!("serve.loadgen.{name}.rtt_ns"));
+        for &rtt in &stats.rtts_ns {
+            hist.record(rtt);
+        }
+    }
+    stats
+}
+
+/// Verifies that batch answers over the wire are bit-identical to (a)
+/// the in-process service when one is in hand and (b) single-request
+/// answers over the same wire.
+fn verify(addr: SocketAddr, local: Option<&LocationService>, pairs: &[(NodeId, NodeId)]) {
+    let mut client = Client::connect(addr).expect("loadgen connect");
+    assert_eq!(
+        client.call(&Request::Ping).expect("ping"),
+        Response::Pong,
+        "daemon did not answer ping"
+    );
+    let wire_distances = match client
+        .call(&Request::QueryMany {
+            pairs: pairs.to_vec(),
+        })
+        .expect("batch query")
+    {
+        Response::Distances(ds) => ds,
+        other => panic!("QueryMany answered with {other:?}"),
+    };
+    let wire_routes = match client
+        .call(&Request::RouteMany {
+            pairs: pairs.to_vec(),
+        })
+        .expect("batch route")
+    {
+        Response::Routes(rs) => rs,
+        other => panic!("RouteMany answered with {other:?}"),
+    };
+    if let Some(svc) = local {
+        assert_eq!(
+            wire_distances,
+            svc.query_many(pairs),
+            "wire batch distances diverge from in-process answers"
+        );
+        assert_eq!(
+            wire_routes,
+            svc.route_many(pairs),
+            "wire batch routes diverge from in-process answers"
+        );
+    }
+    // wire self-consistency on a sample: batch element == single request
+    for (i, &(u, v)) in pairs.iter().take(16).enumerate() {
+        assert_eq!(
+            client.call(&Request::Query { u, v }).expect("query"),
+            Response::Distance(wire_distances[i]),
+            "single query diverges from batch element {i}"
+        );
+        assert_eq!(
+            client.call(&Request::Route { u, t: v }).expect("route"),
+            Response::Route(wire_routes[i].clone()),
+            "single route diverges from batch element {i}"
+        );
+    }
+}
+
+/// Hammers the daemon at `addr` and returns the markdown results table.
+/// `local` enables bit-identity verification against an in-process
+/// service; `num_nodes` sizes the sampled pair pool.
+pub fn run_against(
+    addr: SocketAddr,
+    local: Option<&LocationService>,
+    num_nodes: usize,
+    cfg: &LoadgenConfig,
+) -> String {
+    let pairs = random_pairs(num_nodes, cfg.pair_pool.max(1), cfg.seed);
+    verify(addr, local, &pairs);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| op | conns | batch | requests | pairs | req/s | pairs/s | p50 rtt µs | p99 rtt µs |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    let mut total_requests = 0u64;
+    let mut total_pairs = 0u64;
+    let mut total_s = 0.0f64;
+    for op in Op::ALL {
+        let stats = hammer_phase(addr, op, &pairs, cfg);
+        let batch = match op {
+            Op::QueryMany | Op::RouteMany => cfg.batch,
+            _ => 1,
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {batch} | {} | {} | {:.0} | {:.0} | {:.1} | {:.1} |",
+            op.name(),
+            cfg.concurrency,
+            stats.requests,
+            stats.pairs,
+            stats.requests as f64 / stats.elapsed_s,
+            stats.pairs as f64 / stats.elapsed_s,
+            stats.quantile(0.50) as f64 / 1e3,
+            stats.quantile(0.99) as f64 / 1e3,
+        );
+        total_requests += stats.requests;
+        total_pairs += stats.pairs;
+        total_s += stats.elapsed_s;
+    }
+    if psep_obs::enabled() && total_s > 0.0 {
+        psep_obs::counter!("serve.loadgen.requests").add(total_requests);
+        psep_obs::gauge!("serve.loadgen.requests_per_sec").set(total_requests as f64 / total_s);
+        psep_obs::gauge!("serve.loadgen.pairs_per_sec").set(total_pairs as f64 / total_s);
+    }
+    out
+}
+
+/// Builds `family`/`n`, spawns a real daemon on an ephemeral loopback
+/// port, hammers it, shuts it down, and returns the results table —
+/// the self-contained `eserve` experiment.
+pub fn self_contained(
+    family: Family,
+    n: usize,
+    params: ServiceParams,
+    cfg: &LoadgenConfig,
+) -> String {
+    let g = family.make(n, 7);
+    let svc = Arc::new(LocationService::build(&g, params));
+    let num_nodes = svc.num_nodes();
+    let server = Server::bind(
+        Arc::clone(&svc),
+        "127.0.0.1:0",
+        ServeConfig {
+            poll_interval: Duration::from_millis(20),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("binding loopback");
+    let (addr, handle, runner) = server.spawn();
+    let mut out = format!(
+        "family {} · n {} · eps {} · {} connections · {:?}/op\n\n",
+        family.name(),
+        num_nodes,
+        svc.epsilon(),
+        cfg.concurrency,
+        cfg.duration,
+    );
+    out.push_str(&run_against(addr, Some(&svc), num_nodes, cfg));
+    handle.shutdown();
+    runner
+        .join()
+        .expect("accept thread")
+        .expect("accept loop failed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_contained_smoke() {
+        let cfg = LoadgenConfig {
+            concurrency: 2,
+            duration: Duration::from_millis(120),
+            batch: 16,
+            pair_pool: 64,
+            seed: 5,
+        };
+        let table = self_contained(Family::Grid, 64, ServiceParams::default(), &cfg);
+        assert!(table.contains("| query |"), "{table}");
+        assert!(table.contains("| route_many |"), "{table}");
+    }
+}

@@ -40,14 +40,19 @@ pub use psep_routing as routing;
 /// Small-worldization and greedy-routing simulation.
 pub use psep_smallworld as smallworld;
 
+pub mod api;
+pub mod error;
+pub mod rpc;
 pub mod service;
 
 // The most common types, re-exported at the crate root.
+pub use api::{ApiError, ApiErrorKind, Request, Response, ServiceStats};
+pub use error::ServiceError;
 pub use psep_core::{AutoStrategy, DecompositionTree, PathSeparator, SepPath, SeparatorStrategy};
 pub use psep_graph::{Graph, NodeId, Weight};
 pub use psep_oracle::{
     build_oracle, BatchQueryEngine, DistanceEstimator, DistanceOracle, ObjectDirectory,
     OracleBuilder, OracleParams,
 };
-pub use psep_routing::{Router, RoutingTables};
-pub use service::{LocationService, ServiceError, ServiceParams};
+pub use psep_routing::{RouteOutcome, Router, RoutingTables};
+pub use service::{LocationService, ServiceParams};

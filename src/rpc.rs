@@ -1,0 +1,651 @@
+//! `psep-rpc/v1`: the checksummed request/response framing the network
+//! daemon speaks, encoding exactly the [`crate::api`] types.
+//!
+//! Every frame is self-delimiting and independently verifiable:
+//!
+//! ```text
+//! "PSEPRPC1" (8) | payload len (u32 LE) | payload … | crc32(payload) (u32 LE)
+//! ```
+//!
+//! The payload is a tagged varint/zigzag encoding of one [`Request`] or
+//! [`Response`] (route vertex lists are zigzag delta-coded, since
+//! consecutive hops tend to have nearby ids). The CRC-32 reuses
+//! [`psep_core::wire::crc32`], so any bit flip on the wire is rejected
+//! before decoding begins; decoding itself is bomb-guarded (every
+//! element count is bounded by the bytes that could plausibly carry it)
+//! and returns typed errors — malformed input never panics and never
+//! allocates unboundedly.
+//!
+//! The protocol is strict request/response per connection: a client
+//! writes a framed `Request`, the server answers one framed `Response`.
+//! Framing errors (bad magic, length overflow, checksum mismatch)
+//! poison the stream and the connection is closed; payload-level decode
+//! errors are answered with [`Response::Error`] and the connection
+//! stays usable, because the frame boundary itself was sound.
+
+use std::io::{Read, Write};
+
+use psep_core::wire::{crc32, put_varint, put_zigzag, Cursor, WireError};
+use psep_graph::{NodeId, Weight};
+use psep_routing::RouteOutcome;
+
+use crate::api::{ApiError, ApiErrorKind, Request, Response, ServiceStats};
+
+/// Magic bytes opening every `psep-rpc/v1` frame (the version is baked
+/// into the magic; a breaking protocol change gets new magic).
+pub const RPC_MAGIC: &[u8; 8] = b"PSEPRPC1";
+
+/// Fixed frame-header length: magic plus the payload-length word.
+pub const HEADER_LEN: usize = 8 + 4;
+
+/// Default cap on a single frame's payload, shared by daemon and
+/// clients. 8 MiB fits ~10^6-pair batches with room to spare while
+/// bounding what one malicious length word can make the peer allocate.
+pub const DEFAULT_MAX_FRAME: usize = 8 << 20;
+
+/// A `psep-rpc/v1` transport failure.
+#[derive(Debug)]
+pub enum RpcError {
+    /// The frame or its payload is malformed (bad magic, checksum
+    /// mismatch, truncation, or a structurally invalid payload).
+    Wire(WireError),
+    /// The peer announced a payload larger than the configured cap.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// An underlying socket/file failure.
+    Io(std::io::Error),
+}
+
+impl RpcError {
+    /// True when this is a read timeout on an idle connection (no frame
+    /// bytes consumed) — the caller can poll a shutdown flag and retry.
+    pub fn is_idle_timeout(&self) -> bool {
+        matches!(self, RpcError::Io(e) if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ))
+    }
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Wire(e) => write!(f, "rpc frame: {e}"),
+            RpcError::FrameTooLarge { len, max } => {
+                write!(f, "rpc frame payload of {len} bytes exceeds cap {max}")
+            }
+            RpcError::Io(e) => write!(f, "rpc i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Wire(e) => Some(e),
+            RpcError::Io(e) => Some(e),
+            RpcError::FrameTooLarge { .. } => None,
+        }
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Frames `payload` as one complete `psep-rpc/v1` frame byte string.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= u32::MAX as usize, "frame payload too long");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(RPC_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Writes `payload` to `w` as one frame (the caller flushes).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), RpcError> {
+    w.write_all(&frame(payload))?;
+    Ok(())
+}
+
+/// Reads one frame's payload from `r`, verifying magic, length cap, and
+/// checksum.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed the
+/// connection between frames). A read timeout **before the first byte**
+/// of a frame surfaces as an [`RpcError::is_idle_timeout`] error with
+/// nothing consumed, so servers can poll a shutdown flag; once a frame
+/// has started, timeouts keep waiting (a request in flight is drained,
+/// not dropped).
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Vec<u8>>, RpcError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header, true)? {
+        return Ok(None);
+    }
+    if header[..8] != *RPC_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&header[..8]);
+        return Err(WireError::BadMagic {
+            expected: *RPC_MAGIC,
+            found,
+        }
+        .into());
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if len > max_frame {
+        return Err(RpcError::FrameTooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len + 4];
+    if !read_full(r, &mut body, false)? {
+        return Err(WireError::Truncated.into());
+    }
+    let stored = u32::from_le_bytes(body[len..].try_into().unwrap());
+    body.truncate(len);
+    let computed = crc32(&body);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed }.into());
+    }
+    Ok(Some(body))
+}
+
+/// Fills `buf` from `r`. Returns `Ok(false)` on EOF before the first
+/// byte; EOF after a partial fill is [`WireError::Truncated`]. When
+/// `idle_interruptible`, a timeout before the first byte propagates
+/// (idle poll point); later timeouts retry.
+fn read_full<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    idle_interruptible: bool,
+) -> Result<bool, RpcError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && idle_interruptible {
+                    return Ok(false);
+                }
+                return Err(WireError::Truncated.into());
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) && !(filled == 0 && idle_interruptible) => {}
+            Err(e) => return Err(RpcError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes one framed [`Request`].
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), RpcError> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Reads one framed [`Request`]; `Ok(None)` on clean end-of-stream.
+pub fn read_request<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Request>, RpcError> {
+    match read_frame(r, max_frame)? {
+        Some(payload) => Ok(Some(decode_request(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+/// Writes one framed [`Response`].
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), RpcError> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Reads one framed [`Response`]; `Ok(None)` on clean end-of-stream.
+pub fn read_response<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Response>, RpcError> {
+    match read_frame(r, max_frame)? {
+        Some(payload) => Ok(Some(decode_response(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+const REQ_PING: u64 = 0;
+const REQ_STATS: u64 = 1;
+const REQ_QUERY: u64 = 2;
+const REQ_QUERY_MANY: u64 = 3;
+const REQ_ROUTE: u64 = 4;
+const REQ_ROUTE_MANY: u64 = 5;
+
+const RESP_PONG: u64 = 0;
+const RESP_STATS: u64 = 1;
+const RESP_DISTANCE: u64 = 2;
+const RESP_DISTANCES: u64 = 3;
+const RESP_ROUTE: u64 = 4;
+const RESP_ROUTES: u64 = 5;
+const RESP_ERROR: u64 = 6;
+
+/// Encodes one [`Request`] payload (unframed).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Ping => put_varint(&mut out, REQ_PING),
+        Request::Stats => put_varint(&mut out, REQ_STATS),
+        Request::Query { u, v } => {
+            put_varint(&mut out, REQ_QUERY);
+            put_varint(&mut out, u.0 as u64);
+            put_varint(&mut out, v.0 as u64);
+        }
+        Request::QueryMany { pairs } => {
+            put_varint(&mut out, REQ_QUERY_MANY);
+            put_pairs(&mut out, pairs);
+        }
+        Request::Route { u, t } => {
+            put_varint(&mut out, REQ_ROUTE);
+            put_varint(&mut out, u.0 as u64);
+            put_varint(&mut out, t.0 as u64);
+        }
+        Request::RouteMany { pairs } => {
+            put_varint(&mut out, REQ_ROUTE_MANY);
+            put_pairs(&mut out, pairs);
+        }
+    }
+    out
+}
+
+/// Decodes one [`Request`] payload (unframed).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.varint()? {
+        REQ_PING => Request::Ping,
+        REQ_STATS => Request::Stats,
+        REQ_QUERY => Request::Query {
+            u: node(&mut c)?,
+            v: node(&mut c)?,
+        },
+        REQ_QUERY_MANY => Request::QueryMany {
+            pairs: pairs(&mut c)?,
+        },
+        REQ_ROUTE => Request::Route {
+            u: node(&mut c)?,
+            t: node(&mut c)?,
+        },
+        REQ_ROUTE_MANY => Request::RouteMany {
+            pairs: pairs(&mut c)?,
+        },
+        _ => return Err(WireError::Corrupt("unknown request tag")),
+    };
+    if c.remaining() != 0 {
+        return Err(WireError::Corrupt("trailing bytes after request"));
+    }
+    Ok(req)
+}
+
+/// Encodes one [`Response`] payload (unframed).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Pong => put_varint(&mut out, RESP_PONG),
+        Response::Stats(s) => {
+            put_varint(&mut out, RESP_STATS);
+            put_varint(&mut out, s.num_nodes);
+            put_varint(&mut out, s.num_edges);
+            out.extend_from_slice(&s.epsilon.to_bits().to_le_bytes());
+            put_varint(&mut out, s.label_entries);
+            put_varint(&mut out, s.table_entries);
+        }
+        Response::Distance(d) => {
+            put_varint(&mut out, RESP_DISTANCE);
+            put_opt_weight(&mut out, d);
+        }
+        Response::Distances(ds) => {
+            put_varint(&mut out, RESP_DISTANCES);
+            put_varint(&mut out, ds.len() as u64);
+            for d in ds {
+                put_opt_weight(&mut out, d);
+            }
+        }
+        Response::Route(r) => {
+            put_varint(&mut out, RESP_ROUTE);
+            put_opt_route(&mut out, r);
+        }
+        Response::Routes(rs) => {
+            put_varint(&mut out, RESP_ROUTES);
+            put_varint(&mut out, rs.len() as u64);
+            for r in rs {
+                put_opt_route(&mut out, r);
+            }
+        }
+        Response::Error(e) => {
+            put_varint(&mut out, RESP_ERROR);
+            put_varint(
+                &mut out,
+                match e.kind {
+                    ApiErrorKind::NodeOutOfRange => 0,
+                    ApiErrorKind::InvalidRequest => 1,
+                    ApiErrorKind::Internal => 2,
+                },
+            );
+            put_varint(&mut out, e.detail.len() as u64);
+            out.extend_from_slice(e.detail.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes one [`Response`] payload (unframed).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.varint()? {
+        RESP_PONG => Response::Pong,
+        RESP_STATS => {
+            let num_nodes = c.varint()?;
+            let num_edges = c.varint()?;
+            let epsilon = f64::from_bits(u64::from_le_bytes(c.bytes(8)?.try_into().unwrap()));
+            Response::Stats(ServiceStats {
+                num_nodes,
+                num_edges,
+                epsilon,
+                label_entries: c.varint()?,
+                table_entries: c.varint()?,
+            })
+        }
+        RESP_DISTANCE => Response::Distance(opt_weight(&mut c)?),
+        RESP_DISTANCES => {
+            // each element is at least one byte
+            let count = c.length(c.remaining())?;
+            let mut ds = Vec::with_capacity(count);
+            for _ in 0..count {
+                ds.push(opt_weight(&mut c)?);
+            }
+            Response::Distances(ds)
+        }
+        RESP_ROUTE => Response::Route(opt_route(&mut c)?),
+        RESP_ROUTES => {
+            let count = c.length(c.remaining())?;
+            let mut rs = Vec::with_capacity(count);
+            for _ in 0..count {
+                rs.push(opt_route(&mut c)?);
+            }
+            Response::Routes(rs)
+        }
+        RESP_ERROR => {
+            let kind = match c.varint()? {
+                0 => ApiErrorKind::NodeOutOfRange,
+                1 => ApiErrorKind::InvalidRequest,
+                2 => ApiErrorKind::Internal,
+                _ => return Err(WireError::Corrupt("unknown error kind")),
+            };
+            let len = c.length(c.remaining())?;
+            let detail = String::from_utf8(c.bytes(len)?.to_vec())
+                .map_err(|_| WireError::Corrupt("error detail is not utf-8"))?;
+            Response::Error(ApiError { kind, detail })
+        }
+        _ => return Err(WireError::Corrupt("unknown response tag")),
+    };
+    if c.remaining() != 0 {
+        return Err(WireError::Corrupt("trailing bytes after response"));
+    }
+    Ok(resp)
+}
+
+fn node(c: &mut Cursor<'_>) -> Result<NodeId, WireError> {
+    let v = c.varint()?;
+    if v > u32::MAX as u64 {
+        return Err(WireError::Corrupt("vertex id overflows u32"));
+    }
+    Ok(NodeId(v as u32))
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(NodeId, NodeId)]) {
+    put_varint(out, pairs.len() as u64);
+    for &(u, v) in pairs {
+        put_varint(out, u.0 as u64);
+        put_varint(out, v.0 as u64);
+    }
+}
+
+fn pairs(c: &mut Cursor<'_>) -> Result<Vec<(NodeId, NodeId)>, WireError> {
+    // each pair takes at least two bytes
+    let count = c.length(c.remaining() / 2)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push((node(c)?, node(c)?));
+    }
+    Ok(out)
+}
+
+fn put_opt_weight(out: &mut Vec<u8>, d: &Option<Weight>) {
+    match d {
+        None => put_varint(out, 0),
+        Some(w) => {
+            put_varint(out, 1);
+            put_varint(out, *w);
+        }
+    }
+}
+
+fn opt_weight(c: &mut Cursor<'_>) -> Result<Option<Weight>, WireError> {
+    match c.varint()? {
+        0 => Ok(None),
+        1 => Ok(Some(c.varint()?)),
+        _ => Err(WireError::Corrupt("invalid option discriminant")),
+    }
+}
+
+/// Route vertices are zigzag delta-coded after the first: hops tend to
+/// be id-local, so deltas stay short.
+fn put_opt_route(out: &mut Vec<u8>, r: &Option<RouteOutcome>) {
+    let Some(r) = r else {
+        put_varint(out, 0);
+        return;
+    };
+    put_varint(out, 1);
+    put_varint(out, r.cost);
+    put_varint(out, r.hops as u64);
+    put_varint(out, r.route.len() as u64);
+    let mut prev = 0i64;
+    for v in &r.route {
+        put_zigzag(out, v.0 as i64 - prev);
+        prev = v.0 as i64;
+    }
+}
+
+fn opt_route(c: &mut Cursor<'_>) -> Result<Option<RouteOutcome>, WireError> {
+    match c.varint()? {
+        0 => Ok(None),
+        1 => {
+            let cost = c.varint()?;
+            let hops = c.length(usize::MAX)?;
+            // each route vertex takes at least one byte
+            let len = c.length(c.remaining())?;
+            let mut route = Vec::with_capacity(len);
+            let mut prev = 0i64;
+            for _ in 0..len {
+                let v = prev
+                    .checked_add(c.zigzag()?)
+                    .filter(|&v| (0..=u32::MAX as i64).contains(&v))
+                    .ok_or(WireError::Corrupt("route vertex out of u32 range"))?;
+                route.push(NodeId(v as u32));
+                prev = v;
+            }
+            Ok(Some(RouteOutcome { route, cost, hops }))
+        }
+        _ => Err(WireError::Corrupt("invalid option discriminant")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Query {
+                u: NodeId(0),
+                v: NodeId(u32::MAX),
+            },
+            Request::QueryMany { pairs: vec![] },
+            Request::QueryMany {
+                pairs: vec![(NodeId(3), NodeId(7)), (NodeId(0), NodeId(0))],
+            },
+            Request::Route {
+                u: NodeId(1),
+                t: NodeId(2),
+            },
+            Request::RouteMany {
+                pairs: vec![(NodeId(9), NodeId(4))],
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Stats(ServiceStats {
+                num_nodes: 36,
+                num_edges: 60,
+                epsilon: 0.25,
+                label_entries: 1234,
+                table_entries: 567,
+            }),
+            Response::Distance(None),
+            Response::Distance(Some(42)),
+            Response::Distances(vec![Some(0), None, Some(u64::MAX / 2)]),
+            Response::Route(None),
+            Response::Route(Some(RouteOutcome {
+                route: vec![NodeId(5), NodeId(2), NodeId(9)],
+                cost: 17,
+                hops: 2,
+            })),
+            Response::Routes(vec![
+                None,
+                Some(RouteOutcome {
+                    route: vec![NodeId(0)],
+                    cost: 0,
+                    hops: 0,
+                }),
+            ]),
+            Response::Error(ApiError {
+                kind: ApiErrorKind::NodeOutOfRange,
+                detail: "vertex NodeId(99) out of range".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn request_payloads_roundtrip() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_payloads_roundtrip() {
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_io() {
+        let mut buf = Vec::new();
+        for req in sample_requests() {
+            write_request(&mut buf, &req).unwrap();
+        }
+        let mut r = &buf[..];
+        for req in sample_requests() {
+            assert_eq!(read_request(&mut r, DEFAULT_MAX_FRAME).unwrap(), Some(req));
+        }
+        // clean end-of-stream
+        assert_eq!(read_request(&mut r, DEFAULT_MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let framed = frame(&encode_request(&Request::Ping));
+        let mut r = &framed[..];
+        assert!(matches!(
+            read_frame(&mut r, 0),
+            Err(RpcError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_are_typed_errors() {
+        let framed = frame(&encode_request(&Request::Query {
+            u: NodeId(600),
+            v: NodeId(601),
+        }));
+        // truncation at every prefix length
+        for cut in 0..framed.len() {
+            let mut r = &framed[..cut];
+            let out = read_frame(&mut r, DEFAULT_MAX_FRAME);
+            if cut == 0 {
+                assert!(matches!(out, Ok(None)));
+            } else {
+                assert!(out.is_err(), "prefix of {cut} bytes must not parse");
+            }
+        }
+        // a flip anywhere in the frame is rejected
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            let mut r = &bad[..];
+            match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+                Err(_) => {}
+                Ok(_) => panic!("flipped byte {i} was not rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 99);
+        assert!(matches!(
+            decode_request(&bytes),
+            Err(WireError::Corrupt("unknown request tag"))
+        ));
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(WireError::Corrupt("unknown response tag"))
+        ));
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert!(matches!(decode_request(&bytes), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn pair_count_bomb_is_guarded() {
+        // announces 2^40 pairs with no bytes behind it
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, REQ_QUERY_MANY);
+        put_varint(&mut bytes, 1 << 40);
+        assert!(matches!(decode_request(&bytes), Err(WireError::Corrupt(_))));
+    }
+}

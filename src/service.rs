@@ -29,68 +29,15 @@ use psep_graph::{Graph, NodeId, Weight};
 use psep_oracle::{build_oracle, DistanceOracle, OracleParams};
 use psep_routing::{RouteOutcome, Router, RoutingLabel, RoutingTables};
 
+// The error type moved to its own module; this re-export keeps the
+// original `path_separators::service::ServiceError` path compiling.
+pub use crate::error::ServiceError;
+
 /// Magic bytes of a `psep-bundle/v1` artifact.
 pub const BUNDLE_MAGIC: &[u8; 8] = b"PSEPBNDL";
 
 /// Current bundle format version.
 pub const BUNDLE_VERSION: u64 = 1;
-
-/// A failure while building, loading, or querying a [`LocationService`].
-#[derive(Debug)]
-pub enum ServiceError {
-    /// The bundle envelope or graph section is malformed.
-    Wire(WireError),
-    /// The embedded oracle artifact failed to decode, or an oracle
-    /// request was invalid.
-    Oracle(psep_oracle::Error),
-    /// The embedded routing artifact failed to decode, or a routing
-    /// request was invalid.
-    Routing(psep_routing::Error),
-}
-
-impl std::fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServiceError::Wire(e) => write!(f, "bundle: {e}"),
-            ServiceError::Oracle(e) => write!(f, "oracle: {e}"),
-            ServiceError::Routing(e) => write!(f, "routing: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ServiceError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ServiceError::Wire(e) => Some(e),
-            ServiceError::Oracle(e) => Some(e),
-            ServiceError::Routing(e) => Some(e),
-        }
-    }
-}
-
-impl From<WireError> for ServiceError {
-    fn from(e: WireError) -> Self {
-        ServiceError::Wire(e)
-    }
-}
-
-impl From<psep_oracle::Error> for ServiceError {
-    fn from(e: psep_oracle::Error) -> Self {
-        ServiceError::Oracle(e)
-    }
-}
-
-impl From<psep_routing::Error> for ServiceError {
-    fn from(e: psep_routing::Error) -> Self {
-        ServiceError::Routing(e)
-    }
-}
-
-impl From<std::io::Error> for ServiceError {
-    fn from(e: std::io::Error) -> Self {
-        ServiceError::Wire(WireError::Io(e))
-    }
-}
 
 /// Build parameters for [`LocationService::build`].
 #[derive(Clone, Copy, Debug)]
@@ -229,22 +176,19 @@ impl LocationService {
     }
 
     /// `(1+ε)`-approximate distance between `u` and `v`; `None` if
-    /// disconnected.
+    /// disconnected. Thin wrapper over the canonical [`Self::try_query`].
     ///
     /// # Panics
     ///
     /// Panics if a vertex id is out of range; [`Self::try_query`]
     /// returns an error instead.
     pub fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        let t0 = psep_obs::now_if_enabled();
-        let out = self.oracle.query(u, v);
-        if let Some(t0) = t0 {
-            psep_obs::histogram!("service.query.latency_ns").record_elapsed(t0);
-        }
-        out
+        self.try_query(u, v).expect("vertex id out of range")
     }
 
-    /// [`Self::query`] with out-of-range ids reported as typed errors.
+    /// `(1+ε)`-approximate distance between `u` and `v` with
+    /// out-of-range ids reported as typed errors (canonical fallible
+    /// form).
     pub fn try_query(&self, u: NodeId, v: NodeId) -> Result<Option<Weight>, ServiceError> {
         let t0 = psep_obs::now_if_enabled();
         let out = self.oracle.try_query(u, v)?;
@@ -268,28 +212,30 @@ impl LocationService {
     }
 
     /// Answers a batch of distance queries in parallel (identical to
-    /// querying one by one).
+    /// querying one by one). Thin wrapper over the canonical
+    /// [`Self::try_query_many`](LocationService::try_query_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range.
     pub fn query_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
-        self.oracle.query_many(pairs)
+        self.try_query_many(pairs).expect("vertex id out of range")
     }
 
     /// Routes a message from `u` to `t`, resolving `t`'s routing label
-    /// from the local tables; `None` for disconnected pairs.
+    /// from the local tables; `None` for disconnected pairs. Thin
+    /// wrapper over the canonical [`Self::try_route`].
     ///
     /// # Panics
     ///
     /// Panics if a vertex id is out of range; [`Self::try_route`]
     /// returns an error instead.
     pub fn route(&self, u: NodeId, t: NodeId) -> Option<RouteOutcome> {
-        let t0 = psep_obs::now_if_enabled();
-        let out = self.router.route(u, t, &self.router.tables().label(t));
-        if let Some(t0) = t0 {
-            psep_obs::histogram!("service.route.latency_ns").record_elapsed(t0);
-        }
-        out
+        self.try_route(u, t).expect("vertex id out of range")
     }
 
-    /// [`Self::route`] with out-of-range ids reported as typed errors.
+    /// Routes a message from `u` to `t` with out-of-range ids reported
+    /// as typed errors (canonical fallible form).
     pub fn try_route(&self, u: NodeId, t: NodeId) -> Result<Option<RouteOutcome>, ServiceError> {
         let t0 = psep_obs::now_if_enabled();
         let label = self.router.tables().try_label(t)?;
@@ -320,9 +266,14 @@ impl LocationService {
     }
 
     /// Routes a batch of `(source, target)` pairs in parallel (identical
-    /// to routing one by one).
+    /// to routing one by one). Thin wrapper over the canonical
+    /// [`Self::try_route_many`](LocationService::try_route_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range.
     pub fn route_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<RouteOutcome>> {
-        self.router.route_many(pairs)
+        self.try_route_many(pairs).expect("vertex id out of range")
     }
 
     /// Encodes the whole service as one `psep-bundle/v1` artifact.
