@@ -146,6 +146,17 @@ fn main() {
             }),
         ),
         (
+            "epath",
+            "E-path — witness-path reporting: exact reconstruction, verified",
+            Box::new(move || {
+                ex::epath_reporting(
+                    &[Family::Grid, Family::KTree3],
+                    if quick { 400 } else { 1600 },
+                    if quick { 2_000 } else { 20_000 },
+                )
+            }),
+        ),
+        (
             "e4",
             "E4 — small-world greedy routing (Thm 3)",
             Box::new(move || ex::e4_smallworld(e4_sizes, trials)),

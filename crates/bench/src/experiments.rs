@@ -319,6 +319,103 @@ pub fn e3b_build_throughput(families: &[Family], n: usize) -> String {
     out
 }
 
+/// E-path — witness-path reporting (PR "path reporting"): exact
+/// reconstruction of a `(1+ε)`-witness path for every query, with three
+/// guarantees asserted inline — every path survives the ground-truth
+/// [`psep_testkit::PathChecker`], every path's weight equals the
+/// distance `query` reports for the same pair, and `query_path_many`
+/// is bit-identical to a sequential `query_path` loop at every thread
+/// count.
+///
+/// Reported metrics: `oracle.path.pairs_per_sec` (best observed across
+/// thread counts, with per-count `oracle.path.threadsNN.pairs_per_sec`
+/// gauges) and `oracle.path.mean_nodes`; the oracle's own
+/// `oracle.path.*` counters and latency histograms ride along in the
+/// same snapshot.
+pub fn epath_reporting(families: &[Family], n: usize, pair_count: usize) -> String {
+    use psep_oracle::BatchQueryEngine;
+    use psep_testkit::PathChecker;
+    const EPSILON: f64 = 0.25;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | mean nodes | max nodes | checked | threads | pairs/s | speedup |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for &fam in families {
+        let g = fam.make(n, SEED);
+        let nn = g.num_nodes();
+        let strat = fam.strategy();
+        let tree = DecompositionTree::build(&g, strat.as_ref());
+        let oracle = build_oracle(
+            &g,
+            &tree,
+            OracleParams {
+                epsilon: EPSILON,
+                ..OracleParams::with_available_threads()
+            },
+        );
+        let pairs = crate::measure::random_pairs(nn, pair_count, SEED ^ 51);
+        let (seq_paths, seq_s) = timed(|| {
+            pairs
+                .iter()
+                .map(|&(u, v)| oracle.query_path(&g, &tree, u, v))
+                .collect::<Vec<_>>()
+        });
+        let seq_pps = pairs.len() as f64 / seq_s;
+
+        // ground truth: every path is a real walk of exactly the
+        // reported weight, within (1+ε) of the exact distance, and the
+        // reported weight IS the distance `query` reports
+        let checker = PathChecker::new(&g, EPSILON);
+        let mut total_nodes = 0usize;
+        let mut max_nodes = 0usize;
+        for (&(u, v), p) in pairs.iter().zip(&seq_paths) {
+            checker
+                .check(u, v, p.as_ref())
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            assert_eq!(
+                p.as_ref().map(|p| p.weight),
+                oracle.query(u, v),
+                "{}: path weight diverges from query({u:?},{v:?})",
+                fam.name()
+            );
+            if let Some(p) = p {
+                total_nodes += p.nodes.len();
+                max_nodes = max_nodes.max(p.nodes.len());
+            }
+        }
+        let mean_nodes = total_nodes as f64 / pairs.len() as f64;
+        if psep_obs::enabled() {
+            psep_obs::gauge("oracle.path.mean_nodes").set(mean_nodes);
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {nn} | {mean_nodes:.1} | {max_nodes} | {} | seq | {seq_pps:.0} | 1.00× |",
+            fam.name(),
+            pairs.len(),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let engine = BatchQueryEngine::new(threads);
+            let (paths, batch_s) = timed(|| engine.run_paths(&oracle, &g, &tree, &pairs));
+            assert_eq!(paths, seq_paths, "batch paths diverge at t={threads}");
+            let pps = pairs.len() as f64 / batch_s;
+            if psep_obs::enabled() {
+                psep_obs::gauge("oracle.path.pairs_per_sec").set_max(pps);
+                psep_obs::gauge(&format!("oracle.path.threads{threads:02}.pairs_per_sec"))
+                    .set_max(pps);
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {nn} | - | - | - | {threads} | {pps:.0} | {:.2}× |",
+                fam.name(),
+                pps / seq_pps,
+            );
+        }
+    }
+    out
+}
+
 /// E4 — Theorem 3: expected greedy hops under the paper's augmentation
 /// vs Kleinberg inverse-square (grids only) and uniform contacts; hop
 /// growth should be poly-logarithmic for the paper's distribution and

@@ -33,7 +33,7 @@ use path_separators::api::{Request, Response};
 use path_separators::{LocationService, NodeId, ServiceParams};
 use psep_serve::{Client, ServeConfig, Server};
 use psep_testkit::families::Family;
-use psep_testkit::random_pairs;
+use psep_testkit::{random_pairs, PathChecker};
 
 /// Load-generation parameters.
 #[derive(Clone, Copy, Debug)]
@@ -69,10 +69,19 @@ enum Op {
     QueryMany,
     Route,
     RouteMany,
+    QueryPath,
+    QueryPathMany,
 }
 
 impl Op {
-    const ALL: [Op; 4] = [Op::Query, Op::QueryMany, Op::Route, Op::RouteMany];
+    const ALL: [Op; 6] = [
+        Op::Query,
+        Op::QueryMany,
+        Op::Route,
+        Op::RouteMany,
+        Op::QueryPath,
+        Op::QueryPathMany,
+    ];
 
     fn name(self) -> &'static str {
         match self {
@@ -80,6 +89,8 @@ impl Op {
             Op::QueryMany => "query_many",
             Op::Route => "route",
             Op::RouteMany => "route_many",
+            Op::QueryPath => "query_path",
+            Op::QueryPathMany => "query_path_many",
         }
     }
 
@@ -94,10 +105,17 @@ impl Op {
                 let (u, t) = at(cursor);
                 Request::Route { u, t }
             }
+            Op::QueryPath => {
+                let (u, v) = at(cursor);
+                Request::QueryPath { u, v }
+            }
             Op::QueryMany => Request::QueryMany {
                 pairs: (0..batch).map(|k| at(cursor + k)).collect(),
             },
             Op::RouteMany => Request::RouteMany {
+                pairs: (0..batch).map(|k| at(cursor + k)).collect(),
+            },
+            Op::QueryPathMany => Request::QueryPathMany {
                 pairs: (0..batch).map(|k| at(cursor + k)).collect(),
             },
         }
@@ -155,6 +173,8 @@ fn hammer_phase(
                                 | (Op::QueryMany, Response::Distances(_))
                                 | (Op::Route, Response::Route(_))
                                 | (Op::RouteMany, Response::Routes(_))
+                                | (Op::QueryPath, Response::Path(_))
+                                | (Op::QueryPathMany, Response::Paths(_))
                         );
                         assert!(ok, "{op:?} answered with {resp:?}");
                         requests += 1;
@@ -222,6 +242,15 @@ fn verify(addr: SocketAddr, local: Option<&LocationService>, pairs: &[(NodeId, N
         Response::Routes(rs) => rs,
         other => panic!("RouteMany answered with {other:?}"),
     };
+    let wire_paths = match client
+        .call(&Request::QueryPathMany {
+            pairs: pairs.to_vec(),
+        })
+        .expect("batch path query")
+    {
+        Response::Paths(ps) => ps,
+        other => panic!("QueryPathMany answered with {other:?}"),
+    };
     if let Some(svc) = local {
         assert_eq!(
             wire_distances,
@@ -233,6 +262,24 @@ fn verify(addr: SocketAddr, local: Option<&LocationService>, pairs: &[(NodeId, N
             svc.route_many(pairs),
             "wire batch routes diverge from in-process answers"
         );
+        assert_eq!(
+            wire_paths,
+            svc.query_path_many(pairs),
+            "wire batch paths diverge from in-process answers"
+        );
+        // every served path must survive the ground-truth checker, and
+        // realize exactly the distance served for the same pair
+        let checker = PathChecker::new(svc.graph(), svc.epsilon());
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            checker
+                .check(u, v, wire_paths[i].as_ref())
+                .unwrap_or_else(|e| panic!("served path invalid: {e}"));
+            assert_eq!(
+                wire_paths[i].as_ref().map(|p| p.weight),
+                wire_distances[i],
+                "served path weight diverges from served distance for {u:?}->{v:?}"
+            );
+        }
     }
     // wire self-consistency on a sample: batch element == single request
     for (i, &(u, v)) in pairs.iter().take(16).enumerate() {
@@ -245,6 +292,13 @@ fn verify(addr: SocketAddr, local: Option<&LocationService>, pairs: &[(NodeId, N
             client.call(&Request::Route { u, t: v }).expect("route"),
             Response::Route(wire_routes[i].clone()),
             "single route diverges from batch element {i}"
+        );
+        assert_eq!(
+            client
+                .call(&Request::QueryPath { u, v })
+                .expect("path query"),
+            Response::Path(wire_paths[i].clone()),
+            "single path query diverges from batch element {i}"
         );
     }
 }
@@ -273,7 +327,7 @@ pub fn run_against(
     for op in Op::ALL {
         let stats = hammer_phase(addr, op, &pairs, cfg);
         let batch = match op {
-            Op::QueryMany | Op::RouteMany => cfg.batch,
+            Op::QueryMany | Op::RouteMany | Op::QueryPathMany => cfg.batch,
             _ => 1,
         };
         let _ = writeln!(
@@ -355,5 +409,6 @@ mod tests {
         let table = self_contained(Family::Grid, 64, ServiceParams::default(), &cfg);
         assert!(table.contains("| query |"), "{table}");
         assert!(table.contains("| route_many |"), "{table}");
+        assert!(table.contains("| query_path_many |"), "{table}");
     }
 }

@@ -15,11 +15,14 @@
 //!
 //! [`FlatLabels`]: crate::flat::FlatLabels
 
-use psep_core::exec::{ShardObs, ShardedRunner};
-use psep_graph::graph::{NodeId, Weight};
+use psep_core::decomposition::DecompositionTree;
+use psep_core::exec::{ShardObs, ShardedRunner, WorkerHists};
+use psep_graph::dijkstra::DijkstraScratch;
+use psep_graph::graph::{Graph, NodeId, Weight};
 
 use crate::error::Error;
 use crate::oracle::DistanceOracle;
+use crate::path::WitnessPath;
 
 /// Counter names for batch-query workers.
 const BATCH_OBS: ShardObs = ShardObs {
@@ -27,6 +30,25 @@ const BATCH_OBS: ShardObs = ShardObs {
     items: "pairs",
     units: "candidates",
 };
+
+/// Counter names for batch path-reporting workers.
+const PATH_OBS: ShardObs = ShardObs {
+    prefix: "oracle.path.batch",
+    items: "pairs",
+    units: "nodes",
+};
+
+/// Claim granularity for path batches: one reconstruction runs two
+/// bounded Dijkstras, so items are orders of magnitude heavier than
+/// scalar queries and much smaller batches are worth fanning out.
+const PATH_MIN_CHUNK: usize = 8;
+
+/// One path-reporting worker's reusable state: its obs histogram
+/// handles and a Dijkstra arena shared across the pairs it claims.
+struct PathWorker {
+    hists: WorkerHists,
+    scratch: DijkstraScratch,
+}
 
 /// A reusable parallel query engine with a fixed thread budget.
 #[derive(Clone, Copy, Debug)]
@@ -102,6 +124,67 @@ impl BatchQueryEngine {
         }
         Ok(self.run(oracle, pairs))
     }
+
+    /// Reconstructs a witness path for every pair, in input order —
+    /// bit-identical to a sequential
+    /// [`DistanceOracle::query_path`] loop at every thread count
+    /// (reconstruction is per-pair independent and deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex id is out of range or the oracle disagrees
+    /// with `g`/`tree`; [`Self::try_run_paths`] returns typed errors
+    /// instead.
+    pub fn run_paths(
+        &self,
+        oracle: &DistanceOracle,
+        g: &Graph,
+        tree: &DecompositionTree,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<WitnessPath>> {
+        self.try_run_paths(oracle, g, tree, pairs)
+            .expect("vertex id out of range or mismatched oracle artifacts")
+    }
+
+    /// [`Self::run_paths`] with every vertex id validated first and
+    /// oracle/tree disagreements surfaced as typed errors.
+    pub fn try_run_paths(
+        &self,
+        oracle: &DistanceOracle,
+        g: &Graph,
+        tree: &DecompositionTree,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Option<WitnessPath>>, Error> {
+        let n = oracle.num_nodes();
+        for &(u, v) in pairs {
+            for node in [u, v] {
+                if node.index() >= n {
+                    return Err(Error::NodeOutOfRange { node, num_nodes: n });
+                }
+            }
+        }
+        psep_obs::counter!("oracle.path.batch.runs").incr();
+        let runner = self.runner.min_chunk(PATH_MIN_CHUNK);
+        let mut scratches: Vec<PathWorker> = (0..runner.worker_count(pairs.len()))
+            .map(|w| PathWorker {
+                hists: PATH_OBS.worker_hists(w),
+                scratch: DijkstraScratch::new(g.num_nodes()),
+            })
+            .collect();
+        let (results, _nodes) =
+            runner.run(pairs, Some(&PATH_OBS), &mut scratches, |worker, &(u, v)| {
+                let t0 = psep_obs::now_if_enabled();
+                let out = oracle.query_path_with(g, tree, &mut worker.scratch, u, v);
+                let nodes = match &out {
+                    Ok(Some(p)) => p.nodes.len() as u64,
+                    _ => 0,
+                };
+                worker.hists.record(nodes, t0);
+                (out, nodes)
+            });
+        psep_obs::counter!("oracle.path.batch.pairs").add(pairs.len() as u64);
+        results.into_iter().collect()
+    }
 }
 
 impl DistanceOracle {
@@ -116,6 +199,24 @@ impl DistanceOracle {
     /// [`BatchQueryEngine::try_run`] to validate instead.
     pub fn query_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
         BatchQueryEngine::default().run(self, pairs)
+    }
+
+    /// Reconstructs a witness path for every `(u, v)` pair, in input
+    /// order, chunked across the machine's available parallelism —
+    /// equivalent to a sequential [`DistanceOracle::query_path`] loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex id is out of range or the oracle disagrees
+    /// with `g`/`tree`; use [`BatchQueryEngine::try_run_paths`] to
+    /// validate instead.
+    pub fn query_path_many(
+        &self,
+        g: &Graph,
+        tree: &DecompositionTree,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<WitnessPath>> {
+        BatchQueryEngine::default().run_paths(self, g, tree, pairs)
     }
 }
 
@@ -182,5 +283,54 @@ mod tests {
     #[test]
     fn zero_threads_means_auto() {
         assert!(BatchQueryEngine::new(0).threads() >= 1);
+    }
+
+    fn grid_stack(side: usize) -> (Graph, DecompositionTree, DistanceOracle) {
+        let g = grids::grid2d(side, side, 1);
+        let tree = DecompositionTree::build(&g, &AutoStrategy::default());
+        let o = crate::oracle::build_oracle(&g, &tree, crate::oracle::OracleParams::default());
+        (g, tree, o)
+    }
+
+    #[test]
+    fn path_batches_match_sequential_reconstruction() {
+        let (g, tree, o) = grid_stack(6);
+        let pairs = all_pairs(36);
+        let sequential: Vec<_> = pairs
+            .iter()
+            .map(|&(u, v)| o.query_path(&g, &tree, u, v))
+            .collect();
+        assert_eq!(o.query_path_many(&g, &tree, &pairs), sequential);
+        for threads in [1, 2, 3, 8] {
+            let engine = BatchQueryEngine::new(threads);
+            assert_eq!(
+                engine.run_paths(&o, &g, &tree, &pairs),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_paths_rejects_out_of_range_without_spawning() {
+        let (g, tree, o) = grid_stack(4);
+        let engine = BatchQueryEngine::new(2);
+        let bad = [(NodeId(0), NodeId(1)), (NodeId(3), NodeId(99))];
+        assert!(matches!(
+            engine.try_run_paths(&o, &g, &tree, &bad),
+            Err(Error::NodeOutOfRange { num_nodes: 16, .. })
+        ));
+        let good = [(NodeId(0), NodeId(15)), (NodeId(7), NodeId(7))];
+        assert_eq!(
+            engine.try_run_paths(&o, &g, &tree, &good).unwrap(),
+            vec![
+                o.query_path(&g, &tree, NodeId(0), NodeId(15)),
+                o.query_path(&g, &tree, NodeId(7), NodeId(7)),
+            ]
+        );
+        assert_eq!(
+            engine.try_run_paths(&o, &g, &tree, &[]).unwrap(),
+            Vec::<Option<WitnessPath>>::new()
+        );
     }
 }

@@ -35,6 +35,7 @@ pub mod exact;
 pub mod flat;
 pub mod label;
 pub mod oracle;
+pub mod path;
 pub mod portals;
 pub mod thorup_zwick;
 pub mod wire;
@@ -48,4 +49,5 @@ pub use exact::ExactOracle;
 pub use flat::{FlatLabels, LabelRef};
 pub use label::{DistanceLabel, LabelEntry, PortalEntry};
 pub use oracle::{build_oracle, DistanceOracle, OracleBuilder, OracleParams};
+pub use path::WitnessPath;
 pub use thorup_zwick::ThorupZwickOracle;

@@ -356,7 +356,7 @@ impl QueryWitness {
 /// ([`DistanceLabel::entry_slices`]) and flat views
 /// ([`LabelRef::entries`]), so representation changes land here exactly
 /// once.
-fn merge_join_best<'a>(
+pub(crate) fn merge_join_best<'a>(
     a: impl Iterator<Item = (u64, &'a [PortalEntry])>,
     b: impl Iterator<Item = (u64, &'a [PortalEntry])>,
 ) -> (u64, Option<(Weight, u64, PortalEntry, PortalEntry)>) {

@@ -240,6 +240,17 @@ fn serve_connection(
                             psep_obs::histogram!("serve.batch.pairs")
                                 .record(req.pair_count() as u64);
                         }
+                        Request::QueryPath { .. } => {
+                            psep_obs::counter!("serve.requests.query_path").incr();
+                            psep_obs::histogram!("serve.query_path.latency_ns").record_elapsed(t0);
+                        }
+                        Request::QueryPathMany { .. } => {
+                            psep_obs::counter!("serve.requests.query_path_many").incr();
+                            psep_obs::histogram!("serve.query_path_many.latency_ns")
+                                .record_elapsed(t0);
+                            psep_obs::histogram!("serve.batch.pairs")
+                                .record(req.pair_count() as u64);
+                        }
                     }
                 }
                 if resp.is_error() {

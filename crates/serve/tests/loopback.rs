@@ -66,6 +66,11 @@ fn served_answers_are_bit_identical_across_families() {
                 Response::Route(svc.route(u, v)),
                 "{fam:?}: route({u:?},{v:?})"
             );
+            assert_eq!(
+                client.call(&Request::QueryPath { u, v }).unwrap(),
+                Response::Path(svc.query_path(u, v)),
+                "{fam:?}: query_path({u:?},{v:?})"
+            );
         }
 
         // batches fan through the same engines and stay input-ordered
@@ -86,6 +91,15 @@ fn served_answers_are_bit_identical_across_families() {
                 .unwrap(),
             Response::Routes(svc.route_many(&pairs)),
             "{fam:?}: batch routes diverge"
+        );
+        assert_eq!(
+            client
+                .call(&Request::QueryPathMany {
+                    pairs: pairs.clone()
+                })
+                .unwrap(),
+            Response::Paths(svc.query_path_many(&pairs)),
+            "{fam:?}: batch paths diverge"
         );
 
         handle.shutdown();
@@ -112,6 +126,13 @@ fn invalid_requests_get_typed_errors_not_panics() {
         },
         Request::RouteMany {
             pairs: vec![(bad, bad)],
+        },
+        Request::QueryPath {
+            u: bad,
+            v: NodeId(0),
+        },
+        Request::QueryPathMany {
+            pairs: vec![(NodeId(0), bad)],
         },
     ] {
         let Response::Error(e) = client.call(&req).unwrap() else {

@@ -16,9 +16,15 @@
 //!   "parallel == sequential" equivalence suite covers;
 //! * [`random_pairs`] — deterministic query-pair sampling;
 //! * [`arb_graph`] — the workspace's proptest graph strategy;
-//! * [`THREAD_COUNTS`] — the thread counts equivalence suites sweep.
+//! * [`THREAD_COUNTS`] — the thread counts equivalence suites sweep;
+//! * [`PathChecker`] — witness-path validation (edges exist, exact
+//!   weight sum, `(1+ε)` stretch) shared by the path-equivalence
+//!   suite, the serve loadgen, and the E-path experiment.
 
+pub mod checker;
 pub mod families;
+
+pub use checker::PathChecker;
 
 use proptest::prelude::*;
 use psep_core::strategy::{

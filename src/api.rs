@@ -11,7 +11,7 @@
 //! answers to the same requests over TCP.
 
 use psep_graph::{NodeId, Weight};
-use psep_oracle::BatchQueryEngine;
+use psep_oracle::{BatchQueryEngine, WitnessPath};
 use psep_routing::RouteOutcome;
 
 use crate::error::ServiceError;
@@ -40,6 +40,19 @@ pub enum Request {
         /// `(source, target)` pairs.
         pairs: Vec<(NodeId, NodeId)>,
     },
+    /// A witness path realizing the `(1+ε)` estimate between two
+    /// vertices.
+    QueryPath {
+        /// Source vertex.
+        u: NodeId,
+        /// Target vertex.
+        v: NodeId,
+    },
+    /// A batch of witness-path queries, answered in input order.
+    QueryPathMany {
+        /// `(source, target)` pairs.
+        pairs: Vec<(NodeId, NodeId)>,
+    },
     /// A compact route between two vertices.
     Route {
         /// Source vertex.
@@ -63,6 +76,8 @@ impl Request {
             Request::Stats => "stats",
             Request::Query { .. } => "query",
             Request::QueryMany { .. } => "query_many",
+            Request::QueryPath { .. } => "query_path",
+            Request::QueryPathMany { .. } => "query_path_many",
             Request::Route { .. } => "route",
             Request::RouteMany { .. } => "route_many",
         }
@@ -72,8 +87,10 @@ impl Request {
     pub fn pair_count(&self) -> usize {
         match self {
             Request::Ping | Request::Stats => 0,
-            Request::Query { .. } | Request::Route { .. } => 1,
-            Request::QueryMany { pairs } | Request::RouteMany { pairs } => pairs.len(),
+            Request::Query { .. } | Request::QueryPath { .. } | Request::Route { .. } => 1,
+            Request::QueryMany { pairs }
+            | Request::QueryPathMany { pairs }
+            | Request::RouteMany { pairs } => pairs.len(),
         }
     }
 }
@@ -89,6 +106,10 @@ pub enum Response {
     Distance(Option<Weight>),
     /// Answer to [`Request::QueryMany`], in input order.
     Distances(Vec<Option<Weight>>),
+    /// Answer to [`Request::QueryPath`]; `None` for disconnected pairs.
+    Path(Option<WitnessPath>),
+    /// Answer to [`Request::QueryPathMany`], in input order.
+    Paths(Vec<Option<WitnessPath>>),
     /// Answer to [`Request::Route`]; `None` for disconnected pairs.
     Route(Option<RouteOutcome>),
     /// Answer to [`Request::RouteMany`], in input order.
@@ -211,6 +232,14 @@ impl LocationService {
                 Ok(ds) => Response::Distances(ds),
                 Err(e) => Response::Error(e.into()),
             },
+            Request::QueryPath { u, v } => match self.try_query_path(*u, *v) {
+                Ok(p) => Response::Path(p),
+                Err(e) => Response::Error(e.into()),
+            },
+            Request::QueryPathMany { pairs } => match self.try_query_path_many(pairs) {
+                Ok(ps) => Response::Paths(ps),
+                Err(e) => Response::Error(e.into()),
+            },
             Request::Route { u, t } => match self.try_route(*u, *t) {
                 Ok(r) => Response::Route(r),
                 Err(e) => Response::Error(e.into()),
@@ -240,6 +269,20 @@ impl LocationService {
         pairs: &[(NodeId, NodeId)],
     ) -> Result<Vec<Option<Weight>>, ServiceError> {
         Ok(BatchQueryEngine::default().try_run(self.oracle(), pairs)?)
+    }
+
+    /// [`Self::query_path_many`] with every vertex id validated first
+    /// (canonical fallible form).
+    pub fn try_query_path_many(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Option<WitnessPath>>, ServiceError> {
+        Ok(BatchQueryEngine::default().try_run_paths(
+            self.oracle(),
+            self.graph(),
+            self.tree(),
+            pairs,
+        )?)
     }
 
     /// [`Self::route_many`] with every vertex id validated first
@@ -283,6 +326,19 @@ mod tests {
             Response::Distances(svc.query_many(&pairs))
         );
         assert_eq!(
+            svc.handle(&Request::QueryPath {
+                u: NodeId(0),
+                v: NodeId(24)
+            }),
+            Response::Path(svc.query_path(NodeId(0), NodeId(24)))
+        );
+        assert_eq!(
+            svc.handle(&Request::QueryPathMany {
+                pairs: pairs.clone()
+            }),
+            Response::Paths(svc.query_path_many(&pairs))
+        );
+        assert_eq!(
             svc.handle(&Request::Route {
                 u: NodeId(0),
                 t: NodeId(24)
@@ -321,6 +377,13 @@ mod tests {
             Request::QueryMany {
                 pairs: vec![(NodeId(0), NodeId(1)), (bad, NodeId(0))],
             },
+            Request::QueryPath {
+                u: bad,
+                v: NodeId(0),
+            },
+            Request::QueryPathMany {
+                pairs: vec![(NodeId(0), NodeId(1)), (NodeId(0), bad)],
+            },
             Request::RouteMany {
                 pairs: vec![(NodeId(0), bad)],
             },
@@ -341,5 +404,29 @@ mod tests {
         };
         assert_eq!(q.op(), "query_many");
         assert_eq!(q.pair_count(), 3);
+        let p = Request::QueryPath {
+            u: NodeId(0),
+            v: NodeId(1),
+        };
+        assert_eq!(p.op(), "query_path");
+        assert_eq!(p.pair_count(), 1);
+        let pm = Request::QueryPathMany {
+            pairs: vec![(NodeId(0), NodeId(1)); 2],
+        };
+        assert_eq!(pm.op(), "query_path_many");
+        assert_eq!(pm.pair_count(), 2);
+    }
+
+    #[test]
+    fn served_paths_realize_served_distances() {
+        let svc = service();
+        for v in 0..svc.num_nodes() as u32 {
+            let (u, v) = (NodeId(3), NodeId(v));
+            let est = svc.query(u, v);
+            let path = svc.query_path(u, v).expect("grid is connected");
+            assert_eq!(Some(path.weight), est);
+            assert_eq!(path.nodes.first(), Some(&u));
+            assert_eq!(path.nodes.last(), Some(&v));
+        }
     }
 }

@@ -27,6 +27,7 @@ use std::io::{Read, Write};
 
 use psep_core::wire::{crc32, put_varint, put_zigzag, Cursor, WireError};
 use psep_graph::{NodeId, Weight};
+use psep_oracle::WitnessPath;
 use psep_routing::RouteOutcome;
 
 use crate::api::{ApiError, ApiErrorKind, Request, Response, ServiceStats};
@@ -236,6 +237,8 @@ const REQ_QUERY: u64 = 2;
 const REQ_QUERY_MANY: u64 = 3;
 const REQ_ROUTE: u64 = 4;
 const REQ_ROUTE_MANY: u64 = 5;
+const REQ_QUERY_PATH: u64 = 6;
+const REQ_QUERY_PATH_MANY: u64 = 7;
 
 const RESP_PONG: u64 = 0;
 const RESP_STATS: u64 = 1;
@@ -244,6 +247,8 @@ const RESP_DISTANCES: u64 = 3;
 const RESP_ROUTE: u64 = 4;
 const RESP_ROUTES: u64 = 5;
 const RESP_ERROR: u64 = 6;
+const RESP_PATH: u64 = 7;
+const RESP_PATHS: u64 = 8;
 
 /// Encodes one [`Request`] payload (unframed).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -269,6 +274,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_varint(&mut out, REQ_ROUTE_MANY);
             put_pairs(&mut out, pairs);
         }
+        Request::QueryPath { u, v } => {
+            put_varint(&mut out, REQ_QUERY_PATH);
+            put_varint(&mut out, u.0 as u64);
+            put_varint(&mut out, v.0 as u64);
+        }
+        Request::QueryPathMany { pairs } => {
+            put_varint(&mut out, REQ_QUERY_PATH_MANY);
+            put_pairs(&mut out, pairs);
+        }
     }
     out
 }
@@ -291,6 +305,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             t: node(&mut c)?,
         },
         REQ_ROUTE_MANY => Request::RouteMany {
+            pairs: pairs(&mut c)?,
+        },
+        REQ_QUERY_PATH => Request::QueryPath {
+            u: node(&mut c)?,
+            v: node(&mut c)?,
+        },
+        REQ_QUERY_PATH_MANY => Request::QueryPathMany {
             pairs: pairs(&mut c)?,
         },
         _ => return Err(WireError::Corrupt("unknown request tag")),
@@ -334,6 +355,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_varint(&mut out, rs.len() as u64);
             for r in rs {
                 put_opt_route(&mut out, r);
+            }
+        }
+        Response::Path(p) => {
+            put_varint(&mut out, RESP_PATH);
+            put_opt_path(&mut out, p);
+        }
+        Response::Paths(ps) => {
+            put_varint(&mut out, RESP_PATHS);
+            put_varint(&mut out, ps.len() as u64);
+            for p in ps {
+                put_opt_path(&mut out, p);
             }
         }
         Response::Error(e) => {
@@ -388,6 +420,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 rs.push(opt_route(&mut c)?);
             }
             Response::Routes(rs)
+        }
+        RESP_PATH => Response::Path(opt_path(&mut c)?),
+        RESP_PATHS => {
+            let count = c.length(c.remaining())?;
+            let mut ps = Vec::with_capacity(count);
+            for _ in 0..count {
+                ps.push(opt_path(&mut c)?);
+            }
+            Response::Paths(ps)
         }
         RESP_ERROR => {
             let kind = match c.varint()? {
@@ -495,6 +536,46 @@ fn opt_route(c: &mut Cursor<'_>) -> Result<Option<RouteOutcome>, WireError> {
     }
 }
 
+/// Witness-path vertices are zigzag delta-coded after the first, like
+/// routes: consecutive path vertices tend to be id-local.
+fn put_opt_path(out: &mut Vec<u8>, p: &Option<WitnessPath>) {
+    let Some(p) = p else {
+        put_varint(out, 0);
+        return;
+    };
+    put_varint(out, 1);
+    put_varint(out, p.weight);
+    put_varint(out, p.nodes.len() as u64);
+    let mut prev = 0i64;
+    for v in &p.nodes {
+        put_zigzag(out, v.0 as i64 - prev);
+        prev = v.0 as i64;
+    }
+}
+
+fn opt_path(c: &mut Cursor<'_>) -> Result<Option<WitnessPath>, WireError> {
+    match c.varint()? {
+        0 => Ok(None),
+        1 => {
+            let weight = c.varint()?;
+            // each path vertex takes at least one byte
+            let len = c.length(c.remaining())?;
+            let mut nodes = Vec::with_capacity(len);
+            let mut prev = 0i64;
+            for _ in 0..len {
+                let v = prev
+                    .checked_add(c.zigzag()?)
+                    .filter(|&v| (0..=u32::MAX as i64).contains(&v))
+                    .ok_or(WireError::Corrupt("path vertex out of u32 range"))?;
+                nodes.push(NodeId(v as u32));
+                prev = v;
+            }
+            Ok(Some(WitnessPath { nodes, weight }))
+        }
+        _ => Err(WireError::Corrupt("invalid option discriminant")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +598,14 @@ mod tests {
             },
             Request::RouteMany {
                 pairs: vec![(NodeId(9), NodeId(4))],
+            },
+            Request::QueryPath {
+                u: NodeId(6),
+                v: NodeId(u32::MAX),
+            },
+            Request::QueryPathMany { pairs: vec![] },
+            Request::QueryPathMany {
+                pairs: vec![(NodeId(8), NodeId(1)), (NodeId(2), NodeId(2))],
             },
         ]
     }
@@ -546,6 +635,18 @@ mod tests {
                     route: vec![NodeId(0)],
                     cost: 0,
                     hops: 0,
+                }),
+            ]),
+            Response::Path(None),
+            Response::Path(Some(WitnessPath {
+                nodes: vec![NodeId(4), NodeId(11), NodeId(3), NodeId(u32::MAX)],
+                weight: 29,
+            })),
+            Response::Paths(vec![
+                None,
+                Some(WitnessPath {
+                    nodes: vec![NodeId(7)],
+                    weight: 0,
                 }),
             ]),
             Response::Error(ApiError {

@@ -26,7 +26,7 @@ use std::io::{Read, Write};
 use psep_core::wire::{put_varint, seal, unseal, Cursor, WireError};
 use psep_core::{AutoStrategy, DecompositionParams, DecompositionTree};
 use psep_graph::{Graph, NodeId, Weight};
-use psep_oracle::{build_oracle, DistanceOracle, OracleParams};
+use psep_oracle::{build_oracle, DistanceOracle, OracleParams, WitnessPath};
 use psep_routing::{RouteOutcome, Router, RoutingLabel, RoutingTables};
 
 // The error type moved to its own module; this re-export keeps the
@@ -220,6 +220,47 @@ impl LocationService {
     /// Panics if a vertex id is out of range.
     pub fn query_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
         self.try_query_many(pairs).expect("vertex id out of range")
+    }
+
+    /// Reconstructs a witness path for `query(u, v)`: a real walk of
+    /// the served graph whose weight exactly equals the reported `(1+ε)`
+    /// estimate; `None` for disconnected pairs. Thin wrapper over the
+    /// canonical [`Self::try_query_path`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range; [`Self::try_query_path`]
+    /// returns an error instead.
+    pub fn query_path(&self, u: NodeId, v: NodeId) -> Option<WitnessPath> {
+        self.try_query_path(u, v).expect("vertex id out of range")
+    }
+
+    /// [`Self::query_path`] with out-of-range ids reported as typed
+    /// errors (canonical fallible form).
+    pub fn try_query_path(
+        &self,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<Option<WitnessPath>, ServiceError> {
+        let t0 = psep_obs::now_if_enabled();
+        let out = self.oracle.try_query_path(&self.graph, &self.tree, u, v)?;
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.query_path.latency_ns").record_elapsed(t0);
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs witness paths for a batch of pairs in parallel
+    /// (identical to reconstructing one by one). Thin wrapper over the
+    /// canonical
+    /// [`Self::try_query_path_many`](LocationService::try_query_path_many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex id is out of range.
+    pub fn query_path_many(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<WitnessPath>> {
+        self.try_query_path_many(pairs)
+            .expect("vertex id out of range")
     }
 
     /// Routes a message from `u` to `t`, resolving `t`'s routing label

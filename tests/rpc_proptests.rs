@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use path_separators::api::{ApiError, ApiErrorKind, Request, Response, ServiceStats};
 use path_separators::rpc;
-use path_separators::{NodeId, RouteOutcome};
+use path_separators::{NodeId, RouteOutcome, WitnessPath};
 
 fn arb_pairs() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
     prop::collection::vec((any::<u32>(), any::<u32>()), 0..40)
@@ -27,8 +27,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
             u: NodeId(u),
             t: NodeId(t),
         }),
+        (any::<u32>(), any::<u32>()).prop_map(|(u, v)| Request::QueryPath {
+            u: NodeId(u),
+            v: NodeId(v),
+        }),
         arb_pairs().prop_map(|pairs| Request::QueryMany { pairs }),
         arb_pairs().prop_map(|pairs| Request::RouteMany { pairs }),
+        arb_pairs().prop_map(|pairs| Request::QueryPathMany { pairs }),
     ]
 }
 
@@ -45,6 +50,18 @@ fn arb_outcome() -> impl Strategy<Value = Option<RouteOutcome>> {
                 cost,
                 hops,
             })),
+    ]
+}
+
+fn arb_witness() -> impl Strategy<Value = Option<WitnessPath>> {
+    prop_oneof![
+        Just(None),
+        (prop::collection::vec(any::<u32>(), 0..30), any::<u64>()).prop_map(|(nodes, weight)| {
+            Some(WitnessPath {
+                nodes: nodes.into_iter().map(NodeId).collect(),
+                weight,
+            })
+        }),
     ]
 }
 
@@ -87,6 +104,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
         weights.prop_map(Response::Distances),
         arb_outcome().prop_map(Response::Route),
         prop::collection::vec(arb_outcome(), 0..10).prop_map(Response::Routes),
+        arb_witness().prop_map(Response::Path),
+        prop::collection::vec(arb_witness(), 0..10).prop_map(Response::Paths),
         error,
     ]
 }
