@@ -106,6 +106,21 @@ fn main() {
         &[(6, 6, 6), (10, 10, 10)]
     };
     let trials = if quick { 200 } else { 600 };
+    let escale_entries: &[(Family, usize)] = if quick {
+        &[(Family::Grid, 4_096), (Family::KTree3, 2_048)]
+    } else if large {
+        &[
+            (Family::Grid, 1_000_000),
+            (Family::KTree3, 200_000),
+            (Family::TriangulatedGrid, 200_000),
+        ]
+    } else {
+        &[
+            (Family::Grid, 100_000),
+            (Family::KTree3, 40_000),
+            (Family::TriangulatedGrid, 40_000),
+        ]
+    };
 
     type Exp<'a> = (&'static str, &'static str, Box<dyn FnOnce() -> String + 'a>);
     let experiments: Vec<Exp> = vec![
@@ -195,6 +210,13 @@ fn main() {
                         ..LoadgenConfig::default()
                     },
                 )
+            }),
+        ),
+        (
+            "escale",
+            "E-scale — zero-copy bundle serving at scale (psep-bundle/v2)",
+            Box::new(move || {
+                ex::escale_bundles(escale_entries, if quick { 2_000 } else { 20_000 })
             }),
         ),
         (

@@ -914,3 +914,127 @@ pub fn e9_structures() -> String {
     }
     out
 }
+
+/// E-scale — zero-copy serving at scale (PR "psep-bundle/v2"): builds
+/// the full location service on large grids, 3-trees, and random
+/// planar instances, persists each as a v2 bundle, and measures the
+/// fleet story end to end: build rate, bundle wire size, resident
+/// arena bytes (an RSS proxy — what one replica must keep hot), cold
+/// start of an aligned map versus a full decode, and query throughput
+/// straight out of the borrowed arenas. Mapped answers are asserted
+/// bit-identical to the owned service on every sampled pair, a routed
+/// spot-check must agree hop for hop, and with observability enabled
+/// the mapped query phase must leave every per-entry decode counter
+/// untouched — the O(checksum) cold-start claim, checked, not eyeballed.
+///
+/// Reported metrics: `escale.build.nodes_per_sec`,
+/// `escale.map.pairs_per_sec`, `escale.owned.pairs_per_sec` (best
+/// observed), `escale.bundle.bytes`, `escale.bundle.bytes_per_node`,
+/// `escale.arena.bytes`, and `escale.coldstart.{map_ns,load_ns,speedup}`
+/// gauges; the `service.map_ns` / `service.load_ns` histograms recorded
+/// by the service itself ride along in the same snapshot.
+pub fn escale_bundles(entries: &[(Family, usize)], pair_count: usize) -> String {
+    use path_separators::{LocationService, ServiceParams};
+    use psep_core::wire::AlignedBytes;
+
+    const DECODE_COUNTERS: [&str; 3] = [
+        "oracle.wire.entries_decoded",
+        "oracle.wire.portals_decoded",
+        "routing.wire.entries_decoded",
+    ];
+    let decode_counts = || -> Vec<u64> {
+        let snap = psep_obs::snapshot();
+        DECODE_COUNTERS
+            .iter()
+            .map(|c| snap.counter(c).unwrap_or(0))
+            .collect()
+    };
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | build s | nodes/s | bundle B | B/node | arena B | map ms | load ms | load/map | map pairs/s |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
+    for &(fam, n) in entries {
+        let g = fam.make(n, SEED);
+        let nn = g.num_nodes();
+        let (svc, build_s) = timed(|| {
+            LocationService::build(
+                &g,
+                ServiceParams {
+                    epsilon: 0.25,
+                    threads,
+                },
+            )
+        });
+        let nps = nn as f64 / build_s;
+
+        let bytes = svc.to_bytes();
+        let bpn = bytes.len() as f64 / nn as f64;
+        let arena_bytes =
+            svc.oracle().flat_labels().heap_bytes() + svc.router().tables().flat().heap_bytes();
+
+        // Cold start, owned path: full decode of every section.
+        let (loaded, load_s) =
+            timed(|| LocationService::from_bytes(&bytes).expect("own bundle loads"));
+        drop(loaded);
+
+        // Cold start, mapped path: checksums plus arena views, nothing
+        // per-entry; best of five for a stable minimum.
+        let aligned = AlignedBytes::from_slice(&bytes);
+        let before = decode_counts();
+        let mut map_s = f64::INFINITY;
+        let mut mapped = None;
+        for _ in 0..5 {
+            let (m, s) = timed(|| LocationService::map_bytes(&aligned).expect("own bundle maps"));
+            map_s = map_s.min(s);
+            mapped = Some(m);
+        }
+        let mapped = mapped.expect("at least one map attempt");
+        assert!(mapped.is_borrowed(), "aligned v2 map must borrow in place");
+
+        // Queries out of the borrowed arenas, bit-identical to owned.
+        let pairs = crate::measure::random_pairs(nn, pair_count, SEED ^ 47);
+        let (owned_answers, owned_s) = timed(|| svc.query_many(&pairs));
+        let (mapped_answers, mapped_s) = timed(|| mapped.query_many(&pairs));
+        assert_eq!(mapped_answers, owned_answers, "mapped answers diverge");
+        assert_eq!(
+            decode_counts(),
+            before,
+            "mapped cold start or queries performed per-entry decodes"
+        );
+        let map_pps = pairs.len() as f64 / mapped_s;
+        let owned_pps = pairs.len() as f64 / owned_s;
+
+        // Routed spot-check: same hops, same weights, out of both stores.
+        for &(u, v) in pairs.iter().take(32) {
+            let a = svc.route(u, v);
+            let b = mapped.route(u, v);
+            assert_eq!(a, b, "mapped route diverges for {u:?}->{v:?}");
+        }
+
+        if psep_obs::enabled() {
+            psep_obs::gauge("escale.build.nodes_per_sec").set_max(nps);
+            psep_obs::counter("escale.bundle.bytes").add(bytes.len() as u64);
+            psep_obs::gauge("escale.bundle.bytes_per_node").set_max(bpn);
+            psep_obs::gauge("escale.arena.bytes").set_max(arena_bytes as f64);
+            psep_obs::gauge("escale.coldstart.map_ns").set_max(map_s * 1e9);
+            psep_obs::gauge("escale.coldstart.load_ns").set_max(load_s * 1e9);
+            psep_obs::gauge("escale.coldstart.speedup").set_max(load_s / map_s);
+            psep_obs::gauge("escale.map.pairs_per_sec").set_max(map_pps);
+            psep_obs::gauge("escale.owned.pairs_per_sec").set_max(owned_pps);
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {nn} | {build_s:.2} | {nps:.0} | {} | {bpn:.1} | {arena_bytes} | {:.2} | {:.2} | {:.1}× | {map_pps:.0} |",
+            fam.name(),
+            bytes.len(),
+            map_s * 1e3,
+            load_s * 1e3,
+            load_s / map_s,
+        );
+    }
+    out
+}

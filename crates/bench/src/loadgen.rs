@@ -354,6 +354,55 @@ pub fn run_against(
     out
 }
 
+/// Measures cold-start time-to-first-response for the same service
+/// shipped three ways: a zero-copy v2 map, an owned v2 load, and an
+/// owned v1 load. Each clock covers open-to-first-answer (validate /
+/// decode, then one distance query), the number a restarting replica
+/// cares about. Reported as `serve.loadgen.coldstart.*_ns` gauges.
+fn measure_cold_start(svc: &LocationService, pair: (NodeId, NodeId)) -> (u64, u64, u64) {
+    let v2 = svc.to_bytes();
+    let v1 = svc.to_bytes_v1();
+    let buf = path_separators::core::wire::AlignedBytes::from_slice(&v2);
+    let expected = svc.query(pair.0, pair.1);
+
+    // Untimed warmup so the first timed path doesn't also pay for
+    // faulting in the freshly written buffers; then best of three per
+    // path, so one scheduler hiccup can't invert the comparison.
+    let mapped = LocationService::map_bytes(&buf).expect("mapping own bytes");
+    assert!(mapped.is_borrowed(), "aligned v2 map must borrow in place");
+    assert_eq!(mapped.query(pair.0, pair.1), expected);
+
+    let best = |f: &dyn Fn() -> ()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+            })
+            .min()
+            .unwrap_or(u64::MAX)
+    };
+    let map_v2_ns = best(&|| {
+        let mapped = LocationService::map_bytes(&buf).expect("mapping own bytes");
+        assert_eq!(mapped.query(pair.0, pair.1), expected);
+    });
+    let load_v2_ns = best(&|| {
+        let loaded = LocationService::from_bytes(&v2).expect("loading own v2 bytes");
+        assert_eq!(loaded.query(pair.0, pair.1), expected);
+    });
+    let load_v1_ns = best(&|| {
+        let legacy = LocationService::from_bytes(&v1).expect("loading own v1 bytes");
+        assert_eq!(legacy.query(pair.0, pair.1), expected);
+    });
+
+    if psep_obs::enabled() {
+        psep_obs::gauge!("serve.loadgen.coldstart.map_v2_ns").set(map_v2_ns as f64);
+        psep_obs::gauge!("serve.loadgen.coldstart.load_v2_ns").set(load_v2_ns as f64);
+        psep_obs::gauge!("serve.loadgen.coldstart.load_v1_ns").set(load_v1_ns as f64);
+    }
+    (map_v2_ns, load_v2_ns, load_v1_ns)
+}
+
 /// Builds `family`/`n`, spawns a real daemon on an ephemeral loopback
 /// port, hammers it, shuts it down, and returns the results table —
 /// the self-contained `eserve` experiment.
@@ -383,6 +432,15 @@ pub fn self_contained(
         svc.epsilon(),
         cfg.concurrency,
         cfg.duration,
+    );
+    let pair = random_pairs(num_nodes, 1, cfg.seed)[0];
+    let (map_v2_ns, load_v2_ns, load_v1_ns) = measure_cold_start(&svc, pair);
+    let _ = writeln!(
+        out,
+        "cold start to first response: v2 map {:.1} µs · v2 load {:.1} µs · v1 load {:.1} µs\n",
+        map_v2_ns as f64 / 1e3,
+        load_v2_ns as f64 / 1e3,
+        load_v1_ns as f64 / 1e3,
     );
     out.push_str(&run_against(addr, Some(&svc), num_nodes, cfg));
     handle.shutdown();

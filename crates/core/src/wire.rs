@@ -95,17 +95,35 @@ pub fn put_zigzag(buf: &mut Vec<u8>, v: i64) {
 }
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes`.
+///
+/// Slicing-by-8: eight bytes per table round instead of one. Checksum
+/// throughput bounds the cold start of a mapped `psep-bundle/v2` —
+/// validating sections is the *only* O(n) work on that path — so this
+/// is a serving-latency function, not just an integrity check.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
+    const T: [[u32; 256]; 8] = crc32_tables();
     let mut crc = u32::MAX;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = T[7][(lo & 0xff) as usize]
+            ^ T[6][((lo >> 8) & 0xff) as usize]
+            ^ T[5][((lo >> 16) & 0xff) as usize]
+            ^ T[4][(lo >> 24) as usize]
+            ^ T[3][(hi & 0xff) as usize]
+            ^ T[2][((hi >> 8) & 0xff) as usize]
+            ^ T[1][((hi >> 16) & 0xff) as usize]
+            ^ T[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ T[0][((crc ^ b as u32) & 0xff) as usize];
     }
     !crc
 }
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -118,10 +136,21 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        t[0][i] = c;
         i += 1;
     }
-    table
+    // t[j][b] = CRC of byte b followed by j zero bytes.
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
 }
 
 /// A bounds-checked read cursor over a received byte buffer.
@@ -222,6 +251,346 @@ pub fn unseal<'a>(magic: &[u8; 8], data: &'a [u8]) -> Result<&'a [u8], WireError
     Ok(payload)
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy primitives for `psep-bundle/v2`.
+//
+// v2 sections are aligned little-endian arrays so the wire bytes *are*
+// the serving representation: on little-endian hosts a properly aligned
+// buffer is borrowed in place (`ArenaStorage::Borrowed`), anywhere else
+// the same bytes decode element-by-element into an owned arena with
+// identical contents. Queries are bit-identical either way.
+// ---------------------------------------------------------------------------
+
+/// Backing storage for a flat arena column: either an owned `Vec` (the
+/// build path, or the decode fallback) or a slice borrowed straight
+/// from a mapped wire buffer (the zero-copy path).
+///
+/// Dereferences to `&[T]`, so arena code is storage-oblivious.
+#[derive(Debug)]
+pub enum ArenaStorage<'a, T> {
+    /// Heap-owned column (built in memory or decoded from the wire).
+    Owned(Vec<T>),
+    /// Column borrowed in place from an externally owned buffer.
+    Borrowed(&'a [T]),
+}
+
+impl<'a, T> ArenaStorage<'a, T> {
+    /// The column as a plain slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            ArenaStorage::Owned(v) => v,
+            ArenaStorage::Borrowed(s) => s,
+        }
+    }
+
+    /// True if this column borrows from an external buffer.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, ArenaStorage::Borrowed(_))
+    }
+
+    /// Heap bytes owned by this column (zero when borrowed).
+    pub fn owned_bytes(&self) -> usize {
+        match self {
+            ArenaStorage::Owned(v) => std::mem::size_of_val(v.as_slice()),
+            ArenaStorage::Borrowed(_) => 0,
+        }
+    }
+}
+
+impl<T: Clone> ArenaStorage<'_, T> {
+    /// Converts into an owned column, copying if borrowed.
+    pub fn into_owned(self) -> ArenaStorage<'static, T> {
+        match self {
+            ArenaStorage::Owned(v) => ArenaStorage::Owned(v),
+            ArenaStorage::Borrowed(s) => ArenaStorage::Owned(s.to_vec()),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for ArenaStorage<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Clone> Clone for ArenaStorage<'_, T> {
+    fn clone(&self) -> Self {
+        match self {
+            ArenaStorage::Owned(v) => ArenaStorage::Owned(v.clone()),
+            ArenaStorage::Borrowed(s) => ArenaStorage::Borrowed(s),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for ArenaStorage<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for ArenaStorage<'_, T> {}
+
+impl<T> Default for ArenaStorage<'_, T> {
+    fn default() -> Self {
+        ArenaStorage::Owned(Vec::new())
+    }
+}
+
+impl<T> From<Vec<T>> for ArenaStorage<'_, T> {
+    fn from(v: Vec<T>) -> Self {
+        ArenaStorage::Owned(v)
+    }
+}
+
+/// A plain-old-data element of a v2 wire column.
+///
+/// # Safety
+///
+/// Implementors guarantee: the type is `#[repr(C)]` or
+/// `#[repr(transparent)]` with no padding bytes (`SIZE` equals the sum
+/// of field sizes), every bit pattern is a valid value, and the
+/// in-memory layout on a little-endian host equals the wire layout
+/// (fields in declaration order, each little-endian). Those invariants
+/// are what make `cast_pod_slice`'s pointer cast sound.
+pub unsafe trait Pod: Copy + 'static {
+    /// Wire size of one element in bytes.
+    const SIZE: usize;
+    /// Decodes one element from exactly [`Pod::SIZE`] little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Appends this element as [`Pod::SIZE`] little-endian bytes.
+    fn write_le(&self, out: &mut Vec<u8>);
+}
+
+unsafe impl Pod for u32 {
+    const SIZE: usize = 4;
+    fn read_le(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes[..4].try_into().unwrap())
+    }
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+unsafe impl Pod for u64 {
+    const SIZE: usize = 8;
+    fn read_le(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes[..8].try_into().unwrap())
+    }
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+// SAFETY: `NodeId` is `#[repr(transparent)]` over `u32` — same layout,
+// no padding, every bit pattern valid.
+unsafe impl Pod for psep_graph::NodeId {
+    const SIZE: usize = 4;
+    fn read_le(bytes: &[u8]) -> Self {
+        psep_graph::NodeId(u32::read_le(bytes))
+    }
+    fn write_le(&self, out: &mut Vec<u8>) {
+        self.0.write_le(out);
+    }
+}
+
+/// Reinterprets `bytes` as a `[T]` in place. Returns `None` unless the
+/// host is little-endian, the length is an exact multiple of
+/// [`Pod::SIZE`], and the pointer is aligned for `T` — the conditions
+/// under which the wire layout and the in-memory layout coincide.
+pub fn cast_pod_slice<T: Pod>(bytes: &[u8]) -> Option<&[T]> {
+    if !cfg!(target_endian = "little")
+        || std::mem::size_of::<T>() != T::SIZE
+        || !bytes.len().is_multiple_of(T::SIZE)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<T>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: `T: Pod` guarantees no padding, any-bit-pattern validity,
+    // and wire == memory layout on little-endian; length and alignment
+    // were checked above; the borrow ties the slice to `bytes`.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / T::SIZE) })
+}
+
+/// Decodes `bytes` element-by-element into an owned `Vec<T>` — the
+/// portable fallback when `cast_pod_slice` declines.
+pub fn decode_pod_vec<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    debug_assert_eq!(bytes.len() % T::SIZE, 0);
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+/// Loads a column of exactly `count` elements from `bytes`: borrowed in
+/// place when the host and buffer allow it, decoded into an owned arena
+/// otherwise. Either way the resulting slice is element-wise identical.
+pub fn load_pod_slice<'a, T: Pod>(
+    bytes: &'a [u8],
+    count: usize,
+) -> Result<ArenaStorage<'a, T>, WireError> {
+    let expect = count
+        .checked_mul(T::SIZE)
+        .ok_or(WireError::Corrupt("pod column length overflows"))?;
+    if bytes.len() != expect {
+        return Err(WireError::Corrupt("pod column length mismatch"));
+    }
+    match cast_pod_slice::<T>(bytes) {
+        Some(s) => Ok(ArenaStorage::Borrowed(s)),
+        None => Ok(ArenaStorage::Owned(decode_pod_vec(bytes))),
+    }
+}
+
+/// Appends a column as little-endian wire bytes. On little-endian hosts
+/// with layout-faithful `T` this is one bulk copy; otherwise it falls
+/// back to per-element encoding. Output bytes are identical either way.
+pub fn put_pod_slice<T: Pod>(out: &mut Vec<u8>, items: &[T]) {
+    if cfg!(target_endian = "little") && std::mem::size_of::<T>() == T::SIZE {
+        // SAFETY: `T: Pod` — no padding, memory layout == wire layout on
+        // little-endian hosts — so the element bytes are the wire bytes.
+        let raw = unsafe {
+            std::slice::from_raw_parts(items.as_ptr().cast::<u8>(), std::mem::size_of_val(items))
+        };
+        out.extend_from_slice(raw);
+    } else {
+        out.reserve(items.len() * T::SIZE);
+        for it in items {
+            it.write_le(out);
+        }
+    }
+}
+
+/// Appends zero bytes until `out.len()` is a multiple of 8 — v2 columns
+/// are 8-aligned relative to their section start.
+pub fn pad_to_8(out: &mut Vec<u8>) {
+    while !out.len().is_multiple_of(8) {
+        out.push(0);
+    }
+}
+
+/// A structured reader over one v2 section: scalar fields, aligned pod
+/// columns, and explicit zero padding, with typed errors for every
+/// header/payload disagreement.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Reader at the start of `bytes` (a full section payload).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SectionReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a column of `count` pod elements. The column must start
+    /// 8-aligned relative to the section start (that is how the encoder
+    /// laid it out), so a misaligned position means the declared
+    /// lengths disagree with the payload.
+    pub fn pod_slice<T: Pod>(&mut self, count: usize) -> Result<ArenaStorage<'a, T>, WireError> {
+        if !self.pos.is_multiple_of(8) {
+            return Err(WireError::Corrupt("misaligned section column"));
+        }
+        let len = count
+            .checked_mul(T::SIZE)
+            .ok_or(WireError::Corrupt("pod column length overflows"))?;
+        load_pod_slice(self.take(len)?, count)
+    }
+
+    /// Consumes zero padding up to the next 8-byte boundary. A nonzero
+    /// pad byte means the payload was not produced by the canonical
+    /// encoder.
+    pub fn align8(&mut self) -> Result<(), WireError> {
+        while !self.pos.is_multiple_of(8) {
+            let b = self.take(1)?[0];
+            if b != 0 {
+                return Err(WireError::Corrupt("nonzero section padding"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts the section was consumed exactly.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::Corrupt("trailing bytes in section"));
+        }
+        Ok(())
+    }
+}
+
+/// An 8-aligned owned byte buffer: the canonical way to hold v2 bundle
+/// bytes so every section column can be borrowed in place.
+///
+/// `Vec<u8>` only guarantees 1-byte alignment; this buffer is backed by
+/// `Vec<u64>`, so its base address is always 8-aligned and in-place
+/// borrowing is deterministic rather than allocator-dependent.
+#[derive(Clone, Debug, Default)]
+pub struct AlignedBytes {
+    buf: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `bytes` into a fresh 8-aligned buffer.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let words = bytes.len().div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: the destination holds `words * 8 >= bytes.len()` bytes
+        // and u64 has no validity constraints on its bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                buf.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+        AlignedBytes {
+            buf,
+            len: bytes.len(),
+        }
+    }
+
+    /// Reads a whole file into an 8-aligned buffer.
+    pub fn read_file(path: &std::path::Path) -> Result<Self, WireError> {
+        Ok(AlignedBytes::from_slice(&std::fs::read(path)?))
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `buf` owns at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +668,103 @@ mod tests {
             unseal(magic, &sealed[..5]),
             Err(WireError::Truncated)
         ));
+    }
+
+    #[test]
+    fn pod_slice_roundtrips_and_borrows_when_aligned() {
+        let vals: Vec<u64> = vec![0, 1, u32::MAX as u64 + 7, u64::MAX];
+        let mut wire = Vec::new();
+        put_pod_slice(&mut wire, &vals);
+        assert_eq!(wire.len(), vals.len() * 8);
+
+        let aligned = AlignedBytes::from_slice(&wire);
+        let col = load_pod_slice::<u64>(&aligned, vals.len()).unwrap();
+        assert_eq!(&*col, &vals[..]);
+        if cfg!(target_endian = "little") {
+            assert!(col.is_borrowed());
+            assert_eq!(col.owned_bytes(), 0);
+        }
+        let owned = col.clone().into_owned();
+        assert!(!owned.is_borrowed());
+        assert_eq!(owned, ArenaStorage::Owned(vals.clone()));
+
+        // Decode fallback yields the same elements.
+        assert_eq!(decode_pod_vec::<u64>(&wire), vals);
+    }
+
+    #[test]
+    fn pod_slice_rejects_length_mismatch() {
+        let wire = [0u8; 12];
+        assert!(matches!(
+            load_pod_slice::<u64>(&wire, 2),
+            Err(WireError::Corrupt(_))
+        ));
+        assert!(load_pod_slice::<u32>(&wire, 3).is_ok());
+    }
+
+    #[test]
+    fn cast_declines_misaligned_input() {
+        let aligned = AlignedBytes::from_slice(&[0u8; 24]);
+        // Offset by one byte: never aligned for u64.
+        assert!(cast_pod_slice::<u64>(&aligned.as_slice()[1..9]).is_none());
+    }
+
+    #[test]
+    fn section_reader_reads_fields_and_rejects_disagreement() {
+        let mut sec = Vec::new();
+        sec.extend_from_slice(&7u64.to_le_bytes());
+        sec.extend_from_slice(&3u32.to_le_bytes());
+        pad_to_8(&mut sec);
+        put_pod_slice(&mut sec, &[10u32, 20, 30]);
+        pad_to_8(&mut sec);
+        put_pod_slice(&mut sec, &[99u64]);
+
+        let mut r = SectionReader::new(&sec);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 3);
+        r.align8().unwrap();
+        let col: ArenaStorage<u32> = r.pod_slice(3).unwrap();
+        assert_eq!(&*col, &[10, 20, 30]);
+        r.align8().unwrap();
+        let tail: ArenaStorage<u64> = r.pod_slice(1).unwrap();
+        assert_eq!(&*tail, &[99]);
+        r.finish().unwrap();
+
+        // Truncated column.
+        let mut r = SectionReader::new(&sec[..16]);
+        r.u64().unwrap();
+        r.u32().unwrap();
+        r.align8().unwrap();
+        assert!(matches!(r.pod_slice::<u32>(3), Err(WireError::Truncated)));
+
+        // Nonzero padding.
+        let mut bad = sec.clone();
+        bad[13] = 1; // inside the pad after the u32 field
+        let mut r = SectionReader::new(&bad);
+        r.u64().unwrap();
+        r.u32().unwrap();
+        assert!(matches!(r.align8(), Err(WireError::Corrupt(_))));
+
+        // Trailing bytes.
+        let mut long = sec.clone();
+        long.extend_from_slice(&[0; 8]);
+        let mut r = SectionReader::new(&long);
+        r.u64().unwrap();
+        r.u32().unwrap();
+        r.align8().unwrap();
+        let _: ArenaStorage<u32> = r.pod_slice(3).unwrap();
+        r.align8().unwrap();
+        let _: ArenaStorage<u64> = r.pod_slice(1).unwrap();
+        assert!(matches!(r.finish(), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn aligned_bytes_is_eight_aligned() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let src: Vec<u8> = (0..n as u8).collect();
+            let a = AlignedBytes::from_slice(&src);
+            assert_eq!(a.as_slice(), &src[..]);
+            assert_eq!(a.as_slice().as_ptr().align_offset(8), 0);
+        }
     }
 }

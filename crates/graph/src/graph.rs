@@ -10,6 +10,7 @@ use std::fmt;
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! psep-inspect bundle <path> [--json]
+//! psep-inspect upgrade <in-bundle> <out-bundle>
 //! psep-inspect report <path> [--json]
 //! psep-inspect diff <base.json> <fresh.json> [--threshold 0.3] [--quantile-factor 4.0] [--json]
 //! ```
@@ -9,17 +10,21 @@
 //! Exit codes: `0` success / clean diff, `1` regression detected (diff
 //! only), `2` usage or parse error.
 
-use psep_inspect::{diff_reports, parse_report, verify_metric_crcs, BundleStats, DiffConfig};
+use psep_inspect::{
+    diff_reports, parse_report, upgrade_bundle, verify_metric_crcs, BundleStats, DiffConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("bundle") => cmd_bundle(&args[1..]),
+        Some("upgrade") => cmd_upgrade(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         _ => {
             eprintln!(
                 "usage: psep-inspect bundle <path> [--json]\n\
+                 \x20      psep-inspect upgrade <in-bundle> <out-bundle>\n\
                  \x20      psep-inspect report <path> [--json]\n\
                  \x20      psep-inspect diff <base.json> <fresh.json> \
                  [--threshold X] [--quantile-factor Y] [--json]"
@@ -69,6 +74,30 @@ fn cmd_bundle(args: &[String]) -> i32 {
         }
         Err(e) => usage_err(&format!("{path}: {e}")),
     }
+}
+
+fn cmd_upgrade(args: &[String]) -> i32 {
+    let (pos, _flags) = split_args(args);
+    let [input, output] = pos[..] else {
+        return usage_err("upgrade takes an input and an output path");
+    };
+    let data = match std::fs::read(input) {
+        Ok(d) => d,
+        Err(e) => return usage_err(&format!("cannot read {input}: {e}")),
+    };
+    let (version, upgraded) = match upgrade_bundle(&data) {
+        Ok(out) => out,
+        Err(e) => return usage_err(&format!("{input}: {e}")),
+    };
+    if let Err(e) = std::fs::write(output, &upgraded) {
+        return usage_err(&format!("cannot write {output}: {e}"));
+    }
+    println!(
+        "upgraded {input} (v{version}, {} bytes) -> {output} (v2, {} bytes)",
+        data.len(),
+        upgraded.len()
+    );
+    0
 }
 
 fn cmd_report(args: &[String]) -> i32 {

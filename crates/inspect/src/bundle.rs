@@ -1,14 +1,15 @@
-//! Inspection of sealed `psep-bundle/v1` artifacts.
+//! Inspection of sealed `psep-bundle` artifacts (v1 and v2).
 //!
 //! Walks the envelope without deserializing (section sizes and
-//! per-section CRCs), then loads the bundle through
+//! per-section CRCs via [`bundle_sections`]), probes the zero-copy
+//! storage mode of a v2 bundle, then loads the bundle through
 //! [`LocationService::from_bytes`] — which re-validates every inner
 //! format — and summarizes per-vertex label and routing-table entry
 //! counts as [`HistogramStat`]s.
 
-use path_separators::service::{BUNDLE_MAGIC, BUNDLE_VERSION};
+use path_separators::service::{bundle_sections, section_name};
 use path_separators::LocationService;
-use psep_core::wire::{crc32, unseal, Cursor};
+use psep_core::wire::AlignedBytes;
 use psep_graph::NodeId;
 use psep_obs::{HistogramStat, JsonWriter};
 
@@ -33,6 +34,9 @@ pub struct BundleStats {
     pub version: u64,
     /// Total artifact size in bytes (envelope included).
     pub total_bytes: usize,
+    /// `"borrowed"` when an aligned map of this bundle serves the
+    /// arenas zero-copy (v2 on little-endian); `"owned"` otherwise.
+    pub storage: &'static str,
     /// Per-section sizes and checksums, wire order.
     pub sections: Vec<SectionStat>,
     /// Vertices in the bundled graph.
@@ -51,25 +55,23 @@ impl BundleStats {
     /// Inspects a serialized bundle. Fails if the envelope is
     /// malformed or any inner section fails its own validation.
     pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
-        let payload = unseal(BUNDLE_MAGIC, data).map_err(|e| e.to_string())?;
-        let mut c = Cursor::new(payload);
-        let version = c.varint().map_err(|e| e.to_string())?;
-        if version != BUNDLE_VERSION {
-            return Err(format!("unsupported bundle version {version}"));
-        }
-        let mut sections = Vec::with_capacity(4);
-        for name in SECTION_NAMES {
-            let len = c.length(payload.len()).map_err(|e| e.to_string())?;
-            let bytes = c.bytes(len).map_err(|e| e.to_string())?;
-            sections.push(SectionStat {
-                name,
-                bytes: len,
-                crc32: crc32(bytes),
-            });
-        }
-        if c.remaining() != 0 {
-            return Err("trailing bytes after bundle sections".into());
-        }
+        let (version, rows) = bundle_sections(data).map_err(|e| e.to_string())?;
+        let sections = rows
+            .iter()
+            .map(|s| SectionStat {
+                name: section_name(s.kind),
+                bytes: s.bytes.len(),
+                crc32: s.crc32,
+            })
+            .collect();
+
+        // Probe the zero-copy path: map an aligned copy and see whether
+        // the arenas borrow in place.
+        let aligned = AlignedBytes::from_slice(data);
+        let storage = match LocationService::map_bytes(&aligned) {
+            Ok(mapped) if mapped.is_borrowed() => "borrowed",
+            _ => "owned",
+        };
 
         let svc = LocationService::from_bytes(data).map_err(|e| e.to_string())?;
         let n = svc.num_nodes();
@@ -83,6 +85,7 @@ impl BundleStats {
         Ok(BundleStats {
             version,
             total_bytes: data.len(),
+            storage,
             sections,
             num_nodes: n,
             num_edges: svc.graph().num_edges(),
@@ -96,8 +99,13 @@ impl BundleStats {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "psep-bundle/v{} ({} bytes, {} nodes, {} edges, epsilon {})\n",
-            self.version, self.total_bytes, self.num_nodes, self.num_edges, self.epsilon
+            "psep-bundle/v{} ({} bytes, {} nodes, {} edges, epsilon {}, {} storage)\n",
+            self.version,
+            self.total_bytes,
+            self.num_nodes,
+            self.num_edges,
+            self.epsilon,
+            self.storage
         ));
         for s in &self.sections {
             out.push_str(&format!(
@@ -129,6 +137,8 @@ impl BundleStats {
         w.uint(self.version);
         w.key("total_bytes");
         w.uint(self.total_bytes as u64);
+        w.key("storage");
+        w.string(self.storage);
         w.key("num_nodes");
         w.uint(self.num_nodes as u64);
         w.key("num_edges");
@@ -160,10 +170,20 @@ impl BundleStats {
     }
 }
 
+/// Rewrites a bundle as `psep-bundle/v2`, returning `(stats_before,
+/// bytes_after)`; the backing logic of `psep-inspect upgrade`. The
+/// upgraded bundle answers bit-identically to the input (same graph,
+/// tree, labels, and tables — only the container changes).
+pub fn upgrade_bundle(data: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    let (version, _) = bundle_sections(data).map_err(|e| e.to_string())?;
+    let svc = LocationService::from_bytes(data).map_err(|e| e.to_string())?;
+    Ok((version, svc.to_bytes()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use path_separators::service::ServiceParams;
+    use path_separators::service::{ServiceParams, BUNDLE_VERSION};
     use psep_graph::generators::grids;
 
     #[test]
@@ -175,6 +195,7 @@ mod tests {
         assert_eq!(stats.version, BUNDLE_VERSION);
         assert_eq!(stats.total_bytes, bytes.len());
         assert_eq!(stats.num_nodes, 36);
+        assert_eq!(stats.storage, "borrowed");
         assert_eq!(stats.sections.len(), 4);
         assert!(stats.sections.iter().all(|s| s.bytes > 0));
         assert_eq!(stats.label_entries.count, 36);
@@ -182,9 +203,30 @@ mod tests {
         assert!(stats.label_entries.max >= 1);
         let text = stats.render_text();
         assert!(text.contains("section graph"));
+        assert!(text.contains("borrowed storage"));
         let json = stats.to_json();
         assert!(json.contains("\"schema\":\"psep-bundle-stats/v1\""));
+        assert!(json.contains("\"storage\":\"borrowed\""));
         assert!(json.contains("\"name\":\"bundle.label.entries\""));
+    }
+
+    #[test]
+    fn v1_bundles_report_owned_storage() {
+        let g = grids::grid2d(5, 5, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let stats = BundleStats::from_bytes(&svc.to_bytes_v1()).unwrap();
+        assert_eq!(stats.version, 1);
+        assert_eq!(stats.storage, "owned");
+        assert_eq!(stats.num_nodes, 25);
+    }
+
+    #[test]
+    fn upgrade_rewrites_v1_as_v2() {
+        let g = grids::grid2d(5, 5, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let (version, upgraded) = upgrade_bundle(&svc.to_bytes_v1()).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(upgraded, svc.to_bytes());
     }
 
     #[test]
@@ -196,5 +238,6 @@ mod tests {
         bytes[mid] ^= 0xFF;
         assert!(BundleStats::from_bytes(&bytes).is_err());
         assert!(BundleStats::from_bytes(b"not a bundle").is_err());
+        assert!(upgrade_bundle(&bytes).is_err());
     }
 }

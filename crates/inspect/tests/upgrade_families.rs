@@ -1,0 +1,50 @@
+//! `psep-inspect upgrade` round-trip guarantees on every graph family:
+//! upgrading a v1 bundle yields the canonical v2 encoding of the same
+//! service, upgrading a v2 bundle is the identity, and the upgraded
+//! bundle answers every query and route bit-identically to the
+//! original — the container changes, the answers must not.
+
+use path_separators::{LocationService, ServiceParams};
+use psep_inspect::upgrade_bundle;
+use psep_testkit::families::ALL_FAMILIES;
+use psep_testkit::random_pairs;
+
+const SEED: u64 = 20060722;
+
+#[test]
+fn upgrade_is_canonical_and_bit_identity_preserving_on_every_family() {
+    for fam in ALL_FAMILIES {
+        let g = fam.make(80, SEED);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let v1 = svc.to_bytes_v1();
+        let v2 = svc.to_bytes();
+
+        // v1 -> v2 lands on the canonical encoding.
+        let (version, upgraded) = upgrade_bundle(&v1).unwrap_or_else(|e| {
+            panic!("{}: upgrade failed: {e}", fam.name());
+        });
+        assert_eq!(version, 1, "{}", fam.name());
+        assert_eq!(upgraded, v2, "{}: upgrade is not canonical", fam.name());
+
+        // v2 -> v2 is the identity.
+        let (version, again) = upgrade_bundle(&v2).unwrap();
+        assert_eq!(version, 2, "{}", fam.name());
+        assert_eq!(again, v2, "{}: v2 upgrade is not the identity", fam.name());
+
+        // Same answers out of the upgraded container.
+        let back = LocationService::from_bytes(&upgraded).unwrap();
+        let pairs = random_pairs(svc.num_nodes(), 200, SEED ^ 3);
+        assert_eq!(
+            svc.query_many(&pairs),
+            back.query_many(&pairs),
+            "{}: queries diverge after upgrade",
+            fam.name()
+        );
+        assert_eq!(
+            svc.route_many(&pairs),
+            back.route_many(&pairs),
+            "{}: routes diverge after upgrade",
+            fam.name()
+        );
+    }
+}

@@ -187,7 +187,7 @@ impl BatchQueryEngine {
     }
 }
 
-impl DistanceOracle {
+impl DistanceOracle<'_> {
     /// Answers every `(u, v)` pair, in input order, chunked across the
     /// machine's available parallelism — equivalent to (and on
     /// multi-core hardware much faster than) a sequential
@@ -228,7 +228,7 @@ mod tests {
     use psep_graph::generators::grids;
     use psep_graph::Graph;
 
-    fn grid_oracle(side: usize) -> (Graph, DistanceOracle) {
+    fn grid_oracle(side: usize) -> (Graph, DistanceOracle<'static>) {
         let g = grids::grid2d(side, side, 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         let o = crate::oracle::build_oracle(&g, &tree, crate::oracle::OracleParams::default());
@@ -285,7 +285,7 @@ mod tests {
         assert!(BatchQueryEngine::new(0).threads() >= 1);
     }
 
-    fn grid_stack(side: usize) -> (Graph, DecompositionTree, DistanceOracle) {
+    fn grid_stack(side: usize) -> (Graph, DecompositionTree, DistanceOracle<'static>) {
         let g = grids::grid2d(side, side, 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         let o = crate::oracle::build_oracle(&g, &tree, crate::oracle::OracleParams::default());

@@ -40,14 +40,14 @@ pub type ObjectId = u64;
 /// assert!(est >= 1);
 /// ```
 #[derive(Clone, Debug)]
-pub struct ObjectDirectory {
-    oracle: DistanceOracle,
+pub struct ObjectDirectory<'a> {
+    oracle: DistanceOracle<'a>,
     placements: HashMap<ObjectId, Vec<NodeId>>,
 }
 
-impl ObjectDirectory {
+impl<'a> ObjectDirectory<'a> {
     /// Creates an empty directory over `oracle`.
-    pub fn new(oracle: DistanceOracle) -> Self {
+    pub fn new(oracle: DistanceOracle<'a>) -> Self {
         ObjectDirectory {
             oracle,
             placements: HashMap::new(),
@@ -55,7 +55,7 @@ impl ObjectDirectory {
     }
 
     /// The underlying oracle.
-    pub fn oracle(&self) -> &DistanceOracle {
+    pub fn oracle(&self) -> &DistanceOracle<'a> {
         &self.oracle
     }
 
@@ -116,7 +116,7 @@ mod tests {
     use psep_graph::generators::{grids, ktree};
     use psep_graph::Graph;
 
-    fn directory(g: &Graph, eps: f64) -> ObjectDirectory {
+    fn directory(g: &Graph, eps: f64) -> ObjectDirectory<'_> {
         let tree = DecompositionTree::build(g, &AutoStrategy::default());
         let oracle = crate::oracle::build_oracle(
             g,

@@ -29,7 +29,7 @@ pub trait DistanceEstimator {
     fn space_entries(&self) -> usize;
 }
 
-impl DistanceEstimator for DistanceOracle {
+impl DistanceEstimator for DistanceOracle<'_> {
     fn query(&self, u: NodeId, v: NodeId) -> Option<Weight> {
         DistanceOracle::query(self, u, v)
     }

@@ -19,12 +19,18 @@
 //! [`LabelRef`] views; [`FlatLabels::to_labels`] converts back whenever
 //! the nested form is wanted (round-trips exactly).
 
+use psep_core::wire::ArenaStorage;
 use psep_graph::graph::NodeId;
 
 use crate::error::Error;
 use crate::label::{unpack_key, DistanceLabel, LabelEntry, LabelStats, PortalEntry};
 
 /// All labels of one oracle in contiguous CSR-style arrays.
+///
+/// Each column is [`ArenaStorage`]: owned when built in memory or
+/// decoded from `psep-labels/v1`, borrowed in place from the caller's
+/// buffer when loaded from an aligned `psep-bundle/v2` section. Queries
+/// are bit-identical either way.
 ///
 /// Invariants (maintained by every constructor):
 ///
@@ -34,14 +40,14 @@ use crate::label::{unpack_key, DistanceLabel, LabelEntry, LabelStats, PortalEntr
 ///   starts at 0 and ends at `portals.len()`;
 /// * within each vertex's range, `keys` is strictly ascending.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct FlatLabels {
-    entry_start: Vec<u32>,
-    keys: Vec<u64>,
-    portal_start: Vec<u32>,
-    portals: Vec<PortalEntry>,
+pub struct FlatLabels<'a> {
+    entry_start: ArenaStorage<'a, u32>,
+    keys: ArenaStorage<'a, u64>,
+    portal_start: ArenaStorage<'a, u32>,
+    portals: ArenaStorage<'a, PortalEntry>,
 }
 
-impl FlatLabels {
+impl<'a> FlatLabels<'a> {
     /// Flattens nested labels (index = vertex id) into one arena.
     pub fn from_labels(labels: &[DistanceLabel]) -> Self {
         let num_entries: usize = labels.iter().map(|l| l.num_entries()).sum();
@@ -61,21 +67,38 @@ impl FlatLabels {
             entry_start.push(keys.len() as u32);
         }
         FlatLabels {
-            entry_start,
-            keys,
-            portal_start,
-            portals,
+            entry_start: entry_start.into(),
+            keys: keys.into(),
+            portal_start: portal_start.into(),
+            portals: portals.into(),
         }
     }
 
     /// Assembles an arena directly from its four arrays, validating the
-    /// CSR invariants. This is the entry point of the wire-format
+    /// CSR invariants. This is the entry point of the `psep-labels/v1`
     /// decoder; in-process callers normally use [`FlatLabels::from_labels`].
     pub fn from_parts(
         entry_start: Vec<u32>,
         keys: Vec<u64>,
         portal_start: Vec<u32>,
         portals: Vec<PortalEntry>,
+    ) -> Result<Self, Error> {
+        FlatLabels::from_storage_parts(
+            entry_start.into(),
+            keys.into(),
+            portal_start.into(),
+            portals.into(),
+        )
+    }
+
+    /// Assembles an arena from borrowed-or-owned columns, validating the
+    /// CSR invariants — the zero-copy entry point of the
+    /// `psep-bundle/v2` decoder.
+    pub fn from_storage_parts(
+        entry_start: ArenaStorage<'a, u32>,
+        keys: ArenaStorage<'a, u64>,
+        portal_start: ArenaStorage<'a, u32>,
+        portals: ArenaStorage<'a, PortalEntry>,
     ) -> Result<Self, Error> {
         let corrupt = |what: &'static str| Err(Error::corrupt(what));
         if entry_start.first() != Some(&0) || portal_start.first() != Some(&0) {
@@ -227,6 +250,35 @@ impl FlatLabels {
             + self.keys.len() * 8
             + self.portal_start.len() * 4
             + self.portals.len() * std::mem::size_of::<PortalEntry>()
+    }
+
+    /// Heap bytes actually owned by this arena — zero when every column
+    /// is borrowed from a mapped bundle.
+    pub fn owned_bytes(&self) -> usize {
+        self.entry_start.owned_bytes()
+            + self.keys.owned_bytes()
+            + self.portal_start.owned_bytes()
+            + self.portals.owned_bytes()
+    }
+
+    /// True when every column is served in place from an external
+    /// buffer (the zero-copy load path).
+    pub fn is_borrowed(&self) -> bool {
+        self.entry_start.is_borrowed()
+            && self.keys.is_borrowed()
+            && self.portal_start.is_borrowed()
+            && self.portals.is_borrowed()
+    }
+
+    /// Copies any borrowed column onto the heap, detaching the arena
+    /// from the buffer it was mapped from.
+    pub fn into_owned(self) -> FlatLabels<'static> {
+        FlatLabels {
+            entry_start: self.entry_start.into_owned(),
+            keys: self.keys.into_owned(),
+            portal_start: self.portal_start.into_owned(),
+            portals: self.portals.into_owned(),
+        }
     }
 }
 

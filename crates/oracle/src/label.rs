@@ -11,11 +11,28 @@ use psep_graph::view::SubgraphView;
 /// the path, and the distance from the label's owner in the residual
 /// graph `J`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[repr(C)]
 pub struct PortalEntry {
     /// Position along the path (so `d_Q(p,q) = |pos_p − pos_q|`).
     pub pos: Weight,
     /// `d_J(v, p)` for the label owner `v`.
     pub dist: Weight,
+}
+
+// SAFETY: `#[repr(C)]` with two `u64` fields — 16 bytes, no padding,
+// every bit pattern valid, field order matches the wire layout.
+unsafe impl psep_core::wire::Pod for PortalEntry {
+    const SIZE: usize = 16;
+    fn read_le(bytes: &[u8]) -> Self {
+        PortalEntry {
+            pos: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            dist: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+        }
+    }
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.pos.to_le_bytes());
+        out.extend_from_slice(&self.dist.to_le_bytes());
+    }
 }
 
 /// A label entry: the owner's portals on one separator path, identified

@@ -99,7 +99,11 @@ impl OracleBuilder {
 
     /// Builds the oracle, rejecting invalid parameters as
     /// [`Error::InvalidEpsilon`] instead of panicking.
-    pub fn build(self, g: &Graph, tree: &DecompositionTree) -> Result<DistanceOracle, Error> {
+    pub fn build<'a>(
+        self,
+        g: &Graph,
+        tree: &DecompositionTree,
+    ) -> Result<DistanceOracle<'a>, Error> {
         if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
             return Err(Error::InvalidEpsilon(self.epsilon));
         }
@@ -130,8 +134,8 @@ impl OracleBuilder {
 /// * at the deepest common component the first-crossed-group argument
 ///   produces a candidate within `1+ε` (see the crate docs).
 #[derive(Clone, Debug)]
-pub struct DistanceOracle {
-    flat: FlatLabels,
+pub struct DistanceOracle<'a> {
+    flat: FlatLabels<'a>,
     epsilon: f64,
 }
 
@@ -151,7 +155,11 @@ pub struct DistanceOracle {
 /// let est = oracle.query(NodeId(0), NodeId(35)).unwrap();
 /// assert!((10..=12).contains(&est)); // true distance 10, ε = 0.25
 /// ```
-pub fn build_oracle(g: &Graph, tree: &DecompositionTree, params: OracleParams) -> DistanceOracle {
+pub fn build_oracle<'a>(
+    g: &Graph,
+    tree: &DecompositionTree,
+    params: OracleParams,
+) -> DistanceOracle<'a> {
     let labels = build_labels(g, tree, params.epsilon, params.threads);
     DistanceOracle {
         flat: FlatLabels::from_labels(&labels),
@@ -159,7 +167,7 @@ pub fn build_oracle(g: &Graph, tree: &DecompositionTree, params: OracleParams) -
     }
 }
 
-impl DistanceOracle {
+impl<'a> DistanceOracle<'a> {
     /// Builds an oracle directly from nested labels (e.g. labels shipped
     /// from a distributed deployment — Theorem 2's labeling-scheme
     /// reading).
@@ -170,9 +178,9 @@ impl DistanceOracle {
         }
     }
 
-    /// Builds an oracle from an already-flat arena (e.g. one loaded from
-    /// the wire format).
-    pub fn from_flat(flat: FlatLabels, epsilon: f64) -> Self {
+    /// Builds an oracle from an already-flat arena (e.g. one loaded or
+    /// mapped from the wire format).
+    pub fn from_flat(flat: FlatLabels<'a>, epsilon: f64) -> Self {
         DistanceOracle { flat, epsilon }
     }
 
@@ -182,8 +190,23 @@ impl DistanceOracle {
     }
 
     /// The flat label arena.
-    pub fn flat_labels(&self) -> &FlatLabels {
+    pub fn flat_labels(&self) -> &FlatLabels<'a> {
         &self.flat
+    }
+
+    /// True when the label arena is served in place from an external
+    /// buffer (zero-copy mapped bundle).
+    pub fn is_borrowed(&self) -> bool {
+        self.flat.is_borrowed()
+    }
+
+    /// Copies any borrowed storage onto the heap, detaching the oracle
+    /// from the buffer it was mapped from.
+    pub fn into_owned(self) -> DistanceOracle<'static> {
+        DistanceOracle {
+            flat: self.flat.into_owned(),
+            epsilon: self.epsilon,
+        }
     }
 
     /// The labels in nested per-vertex form (materialized; the oracle
@@ -464,7 +487,7 @@ mod tests {
         }
     }
 
-    fn build(g: &Graph, eps: f64) -> DistanceOracle {
+    fn build(g: &Graph, eps: f64) -> DistanceOracle<'_> {
         let tree = DecompositionTree::build(g, &AutoStrategy::default());
         build_oracle(
             g,

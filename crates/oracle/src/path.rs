@@ -54,7 +54,7 @@ impl WitnessPath {
     }
 }
 
-impl DistanceOracle {
+impl DistanceOracle<'_> {
     /// Reconstructs a witness path for `query(u, v)`: a real walk of `g`
     /// from `u` to `v` whose weight exactly equals the reported `(1+ε)`
     /// estimate; `None` for disconnected pairs.
@@ -228,7 +228,7 @@ mod tests {
     use psep_graph::dijkstra::{dijkstra, path_cost};
     use psep_graph::generators::{grids, ktree, randomize_weights};
 
-    fn build(g: &Graph, eps: f64) -> (DecompositionTree, DistanceOracle) {
+    fn build(g: &Graph, eps: f64) -> (DecompositionTree, DistanceOracle<'_>) {
         let tree = DecompositionTree::build(g, &AutoStrategy::default());
         let o = build_oracle(
             g,

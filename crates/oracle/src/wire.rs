@@ -95,7 +95,7 @@ pub fn encode_labels(flat: &FlatLabels, epsilon: f64) -> Vec<u8> {
 }
 
 /// Decodes a `psep-labels/v1` artifact into `(labels, epsilon)`.
-pub fn decode_labels(data: &[u8]) -> Result<(FlatLabels, f64), Error> {
+pub fn decode_labels(data: &[u8]) -> Result<(FlatLabels<'static>, f64), Error> {
     let payload = unseal(LABELS_MAGIC, data)?;
     let mut c = Cursor::new(payload);
     let version = c.varint()?;
@@ -185,11 +185,90 @@ pub fn decode_labels(data: &[u8]) -> Result<(FlatLabels, f64), Error> {
     if c.remaining() != 0 {
         return Err(Error::corrupt("trailing bytes after payload"));
     }
+    // Per-entry decode work actually performed — the zero-copy v2 load
+    // path asserts these stay at zero.
+    psep_obs::counter!("oracle.wire.entries_decoded").add(num_entries as u64);
+    psep_obs::counter!("oracle.wire.portals_decoded").add(num_portals as u64);
     let flat = FlatLabels::from_parts(entry_start, keys, portal_start, portals)?;
     Ok((flat, epsilon))
 }
 
-impl DistanceOracle {
+// ---------------------------------------------------------------------------
+// `psep-bundle/v2` labels section: aligned little-endian arrays, the
+// zero-copy counterpart of `psep-labels/v1`.
+//
+// ```text
+// epsilon       f64 LE                               8 bytes
+// n, E, P       u64 LE                               24 bytes
+// entry_start   (n+1) × u32 LE
+// pad to 8
+// keys          E × u64 LE
+// portal_start  (E+1) × u32 LE
+// pad to 8
+// portals       P × PortalEntry {pos u64, dist u64}  LE
+// ```
+//
+// Every column starts 8-aligned relative to the section, so on a
+// little-endian host with an 8-aligned section the decoder borrows all
+// four columns in place — no per-entry work at all.
+// ---------------------------------------------------------------------------
+
+use psep_core::wire::{pad_to_8, put_pod_slice, ArenaStorage, SectionReader};
+
+/// Encodes a label arena as a raw `psep-bundle/v2` labels section
+/// (no envelope; the bundle directory carries length and CRC).
+pub fn encode_labels_flat(flat: &FlatLabels, epsilon: f64) -> Vec<u8> {
+    let (entry_start, keys, portal_start, portals) = flat.as_parts();
+    let mut out = Vec::with_capacity(
+        32 + entry_start.len() * 4 + keys.len() * 8 + portal_start.len() * 4 + portals.len() * 16,
+    );
+    out.extend_from_slice(&epsilon.to_bits().to_le_bytes());
+    out.extend_from_slice(&(flat.num_labels() as u64).to_le_bytes());
+    out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(portals.len() as u64).to_le_bytes());
+    put_pod_slice(&mut out, entry_start);
+    pad_to_8(&mut out);
+    put_pod_slice(&mut out, keys);
+    put_pod_slice(&mut out, portal_start);
+    pad_to_8(&mut out);
+    put_pod_slice(&mut out, portals);
+    out
+}
+
+/// Decodes a `psep-bundle/v2` labels section, borrowing every column in
+/// place when the host and buffer allow it. All structural invariants
+/// are re-validated; a header that disagrees with the payload is a
+/// typed error, never a panic or misaligned read.
+pub fn decode_labels_flat(bytes: &[u8]) -> Result<(FlatLabels<'_>, f64), Error> {
+    let mut r = SectionReader::new(bytes);
+    let epsilon = r.f64()?;
+    if !(epsilon.is_finite() && epsilon > 0.0) {
+        return Err(Error::InvalidEpsilon(epsilon));
+    }
+    let n = r.u64()?;
+    let num_entries = r.u64()?;
+    let num_portals = r.u64()?;
+    if n >= u32::MAX as u64 || num_entries >= u32::MAX as u64 || num_portals > u32::MAX as u64 {
+        return Err(Error::corrupt("label counts exceed u32 offsets"));
+    }
+    let entry_start: ArenaStorage<u32> = r.pod_slice(n as usize + 1)?;
+    r.align8()?;
+    let keys: ArenaStorage<u64> = r.pod_slice(num_entries as usize)?;
+    let portal_start: ArenaStorage<u32> = r.pod_slice(num_entries as usize + 1)?;
+    r.align8()?;
+    let portals: ArenaStorage<PortalEntry> = r.pod_slice(num_portals as usize)?;
+    r.finish()?;
+    if entry_start.is_borrowed() {
+        // borrowed in place: zero per-entry decode work
+    } else {
+        psep_obs::counter!("oracle.wire.entries_decoded").add(num_entries);
+        psep_obs::counter!("oracle.wire.portals_decoded").add(num_portals);
+    }
+    let flat = FlatLabels::from_storage_parts(entry_start, keys, portal_start, portals)?;
+    Ok((flat, epsilon))
+}
+
+impl DistanceOracle<'_> {
     /// Writes the oracle as one `psep-labels/v1` artifact.
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), Error> {
         w.write_all(&encode_labels(self.flat_labels(), self.epsilon()))?;
@@ -198,7 +277,7 @@ impl DistanceOracle {
 
     /// Reads a `psep-labels/v1` artifact back into a serving oracle,
     /// verifying magic, version, checksum, and structure.
-    pub fn load<R: Read>(mut r: R) -> Result<Self, Error> {
+    pub fn load<R: Read>(mut r: R) -> Result<DistanceOracle<'static>, Error> {
         let mut data = Vec::new();
         r.read_to_end(&mut data)?;
         let (flat, epsilon) = decode_labels(&data)?;
@@ -211,8 +290,10 @@ impl DistanceOracle {
     }
 
     /// [`Self::load`] from a filesystem path.
-    pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self, Error> {
-        Self::load(std::io::BufReader::new(std::fs::File::open(path)?))
+    pub fn load_from_path<P: AsRef<std::path::Path>>(
+        path: P,
+    ) -> Result<DistanceOracle<'static>, Error> {
+        DistanceOracle::load(std::io::BufReader::new(std::fs::File::open(path)?))
     }
 }
 
@@ -224,7 +305,7 @@ mod tests {
     use psep_graph::generators::grids;
     use psep_graph::NodeId;
 
-    fn grid_oracle() -> DistanceOracle {
+    fn grid_oracle() -> DistanceOracle<'static> {
         let g = grids::grid2d(6, 6, 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         crate::oracle::build_oracle(&g, &tree, crate::oracle::OracleParams::default())
@@ -305,6 +386,56 @@ mod tests {
             DistanceOracle::load(&resealed[..]),
             Err(Error::Wire(WireError::UnsupportedVersion(2)))
         ));
+    }
+
+    #[test]
+    fn v2_section_roundtrips_borrowed_and_owned() {
+        let o = grid_oracle();
+        let sec = encode_labels_flat(o.flat_labels(), o.epsilon());
+        // canonical: re-encoding a decoded section is bit-identical
+        let aligned = psep_core::wire::AlignedBytes::from_slice(&sec);
+        let (flat, eps) = decode_labels_flat(&aligned).unwrap();
+        assert_eq!(eps, o.epsilon());
+        assert_eq!(&flat, o.flat_labels());
+        if cfg!(target_endian = "little") {
+            assert!(flat.is_borrowed());
+            assert_eq!(flat.owned_bytes(), 0);
+        }
+        assert_eq!(encode_labels_flat(&flat, eps), sec);
+        // unaligned input falls back to owned with identical contents
+        let mut shifted = vec![0u8; 1];
+        shifted.extend_from_slice(&sec);
+        let (owned, eps2) = decode_labels_flat(&shifted[1..]).unwrap();
+        assert_eq!(&owned, o.flat_labels());
+        assert_eq!(eps2, o.epsilon());
+        // and queries agree across storage modes
+        let a = DistanceOracle::from_flat(flat, eps);
+        let b = DistanceOracle::from_flat(owned, eps2);
+        for u in 0..36u32 {
+            for v in 0..36u32 {
+                assert_eq!(a.query(NodeId(u), NodeId(v)), b.query(NodeId(u), NodeId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn v2_section_rejects_header_payload_disagreement() {
+        let o = grid_oracle();
+        let sec = encode_labels_flat(o.flat_labels(), o.epsilon());
+        // truncation at every prefix length: typed error, never a panic
+        for cut in 0..sec.len().min(64) {
+            assert!(decode_labels_flat(&sec[..cut]).is_err());
+        }
+        assert!(decode_labels_flat(&sec[..sec.len() - 1]).is_err());
+        // inflated portal count: column extends past the payload
+        let mut bad = sec.clone();
+        let p = u64::from_le_bytes(bad[24..32].try_into().unwrap());
+        bad[24..32].copy_from_slice(&(p + 1).to_le_bytes());
+        assert!(decode_labels_flat(&bad).is_err());
+        // trailing bytes after the last column
+        let mut long = sec.clone();
+        long.extend_from_slice(&[0u8; 16]);
+        assert!(decode_labels_flat(&long).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use psep_graph::graph::{NodeId, Weight};
 use crate::router::{RouteOutcome, Router};
 use crate::tables::{RouteKey, RoutingLabel};
 
-impl Router {
+impl Router<'_> {
     /// Routes like [`Router::route`] but re-plans adaptively during the
     /// climb and walk phases. Returns `None` for disconnected pairs.
     pub fn route_adaptive(

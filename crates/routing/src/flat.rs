@@ -7,19 +7,24 @@
 //! [`FlatTables`] stores the same information as
 //!
 //! ```text
-//! entry_start: n+1  u32       — entries of vertex v are entry_start[v]..entry_start[v+1]
-//! keys:        E    u64       — packed (node, group, path), ascending per vertex
-//! infos:       E    EntryInfo — dist, entry_pos, parent, DFS interval, on-path links
-//! child_start: E+1  u32       — children of entry e are child_start[e]..child_start[e+1]
-//! children:    C    NodeId    — ascending per entry
+//! entry_start: n+1  u32         — entries of vertex v are entry_start[v]..entry_start[v+1]
+//! keys:        E    u64         — packed (node, group, path), ascending per vertex
+//! records:     E    EntryRecord — dist, entry_pos, parent, DFS interval, on-path links
+//! child_start: E+1  u32         — children of entry e are child_start[e]..child_start[e+1]
+//! children:    C    NodeId      — ascending per entry
 //! ```
 //!
 //! so plan selection binary-searches one contiguous key slice and the
-//! interval descent scans a contiguous child slice. Lookups borrow
-//! [`TableRef`]/[`EntryRef`] views; [`FlatTables::to_nested`] converts
-//! back whenever the nested exchange form is wanted (round-trips
-//! exactly).
+//! interval descent scans a contiguous child slice. Each column is
+//! [`ArenaStorage`]: owned when built or decoded, borrowed in place
+//! from an aligned `psep-bundle/v2` section. [`EntryRecord`] is a
+//! plain-old-data struct whose in-memory layout equals its wire layout,
+//! so a mapped tables section is served without touching a single
+//! entry. Lookups borrow [`TableRef`]/[`EntryRef`] views;
+//! [`FlatTables::to_nested`] converts back whenever the nested exchange
+//! form is wanted (round-trips exactly).
 
+use psep_core::wire::ArenaStorage;
 use psep_graph::graph::{NodeId, Weight};
 use psep_oracle::label::{pack_key, unpack_key};
 
@@ -27,16 +32,107 @@ use crate::error::Error;
 use crate::tables::{OnPathInfo, PathInfo, RouteKey};
 use std::collections::BTreeMap;
 
+/// Sentinel for "no vertex" in an [`EntryRecord`] id field.
+pub(crate) const NO_NODE: u32 = u32::MAX;
+
 /// One entry's fixed-size fields (everything of [`PathInfo`] except the
-/// variable-length children list, which lives in the child arena).
+/// variable-length children list, which lives in the child arena) as
+/// plain old data: 48 bytes, `#[repr(C)]`, no padding, optional ids
+/// encoded as [`NO_NODE`] and the on-path flag as bit 0 of `flags`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct EntryInfo {
+#[repr(C)]
+pub(crate) struct EntryRecord {
     pub dist: Weight,
     pub entry_pos: Weight,
-    pub parent: Option<NodeId>,
+    /// On-path position; canonically 0 off path.
+    pub path_pos: Weight,
+    /// Parent toward `Q` ([`NO_NODE`] on `Q`).
+    pub parent: u32,
     pub dfs: u32,
     pub subtree_end: u32,
-    pub on_path: Option<OnPathInfo>,
+    /// Previous path vertex ([`NO_NODE`] off path or at position 0).
+    pub path_prev: u32,
+    /// Next path vertex ([`NO_NODE`] off path or at the far end).
+    pub path_next: u32,
+    /// Bit 0: the vertex lies on `Q`. Other bits canonically zero.
+    pub flags: u32,
+}
+
+const ON_PATH: u32 = 1;
+
+// SAFETY: `#[repr(C)]` with three `u64` fields followed by six `u32`
+// fields — 48 bytes, 8-aligned, no padding, every bit pattern valid
+// (structural invariants are validated separately), field order matches
+// the wire layout.
+unsafe impl psep_core::wire::Pod for EntryRecord {
+    const SIZE: usize = 48;
+    fn read_le(b: &[u8]) -> Self {
+        let u64at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().unwrap());
+        let u32at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().unwrap());
+        EntryRecord {
+            dist: u64at(0),
+            entry_pos: u64at(8),
+            path_pos: u64at(16),
+            parent: u32at(24),
+            dfs: u32at(28),
+            subtree_end: u32at(32),
+            path_prev: u32at(36),
+            path_next: u32at(40),
+            flags: u32at(44),
+        }
+    }
+    fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dist.to_le_bytes());
+        out.extend_from_slice(&self.entry_pos.to_le_bytes());
+        out.extend_from_slice(&self.path_pos.to_le_bytes());
+        for f in [
+            self.parent,
+            self.dfs,
+            self.subtree_end,
+            self.path_prev,
+            self.path_next,
+            self.flags,
+        ] {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+    }
+}
+
+fn opt_id(raw: u32) -> Option<NodeId> {
+    (raw != NO_NODE).then_some(NodeId(raw))
+}
+
+fn raw_id(v: Option<NodeId>) -> u32 {
+    v.map_or(NO_NODE, |v| v.0)
+}
+
+impl EntryRecord {
+    /// Packs the fixed-size fields of a nested [`PathInfo`].
+    pub(crate) fn from_info(info: &PathInfo) -> Self {
+        EntryRecord {
+            dist: info.dist,
+            entry_pos: info.entry_pos,
+            path_pos: info.on_path.map_or(0, |op| op.pos),
+            parent: raw_id(info.parent),
+            dfs: info.dfs,
+            subtree_end: info.subtree_end,
+            path_prev: raw_id(info.on_path.and_then(|op| op.prev)),
+            path_next: raw_id(info.on_path.and_then(|op| op.next)),
+            flags: if info.on_path.is_some() { ON_PATH } else { 0 },
+        }
+    }
+
+    pub(crate) fn parent(&self) -> Option<NodeId> {
+        opt_id(self.parent)
+    }
+
+    pub(crate) fn on_path(&self) -> Option<OnPathInfo> {
+        (self.flags & ON_PATH != 0).then(|| OnPathInfo {
+            pos: self.path_pos,
+            prev: opt_id(self.path_prev),
+            next: opt_id(self.path_next),
+        })
+    }
 }
 
 /// All routing tables of one graph in contiguous CSR-style arrays.
@@ -50,17 +146,20 @@ pub(crate) struct EntryInfo {
 /// * within each vertex's range, `keys` is strictly ascending;
 /// * within each entry's range, `children` is strictly ascending;
 /// * every vertex id (parent, child, on-path prev/next) is `< num_nodes()`
-///   and every DFS interval is non-empty (`dfs < subtree_end`).
+///   and every DFS interval is non-empty (`dfs < subtree_end`);
+/// * records are canonical: off-path records have zero `path_pos`,
+///   [`NO_NODE`] links, no stray flag bits, and a parent (the interval
+///   descent in `route` relies on it), while on-path records have none.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct FlatTables {
-    entry_start: Vec<u32>,
-    keys: Vec<u64>,
-    infos: Vec<EntryInfo>,
-    child_start: Vec<u32>,
-    children: Vec<NodeId>,
+pub struct FlatTables<'a> {
+    entry_start: ArenaStorage<'a, u32>,
+    keys: ArenaStorage<'a, u64>,
+    records: ArenaStorage<'a, EntryRecord>,
+    child_start: ArenaStorage<'a, u32>,
+    children: ArenaStorage<'a, NodeId>,
 }
 
-impl FlatTables {
+impl<'a> FlatTables<'a> {
     /// Flattens per-vertex `(packed key, info)` lists (already in
     /// ascending key order) into one arena. The construction path of
     /// [`crate::RoutingTables::build_with`].
@@ -68,7 +167,7 @@ impl FlatTables {
         let num_entries: usize = lists.iter().map(|l| l.len()).sum();
         let mut entry_start = Vec::with_capacity(lists.len() + 1);
         let mut keys = Vec::with_capacity(num_entries);
-        let mut infos = Vec::with_capacity(num_entries);
+        let mut records = Vec::with_capacity(num_entries);
         let mut child_start = Vec::with_capacity(num_entries + 1);
         let mut children = Vec::new();
         entry_start.push(0u32);
@@ -78,23 +177,16 @@ impl FlatTables {
                 keys.push(key);
                 children.extend_from_slice(&info.children);
                 child_start.push(children.len() as u32);
-                infos.push(EntryInfo {
-                    dist: info.dist,
-                    entry_pos: info.entry_pos,
-                    parent: info.parent,
-                    dfs: info.dfs,
-                    subtree_end: info.subtree_end,
-                    on_path: info.on_path,
-                });
+                records.push(EntryRecord::from_info(&info));
             }
             entry_start.push(keys.len() as u32);
         }
         FlatTables {
-            entry_start,
-            keys,
-            infos,
-            child_start,
-            children,
+            entry_start: entry_start.into(),
+            keys: keys.into(),
+            records: records.into(),
+            child_start: child_start.into(),
+            children: children.into(),
         }
     }
 
@@ -128,15 +220,33 @@ impl FlatTables {
             .collect()
     }
 
-    /// Assembles an arena directly from its five arrays, validating
-    /// every invariant. This is the entry point of the wire-format
-    /// decoder.
+    /// Assembles an arena directly from its five owned arrays — the
+    /// entry point of the `psep-routing/v1` decoder.
     pub(crate) fn from_parts(
         entry_start: Vec<u32>,
         keys: Vec<u64>,
-        infos: Vec<EntryInfo>,
+        records: Vec<EntryRecord>,
         child_start: Vec<u32>,
         children: Vec<NodeId>,
+    ) -> Result<Self, Error> {
+        FlatTables::from_storage_parts(
+            entry_start.into(),
+            keys.into(),
+            records.into(),
+            child_start.into(),
+            children.into(),
+        )
+    }
+
+    /// Assembles an arena from borrowed-or-owned columns, validating
+    /// every invariant — the zero-copy entry point of the
+    /// `psep-bundle/v2` decoder.
+    pub(crate) fn from_storage_parts(
+        entry_start: ArenaStorage<'a, u32>,
+        keys: ArenaStorage<'a, u64>,
+        records: ArenaStorage<'a, EntryRecord>,
+        child_start: ArenaStorage<'a, u32>,
+        children: ArenaStorage<'a, NodeId>,
     ) -> Result<Self, Error> {
         let corrupt = |what: &'static str| Err(Error::corrupt(what));
         if entry_start.first() != Some(&0) || child_start.first() != Some(&0) {
@@ -145,8 +255,8 @@ impl FlatTables {
         if *entry_start.last().unwrap() as usize != keys.len() {
             return corrupt("entry_start must end at keys.len()");
         }
-        if infos.len() != keys.len() {
-            return corrupt("one info record per key");
+        if records.len() != keys.len() {
+            return corrupt("one record per key");
         }
         if child_start.len() != keys.len() + 1 {
             return corrupt("child_start must have one bound per entry plus one");
@@ -167,17 +277,32 @@ impl FlatTables {
             }
         }
         let n = entry_start.len() - 1;
-        let in_range = |v: Option<NodeId>| v.is_none_or(|v| v.index() < n);
-        for info in &infos {
-            if info.dfs >= info.subtree_end {
+        let in_range = |raw: u32| raw == NO_NODE || (raw as usize) < n;
+        for rec in records.iter() {
+            if rec.dfs >= rec.subtree_end {
                 return corrupt("DFS interval must be non-empty");
             }
-            if !in_range(info.parent) {
+            if !in_range(rec.parent) {
                 return corrupt("parent vertex out of range");
             }
-            if let Some(op) = info.on_path {
-                if !in_range(op.prev) || !in_range(op.next) {
+            if rec.flags & !ON_PATH != 0 {
+                return corrupt("unknown record flag bits");
+            }
+            if rec.flags & ON_PATH != 0 {
+                if !in_range(rec.path_prev) || !in_range(rec.path_next) {
                     return corrupt("on-path link out of range");
+                }
+                if rec.parent != NO_NODE {
+                    return corrupt("on-path record must not have a parent");
+                }
+            } else {
+                if rec.path_pos != 0 || rec.path_prev != NO_NODE || rec.path_next != NO_NODE {
+                    return corrupt("off-path record carries on-path fields");
+                }
+                // `route` descends via `parent` until it reaches the
+                // path; a parentless off-path record would panic there.
+                if rec.parent == NO_NODE {
+                    return corrupt("off-path record must have a parent");
                 }
             }
         }
@@ -193,7 +318,7 @@ impl FlatTables {
         Ok(FlatTables {
             entry_start,
             keys,
-            infos,
+            records,
             child_start,
             children,
         })
@@ -201,11 +326,11 @@ impl FlatTables {
 
     /// The raw arrays — what the wire format encodes.
     #[allow(clippy::type_complexity)]
-    pub(crate) fn as_parts(&self) -> (&[u32], &[u64], &[EntryInfo], &[u32], &[NodeId]) {
+    pub(crate) fn as_parts(&self) -> (&[u32], &[u64], &[EntryRecord], &[u32], &[NodeId]) {
         (
             &self.entry_start,
             &self.keys,
-            &self.infos,
+            &self.records,
             &self.child_start,
             &self.children,
         )
@@ -257,16 +382,48 @@ impl FlatTables {
     pub fn heap_bytes(&self) -> usize {
         self.entry_start.len() * 4
             + self.keys.len() * 8
-            + self.infos.len() * std::mem::size_of::<EntryInfo>()
+            + self.records.len() * std::mem::size_of::<EntryRecord>()
             + self.child_start.len() * 4
             + self.children.len() * 4
+    }
+
+    /// Heap bytes actually owned by this arena — zero when every column
+    /// is borrowed from a mapped bundle.
+    pub fn owned_bytes(&self) -> usize {
+        self.entry_start.owned_bytes()
+            + self.keys.owned_bytes()
+            + self.records.owned_bytes()
+            + self.child_start.owned_bytes()
+            + self.children.owned_bytes()
+    }
+
+    /// True when every column is served in place from an external
+    /// buffer (the zero-copy load path).
+    pub fn is_borrowed(&self) -> bool {
+        self.entry_start.is_borrowed()
+            && self.keys.is_borrowed()
+            && self.records.is_borrowed()
+            && self.child_start.is_borrowed()
+            && self.children.is_borrowed()
+    }
+
+    /// Copies any borrowed column onto the heap, detaching the arena
+    /// from the buffer it was mapped from.
+    pub fn into_owned(self) -> FlatTables<'static> {
+        FlatTables {
+            entry_start: self.entry_start.into_owned(),
+            keys: self.keys.into_owned(),
+            records: self.records.into_owned(),
+            child_start: self.child_start.into_owned(),
+            children: self.children.into_owned(),
+        }
     }
 }
 
 /// A borrowed routing table: one vertex's entry range in the arena.
 #[derive(Clone, Copy, Debug)]
 pub struct TableRef<'a> {
-    flat: &'a FlatTables,
+    flat: &'a FlatTables<'a>,
     lo: usize,
     hi: usize,
 }
@@ -304,43 +461,43 @@ impl<'a> TableRef<'a> {
 /// A borrowed routing-table entry.
 #[derive(Clone, Copy, Debug)]
 pub struct EntryRef<'a> {
-    flat: &'a FlatTables,
+    flat: &'a FlatTables<'a>,
     e: usize,
 }
 
 impl<'a> EntryRef<'a> {
-    fn info(&self) -> &'a EntryInfo {
-        &self.flat.infos[self.e]
+    fn record(&self) -> &'a EntryRecord {
+        &self.flat.records.as_slice()[self.e]
     }
 
     /// `d_J(v, Q)` — distance to the nearest path vertex.
     pub fn dist(&self) -> Weight {
-        self.info().dist
+        self.record().dist
     }
 
     /// Position of the nearest entry point `x_v` on `Q`.
     pub fn entry_pos(&self) -> Weight {
-        self.info().entry_pos
+        self.record().entry_pos
     }
 
     /// Parent toward `Q` in the multi-source tree `T_Q` (`None` on `Q`).
     pub fn parent(&self) -> Option<NodeId> {
-        self.info().parent
+        self.record().parent()
     }
 
     /// DFS preorder index in `T_Q`.
     pub fn dfs(&self) -> u32 {
-        self.info().dfs
+        self.record().dfs
     }
 
     /// One past the largest DFS index in the subtree.
     pub fn subtree_end(&self) -> u32 {
-        self.info().subtree_end
+        self.record().subtree_end
     }
 
     /// On-path links, set iff the vertex lies on `Q`.
     pub fn on_path(&self) -> Option<OnPathInfo> {
-        self.info().on_path
+        self.record().on_path()
     }
 
     /// Children in `T_Q` (for interval routing downward), ascending.
@@ -349,20 +506,20 @@ impl<'a> EntryRef<'a> {
             self.flat.child_start[self.e] as usize,
             self.flat.child_start[self.e + 1] as usize,
         );
-        &self.flat.children[lo..hi]
+        &self.flat.children.as_slice()[lo..hi]
     }
 
     /// Materializes the nested [`PathInfo`] record.
     pub fn to_info(&self) -> PathInfo {
-        let info = self.info();
+        let rec = self.record();
         PathInfo {
-            dist: info.dist,
-            entry_pos: info.entry_pos,
-            parent: info.parent,
-            dfs: info.dfs,
-            subtree_end: info.subtree_end,
+            dist: rec.dist,
+            entry_pos: rec.entry_pos,
+            parent: rec.parent(),
+            dfs: rec.dfs,
+            subtree_end: rec.subtree_end,
             children: self.children().to_vec(),
-            on_path: info.on_path,
+            on_path: rec.on_path(),
         }
     }
 }
@@ -375,7 +532,7 @@ mod tests {
     use psep_core::DecompositionTree;
     use psep_graph::generators::grids;
 
-    fn grid_tables() -> RoutingTables {
+    fn grid_tables() -> RoutingTables<'static> {
         let g = grids::grid2d(6, 6, 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         RoutingTables::build(&g, &tree)
@@ -399,6 +556,25 @@ mod tests {
     }
 
     #[test]
+    fn record_roundtrips_path_info() {
+        let tables = grid_tables();
+        for nested in tables.flat().to_nested() {
+            for info in nested.values() {
+                let rec = EntryRecord::from_info(info);
+                assert_eq!(rec.parent(), info.parent);
+                assert_eq!(rec.on_path(), info.on_path);
+                // wire encode/decode is bit-exact
+                let mut buf = Vec::new();
+                use psep_core::wire::Pod;
+                rec.write_le(&mut buf);
+                assert_eq!(buf.len(), EntryRecord::SIZE);
+                assert_eq!(EntryRecord::read_le(&buf), rec);
+            }
+        }
+        assert_eq!(std::mem::size_of::<EntryRecord>(), 48);
+    }
+
+    #[test]
     fn out_of_range_table_is_an_error() {
         let tables = grid_tables();
         assert!(matches!(
@@ -410,11 +586,11 @@ mod tests {
     #[test]
     fn from_parts_rejects_broken_invariants() {
         let tables = grid_tables();
-        let (es, keys, infos, cs, ch) = tables.flat().as_parts();
+        let (es, keys, recs, cs, ch) = tables.flat().as_parts();
         let reassembled = FlatTables::from_parts(
             es.to_vec(),
             keys.to_vec(),
-            infos.to_vec(),
+            recs.to_vec(),
             cs.to_vec(),
             ch.to_vec(),
         )
@@ -426,18 +602,42 @@ mod tests {
         assert!(FlatTables::from_parts(
             es.to_vec(),
             bad_keys,
-            infos.to_vec(),
+            recs.to_vec(),
             cs.to_vec(),
             ch.to_vec()
         )
         .is_err());
         // an empty DFS interval
-        let mut bad_infos = infos.to_vec();
-        bad_infos[0].subtree_end = bad_infos[0].dfs;
+        let mut bad_recs = recs.to_vec();
+        bad_recs[0].subtree_end = bad_recs[0].dfs;
         assert!(FlatTables::from_parts(
             es.to_vec(),
             keys.to_vec(),
-            bad_infos,
+            bad_recs,
+            cs.to_vec(),
+            ch.to_vec()
+        )
+        .is_err());
+        // an off-path record with no parent would panic in `route`
+        if let Some(i) = recs.iter().position(|r| r.flags & ON_PATH == 0) {
+            let mut bad_recs = recs.to_vec();
+            bad_recs[i].parent = NO_NODE;
+            assert!(FlatTables::from_parts(
+                es.to_vec(),
+                keys.to_vec(),
+                bad_recs,
+                cs.to_vec(),
+                ch.to_vec()
+            )
+            .is_err());
+        }
+        // a stray flag bit is non-canonical
+        let mut bad_recs = recs.to_vec();
+        bad_recs[0].flags |= 2;
+        assert!(FlatTables::from_parts(
+            es.to_vec(),
+            keys.to_vec(),
+            bad_recs,
             cs.to_vec(),
             ch.to_vec()
         )
@@ -449,7 +649,7 @@ mod tests {
             assert!(FlatTables::from_parts(
                 es.to_vec(),
                 keys.to_vec(),
-                infos.to_vec(),
+                recs.to_vec(),
                 cs.to_vec(),
                 bad_ch
             )

@@ -48,23 +48,42 @@ pub struct RouteOutcome {
 /// assert!(out.cost >= 8); // true distance 8
 /// ```
 #[derive(Clone, Debug)]
-pub struct Router {
-    graph: Graph,
-    tables: RoutingTables,
+pub struct Router<'a> {
+    graph: std::sync::Arc<Graph>,
+    tables: RoutingTables<'a>,
 }
 
-impl Router {
+impl<'a> Router<'a> {
     /// Builds a router over `g` with precomputed `tables`.
-    pub fn new(g: &Graph, tables: RoutingTables) -> Self {
+    pub fn new(g: &Graph, tables: RoutingTables<'a>) -> Self {
         Router {
-            graph: g.clone(),
+            graph: std::sync::Arc::new(g.clone()),
             tables,
         }
     }
 
+    /// Builds a router sharing an already-`Arc`'d graph with other
+    /// components (no clone of the adjacency arrays).
+    pub fn with_shared(graph: std::sync::Arc<Graph>, tables: RoutingTables<'a>) -> Self {
+        Router { graph, tables }
+    }
+
     /// The tables (e.g. for size accounting).
-    pub fn tables(&self) -> &RoutingTables {
+    pub fn tables(&self) -> &RoutingTables<'a> {
         &self.tables
+    }
+
+    /// `true` when the table arenas borrow from an external buffer.
+    pub fn is_borrowed(&self) -> bool {
+        self.tables.is_borrowed()
+    }
+
+    /// Copies any borrowed table arenas so the router owns its data.
+    pub fn into_owned(self) -> Router<'static> {
+        Router {
+            graph: self.graph,
+            tables: self.tables.into_owned(),
+        }
     }
 
     /// The graph the router forwards over.

@@ -66,8 +66,8 @@ pub struct PathInfo {
 
 /// All vertices' routing tables, stored in a [`FlatTables`] arena.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RoutingTables {
-    flat: FlatTables,
+pub struct RoutingTables<'a> {
+    flat: FlatTables<'a>,
 }
 
 /// A vertex's routing label (its routable address): per shared path, the
@@ -184,7 +184,7 @@ fn build_group(
     per_path
 }
 
-impl RoutingTables {
+impl<'a> RoutingTables<'a> {
     /// Builds tables (and, via [`RoutingTables::label`], labels) for
     /// every vertex of `g` over the decomposition `tree`, sequentially.
     ///
@@ -235,14 +235,29 @@ impl RoutingTables {
         }
     }
 
-    /// Wraps an existing arena (e.g. one decoded from the wire).
-    pub fn from_flat(flat: FlatTables) -> Self {
+    /// Wraps an existing arena (e.g. one decoded or mapped from the
+    /// wire).
+    pub fn from_flat(flat: FlatTables<'a>) -> Self {
         RoutingTables { flat }
     }
 
     /// The underlying arena.
-    pub fn flat(&self) -> &FlatTables {
+    pub fn flat(&self) -> &FlatTables<'a> {
         &self.flat
+    }
+
+    /// True when the arena is served in place from an external buffer
+    /// (zero-copy mapped bundle).
+    pub fn is_borrowed(&self) -> bool {
+        self.flat.is_borrowed()
+    }
+
+    /// Copies any borrowed storage onto the heap, detaching the tables
+    /// from the buffer they were mapped from.
+    pub fn into_owned(self) -> RoutingTables<'static> {
+        RoutingTables {
+            flat: self.flat.into_owned(),
+        }
     }
 
     /// Converts to the nested per-vertex exchange form.

@@ -36,8 +36,8 @@ use psep_core::wire::{put_varint, seal, unseal, Cursor, WireError};
 use psep_graph::graph::NodeId;
 
 use crate::error::Error;
-use crate::flat::{EntryInfo, FlatTables};
-use crate::tables::{OnPathInfo, RoutingTables};
+use crate::flat::{EntryRecord, FlatTables, NO_NODE};
+use crate::tables::RoutingTables;
 
 /// Magic bytes of a `psep-routing` artifact.
 pub const TABLES_MAGIC: &[u8; 8] = b"PSEPROUT";
@@ -70,23 +70,23 @@ pub fn encode_tables(flat: &FlatTables) -> Vec<u8> {
             prev = key;
         }
     }
-    for info in infos {
-        put_varint(&mut payload, info.dist);
+    for rec in infos {
+        put_varint(&mut payload, rec.dist);
     }
-    for info in infos {
-        put_varint(&mut payload, info.entry_pos);
+    for rec in infos {
+        put_varint(&mut payload, rec.entry_pos);
     }
-    for info in infos {
-        put_varint(&mut payload, info.dfs as u64);
+    for rec in infos {
+        put_varint(&mut payload, rec.dfs as u64);
     }
-    for info in infos {
-        put_varint(&mut payload, (info.subtree_end - info.dfs) as u64);
+    for rec in infos {
+        put_varint(&mut payload, (rec.subtree_end - rec.dfs) as u64);
     }
-    for info in infos {
-        put_opt_node(&mut payload, info.parent);
+    for rec in infos {
+        put_opt_node(&mut payload, rec.parent());
     }
-    for info in infos {
-        match info.on_path {
+    for rec in infos {
+        match rec.on_path() {
             None => put_varint(&mut payload, 0),
             Some(op) => {
                 put_varint(&mut payload, 1);
@@ -122,7 +122,7 @@ fn get_opt_node(c: &mut Cursor<'_>, n: usize) -> Result<Option<NodeId>, Error> {
 }
 
 /// Decodes a `psep-routing/v1` artifact back into a table arena.
-pub fn decode_tables(data: &[u8]) -> Result<FlatTables, Error> {
+pub fn decode_tables(data: &[u8]) -> Result<FlatTables<'static>, Error> {
     let payload = unseal(TABLES_MAGIC, data)?;
     let mut c = Cursor::new(payload);
     let version = c.varint()?;
@@ -170,46 +170,50 @@ pub fn decode_tables(data: &[u8]) -> Result<FlatTables, Error> {
         }
     }
 
-    let mut infos: Vec<EntryInfo> = Vec::with_capacity(num_entries);
+    let mut infos: Vec<EntryRecord> = Vec::with_capacity(num_entries);
     for _ in 0..num_entries {
-        infos.push(EntryInfo {
+        infos.push(EntryRecord {
             dist: c.varint()?,
             entry_pos: 0,
-            parent: None,
+            path_pos: 0,
+            parent: NO_NODE,
             dfs: 0,
             subtree_end: 0,
-            on_path: None,
+            path_prev: NO_NODE,
+            path_next: NO_NODE,
+            flags: 0,
         });
     }
-    for info in &mut infos {
-        info.entry_pos = c.varint()?;
+    for rec in &mut infos {
+        rec.entry_pos = c.varint()?;
     }
-    for info in &mut infos {
+    for rec in &mut infos {
         let dfs = c.varint()?;
         if dfs > u32::MAX as u64 {
             return Err(Error::corrupt("dfs index exceeds u32"));
         }
-        info.dfs = dfs as u32;
+        rec.dfs = dfs as u32;
     }
-    for info in &mut infos {
+    for rec in &mut infos {
         let span = c.varint()?;
-        let end = info.dfs as u64 + span;
+        let end = rec.dfs as u64 + span;
         if span == 0 || end > u32::MAX as u64 {
             return Err(Error::corrupt("subtree span out of range"));
         }
-        info.subtree_end = end as u32;
+        rec.subtree_end = end as u32;
     }
-    for info in &mut infos {
-        info.parent = get_opt_node(&mut c, n)?;
+    for rec in &mut infos {
+        rec.parent = get_opt_node(&mut c, n)?.map_or(NO_NODE, |v| v.0);
     }
-    for info in &mut infos {
-        info.on_path = match c.varint()? {
-            0 => None,
-            1 => Some(OnPathInfo {
-                pos: c.varint()?,
-                prev: get_opt_node(&mut c, n)?,
-                next: get_opt_node(&mut c, n)?,
-            }),
+    for rec in &mut infos {
+        match c.varint()? {
+            0 => {}
+            1 => {
+                rec.flags = 1;
+                rec.path_pos = c.varint()?;
+                rec.path_prev = get_opt_node(&mut c, n)?.map_or(NO_NODE, |v| v.0);
+                rec.path_next = get_opt_node(&mut c, n)?.map_or(NO_NODE, |v| v.0);
+            }
             _ => return Err(Error::corrupt("on-path flag must be 0 or 1")),
         };
     }
@@ -250,10 +254,85 @@ pub fn decode_tables(data: &[u8]) -> Result<FlatTables, Error> {
     if c.remaining() != 0 {
         return Err(Error::corrupt("trailing bytes after payload"));
     }
+    // Per-entry decode work actually performed — the zero-copy v2 load
+    // path asserts this stays at zero.
+    psep_obs::counter!("routing.wire.entries_decoded").add(num_entries as u64);
     FlatTables::from_parts(entry_start, keys, infos, child_start, children)
 }
 
-impl RoutingTables {
+// ---------------------------------------------------------------------------
+// `psep-bundle/v2` tables section: aligned little-endian arrays, the
+// zero-copy counterpart of `psep-routing/v1`.
+//
+// ```text
+// n, E, C      u64 LE                        24 bytes
+// entry_start  (n+1) × u32 LE
+// pad to 8
+// keys         E × u64 LE
+// records      E × EntryRecord (48 bytes)    LE
+// child_start  (E+1) × u32 LE
+// pad to 8
+// children     C × u32 LE (NodeId)
+// ```
+//
+// Every column starts 8-aligned relative to the section, so on a
+// little-endian host with an 8-aligned section the decoder borrows all
+// five columns in place — no per-entry work at all.
+// ---------------------------------------------------------------------------
+
+use psep_core::wire::{pad_to_8, put_pod_slice, ArenaStorage, SectionReader};
+
+/// Encodes a table arena as a raw `psep-bundle/v2` tables section
+/// (no envelope; the bundle directory carries length and CRC).
+pub fn encode_tables_flat(flat: &FlatTables) -> Vec<u8> {
+    let (entry_start, keys, records, child_start, children) = flat.as_parts();
+    let mut out = Vec::with_capacity(
+        32 + entry_start.len() * 4
+            + keys.len() * 8
+            + records.len() * 48
+            + child_start.len() * 4
+            + children.len() * 4,
+    );
+    out.extend_from_slice(&(flat.num_nodes() as u64).to_le_bytes());
+    out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(children.len() as u64).to_le_bytes());
+    put_pod_slice(&mut out, entry_start);
+    pad_to_8(&mut out);
+    put_pod_slice(&mut out, keys);
+    put_pod_slice(&mut out, records);
+    put_pod_slice(&mut out, child_start);
+    pad_to_8(&mut out);
+    put_pod_slice(&mut out, children);
+    out
+}
+
+/// Decodes a `psep-bundle/v2` tables section, borrowing every column in
+/// place when the host and buffer allow it. All structural invariants
+/// are re-validated; a header that disagrees with the payload is a
+/// typed error, never a panic or misaligned read.
+pub fn decode_tables_flat(bytes: &[u8]) -> Result<FlatTables<'_>, Error> {
+    let mut r = SectionReader::new(bytes);
+    let n = r.u64()?;
+    let num_entries = r.u64()?;
+    let num_children = r.u64()?;
+    if n >= u32::MAX as u64 || num_entries >= u32::MAX as u64 || num_children > u32::MAX as u64 {
+        return Err(Error::corrupt("table counts exceed u32 offsets"));
+    }
+    let entry_start: ArenaStorage<u32> = r.pod_slice(n as usize + 1)?;
+    r.align8()?;
+    let keys: ArenaStorage<u64> = r.pod_slice(num_entries as usize)?;
+    let records: ArenaStorage<EntryRecord> = r.pod_slice(num_entries as usize)?;
+    let child_start: ArenaStorage<u32> = r.pod_slice(num_entries as usize + 1)?;
+    r.align8()?;
+    let children: ArenaStorage<NodeId> = r.pod_slice(num_children as usize)?;
+    r.finish()?;
+    if !entry_start.is_borrowed() {
+        psep_obs::counter!("routing.wire.entries_decoded").add(num_entries);
+    }
+    FlatTables::from_storage_parts(entry_start, keys, records, child_start, children)
+}
+
+impl RoutingTables<'_> {
     /// Writes the tables as one `psep-routing/v1` artifact.
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), Error> {
         w.write_all(&encode_tables(self.flat()))?;
@@ -262,7 +341,7 @@ impl RoutingTables {
 
     /// Reads a `psep-routing/v1` artifact back into serving tables,
     /// verifying magic, version, checksum, and structure.
-    pub fn load<R: Read>(mut r: R) -> Result<Self, Error> {
+    pub fn load<R: Read>(mut r: R) -> Result<RoutingTables<'static>, Error> {
         let mut data = Vec::new();
         r.read_to_end(&mut data)?;
         Ok(RoutingTables::from_flat(decode_tables(&data)?))
@@ -274,8 +353,10 @@ impl RoutingTables {
     }
 
     /// [`Self::load`] from a filesystem path.
-    pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self, Error> {
-        Self::load(std::io::BufReader::new(std::fs::File::open(path)?))
+    pub fn load_from_path<P: AsRef<std::path::Path>>(
+        path: P,
+    ) -> Result<RoutingTables<'static>, Error> {
+        RoutingTables::load(std::io::BufReader::new(std::fs::File::open(path)?))
     }
 }
 
@@ -287,7 +368,7 @@ mod tests {
     use psep_graph::generators::grids;
     use psep_graph::NodeId;
 
-    fn grid_tables() -> RoutingTables {
+    fn grid_tables() -> RoutingTables<'static> {
         let g = grids::grid2d(6, 6, 1);
         let tree = DecompositionTree::build(&g, &AutoStrategy::default());
         RoutingTables::build(&g, &tree)

@@ -78,7 +78,7 @@ impl ShutdownHandle {
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
-    svc: Arc<LocationService>,
+    svc: Arc<LocationService<'static>>,
     cfg: ServeConfig,
     shutdown: Arc<AtomicBool>,
 }
@@ -86,7 +86,7 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (port 0 picks an ephemeral port) for `svc`.
     pub fn bind<A: ToSocketAddrs>(
-        svc: Arc<LocationService>,
+        svc: Arc<LocationService<'static>>,
         addr: A,
         cfg: ServeConfig,
     ) -> std::io::Result<Self> {
@@ -174,7 +174,7 @@ impl Server {
 /// shutdown; payload-level decode errors are answered and survived.
 fn serve_connection(
     stream: TcpStream,
-    svc: &LocationService,
+    svc: &LocationService<'static>,
     cfg: &ServeConfig,
     shutdown: &ShutdownHandle,
 ) {

@@ -22,7 +22,7 @@ fn spawn_service(
     fam: Family,
     n: usize,
 ) -> (
-    Arc<LocationService>,
+    Arc<LocationService<'static>>,
     std::net::SocketAddr,
     ShutdownHandle,
     std::thread::JoinHandle<std::io::Result<()>>,

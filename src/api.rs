@@ -215,7 +215,7 @@ impl From<ServiceError> for ApiError {
     }
 }
 
-impl LocationService {
+impl LocationService<'_> {
     /// Serves one typed request. This is the dispatch point shared by
     /// in-process callers and the network daemon: every operation goes
     /// through the canonical fallible forms, and failures come back as
@@ -301,7 +301,7 @@ mod tests {
     use crate::service::ServiceParams;
     use psep_graph::generators::grids;
 
-    fn service() -> LocationService {
+    fn service() -> LocationService<'static> {
         LocationService::build(&grids::grid2d(5, 5, 1), ServiceParams::default())
     }
 

@@ -4,26 +4,47 @@
 //! [`LocationService`] bundles the four artifacts the paper's
 //! applications share — the graph, its decomposition tree, the
 //! Theorem 2 distance oracle, and the compact-routing tables — behind
-//! one build call and one versioned container format, `psep-bundle/v1`:
+//! one build call and one versioned container format. The current
+//! format is `psep-bundle/v2`:
 //!
 //! ```text
-//! "PSEPBNDL" | version | graph section | tree | labels | tables | crc32
+//! "PSEPBNDL" | version=2 pad(7) | directory | graph | tree | labels | tables | crc32
 //! ```
 //!
+//! The payload opens with the version varint zero-padded to offset 8,
+//! followed by a fixed-size directory: a `u32` section count (always 4)
+//! and one 24-byte row per section — `kind u32 | offset u64 | len u64 |
+//! crc32 u32`, all little-endian, offsets payload-relative. Sections
+//! are laid out back-to-back in kind order, each zero-padded to an
+//! 8-byte boundary, and the layout is *canonical*: the first section
+//! starts at offset 112, every later offset equals the aligned end of
+//! its predecessor, inter-section padding is zero, and the payload ends
+//! exactly at the last section's end. Any disagreement between the
+//! directory and the payload is a typed [`WireError`], never a panic.
+//!
 //! The graph section is a canonical delta-coded edge list (edges sorted
-//! by `(u, v)`), so re-encoding a loaded bundle reproduces the input
-//! byte-for-byte. The tree, labels, and tables sections embed the
-//! existing sealed `psep-tree/v1`, `psep-labels/v1`, and
-//! `psep-routing/v1` artifacts unchanged — each keeps its own magic and
-//! checksum, and the outer envelope adds a whole-bundle CRC-32 on top.
-//! On load, every section is re-validated and the sections are checked
-//! against each other (all must agree on the vertex count), so a bundle
-//! spliced together from mismatched artifacts is rejected with a typed
-//! error instead of serving wrong answers.
+//! by `(u, v)`), the tree section embeds the sealed `psep-tree/v1`
+//! artifact, and the labels and tables sections store their CSR arenas
+//! as aligned little-endian columns (the `psep-labels-flat` /
+//! `psep-tables-flat` section formats). On a little-endian machine the
+//! column layout **is** the in-memory layout, so [`map_bytes`] builds
+//! the oracle and routing views directly over the caller's buffer —
+//! cold-start work is O(checksum), independent of the number of label
+//! entries, and N replicas mapping one file share a single page cache.
+//! The graph and tree sections stay deferred until an API that needs
+//! them (routing, witness paths) forces a decode.
+//!
+//! [`from_bytes`] still accepts `psep-bundle/v1` artifacts unchanged,
+//! and [`to_bytes_v1`] writes them, so v1 consumers interoperate.
+//!
+//! [`map_bytes`]: LocationService::map_bytes
+//! [`from_bytes`]: LocationService::from_bytes
+//! [`to_bytes_v1`]: LocationService::to_bytes_v1
 
 use std::io::{Read, Write};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use psep_core::wire::{put_varint, seal, unseal, Cursor, WireError};
+use psep_core::wire::{crc32, put_varint, seal, unseal, Cursor, WireError};
 use psep_core::{AutoStrategy, DecompositionParams, DecompositionTree};
 use psep_graph::{Graph, NodeId, Weight};
 use psep_oracle::{build_oracle, DistanceOracle, OracleParams, WitnessPath};
@@ -33,11 +54,222 @@ use psep_routing::{RouteOutcome, Router, RoutingLabel, RoutingTables};
 // original `path_separators::service::ServiceError` path compiling.
 pub use crate::error::ServiceError;
 
-/// Magic bytes of a `psep-bundle/v1` artifact.
+/// Magic bytes of a `psep-bundle` artifact (every version).
 pub const BUNDLE_MAGIC: &[u8; 8] = b"PSEPBNDL";
 
-/// Current bundle format version.
-pub const BUNDLE_VERSION: u64 = 1;
+/// Current bundle format version, written by [`LocationService::to_bytes`].
+pub const BUNDLE_VERSION: u64 = 2;
+
+/// The legacy bundle version, still loadable and writable
+/// ([`LocationService::to_bytes_v1`]).
+pub const BUNDLE_VERSION_V1: u64 = 1;
+
+/// Directory kind tag of the graph section.
+pub const SECTION_GRAPH: u32 = 1;
+/// Directory kind tag of the decomposition-tree section.
+pub const SECTION_TREE: u32 = 2;
+/// Directory kind tag of the distance-labels section.
+pub const SECTION_LABELS: u32 = 3;
+/// Directory kind tag of the routing-tables section.
+pub const SECTION_TABLES: u32 = 4;
+
+/// Byte offset of the directory inside a v2 payload.
+const DIR_START: usize = 8;
+/// Bytes per directory row: `kind u32 | offset u64 | len u64 | crc32 u32`.
+const DIR_ROW: usize = 24;
+/// Number of sections in a v2 bundle.
+const NUM_SECTIONS: usize = 4;
+/// Byte offset of the first section: the directory end (108) aligned up.
+const SECTIONS_START: usize = align8(DIR_START + 4 + NUM_SECTIONS * DIR_ROW);
+
+/// Smallest multiple of 8 that is `>= x`.
+const fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+/// Human-readable name of a section kind tag.
+pub fn section_name(kind: u32) -> &'static str {
+    match kind {
+        SECTION_GRAPH => "graph",
+        SECTION_TREE => "tree",
+        SECTION_LABELS => "labels",
+        SECTION_TABLES => "tables",
+        _ => "unknown",
+    }
+}
+
+/// One directory row of a bundle payload, as returned by
+/// [`bundle_sections`]; the CRC has already been verified against the
+/// bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct BundleSection<'a> {
+    /// Section kind tag ([`SECTION_GRAPH`] .. [`SECTION_TABLES`]).
+    pub kind: u32,
+    /// The section's bytes within the payload.
+    pub bytes: &'a [u8],
+    /// CRC-32 of the section bytes.
+    pub crc32: u32,
+}
+
+/// Validates a bundle envelope (any version) and returns its format
+/// version plus the four sections in kind order, without decoding any
+/// section body — the O(checksum) part of loading, shared by tooling
+/// such as `psep-inspect`.
+pub fn bundle_sections(data: &[u8]) -> Result<(u64, Vec<BundleSection<'_>>), ServiceError> {
+    let payload = unseal(BUNDLE_MAGIC, data)?;
+    let mut c = Cursor::new(payload);
+    let version = c.varint()?;
+    match version {
+        BUNDLE_VERSION_V1 => {
+            let limit = payload.len();
+            let mut out = Vec::with_capacity(NUM_SECTIONS);
+            for kind in [SECTION_GRAPH, SECTION_TREE, SECTION_LABELS, SECTION_TABLES] {
+                let len = c.length(limit)?;
+                let bytes = c.bytes(len)?;
+                out.push(BundleSection {
+                    kind,
+                    bytes,
+                    crc32: crc32(bytes),
+                });
+            }
+            if c.remaining() != 0 {
+                return Err(WireError::Corrupt("trailing bytes after bundle sections").into());
+            }
+            Ok((version, out))
+        }
+        BUNDLE_VERSION => {
+            let secs = split_v2_payload(payload)?;
+            Ok((version, secs.rows().to_vec()))
+        }
+        v => Err(WireError::UnsupportedVersion(v).into()),
+    }
+}
+
+/// The four validated sections of a v2 payload, in kind order.
+struct V2Sections<'a> {
+    rows: [BundleSection<'a>; NUM_SECTIONS],
+}
+
+impl<'a> V2Sections<'a> {
+    fn rows(&self) -> &[BundleSection<'a>; NUM_SECTIONS] {
+        &self.rows
+    }
+
+    fn graph(&self) -> &'a [u8] {
+        self.rows[0].bytes
+    }
+
+    fn tree(&self) -> &'a [u8] {
+        self.rows[1].bytes
+    }
+
+    fn labels(&self) -> &'a [u8] {
+        self.rows[2].bytes
+    }
+
+    fn tables(&self) -> &'a [u8] {
+        self.rows[3].bytes
+    }
+}
+
+/// Validates the directory of a v2 payload against the payload itself:
+/// section kinds in order, canonical back-to-back offsets, zero
+/// padding, exact payload end, and a matching CRC-32 per section. Every
+/// header/payload disagreement is a typed error.
+fn split_v2_payload(payload: &[u8]) -> Result<V2Sections<'_>, WireError> {
+    if payload.len() < SECTIONS_START {
+        return Err(WireError::Truncated);
+    }
+    // The version varint is the single byte 2; the rest of the first
+    // 8-byte word is canonical zero padding.
+    if payload[0] != BUNDLE_VERSION as u8 || payload[1..DIR_START].iter().any(|&b| b != 0) {
+        return Err(WireError::Corrupt("malformed bundle version word"));
+    }
+    let count = u32::from_le_bytes(payload[DIR_START..DIR_START + 4].try_into().unwrap());
+    if count as usize != NUM_SECTIONS {
+        return Err(WireError::Corrupt(
+            "bundle directory must list four sections",
+        ));
+    }
+    let dir_end = DIR_START + 4 + NUM_SECTIONS * DIR_ROW;
+    if payload[dir_end..SECTIONS_START].iter().any(|&b| b != 0) {
+        return Err(WireError::Corrupt("nonzero bundle directory padding"));
+    }
+    let mut rows = [BundleSection {
+        kind: 0,
+        bytes: &payload[..0],
+        crc32: 0,
+    }; NUM_SECTIONS];
+    let mut expected_offset = SECTIONS_START;
+    let mut end = SECTIONS_START;
+    for (i, row) in rows.iter_mut().enumerate() {
+        let e = DIR_START + 4 + i * DIR_ROW;
+        let kind = u32::from_le_bytes(payload[e..e + 4].try_into().unwrap());
+        let offset = u64::from_le_bytes(payload[e + 4..e + 12].try_into().unwrap());
+        let len = u64::from_le_bytes(payload[e + 12..e + 20].try_into().unwrap());
+        let stored = u32::from_le_bytes(payload[e + 20..e + 24].try_into().unwrap());
+        if kind != (i + 1) as u32 {
+            return Err(WireError::Corrupt("bundle directory sections out of order"));
+        }
+        let offset = usize::try_from(offset)
+            .map_err(|_| WireError::Corrupt("bundle section offset overflows"))?;
+        let len = usize::try_from(len)
+            .map_err(|_| WireError::Corrupt("bundle section length overflows"))?;
+        if offset != expected_offset {
+            return Err(WireError::Corrupt(
+                "bundle section offset disagrees with layout",
+            ));
+        }
+        end = offset
+            .checked_add(len)
+            .ok_or(WireError::Corrupt("bundle section length overflows"))?;
+        if end > payload.len() {
+            return Err(WireError::Truncated);
+        }
+        let bytes = &payload[offset..end];
+        let computed = crc32(bytes);
+        if computed != stored {
+            return Err(WireError::ChecksumMismatch { stored, computed });
+        }
+        expected_offset = align8(end);
+        if payload[end..expected_offset.min(payload.len())]
+            .iter()
+            .any(|&b| b != 0)
+        {
+            return Err(WireError::Corrupt("nonzero bundle section padding"));
+        }
+        *row = BundleSection {
+            kind,
+            bytes,
+            crc32: stored,
+        };
+    }
+    if payload.len() != end {
+        return Err(WireError::Corrupt("trailing bytes after bundle sections"));
+    }
+    Ok(V2Sections { rows })
+}
+
+/// Assembles a canonical v2 payload from the four section bodies (in
+/// kind order) and seals it.
+fn encode_v2(sections: [&[u8]; NUM_SECTIONS]) -> Vec<u8> {
+    let mut payload = vec![0u8; SECTIONS_START];
+    payload[0] = BUNDLE_VERSION as u8;
+    payload[DIR_START..DIR_START + 4].copy_from_slice(&(NUM_SECTIONS as u32).to_le_bytes());
+    for (i, sec) in sections.iter().enumerate() {
+        while !payload.len().is_multiple_of(8) {
+            payload.push(0);
+        }
+        let offset = payload.len();
+        payload.extend_from_slice(sec);
+        let e = DIR_START + 4 + i * DIR_ROW;
+        payload[e..e + 4].copy_from_slice(&((i + 1) as u32).to_le_bytes());
+        payload[e + 4..e + 12].copy_from_slice(&(offset as u64).to_le_bytes());
+        payload[e + 12..e + 20].copy_from_slice(&(sec.len() as u64).to_le_bytes());
+        payload[e + 20..e + 24].copy_from_slice(&crc32(sec).to_le_bytes());
+    }
+    seal(BUNDLE_MAGIC, &payload)
+}
 
 /// Build parameters for [`LocationService::build`].
 #[derive(Clone, Copy, Debug)]
@@ -59,9 +291,133 @@ impl Default for ServiceParams {
     }
 }
 
+/// A part of the service that may still live as validated wire bytes:
+/// mapped bundles defer the graph and tree decodes until an API needs
+/// them, keeping cold-start O(checksum).
+#[derive(Clone, Debug)]
+enum LazyPart<'a, T> {
+    /// Decoded (or built in memory to begin with).
+    Ready(T),
+    /// CRC-validated section bytes, decoded at most once on demand.
+    Deferred { bytes: &'a [u8], cell: OnceLock<T> },
+}
+
+impl<'a, T> LazyPart<'a, T> {
+    /// The raw section bytes, when this part was mapped (forced or not).
+    fn raw(&self) -> Option<&'a [u8]> {
+        match self {
+            LazyPart::Ready(_) => None,
+            LazyPart::Deferred { bytes, .. } => Some(bytes),
+        }
+    }
+
+    /// The decoded value, decoding deferred bytes with `decode` on
+    /// first use. Concurrent racers may decode redundantly; the decode
+    /// is deterministic, so every racer observes the same value.
+    fn force_with<E>(&self, decode: impl FnOnce(&'a [u8]) -> Result<T, E>) -> Result<&T, E> {
+        match self {
+            LazyPart::Ready(v) => Ok(v),
+            LazyPart::Deferred { bytes, cell } => {
+                if let Some(v) = cell.get() {
+                    return Ok(v);
+                }
+                let v = decode(bytes)?;
+                Ok(cell.get_or_init(|| v))
+            }
+        }
+    }
+}
+
+/// The router slot of a service: mapped bundles hold the (zero-copy)
+/// tables here until the first routing call forces the graph decode and
+/// builds the [`Router`].
+#[derive(Debug)]
+struct RouterCell<'a> {
+    /// Tables waiting for a graph; `None` once the router is built.
+    pending: Mutex<Option<RoutingTables<'a>>>,
+    /// The built router.
+    cell: OnceLock<Router<'a>>,
+}
+
+impl<'a> RouterCell<'a> {
+    fn ready(router: Router<'a>) -> Self {
+        RouterCell {
+            pending: Mutex::new(None),
+            cell: OnceLock::from(router),
+        }
+    }
+
+    fn deferred(tables: RoutingTables<'a>) -> Self {
+        RouterCell {
+            pending: Mutex::new(Some(tables)),
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The router, building it from the pending tables on first use.
+    /// On a graph-decode error the tables are restored, so a later call
+    /// can retry (and fail the same way).
+    fn force(
+        &self,
+        graph: impl FnOnce() -> Result<Arc<Graph>, ServiceError>,
+    ) -> Result<&Router<'a>, ServiceError> {
+        if let Some(r) = self.cell.get() {
+            return Ok(r);
+        }
+        let mut pending = self.pending.lock().unwrap();
+        if let Some(r) = self.cell.get() {
+            return Ok(r);
+        }
+        let tables = pending.take().expect("tables pending while router unbuilt");
+        match graph() {
+            Ok(g) => {
+                let _ = self.cell.set(Router::with_shared(g, tables));
+                Ok(self.cell.get().expect("router was just built"))
+            }
+            Err(e) => {
+                *pending = Some(tables);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs `f` over the tables wherever they live (pending or inside
+    /// the built router) without forcing a router build.
+    fn with_tables<R>(&self, f: impl FnOnce(&RoutingTables<'a>) -> R) -> R {
+        if let Some(r) = self.cell.get() {
+            return f(r.tables());
+        }
+        let pending = self.pending.lock().unwrap();
+        match pending.as_ref() {
+            Some(t) => f(t),
+            // A racer finished building between the two checks; the
+            // build publishes the cell before releasing the lock.
+            None => f(self.cell.get().expect("router built").tables()),
+        }
+    }
+}
+
+impl Clone for RouterCell<'_> {
+    fn clone(&self) -> Self {
+        if let Some(r) = self.cell.get() {
+            return RouterCell::ready(r.clone());
+        }
+        let pending = self.pending.lock().unwrap();
+        match pending.as_ref() {
+            Some(t) => RouterCell::deferred(t.clone()),
+            None => RouterCell::ready(self.cell.get().expect("router built").clone()),
+        }
+    }
+}
+
 /// The full serving stack for one graph: decomposition tree, distance
 /// oracle, and compact-routing tables, built together and persisted as
-/// one `psep-bundle/v1` artifact.
+/// one `psep-bundle` artifact.
+///
+/// The lifetime `'a` is the lifetime of a mapped bundle buffer
+/// ([`Self::map_bytes`]); services built in memory or loaded with
+/// [`Self::from_bytes`] own all their arenas and satisfy any lifetime
+/// (use `LocationService<'static>` to store one).
 ///
 /// # Example
 ///
@@ -81,16 +437,21 @@ impl Default for ServiceParams {
 /// let bytes = svc.to_bytes();
 /// let back = LocationService::from_bytes(&bytes).unwrap();
 /// assert_eq!(back.to_bytes(), bytes);
+///
+/// // zero-copy: serve straight out of an aligned buffer
+/// let buf = psep_core::wire::AlignedBytes::from_slice(&bytes);
+/// let mapped = LocationService::map_bytes(&buf).unwrap();
+/// assert_eq!(mapped.query(NodeId(0), NodeId(35)), Some(est));
 /// ```
 #[derive(Clone, Debug)]
-pub struct LocationService {
-    graph: Graph,
-    tree: DecompositionTree,
-    oracle: DistanceOracle,
-    router: Router,
+pub struct LocationService<'a> {
+    graph: LazyPart<'a, Arc<Graph>>,
+    tree: LazyPart<'a, DecompositionTree>,
+    oracle: DistanceOracle<'a>,
+    router: RouterCell<'a>,
 }
 
-impl LocationService {
+impl<'a> LocationService<'a> {
     /// Builds the whole stack for `g`: decomposition tree, distance
     /// oracle, and routing tables, all with `params.threads` workers.
     pub fn build(g: &Graph, params: ServiceParams) -> Self {
@@ -112,16 +473,17 @@ impl LocationService {
             },
         );
         let tables = RoutingTables::build_with(g, &tree, params.threads);
-        let router = Router::new(g, tables);
+        let graph = Arc::new(g.clone());
+        let router = Router::with_shared(graph.clone(), tables);
         if let Some(t0) = t0 {
             psep_obs::histogram!("service.build_ns").record_elapsed(t0);
         }
         drop(span);
         LocationService {
-            graph: g.clone(),
-            tree,
+            graph: LazyPart::Ready(graph),
+            tree: LazyPart::Ready(tree),
             oracle,
-            router,
+            router: RouterCell::ready(router),
         }
     }
 
@@ -130,44 +492,102 @@ impl LocationService {
     pub fn from_parts(
         graph: Graph,
         tree: DecompositionTree,
-        oracle: DistanceOracle,
-        router: Router,
+        oracle: DistanceOracle<'a>,
+        router: Router<'a>,
     ) -> Result<Self, ServiceError> {
         let n = graph.num_nodes();
         if oracle.num_nodes() != n || router.tables().num_nodes() != n {
             return Err(WireError::Corrupt("bundle sections disagree on vertex count").into());
         }
         Ok(LocationService {
-            graph,
-            tree,
+            graph: LazyPart::Ready(Arc::new(graph)),
+            tree: LazyPart::Ready(tree),
             oracle,
-            router,
+            router: RouterCell::ready(router),
         })
     }
 
-    /// The served graph.
+    /// The served graph, decoding a mapped bundle's deferred graph
+    /// section on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deferred graph section fails to decode (possible
+    /// only for an adversarially re-sealed bundle — the section CRC was
+    /// already verified); [`Self::warm`] surfaces the same condition as
+    /// a typed error.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.try_graph().expect("bundle graph section decodes")
     }
 
-    /// The decomposition tree the oracle and tables were built over.
+    fn try_graph(&self) -> Result<&Arc<Graph>, ServiceError> {
+        self.graph.force_with(|bytes| {
+            let g = decode_graph(bytes)?;
+            if g.num_nodes() != self.oracle.num_nodes() {
+                return Err(ServiceError::from(WireError::Corrupt(
+                    "bundle sections disagree on vertex count",
+                )));
+            }
+            Ok(Arc::new(g))
+        })
+    }
+
+    /// The decomposition tree the oracle and tables were built over,
+    /// decoding a mapped bundle's deferred tree section on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same (adversarial re-seal) condition as
+    /// [`Self::graph`].
     pub fn tree(&self) -> &DecompositionTree {
-        &self.tree
+        self.try_tree().expect("bundle tree section decodes")
+    }
+
+    fn try_tree(&self) -> Result<&DecompositionTree, ServiceError> {
+        self.tree
+            .force_with(|bytes| DecompositionTree::decode(bytes).map_err(ServiceError::from))
     }
 
     /// The distance oracle.
-    pub fn oracle(&self) -> &DistanceOracle {
+    pub fn oracle(&self) -> &DistanceOracle<'a> {
         &self.oracle
     }
 
-    /// The compact router.
-    pub fn router(&self) -> &Router {
-        &self.router
+    /// The compact router, building it (and decoding a mapped bundle's
+    /// graph section) on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same (adversarial re-seal) condition as
+    /// [`Self::graph`].
+    pub fn router(&self) -> &Router<'a> {
+        self.try_router().expect("bundle graph section decodes")
     }
 
-    /// Number of vertices served.
+    fn try_router(&self) -> Result<&Router<'a>, ServiceError> {
+        self.router.force(|| self.try_graph().map(Arc::clone))
+    }
+
+    /// Forces every deferred part — graph, tree, and router — so later
+    /// calls are uniformly warm, reporting any decode error as a typed
+    /// error instead of a panic.
+    pub fn warm(&self) -> Result<(), ServiceError> {
+        self.try_graph()?;
+        self.try_tree()?;
+        self.try_router()?;
+        Ok(())
+    }
+
+    /// `true` when any arena serves straight out of a mapped buffer
+    /// (zero-copy); `false` when the service owns all its data.
+    pub fn is_borrowed(&self) -> bool {
+        self.oracle.is_borrowed() || self.router.with_tables(|t| t.is_borrowed())
+    }
+
+    /// Number of vertices served (available without forcing a deferred
+    /// graph section).
     pub fn num_nodes(&self) -> usize {
-        self.graph.num_nodes()
+        self.oracle.num_nodes()
     }
 
     /// The oracle's approximation parameter `ε`.
@@ -243,7 +663,8 @@ impl LocationService {
         v: NodeId,
     ) -> Result<Option<WitnessPath>, ServiceError> {
         let t0 = psep_obs::now_if_enabled();
-        let out = self.oracle.try_query_path(&self.graph, &self.tree, u, v)?;
+        let graph = self.try_graph()?;
+        let out = self.oracle.try_query_path(graph, self.try_tree()?, u, v)?;
         if let Some(t0) = t0 {
             psep_obs::histogram!("service.query_path.latency_ns").record_elapsed(t0);
         }
@@ -279,8 +700,9 @@ impl LocationService {
     /// as typed errors (canonical fallible form).
     pub fn try_route(&self, u: NodeId, t: NodeId) -> Result<Option<RouteOutcome>, ServiceError> {
         let t0 = psep_obs::now_if_enabled();
-        let label = self.router.tables().try_label(t)?;
-        let out = self.router.try_route(u, t, &label)?;
+        let router = self.try_router()?;
+        let label = router.tables().try_label(t)?;
+        let out = router.try_route(u, t, &label)?;
         if let Some(t0) = t0 {
             psep_obs::histogram!("service.route.latency_ns").record_elapsed(t0);
         }
@@ -296,14 +718,16 @@ impl LocationService {
         t: NodeId,
         ring: &mut psep_obs::TraceRing,
     ) -> Result<Option<RouteOutcome>, ServiceError> {
-        let label = self.router.tables().try_label(t)?;
-        Ok(self.router.route_traced(u, t, &label, ring))
+        let router = self.try_router()?;
+        let label = router.tables().try_label(t)?;
+        Ok(router.route_traced(u, t, &label, ring))
     }
 
     /// The routing label (address) of `t` — what `t` would publish in a
-    /// distributed deployment, for use with [`Router::route`].
+    /// distributed deployment, for use with [`Router::route`]. Reads
+    /// the tables directly, so it never forces a deferred graph decode.
     pub fn routing_label(&self, t: NodeId) -> RoutingLabel {
-        self.router.tables().label(t)
+        self.router.with_tables(|tables| tables.label(t))
     }
 
     /// Routes a batch of `(source, target)` pairs in parallel (identical
@@ -317,20 +741,34 @@ impl LocationService {
         self.try_route_many(pairs).expect("vertex id out of range")
     }
 
-    /// Encodes the whole service as one `psep-bundle/v1` artifact.
+    /// Encodes the whole service as one `psep-bundle/v2` artifact.
+    /// Mapped bundles re-emit their deferred graph and tree sections
+    /// verbatim, so `map_bytes(b).to_bytes() == b` bit-for-bit.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let graph = self.graph_section_bytes();
+        let tree = self.tree_section_bytes();
+        let labels =
+            psep_oracle::wire::encode_labels_flat(self.oracle.flat_labels(), self.oracle.epsilon());
+        let tables = self
+            .router
+            .with_tables(|t| psep_routing::wire::encode_tables_flat(t.flat()));
+        encode_v2([&graph, &tree, &labels, &tables])
+    }
+
+    /// Encodes the whole service as a legacy `psep-bundle/v1` artifact,
+    /// for consumers that have not adopted v2.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut payload = Vec::new();
-        put_varint(&mut payload, BUNDLE_VERSION);
-        let graph = encode_graph(&self.graph);
-        let tree = self.tree.encode();
+        put_varint(&mut payload, BUNDLE_VERSION_V1);
+        let graph = self.graph_section_bytes();
+        let tree = self.tree_section_bytes();
         let mut labels = Vec::new();
         self.oracle
             .save(&mut labels)
             .expect("writing to a Vec cannot fail");
         let mut tables = Vec::new();
         self.router
-            .tables()
-            .save(&mut tables)
+            .with_tables(|t| t.save(&mut tables))
             .expect("writing to a Vec cannot fail");
         for section in [&graph, &tree, &labels, &tables] {
             put_varint(&mut payload, section.len() as u64);
@@ -339,8 +777,28 @@ impl LocationService {
         seal(BUNDLE_MAGIC, &payload)
     }
 
-    /// Decodes a `psep-bundle/v1` artifact, re-validating every section
-    /// and their mutual consistency.
+    /// The canonical graph section: the mapped bytes verbatim when this
+    /// service was mapped, a fresh (identical, the encoding is
+    /// canonical) encode otherwise.
+    fn graph_section_bytes(&self) -> Vec<u8> {
+        match self.graph.raw() {
+            Some(bytes) => bytes.to_vec(),
+            None => encode_graph(self.graph()),
+        }
+    }
+
+    /// The tree section (a sealed `psep-tree/v1` artifact), verbatim
+    /// when mapped.
+    fn tree_section_bytes(&self) -> Vec<u8> {
+        match self.tree.raw() {
+            Some(bytes) => bytes.to_vec(),
+            None => self.tree().encode(),
+        }
+    }
+
+    /// Decodes a `psep-bundle` artifact (v1 or v2) into a service that
+    /// owns all its arenas, re-validating every section and their
+    /// mutual consistency.
     pub fn from_bytes(data: &[u8]) -> Result<Self, ServiceError> {
         let t0 = psep_obs::now_if_enabled();
         let svc = Self::from_bytes_inner(data)?;
@@ -350,16 +808,79 @@ impl LocationService {
         Ok(svc)
     }
 
+    /// Builds a service directly **over** `data` without copying the
+    /// label or table arenas out of it. For a v2 bundle the cold-start
+    /// work is validation only — envelope and per-section CRCs plus a
+    /// vertex-count cross-check — independent of how many label entries
+    /// the bundle holds; the graph and tree sections stay deferred
+    /// until an API that needs them (routing, witness paths, batch
+    /// paths) forces a one-time decode. A v1 bundle has no mappable
+    /// layout, so it falls back to a full owned decode.
+    ///
+    /// Zero-copy needs `data` to be little-endian-compatible and
+    /// 8-aligned (e.g. [`psep_core::wire::AlignedBytes`]); otherwise
+    /// the arenas are transparently copied out and everything still
+    /// works. Answers are bit-identical either way.
+    pub fn map_bytes(data: &'a [u8]) -> Result<Self, ServiceError> {
+        let t0 = psep_obs::now_if_enabled();
+        let payload = unseal(BUNDLE_MAGIC, data)?;
+        let mut c = Cursor::new(payload);
+        let version = c.varint()?;
+        let svc = match version {
+            BUNDLE_VERSION_V1 => Self::decode_v1(payload, c)?,
+            BUNDLE_VERSION => {
+                let secs = split_v2_payload(payload)?;
+                let (flat, epsilon) = psep_oracle::wire::decode_labels_flat(secs.labels())?;
+                let oracle = DistanceOracle::from_flat(flat, epsilon);
+                let tables = RoutingTables::from_flat(psep_routing::wire::decode_tables_flat(
+                    secs.tables(),
+                )?);
+                // The graph section opens with its vertex count; peek it
+                // without decoding the edge list.
+                let n = Cursor::new(secs.graph()).length(u32::MAX as usize)?;
+                if oracle.num_nodes() != n || tables.num_nodes() != n {
+                    return Err(
+                        WireError::Corrupt("bundle sections disagree on vertex count").into(),
+                    );
+                }
+                LocationService {
+                    graph: LazyPart::Deferred {
+                        bytes: secs.graph(),
+                        cell: OnceLock::new(),
+                    },
+                    tree: LazyPart::Deferred {
+                        bytes: secs.tree(),
+                        cell: OnceLock::new(),
+                    },
+                    oracle,
+                    router: RouterCell::deferred(tables),
+                }
+            }
+            v => return Err(WireError::UnsupportedVersion(v).into()),
+        };
+        if let Some(t0) = t0 {
+            psep_obs::histogram!("service.map_ns").record_elapsed(t0);
+        }
+        Ok(svc)
+    }
+
     fn from_bytes_inner(data: &[u8]) -> Result<Self, ServiceError> {
         let payload = unseal(BUNDLE_MAGIC, data)?;
         let mut c = Cursor::new(payload);
         let version = c.varint()?;
-        if version != BUNDLE_VERSION {
-            return Err(WireError::UnsupportedVersion(version).into());
+        match version {
+            BUNDLE_VERSION_V1 => Self::decode_v1(payload, c),
+            BUNDLE_VERSION => Self::decode_v2_owned(payload),
+            v => Err(WireError::UnsupportedVersion(v).into()),
         }
+    }
+
+    /// Decodes a v1 payload (cursor positioned after the version) into
+    /// fully owned parts.
+    fn decode_v1(payload: &[u8], mut c: Cursor<'_>) -> Result<Self, ServiceError> {
         let limit = payload.len();
-        let mut sections: Vec<&[u8]> = Vec::with_capacity(4);
-        for _ in 0..4 {
+        let mut sections: Vec<&[u8]> = Vec::with_capacity(NUM_SECTIONS);
+        for _ in 0..NUM_SECTIONS {
             let len = c.length(limit)?;
             sections.push(c.bytes(len)?);
         }
@@ -370,8 +891,43 @@ impl LocationService {
         let tree = DecompositionTree::decode(sections[1])?;
         let oracle = DistanceOracle::load(sections[2])?;
         let tables = RoutingTables::load(sections[3])?;
-        let router = Router::new(&graph, tables);
-        Self::from_parts(graph, tree, oracle, router)
+        let n = graph.num_nodes();
+        if oracle.num_nodes() != n || tables.num_nodes() != n {
+            return Err(WireError::Corrupt("bundle sections disagree on vertex count").into());
+        }
+        let graph = Arc::new(graph);
+        let router = Router::with_shared(graph.clone(), tables);
+        Ok(LocationService {
+            graph: LazyPart::Ready(graph),
+            tree: LazyPart::Ready(tree),
+            oracle,
+            router: RouterCell::ready(router),
+        })
+    }
+
+    /// Decodes a v2 payload into fully owned parts (the eager
+    /// counterpart of [`Self::map_bytes`]).
+    fn decode_v2_owned(payload: &[u8]) -> Result<Self, ServiceError> {
+        let secs = split_v2_payload(payload)?;
+        let graph = decode_graph(secs.graph())?;
+        let tree = DecompositionTree::decode(secs.tree())?;
+        let (flat, epsilon) = psep_oracle::wire::decode_labels_flat(secs.labels())?;
+        let oracle = DistanceOracle::from_flat(flat, epsilon).into_owned();
+        let tables =
+            RoutingTables::from_flat(psep_routing::wire::decode_tables_flat(secs.tables())?)
+                .into_owned();
+        let n = graph.num_nodes();
+        if oracle.num_nodes() != n || tables.num_nodes() != n {
+            return Err(WireError::Corrupt("bundle sections disagree on vertex count").into());
+        }
+        let graph = Arc::new(graph);
+        let router = Router::with_shared(graph.clone(), tables);
+        Ok(LocationService {
+            graph: LazyPart::Ready(graph),
+            tree: LazyPart::Ready(tree),
+            oracle,
+            router: RouterCell::ready(router),
+        })
     }
 
     /// Writes the bundle to `w`.
@@ -467,9 +1023,10 @@ fn decode_graph(data: &[u8]) -> Result<Graph, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psep_core::wire::AlignedBytes;
     use psep_graph::generators::{grids, ktree};
 
-    fn service() -> (Graph, LocationService) {
+    fn service() -> (Graph, LocationService<'static>) {
         let g = grids::grid2d(6, 6, 1);
         let svc = LocationService::build(&g, ServiceParams::default());
         (g, svc)
@@ -528,6 +1085,95 @@ mod tests {
     }
 
     #[test]
+    fn v1_bundle_roundtrips_and_upgrades() {
+        let (_, svc) = service();
+        let v1 = svc.to_bytes_v1();
+        let back = LocationService::from_bytes(&v1).unwrap();
+        // a loaded v1 re-emits v1 bit-identically...
+        assert_eq!(back.to_bytes_v1(), v1);
+        // ...and its v2 upgrade equals the directly built service's v2
+        assert_eq!(back.to_bytes(), svc.to_bytes());
+        assert_eq!(
+            back.query(NodeId(0), NodeId(35)),
+            svc.query(NodeId(0), NodeId(35))
+        );
+    }
+
+    #[test]
+    fn mapped_bundle_is_zero_copy_and_bit_identical() {
+        let (g, svc) = service();
+        let buf = AlignedBytes::from_slice(&svc.to_bytes());
+        let mapped = LocationService::map_bytes(&buf).unwrap();
+        // aligned little-endian buffer => the arenas borrow in place
+        assert!(mapped.is_borrowed());
+        assert!(!svc.is_borrowed());
+        // re-encoding a mapped service reproduces the input bytes
+        assert_eq!(mapped.to_bytes(), &buf[..]);
+        for u in g.nodes() {
+            assert_eq!(mapped.query(NodeId(0), u), svc.query(NodeId(0), u));
+            assert_eq!(mapped.route(NodeId(0), u), svc.route(NodeId(0), u));
+            assert_eq!(
+                mapped.query_path(NodeId(0), u).map(|p| p.nodes),
+                svc.query_path(NodeId(0), u).map(|p| p.nodes)
+            );
+        }
+        assert_eq!(
+            mapped.routing_label(NodeId(7)),
+            svc.routing_label(NodeId(7))
+        );
+        mapped.warm().unwrap();
+        assert_eq!(mapped.graph().num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn mapped_bundle_falls_back_to_owned_when_misaligned() {
+        let (_, svc) = service();
+        let bytes = svc.to_bytes();
+        // shift by one so every section lands misaligned
+        let mut shifted = vec![0u8; bytes.len() + 1];
+        shifted[1..].copy_from_slice(&bytes);
+        let mapped = LocationService::map_bytes(&shifted[1..]).unwrap();
+        assert!(!mapped.is_borrowed());
+        assert_eq!(mapped.to_bytes(), bytes);
+        assert_eq!(
+            mapped.query(NodeId(0), NodeId(35)),
+            svc.query(NodeId(0), NodeId(35))
+        );
+    }
+
+    #[test]
+    fn v1_bundles_map_via_owned_fallback() {
+        let (_, svc) = service();
+        let v1 = svc.to_bytes_v1();
+        let mapped = LocationService::map_bytes(&v1).unwrap();
+        assert!(!mapped.is_borrowed());
+        assert_eq!(
+            mapped.query(NodeId(0), NodeId(35)),
+            svc.query(NodeId(0), NodeId(35))
+        );
+    }
+
+    #[test]
+    fn bundle_sections_reports_both_versions() {
+        let (_, svc) = service();
+        for (bytes, version) in [
+            (svc.to_bytes(), BUNDLE_VERSION),
+            (svc.to_bytes_v1(), BUNDLE_VERSION_V1),
+        ] {
+            let (v, secs) = bundle_sections(&bytes).unwrap();
+            assert_eq!(v, version);
+            assert_eq!(secs.len(), 4);
+            assert_eq!(
+                secs.iter().map(|s| s.kind).collect::<Vec<_>>(),
+                vec![SECTION_GRAPH, SECTION_TREE, SECTION_LABELS, SECTION_TABLES]
+            );
+            for s in &secs {
+                assert_eq!(crc32(s.bytes), s.crc32);
+            }
+        }
+    }
+
+    #[test]
     fn corrupted_bundles_are_rejected() {
         let (_, svc) = service();
         let bytes = svc.to_bytes();
@@ -548,6 +1194,67 @@ mod tests {
         ));
         // truncation
         assert!(LocationService::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    /// Re-seals a tampered v2 payload so the outer CRC passes and the
+    /// directory/payload disagreement itself must be caught.
+    fn tampered(bytes: &[u8], tamper: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+        let mut payload = unseal(BUNDLE_MAGIC, bytes).unwrap().to_vec();
+        tamper(&mut payload);
+        seal(BUNDLE_MAGIC, &payload)
+    }
+
+    #[test]
+    fn resealed_header_payload_disagreements_are_rejected() {
+        let (_, svc) = service();
+        let bytes = svc.to_bytes();
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("wrong count", tampered(&bytes, |p| p[DIR_START] = 5)),
+            ("nonzero version pad", tampered(&bytes, |p| p[3] = 1)),
+            (
+                "nonzero dir pad",
+                tampered(&bytes, |p| p[SECTIONS_START - 1] = 7),
+            ),
+            (
+                "inflated first len",
+                tampered(&bytes, |p| {
+                    let e = DIR_START + 4;
+                    let len = u64::from_le_bytes(p[e + 12..e + 20].try_into().unwrap()) + 8;
+                    p[e + 12..e + 20].copy_from_slice(&len.to_le_bytes());
+                }),
+            ),
+            (
+                "shifted second offset",
+                tampered(&bytes, |p| {
+                    let e = DIR_START + 4 + DIR_ROW;
+                    let off = u64::from_le_bytes(p[e + 4..e + 12].try_into().unwrap()) + 8;
+                    p[e + 4..e + 12].copy_from_slice(&off.to_le_bytes());
+                }),
+            ),
+            (
+                "section bytes flipped under a stale crc",
+                tampered(&bytes, |p| {
+                    let last = p.len() - 1;
+                    p[last] ^= 0x40;
+                }),
+            ),
+            ("trailing payload bytes", tampered(&bytes, |p| p.push(0))),
+            (
+                "truncated payload",
+                tampered(&bytes, |p| {
+                    p.truncate(p.len() - 8);
+                }),
+            ),
+        ];
+        for (what, bad) in cases {
+            let err = LocationService::from_bytes(&bad);
+            assert!(matches!(err, Err(ServiceError::Wire(_))), "{what}: {err:?}");
+            let buf = AlignedBytes::from_slice(&bad);
+            assert!(
+                matches!(LocationService::map_bytes(&buf), Err(ServiceError::Wire(_))),
+                "{what} (mapped)"
+            );
+        }
     }
 
     #[test]

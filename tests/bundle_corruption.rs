@@ -1,0 +1,89 @@
+//! Adversarial-bytes properties for `psep-bundle/v2`: any single-byte
+//! corruption of a sealed bundle is rejected with a typed error, any
+//! truncation is rejected with a typed error, and arbitrary byte soup
+//! never panics either loader. Both decode paths are exercised —
+//! `from_bytes` (owned) and `map_bytes` over an aligned buffer
+//! (borrowed) — because they walk the envelope independently.
+
+use proptest::prelude::*;
+
+use path_separators::core::wire::AlignedBytes;
+use path_separators::service::ServiceError;
+use path_separators::{LocationService, ServiceParams};
+use psep_graph::generators::grids;
+
+fn sealed_bundle() -> Vec<u8> {
+    let g = grids::grid2d(7, 7, 1);
+    LocationService::build(&g, ServiceParams::default()).to_bytes()
+}
+
+/// Both loaders must reject `data` with an error, not a panic.
+fn assert_rejected(data: &[u8], what: &str) {
+    let owned = LocationService::from_bytes(data);
+    assert!(
+        matches!(owned, Err(ServiceError::Wire(_))),
+        "{what}: from_bytes accepted corrupt bytes"
+    );
+    let aligned = AlignedBytes::from_slice(data);
+    let mapped = LocationService::map_bytes(&aligned);
+    assert!(
+        matches!(mapped, Err(ServiceError::Wire(_))),
+        "{what}: map_bytes accepted corrupt bytes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CRC-32 detects every single-byte error, so a flipped byte
+    /// anywhere — magic, version word, directory, section payload, or
+    /// the envelope checksum itself — must surface as a typed error.
+    #[test]
+    fn single_byte_flips_are_rejected(pos_seed in any::<usize>(), mask in 1u8..=255) {
+        let mut bytes = sealed_bundle();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= mask;
+        assert_rejected(&bytes, &format!("flip at {pos}"));
+    }
+
+    /// Truncation at an arbitrary point must be a typed error; short
+    /// prefixes of a valid bundle are never themselves valid.
+    #[test]
+    fn truncations_are_rejected(frac in 0.0f64..1.0) {
+        let bytes = sealed_bundle();
+        let len = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(len < bytes.len());
+        assert_rejected(&bytes[..len], &format!("truncate to {len}"));
+    }
+
+    /// Arbitrary byte soup never panics the loaders.
+    #[test]
+    fn byte_soup_never_panics(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = LocationService::from_bytes(&data);
+        let aligned = AlignedBytes::from_slice(&data);
+        let _ = LocationService::map_bytes(&aligned);
+    }
+}
+
+#[test]
+fn every_systematic_truncation_is_rejected() {
+    let bytes = sealed_bundle();
+    // Every length in the envelope-and-directory region, then a coarse
+    // sweep through the section payloads.
+    for len in (0..256.min(bytes.len())).chain((256..bytes.len()).step_by(31)) {
+        assert_rejected(&bytes[..len], &format!("truncate to {len}"));
+    }
+}
+
+#[test]
+fn every_directory_byte_flip_is_rejected() {
+    let bytes = sealed_bundle();
+    // The first 120 bytes cover magic, version word, and the section
+    // directory — the region where a flip could plausibly redirect the
+    // readers instead of just failing a payload CRC.
+    for pos in 0..120.min(bytes.len()) {
+        let mut b = bytes.clone();
+        b[pos] ^= 0x01;
+        assert_rejected(&b, &format!("flip at {pos}"));
+    }
+}

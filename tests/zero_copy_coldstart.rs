@@ -1,0 +1,70 @@
+//! The O(checksum) cold-start guarantee, stated as counters rather
+//! than wall clock: mapping an aligned `psep-bundle/v2` and serving
+//! distance queries and routing labels out of it must perform zero
+//! per-entry decodes — every `*.wire.*_decoded` counter stays exactly
+//! where it was. Loading the same bundle through the owned path (and
+//! a v1 bundle, which has no flat sections at all) must decode.
+//!
+//! Sole test in this binary: it toggles the process-wide `psep-obs`
+//! enable flag and resets the registry, which would race with any
+//! other obs-reading test in the same process.
+
+use path_separators::core::wire::AlignedBytes;
+use path_separators::service::ServiceParams;
+use path_separators::{LocationService, NodeId};
+use psep_graph::generators::grids;
+
+const DECODE_COUNTERS: [&str; 3] = [
+    "oracle.wire.entries_decoded",
+    "oracle.wire.portals_decoded",
+    "routing.wire.entries_decoded",
+];
+
+fn decode_counts() -> Vec<u64> {
+    let snap = psep_obs::snapshot();
+    DECODE_COUNTERS
+        .iter()
+        .map(|c| snap.counter(c).unwrap_or(0))
+        .collect()
+}
+
+#[test]
+fn mapped_serving_performs_zero_per_entry_decodes() {
+    psep_obs::set_enabled(true);
+    if !psep_obs::enabled() {
+        return; // compiled with the no-op backend
+    }
+
+    let g = grids::grid2d(14, 14, 1);
+    let svc = LocationService::build(&g, ServiceParams::default());
+    let v2 = svc.to_bytes();
+    let v1 = svc.to_bytes_v1();
+    let n = svc.num_nodes() as u32;
+    let pairs: Vec<(NodeId, NodeId)> = (0..300u32)
+        .map(|i| (NodeId(i * 11 % n), NodeId((i * 17 + 3) % n)))
+        .collect();
+
+    psep_obs::reset();
+    let aligned = AlignedBytes::from_slice(&v2);
+    let mapped = LocationService::map_bytes(&aligned).expect("own bundle maps");
+    assert!(mapped.is_borrowed());
+    let expected = svc.query_many(&pairs);
+    assert_eq!(mapped.query_many(&pairs), expected);
+    for v in [0u32, 1, n / 2, n - 1] {
+        let _ = mapped.routing_label(NodeId(v));
+    }
+    assert_eq!(
+        decode_counts(),
+        vec![0, 0, 0],
+        "mapped cold start or queries performed per-entry decodes"
+    );
+
+    // The owned v1 path decodes every entry; the counters must move —
+    // proving they are live, not dead code vacuously at zero.
+    let owned = LocationService::from_bytes(&v1).expect("own v1 bundle loads");
+    assert_eq!(owned.query_many(&pairs), expected);
+    assert!(
+        decode_counts().iter().any(|&c| c > 0),
+        "v1 load did not touch the decode counters"
+    );
+}
