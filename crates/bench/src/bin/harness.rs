@@ -213,6 +213,16 @@ fn main() {
             }),
         ),
         (
+            "eqperf",
+            "E-qperf — query plane: bound-pruned join, sorted batches, delta bundles",
+            Box::new(move || {
+                ex::eqperf_query_plane(
+                    if quick { 300 } else { 800 },
+                    if quick { 1_000 } else { 4_000 },
+                )
+            }),
+        ),
+        (
             "escale",
             "E-scale — zero-copy bundle serving at scale (psep-bundle/v2)",
             Box::new(move || {

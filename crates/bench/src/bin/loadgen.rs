@@ -39,7 +39,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  loadgen --family NAME --n N [--epsilon EPS] [--threads T] [OPTIONS]\n  loadgen --addr HOST:PORT [OPTIONS]\n\noptions: --concurrency C --duration-ms MS --batch B --pairs P --seed S --json PATH\nfamilies: {}",
+        "usage:\n  loadgen --family NAME --n N [--epsilon EPS] [--threads T] [OPTIONS]\n  loadgen --addr HOST:PORT [OPTIONS]\n\noptions: --concurrency C --duration-ms MS --batch B --pairs P --seed S --skew Z --json PATH\nfamilies: {}",
         ALL_FAMILIES
             .iter()
             .map(|f| f.name())
@@ -100,6 +100,13 @@ fn parse_args() -> Args {
             "--batch" => args.cfg.batch = num(&mut it, "batch"),
             "--pairs" => args.cfg.pair_pool = num(&mut it, "pairs"),
             "--seed" => args.cfg.seed = num(&mut it, "seed"),
+            "--skew" => {
+                args.cfg.skew = num(&mut it, "skew");
+                if !args.cfg.skew.is_finite() || args.cfg.skew < 0.0 {
+                    eprintln!("--skew: must be a finite non-negative exponent");
+                    usage()
+                }
+            }
             "--json" => args.json_path = Some(value(&mut it, "json").to_string()),
             _ => {
                 eprintln!("unexpected argument `{a}`");

@@ -915,6 +915,166 @@ pub fn e9_structures() -> String {
     out
 }
 
+/// E-qperf — the query-plane overhaul (PR "bound-pruned merge-join"):
+/// on every graph family, runs the same pair pool through the pruned
+/// production merge-join and the unpruned reference scan, asserting the
+/// three guarantees inline — answers **and** witnesses (winning key and
+/// portal pair) are bit-identical, the pruned scan touches strictly
+/// fewer candidates, and the locality-sorted batch engine returns
+/// input-order results identical to the sequential loop at 1, 2, and 4
+/// workers. The same service is then persisted both ways and the
+/// delta-compressed bundle must be smaller than raw v2 and round-trip
+/// losslessly back to the exact raw bytes.
+///
+/// Reported metrics: `eqperf.pruned.pairs_per_sec`,
+/// `eqperf.unpruned.pairs_per_sec`, `eqperf.batch.pairs_per_sec` (best
+/// observed), `eqperf.scan.saved_frac`,
+/// `eqperf.bundle.compression_ratio`, plus the production
+/// `oracle.query.pruned_keys` / `oracle.query.pruned_portals` /
+/// `oracle.query.candidates_scanned` counters fed from the measured
+/// traffic.
+pub fn eqperf_query_plane(n: usize, pair_count: usize) -> String {
+    use path_separators::{LocationService, ServiceParams};
+    use psep_oracle::{BatchQueryEngine, JoinStats};
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| family | n | pairs | scanned pruned | scanned unpruned | saved | keys cut | portal tails cut | pruned pairs/s | unpruned pairs/s | batch pairs/s | raw B | delta B | ratio |"
+    );
+    let _ = writeln!(
+        out,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
+    for fam in ALL_FAMILIES {
+        let g = fam.make(n, SEED);
+        let nn = g.num_nodes();
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let svc = LocationService::build(
+            &g,
+            ServiceParams {
+                epsilon: 0.25,
+                threads,
+            },
+        );
+        let oracle = svc.oracle();
+        let pairs = crate::measure::random_pairs(nn, pair_count, SEED ^ 61);
+
+        // Pruned production path vs the unpruned reference, same pool.
+        let (pruned, pruned_s) = timed(|| {
+            let mut stats = JoinStats::default();
+            let answers: Vec<_> = pairs
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, s) = oracle.query_with_stats(u, v);
+                    stats.merge(s);
+                    a
+                })
+                .collect();
+            (answers, stats)
+        });
+        let (unpruned, unpruned_s) = timed(|| {
+            let mut stats = JoinStats::default();
+            let answers: Vec<_> = pairs
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, s) = oracle.query_unpruned(u, v);
+                    stats.merge(s);
+                    a
+                })
+                .collect();
+            (answers, stats)
+        });
+        let (pruned_answers, pruned_stats) = pruned;
+        let (unpruned_answers, unpruned_stats) = unpruned;
+        assert_eq!(
+            pruned_answers,
+            unpruned_answers,
+            "{}: pruning changed an answer",
+            fam.name()
+        );
+        assert!(
+            pruned_stats.scanned < unpruned_stats.scanned,
+            "{}: pruned scan {} is not strictly below unpruned {}",
+            fam.name(),
+            pruned_stats.scanned,
+            unpruned_stats.scanned
+        );
+        // Witness equivalence: same winning key and portal pair.
+        for &(u, v) in &pairs {
+            assert_eq!(
+                oracle.explain(u, v),
+                oracle.explain_unpruned(u, v),
+                "{}: pruning changed the witness for {u:?}->{v:?}",
+                fam.name()
+            );
+        }
+
+        // Locality-sorted batches must be bit-identical to the
+        // sequential input-order loop at every worker count.
+        let mut batch_pps = 0.0f64;
+        for workers in [1usize, 2, 4] {
+            let engine = BatchQueryEngine::new(workers).min_chunk(64);
+            let (answers, batch_s) = timed(|| engine.run(oracle, &pairs));
+            assert_eq!(
+                answers,
+                pruned_answers,
+                "{}: sorted batch diverges at t={workers}",
+                fam.name()
+            );
+            batch_pps = batch_pps.max(pairs.len() as f64 / batch_s);
+        }
+
+        // Delta-compressed bundle: smaller, and lossless back to raw.
+        let raw = svc.to_bytes();
+        let delta = svc.to_bytes_compressed();
+        assert!(
+            delta.len() < raw.len(),
+            "{}: delta bundle {} >= raw {}",
+            fam.name(),
+            delta.len(),
+            raw.len()
+        );
+        let back = LocationService::from_bytes(&delta)
+            .unwrap_or_else(|e| panic!("{}: delta bundle rejected: {e}", fam.name()));
+        assert_eq!(
+            back.to_bytes(),
+            raw,
+            "{}: delta round-trip is lossy",
+            fam.name()
+        );
+        let ratio = delta.len() as f64 / raw.len() as f64;
+
+        let saved = 1.0 - pruned_stats.scanned as f64 / unpruned_stats.scanned as f64;
+        let pruned_pps = pairs.len() as f64 / pruned_s;
+        let unpruned_pps = pairs.len() as f64 / unpruned_s;
+        if psep_obs::enabled() {
+            psep_obs::counter("oracle.query.candidates_scanned").add(pruned_stats.scanned);
+            psep_obs::counter("oracle.query.pruned_keys").add(pruned_stats.pruned_keys);
+            psep_obs::counter("oracle.query.pruned_portals").add(pruned_stats.pruned_portals);
+            psep_obs::gauge("eqperf.pruned.pairs_per_sec").set_max(pruned_pps);
+            psep_obs::gauge("eqperf.unpruned.pairs_per_sec").set_max(unpruned_pps);
+            psep_obs::gauge("eqperf.batch.pairs_per_sec").set_max(batch_pps);
+            psep_obs::gauge("eqperf.scan.saved_frac").set_max(saved);
+            psep_obs::gauge("eqperf.bundle.compression_ratio").set(ratio);
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {nn} | {} | {} | {} | {:.1}% | {} | {} | {pruned_pps:.0} | {unpruned_pps:.0} | {batch_pps:.0} | {} | {} | {ratio:.3} |",
+            fam.name(),
+            pairs.len(),
+            pruned_stats.scanned,
+            unpruned_stats.scanned,
+            100.0 * saved,
+            pruned_stats.pruned_keys,
+            pruned_stats.pruned_portals,
+            raw.len(),
+            delta.len(),
+        );
+    }
+    out
+}
+
 /// E-scale — zero-copy serving at scale (PR "psep-bundle/v2"): builds
 /// the full location service on large grids, 3-trees, and random
 /// planar instances, persists each as a v2 bundle, and measures the

@@ -48,6 +48,11 @@ pub struct LoadgenConfig {
     pub pair_pool: usize,
     /// Pair-sampling seed.
     pub seed: u64,
+    /// Zipf exponent for source-vertex sampling. `0.0` keeps sources
+    /// uniform; larger values concentrate the pool on a few hot
+    /// sources, exercising the locality-aware batch scheduler the way
+    /// skewed production traffic does. Targets stay uniform.
+    pub skew: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -58,7 +63,36 @@ impl Default for LoadgenConfig {
             batch: 256,
             pair_pool: 2048,
             seed: 42,
+            skew: 0.0,
         }
+    }
+}
+
+/// Replaces each pair's source with a Zipf(`skew`)-distributed vertex
+/// id (rank 1 = vertex 0), deterministically from `seed`. Inverse-CDF
+/// sampling over the exact finite Zipf weights — no approximation, no
+/// external dependency. A no-op when `skew <= 0` or the graph is empty.
+fn skew_sources(pairs: &mut [(NodeId, NodeId)], num_nodes: usize, skew: f64, seed: u64) {
+    if skew <= 0.0 || num_nodes == 0 {
+        return;
+    }
+    let mut cdf = Vec::with_capacity(num_nodes);
+    let mut total = 0.0f64;
+    for rank in 1..=num_nodes {
+        total += (rank as f64).powf(-skew);
+        cdf.push(total);
+    }
+    // splitmix64 stream: deterministic, independent of the pool sampler.
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for (src, _) in pairs.iter_mut() {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let idx = cdf.partition_point(|&c| c < unit * total);
+        *src = NodeId::from_index(idx.min(num_nodes - 1));
     }
 }
 
@@ -312,7 +346,8 @@ pub fn run_against(
     num_nodes: usize,
     cfg: &LoadgenConfig,
 ) -> String {
-    let pairs = random_pairs(num_nodes, cfg.pair_pool.max(1), cfg.seed);
+    let mut pairs = random_pairs(num_nodes, cfg.pair_pool.max(1), cfg.seed);
+    skew_sources(&mut pairs, num_nodes, cfg.skew, cfg.seed);
     verify(addr, local, &pairs);
 
     let mut out = String::new();
@@ -372,7 +407,7 @@ fn measure_cold_start(svc: &LocationService, pair: (NodeId, NodeId)) -> (u64, u6
     assert!(mapped.is_borrowed(), "aligned v2 map must borrow in place");
     assert_eq!(mapped.query(pair.0, pair.1), expected);
 
-    let best = |f: &dyn Fn() -> ()| {
+    let best = |f: &dyn Fn()| {
         (0..3)
             .map(|_| {
                 let t0 = Instant::now();
@@ -426,12 +461,13 @@ pub fn self_contained(
     .expect("binding loopback");
     let (addr, handle, runner) = server.spawn();
     let mut out = format!(
-        "family {} · n {} · eps {} · {} connections · {:?}/op\n\n",
+        "family {} · n {} · eps {} · {} connections · {:?}/op · skew {}\n\n",
         family.name(),
         num_nodes,
         svc.epsilon(),
         cfg.concurrency,
         cfg.duration,
+        cfg.skew,
     );
     let pair = random_pairs(num_nodes, 1, cfg.seed)[0];
     let (map_v2_ns, load_v2_ns, load_v1_ns) = measure_cold_start(&svc, pair);
@@ -463,10 +499,44 @@ mod tests {
             batch: 16,
             pair_pool: 64,
             seed: 5,
+            skew: 0.0,
         };
         let table = self_contained(Family::Grid, 64, ServiceParams::default(), &cfg);
         assert!(table.contains("| query |"), "{table}");
         assert!(table.contains("| route_many |"), "{table}");
         assert!(table.contains("| query_path_many |"), "{table}");
+    }
+
+    #[test]
+    fn skewed_sources_are_deterministic_valid_and_concentrated() {
+        let n = 500;
+        let uniform = random_pairs(n, 4096, 9);
+        let mut a = uniform.clone();
+        let mut b = uniform.clone();
+        skew_sources(&mut a, n, 1.2, 9);
+        skew_sources(&mut b, n, 1.2, 9);
+        assert_eq!(a, b, "skewing is not deterministic");
+        assert!(a.iter().all(|&(s, _)| s.index() < n));
+        // Targets are untouched; only sources are remapped.
+        for (skewed, orig) in a.iter().zip(&uniform) {
+            assert_eq!(skewed.1, orig.1);
+        }
+        // Zipf(1.2) concentrates mass: the single hottest source must
+        // own far more of the pool than the uniform 1/n share.
+        let mut counts = vec![0usize; n];
+        for &(s, _) in &a {
+            counts[s.index()] += 1;
+        }
+        let hottest = counts.iter().copied().max().unwrap();
+        assert!(
+            hottest * n > a.len() * 8,
+            "hottest source {hottest}/{} is not skewed for n {n}",
+            a.len()
+        );
+
+        // skew 0 is the identity.
+        let mut c = uniform.clone();
+        skew_sources(&mut c, n, 0.0, 9);
+        assert_eq!(c, uniform);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! psep-inspect bundle <path> [--json]
-//! psep-inspect upgrade <in-bundle> <out-bundle>
+//! psep-inspect upgrade <in-bundle> <out-bundle> [--compress|--raw]
 //! psep-inspect report <path> [--json]
 //! psep-inspect diff <base.json> <fresh.json> [--threshold 0.3] [--quantile-factor 4.0] [--json]
 //! ```
@@ -24,7 +24,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: psep-inspect bundle <path> [--json]\n\
-                 \x20      psep-inspect upgrade <in-bundle> <out-bundle>\n\
+                 \x20      psep-inspect upgrade <in-bundle> <out-bundle> [--compress|--raw]\n\
                  \x20      psep-inspect report <path> [--json]\n\
                  \x20      psep-inspect diff <base.json> <fresh.json> \
                  [--threshold X] [--quantile-factor Y] [--json]"
@@ -77,15 +77,23 @@ fn cmd_bundle(args: &[String]) -> i32 {
 }
 
 fn cmd_upgrade(args: &[String]) -> i32 {
-    let (pos, _flags) = split_args(args);
+    let (pos, flags) = split_args(args);
     let [input, output] = pos[..] else {
         return usage_err("upgrade takes an input and an output path");
     };
+    let mut compress = false;
+    for f in &flags {
+        match *f {
+            "--compress" => compress = true,
+            "--raw" => compress = false,
+            other => return usage_err(&format!("unknown flag {other}")),
+        }
+    }
     let data = match std::fs::read(input) {
         Ok(d) => d,
         Err(e) => return usage_err(&format!("cannot read {input}: {e}")),
     };
-    let (version, upgraded) = match upgrade_bundle(&data) {
+    let (version, upgraded) = match upgrade_bundle(&data, compress) {
         Ok(out) => out,
         Err(e) => return usage_err(&format!("{input}: {e}")),
     };
@@ -93,8 +101,9 @@ fn cmd_upgrade(args: &[String]) -> i32 {
         return usage_err(&format!("cannot write {output}: {e}"));
     }
     println!(
-        "upgraded {input} (v{version}, {} bytes) -> {output} (v2, {} bytes)",
+        "upgraded {input} (v{version}, {} bytes) -> {output} (v2 {}, {} bytes)",
         data.len(),
+        if compress { "delta" } else { "raw" },
         upgraded.len()
     );
     0

@@ -16,6 +16,29 @@ use psep_obs::{HistogramStat, JsonWriter};
 /// Names of the four bundle sections, in wire order.
 pub const SECTION_NAMES: [&str; 4] = ["graph", "tree", "labels", "tables"];
 
+/// Raw vs delta-compressed size of one arena section, independent of
+/// which encoding the inspected bundle actually uses.
+#[derive(Clone, Debug)]
+pub struct CompressionStat {
+    /// Arena name (`"labels"` or `"tables"`).
+    pub name: &'static str,
+    /// Size of the raw (zero-copy) column encoding, in bytes.
+    pub raw_bytes: usize,
+    /// Size of the varint/delta encoding, in bytes.
+    pub compressed_bytes: usize,
+}
+
+impl CompressionStat {
+    /// `compressed / raw` — below 1.0 when delta-coding shrinks the
+    /// section.
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            return 1.0;
+        }
+        self.compressed_bytes as f64 / self.raw_bytes as f64
+    }
+}
+
 /// Size and checksum of one bundle section.
 #[derive(Clone, Debug)]
 pub struct SectionStat {
@@ -49,6 +72,12 @@ pub struct BundleStats {
     pub label_entries: HistogramStat,
     /// Per-vertex routing-table entry counts.
     pub table_entries: HistogramStat,
+    /// Per-entry `min_portal_dist` prune bounds (the admissible lower
+    /// bounds the pruned merge-join skips work with); entries with no
+    /// portals are excluded.
+    pub prune_bounds: HistogramStat,
+    /// Raw vs delta-compressed sizes of the labels and tables arenas.
+    pub compression: Vec<CompressionStat>,
 }
 
 impl BundleStats {
@@ -82,6 +111,36 @@ impl BundleStats {
             label_entries.record(svc.oracle().label(v).num_entries() as u64);
             table_entries.record(svc.router().tables().table_entries(v) as u64);
         }
+        let mut prune_bounds = HistogramStat::new("bundle.label.min_portal_dist");
+        for &m in svc.oracle().flat_labels().min_portal_dists() {
+            if m != psep_graph::INFINITY {
+                prune_bounds.record(m);
+            }
+        }
+        // Both encodings are canonical, so re-encoding the loaded
+        // service measures exactly what each container variant would
+        // store, whichever variant `data` is.
+        let flat_labels = psep_oracle::wire::encode_labels_flat(
+            svc.oracle().flat_labels(),
+            svc.oracle().epsilon(),
+        );
+        let mut delta_labels = Vec::new();
+        svc.oracle().save(&mut delta_labels).unwrap();
+        let flat_tables = psep_routing::wire::encode_tables_flat(svc.router().tables().flat());
+        let mut delta_tables = Vec::new();
+        svc.router().tables().save(&mut delta_tables).unwrap();
+        let compression = vec![
+            CompressionStat {
+                name: "labels",
+                raw_bytes: flat_labels.len(),
+                compressed_bytes: delta_labels.len(),
+            },
+            CompressionStat {
+                name: "tables",
+                raw_bytes: flat_tables.len(),
+                compressed_bytes: delta_tables.len(),
+            },
+        ];
         Ok(BundleStats {
             version,
             total_bytes: data.len(),
@@ -92,6 +151,8 @@ impl BundleStats {
             epsilon: svc.epsilon(),
             label_entries,
             table_entries,
+            prune_bounds,
+            compression,
         })
     }
 
@@ -113,9 +174,18 @@ impl BundleStats {
                 s.name, s.bytes, s.crc32
             ));
         }
-        for h in [&self.label_entries, &self.table_entries] {
+        for c in &self.compression {
             out.push_str(&format!(
-                "  {:<22} count {:>7}  mean {:>8.2}  p50 {:>6}  p99 {:>6}  max {:>6}\n",
+                "  {:<7} raw {:>10} bytes  delta {:>10} bytes  ratio {:.3}\n",
+                c.name,
+                c.raw_bytes,
+                c.compressed_bytes,
+                c.ratio()
+            ));
+        }
+        for h in [&self.label_entries, &self.table_entries, &self.prune_bounds] {
+            out.push_str(&format!(
+                "  {:<28} count {:>7}  mean {:>8.2}  p50 {:>6}  p99 {:>6}  max {:>6}\n",
                 h.name,
                 h.count,
                 h.mean().unwrap_or(0.0),
@@ -158,10 +228,26 @@ impl BundleStats {
             w.end_object();
         }
         w.end_array();
+        w.key("compression");
+        w.begin_array();
+        for c in &self.compression {
+            w.begin_object();
+            w.key("name");
+            w.string(c.name);
+            w.key("raw_bytes");
+            w.uint(c.raw_bytes as u64);
+            w.key("compressed_bytes");
+            w.uint(c.compressed_bytes as u64);
+            w.key("ratio");
+            w.number(c.ratio());
+            w.end_object();
+        }
+        w.end_array();
         w.key("histograms");
         w.begin_array();
         self.label_entries.write_json(&mut w);
         self.table_entries.write_json(&mut w);
+        self.prune_bounds.write_json(&mut w);
         w.end_array();
         w.end_object();
         let mut out = w.finish();
@@ -170,14 +256,24 @@ impl BundleStats {
     }
 }
 
-/// Rewrites a bundle as `psep-bundle/v2`, returning `(stats_before,
-/// bytes_after)`; the backing logic of `psep-inspect upgrade`. The
-/// upgraded bundle answers bit-identically to the input (same graph,
-/// tree, labels, and tables — only the container changes).
-pub fn upgrade_bundle(data: &[u8]) -> Result<(u64, Vec<u8>), String> {
+/// Rewrites a bundle as `psep-bundle/v2`, returning `(version_before,
+/// bytes_after)`; the backing logic of `psep-inspect upgrade`. With
+/// `compress` the label and table sections are written varint/delta
+/// coded, otherwise in the raw zero-copy column layout — converting
+/// between the two forms either way. The rewritten bundle answers
+/// bit-identically to the input (same graph, tree, labels, and tables —
+/// only the container changes).
+pub fn upgrade_bundle(data: &[u8], compress: bool) -> Result<(u64, Vec<u8>), String> {
     let (version, _) = bundle_sections(data).map_err(|e| e.to_string())?;
     let svc = LocationService::from_bytes(data).map_err(|e| e.to_string())?;
-    Ok((version, svc.to_bytes()))
+    Ok((
+        version,
+        if compress {
+            svc.to_bytes_compressed()
+        } else {
+            svc.to_bytes()
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -224,9 +320,60 @@ mod tests {
     fn upgrade_rewrites_v1_as_v2() {
         let g = grids::grid2d(5, 5, 1);
         let svc = LocationService::build(&g, ServiceParams::default());
-        let (version, upgraded) = upgrade_bundle(&svc.to_bytes_v1()).unwrap();
+        let (version, upgraded) = upgrade_bundle(&svc.to_bytes_v1(), false).unwrap();
         assert_eq!(version, 1);
         assert_eq!(upgraded, svc.to_bytes());
+    }
+
+    #[test]
+    fn upgrade_converts_between_raw_and_compressed() {
+        let g = grids::grid2d(5, 5, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let raw = svc.to_bytes();
+        let (_, compressed) = upgrade_bundle(&raw, true).unwrap();
+        assert_eq!(compressed, svc.to_bytes_compressed());
+        assert!(compressed.len() < raw.len());
+        // ...and back, bit-identically
+        let (_, raw_again) = upgrade_bundle(&compressed, false).unwrap();
+        assert_eq!(raw_again, raw);
+    }
+
+    #[test]
+    fn stats_report_compression_and_prune_bounds() {
+        let g = grids::grid2d(6, 6, 1);
+        let svc = LocationService::build(&g, ServiceParams::default());
+        let stats = BundleStats::from_bytes(&svc.to_bytes()).unwrap();
+        assert_eq!(stats.compression.len(), 2);
+        for c in &stats.compression {
+            assert!(c.raw_bytes > 0);
+            assert!(
+                c.compressed_bytes < c.raw_bytes,
+                "{}: delta {} >= raw {}",
+                c.name,
+                c.compressed_bytes,
+                c.raw_bytes
+            );
+            assert!(c.ratio() < 1.0);
+        }
+        assert!(stats.prune_bounds.count > 0);
+        let text = stats.render_text();
+        assert!(text.contains("ratio"));
+        assert!(text.contains("bundle.label.min_portal_dist"));
+        let json = stats.to_json();
+        assert!(json.contains("\"compression\""));
+        assert!(json.contains("\"name\":\"bundle.label.min_portal_dist\""));
+        // compressed bundles report the same arena statistics
+        let cstats = BundleStats::from_bytes(&svc.to_bytes_compressed()).unwrap();
+        assert_eq!(
+            cstats.compression[0].raw_bytes,
+            stats.compression[0].raw_bytes
+        );
+        assert_eq!(
+            cstats.compression[0].compressed_bytes,
+            stats.compression[0].compressed_bytes
+        );
+        assert_eq!(cstats.prune_bounds.count, stats.prune_bounds.count);
+        assert!(cstats.render_text().contains("labels (delta)"));
     }
 
     #[test]
@@ -238,6 +385,6 @@ mod tests {
         bytes[mid] ^= 0xFF;
         assert!(BundleStats::from_bytes(&bytes).is_err());
         assert!(BundleStats::from_bytes(b"not a bundle").is_err());
-        assert!(upgrade_bundle(&bytes).is_err());
+        assert!(upgrade_bundle(&bytes, false).is_err());
     }
 }

@@ -19,6 +19,6 @@ pub mod bundle;
 pub mod diff;
 pub mod report;
 
-pub use bundle::{upgrade_bundle, BundleStats, SectionStat};
+pub use bundle::{upgrade_bundle, BundleStats, CompressionStat, SectionStat};
 pub use diff::{diff_reports, DiffConfig, DiffOutcome, Finding, Severity};
 pub use report::{parse_report, verify_metric_crcs, Experiment, HistSummary, Metrics, Report};

@@ -20,16 +20,39 @@ fn upgrade_is_canonical_and_bit_identity_preserving_on_every_family() {
         let v2 = svc.to_bytes();
 
         // v1 -> v2 lands on the canonical encoding.
-        let (version, upgraded) = upgrade_bundle(&v1).unwrap_or_else(|e| {
+        let (version, upgraded) = upgrade_bundle(&v1, false).unwrap_or_else(|e| {
             panic!("{}: upgrade failed: {e}", fam.name());
         });
         assert_eq!(version, 1, "{}", fam.name());
         assert_eq!(upgraded, v2, "{}: upgrade is not canonical", fam.name());
 
         // v2 -> v2 is the identity.
-        let (version, again) = upgrade_bundle(&v2).unwrap();
+        let (version, again) = upgrade_bundle(&v2, false).unwrap();
         assert_eq!(version, 2, "{}", fam.name());
         assert_eq!(again, v2, "{}: v2 upgrade is not the identity", fam.name());
+
+        // raw -> compressed -> raw round-trips losslessly and shrinks.
+        let (_, compressed) = upgrade_bundle(&v2, true).unwrap();
+        assert_eq!(
+            compressed,
+            svc.to_bytes_compressed(),
+            "{}: compressed upgrade is not canonical",
+            fam.name()
+        );
+        assert!(
+            compressed.len() < v2.len(),
+            "{}: compressed {} >= raw {}",
+            fam.name(),
+            compressed.len(),
+            v2.len()
+        );
+        let (_, raw_again) = upgrade_bundle(&compressed, false).unwrap();
+        assert_eq!(
+            raw_again,
+            v2,
+            "{}: compressed round-trip is lossy",
+            fam.name()
+        );
 
         // Same answers out of the upgraded container.
         let back = LocationService::from_bytes(&upgraded).unwrap();

@@ -21,7 +21,7 @@ use psep_graph::dijkstra::DijkstraScratch;
 use psep_graph::graph::{Graph, NodeId, Weight};
 
 use crate::error::Error;
-use crate::oracle::DistanceOracle;
+use crate::oracle::{DistanceOracle, JoinStats};
 use crate::path::WitnessPath;
 
 /// Counter names for batch-query workers.
@@ -48,6 +48,14 @@ const PATH_MIN_CHUNK: usize = 8;
 struct PathWorker {
     hists: WorkerHists,
     scratch: DijkstraScratch,
+}
+
+/// One query worker's reusable state: its obs histogram handles plus
+/// the merge-join statistics it accumulates across the pairs it claims
+/// (published once per run, never per pair).
+struct BatchWorker {
+    hists: WorkerHists,
+    stats: JoinStats,
 }
 
 /// A reusable parallel query engine with a fixed thread budget.
@@ -91,19 +99,37 @@ impl BatchQueryEngine {
     /// validates up front and returns an error instead.
     pub fn run(&self, oracle: &DistanceOracle, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Weight>> {
         psep_obs::counter!("oracle.batch.runs").incr();
-        let mut scratches: Vec<_> = (0..self.runner.worker_count(pairs.len()))
-            .map(|w| BATCH_OBS.worker_hists(w))
+        let mut scratches: Vec<BatchWorker> = (0..self.runner.worker_count(pairs.len()))
+            .map(|w| BatchWorker {
+                hists: BATCH_OBS.worker_hists(w),
+                stats: JoinStats::default(),
+            })
             .collect();
-        let (answers, scanned) =
-            self.runner
-                .run(pairs, Some(&BATCH_OBS), &mut scratches, |hists, &(u, v)| {
-                    let t0 = psep_obs::now_if_enabled();
-                    let (answer, scanned) = oracle.query_uncounted(u, v);
-                    hists.record(scanned, t0);
-                    (answer, scanned)
-                });
+        // keyed by source vertex: each worker serves one source's queries
+        // back-to-back so the source label slice stays hot in cache;
+        // results land at input offsets, so answers are bit-identical to
+        // the unsorted schedule.
+        let (answers, scanned) = self.runner.run_keyed(
+            pairs,
+            Some(&BATCH_OBS),
+            &mut scratches,
+            |&(u, _)| u,
+            |worker, &(u, v)| {
+                let t0 = psep_obs::now_if_enabled();
+                let (answer, stats) = oracle.query_uncounted(u, v);
+                worker.stats.merge(stats);
+                worker.hists.record(stats.scanned, t0);
+                (answer, stats.scanned)
+            },
+        );
+        let mut total = JoinStats::default();
+        for w in &scratches {
+            total.merge(w.stats);
+        }
         psep_obs::counter!("oracle.batch.pairs").add(pairs.len() as u64);
         psep_obs::counter!("oracle.batch.candidates_scanned").add(scanned);
+        psep_obs::counter!("oracle.batch.pruned_keys").add(total.pruned_keys);
+        psep_obs::counter!("oracle.batch.pruned_portals").add(total.pruned_portals);
         answers
     }
 
@@ -171,8 +197,12 @@ impl BatchQueryEngine {
                 scratch: DijkstraScratch::new(g.num_nodes()),
             })
             .collect();
-        let (results, _nodes) =
-            runner.run(pairs, Some(&PATH_OBS), &mut scratches, |worker, &(u, v)| {
+        let (results, _nodes) = runner.run_keyed(
+            pairs,
+            Some(&PATH_OBS),
+            &mut scratches,
+            |&(u, _)| u,
+            |worker, &(u, v)| {
                 let t0 = psep_obs::now_if_enabled();
                 let out = oracle.query_path_with(g, tree, &mut worker.scratch, u, v);
                 let nodes = match &out {
@@ -181,7 +211,8 @@ impl BatchQueryEngine {
                 };
                 worker.hists.record(nodes, t0);
                 (out, nodes)
-            });
+            },
+        );
         psep_obs::counter!("oracle.path.batch.pairs").add(pairs.len() as u64);
         results.into_iter().collect()
     }
@@ -247,7 +278,7 @@ mod tests {
         let pairs = all_pairs(49);
         let sequential: Vec<_> = pairs.iter().map(|&(u, v)| o.query(u, v)).collect();
         assert_eq!(o.query_many(&pairs), sequential);
-        for threads in [1, 2, 3, 8] {
+        for threads in [1, 2, 3, 4, 8] {
             let engine = BatchQueryEngine::new(threads).min_chunk(16);
             assert_eq!(engine.run(&o, &pairs), sequential, "threads = {threads}");
         }
@@ -301,7 +332,7 @@ mod tests {
             .map(|&(u, v)| o.query_path(&g, &tree, u, v))
             .collect();
         assert_eq!(o.query_path_many(&g, &tree, &pairs), sequential);
-        for threads in [1, 2, 3, 8] {
+        for threads in [1, 2, 3, 4, 8] {
             let engine = BatchQueryEngine::new(threads);
             assert_eq!(
                 engine.run_paths(&o, &g, &tree, &pairs),

@@ -20,7 +20,7 @@
 //! the nested form is wanted (round-trips exactly).
 
 use psep_core::wire::ArenaStorage;
-use psep_graph::graph::NodeId;
+use psep_graph::graph::{NodeId, Weight, INFINITY};
 
 use crate::error::Error;
 use crate::label::{unpack_key, DistanceLabel, LabelEntry, LabelStats, PortalEntry};
@@ -39,12 +39,41 @@ use crate::label::{unpack_key, DistanceLabel, LabelEntry, LabelStats, PortalEntr
 /// * `portal_start` has `keys.len() + 1` elements, is non-decreasing,
 ///   starts at 0 and ends at `portals.len()`;
 /// * within each vertex's range, `keys` is strictly ascending.
+///
+/// Alongside the four wire columns the arena carries one *derived*
+/// column, `min_portal_dist`: for each entry, the minimum `dist` over
+/// its portals ([`INFINITY`] for an entry with no portals). The query
+/// merge-join uses it as an admissible lower bound — every candidate
+/// through entry `e` costs at least `min_portal_dist[e]` on `e`'s side —
+/// to skip keys and portal tails that cannot beat the running minimum.
+/// It is recomputed by every constructor (so v1 artifacts and raw or
+/// compressed v2 bundles all get it on load), never serialized, and
+/// excluded from [`Self::as_parts`], [`Self::owned_bytes`], and
+/// [`Self::is_borrowed`]: it is arithmetic over the validated columns,
+/// not arena data.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlatLabels<'a> {
     entry_start: ArenaStorage<'a, u32>,
     keys: ArenaStorage<'a, u64>,
     portal_start: ArenaStorage<'a, u32>,
     portals: ArenaStorage<'a, PortalEntry>,
+    /// Derived: per-entry minimum portal `dist` (the prune bound).
+    min_portal_dist: Vec<Weight>,
+}
+
+/// Per-entry minimum portal distances for `portals` bounded by
+/// `portal_start` — the admissible lower bound the pruned merge-join
+/// relies on.
+fn compute_min_portal_dists(portal_start: &[u32], portals: &[PortalEntry]) -> Vec<Weight> {
+    (0..portal_start.len().saturating_sub(1))
+        .map(|e| {
+            portals[portal_start[e] as usize..portal_start[e + 1] as usize]
+                .iter()
+                .map(|p| p.dist)
+                .min()
+                .unwrap_or(INFINITY)
+        })
+        .collect()
 }
 
 impl<'a> FlatLabels<'a> {
@@ -66,11 +95,13 @@ impl<'a> FlatLabels<'a> {
             }
             entry_start.push(keys.len() as u32);
         }
+        let min_portal_dist = compute_min_portal_dists(&portal_start, &portals);
         FlatLabels {
             entry_start: entry_start.into(),
             keys: keys.into(),
             portal_start: portal_start.into(),
             portals: portals.into(),
+            min_portal_dist,
         }
     }
 
@@ -125,11 +156,13 @@ impl<'a> FlatLabels<'a> {
                 return corrupt("keys must be strictly ascending within a vertex");
             }
         }
+        let min_portal_dist = compute_min_portal_dists(&portal_start, &portals);
         Ok(FlatLabels {
             entry_start,
             keys,
             portal_start,
             portals,
+            min_portal_dist,
         })
     }
 
@@ -200,7 +233,14 @@ impl<'a> FlatLabels<'a> {
             keys: &self.keys[lo..hi],
             bounds: &self.portal_start[lo..=hi],
             portals: &self.portals,
+            mins: &self.min_portal_dist[lo..hi],
         })
+    }
+
+    /// The derived per-entry minimum portal distances (one per entry,
+    /// parallel to the key arena) — the prune bounds of the merge-join.
+    pub fn min_portal_dists(&self) -> &[Weight] {
+        &self.min_portal_dist
     }
 
     /// Raw arrays `(entry_start, keys, portal_start, portals)` — what
@@ -278,6 +318,7 @@ impl<'a> FlatLabels<'a> {
             keys: self.keys.into_owned(),
             portal_start: self.portal_start.into_owned(),
             portals: self.portals.into_owned(),
+            min_portal_dist: self.min_portal_dist,
         }
     }
 }
@@ -291,16 +332,32 @@ pub struct LabelRef<'a> {
     bounds: &'a [u32],
     /// The whole portal arena (bounds are global indices).
     portals: &'a [PortalEntry],
+    /// Per-entry minimum portal distance, parallel to `keys`.
+    mins: &'a [Weight],
 }
 
 impl<'a> LabelRef<'a> {
     /// The entries as `(packed key, portals)` pairs in ascending key
-    /// order — the shape the merge-join core consumes.
+    /// order.
     pub fn entries(&self) -> impl Iterator<Item = (u64, &'a [PortalEntry])> + '_ {
         self.keys.iter().enumerate().map(|(i, &k)| {
             (
                 k,
                 &self.portals[self.bounds[i] as usize..self.bounds[i + 1] as usize],
+            )
+        })
+    }
+
+    /// The entries as `(packed key, portals, min portal dist)` triples in
+    /// ascending key order — the shape the bound-pruned merge-join core
+    /// consumes. The third element is the stored prune bound for the
+    /// entry (no portal scan needed to obtain it).
+    pub fn entries_with_min(&self) -> impl Iterator<Item = (u64, &'a [PortalEntry], Weight)> + '_ {
+        self.keys.iter().enumerate().map(|(i, &k)| {
+            (
+                k,
+                &self.portals[self.bounds[i] as usize..self.bounds[i + 1] as usize],
+                self.mins[i],
             )
         })
     }

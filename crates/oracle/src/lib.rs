@@ -48,6 +48,6 @@ pub use estimator::DistanceEstimator;
 pub use exact::ExactOracle;
 pub use flat::{FlatLabels, LabelRef};
 pub use label::{DistanceLabel, LabelEntry, PortalEntry};
-pub use oracle::{build_oracle, DistanceOracle, OracleBuilder, OracleParams};
+pub use oracle::{build_oracle, DistanceOracle, JoinStats, OracleBuilder, OracleParams};
 pub use path::WitnessPath;
 pub use thorup_zwick::ThorupZwickOracle;

@@ -257,8 +257,8 @@ impl<'a> DistanceOracle<'a> {
         if u == v {
             return Ok(Some(0));
         }
-        let (scanned, best) = merge_join_best(lu.entries(), lv.entries());
-        record_query(scanned);
+        let (stats, best) = merge_join_best(lu.entries_with_min(), lv.entries_with_min());
+        record_query(stats);
         if let Some(t0) = t0 {
             psep_obs::histogram!("oracle.query.latency_ns").record_elapsed(t0);
         }
@@ -282,45 +282,96 @@ impl<'a> DistanceOracle<'a> {
             u: u.index() as u32,
             v: v.index() as u32,
         });
-        let lu = self.flat.try_label(u)?;
-        let lv = self.flat.try_label(v)?;
-        let (scanned, result) = if u == v {
-            (0, Some(0))
+        self.flat.try_label(u)?;
+        self.flat.try_label(v)?;
+        let (stats, result) = if u == v {
+            (JoinStats::default(), Some(0))
         } else {
-            let (scanned, best) = merge_join_core(lu.entries(), lv.entries(), |key, pairs| {
+            let (stats, best) = self.join_core(u, v, |key, pairs| {
                 ring.push(psep_obs::TraceEvent::MergeKey { key, pairs });
             });
-            record_query(scanned);
-            (scanned, best.map(|(w, ..)| w))
+            record_query(stats);
+            (stats, best.map(|(w, ..)| w))
         };
         ring.push(psep_obs::TraceEvent::QueryEnd {
             found: result.is_some(),
             dist: result.unwrap_or(0),
-            candidates: scanned,
+            candidates: stats.scanned,
             elapsed_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         });
         Ok(result)
     }
 
+    /// The one pruned merge-join both uninstrumented query paths share
+    /// (the batch hot path and the traced path differ only in their
+    /// per-key observer).
+    fn join_core(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        on_key: impl FnMut(u64, u64),
+    ) -> (JoinStats, Option<BestCandidate>) {
+        merge_join_core::<_, _, _, true>(
+            self.flat.label(u).entries_with_min(),
+            self.flat.label(v).entries_with_min(),
+            on_key,
+        )
+    }
+
     /// Like [`Self::query`] but skips per-query instrumentation — the
     /// batch engine's hot path; workers publish aggregated counters once
     /// per chunk instead.
-    pub(crate) fn query_uncounted(&self, u: NodeId, v: NodeId) -> (Option<Weight>, u64) {
+    pub(crate) fn query_uncounted(&self, u: NodeId, v: NodeId) -> (Option<Weight>, JoinStats) {
         if u == v {
-            return (Some(0), 0);
+            return (Some(0), JoinStats::default());
         }
-        let (scanned, best) =
-            merge_join_best(self.flat.label(u).entries(), self.flat.label(v).entries());
-        (best.map(|(w, ..)| w), scanned)
+        let (stats, best) = self.join_core(u, v, |_, _| ());
+        (best.map(|(w, ..)| w), stats)
+    }
+
+    /// [`Self::query`] plus the merge-join statistics of the call
+    /// (candidates scanned, keys and portal tails pruned), without
+    /// touching global instrumentation — the benchmark harness's probe
+    /// into the pruned production path.
+    pub fn query_with_stats(&self, u: NodeId, v: NodeId) -> (Option<Weight>, JoinStats) {
+        self.query_uncounted(u, v)
+    }
+
+    /// Reference query that scans every candidate of every matched key —
+    /// the unpruned baseline the pruned path is tested and benchmarked
+    /// against. Answers (and witnesses, see [`Self::explain_unpruned`])
+    /// are provably identical to the production path; only the
+    /// [`JoinStats`] differ.
+    pub fn query_unpruned(&self, u: NodeId, v: NodeId) -> (Option<Weight>, JoinStats) {
+        if u == v {
+            return (Some(0), JoinStats::default());
+        }
+        let (stats, best) = merge_join_core::<_, _, _, false>(
+            self.flat.label(u).entries_with_min(),
+            self.flat.label(v).entries_with_min(),
+            |_, _| (),
+        );
+        (best.map(|(w, ..)| w), stats)
     }
 
     /// Like [`Self::query`] but also returns the witnessing entry and
     /// portal pair. `None` when the labels share no entry (`u == v`
     /// included: a self-query crosses no separator path).
     pub fn explain(&self, u: NodeId, v: NodeId) -> Option<(Weight, QueryWitness)> {
-        let (scanned, best) =
-            merge_join_best(self.flat.label(u).entries(), self.flat.label(v).entries());
-        record_query(scanned);
+        let (stats, best) = self.join_core(u, v, |_, _| ());
+        record_query(stats);
+        best.map(|(w, key, pu, pv)| (w, QueryWitness::new(key, pu, pv)))
+    }
+
+    /// [`Self::explain`] over the unpruned reference scan — the
+    /// equivalence tests compare witnesses (winning key and portal pair)
+    /// against the pruned path.
+    pub fn explain_unpruned(&self, u: NodeId, v: NodeId) -> Option<(Weight, QueryWitness)> {
+        let (_, best) = merge_join_core::<_, _, _, false>(
+            self.flat.label(u).entries_with_min(),
+            self.flat.label(v).entries_with_min(),
+            |_, _| (),
+        );
         best.map(|(w, key, pu, pv)| (w, QueryWitness::new(key, pu, pv)))
     }
 
@@ -368,44 +419,111 @@ impl QueryWitness {
     }
 }
 
-/// The one merge-join core every query path funnels through: walks two
-/// ascending `(key, portals)` streams, and on each key match scans the
-/// portal-pair cross product for the cheapest
-/// `d_J(u,p) + d_Q(p,q) + d_J(q,v)` candidate.
-///
-/// Returns the number of candidates scanned and the best candidate as
-/// `(weight, key, portal_u, portal_v)` (`None` when the streams share no
-/// key). Works identically over nested labels
-/// ([`DistanceLabel::entry_slices`]) and flat views
-/// ([`LabelRef::entries`]), so representation changes land here exactly
-/// once.
-pub(crate) fn merge_join_best<'a>(
-    a: impl Iterator<Item = (u64, &'a [PortalEntry])>,
-    b: impl Iterator<Item = (u64, &'a [PortalEntry])>,
-) -> (u64, Option<(Weight, u64, PortalEntry, PortalEntry)>) {
-    // the no-op observer inlines away; the hot path pays nothing
-    merge_join_core(a, b, |_, _| ())
+/// Per-query merge-join statistics: candidates actually examined, plus
+/// how much work the admissible prune bounds skipped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Portal-pair candidates whose weight was computed.
+    pub scanned: u64,
+    /// Matched keys skipped whole because `min_du + min_dv ≥ best`.
+    pub pruned_keys: u64,
+    /// Portal pairs skipped by the per-portal tail bound
+    /// `d_J(u,p) + min_dv ≥ best`.
+    pub pruned_portals: u64,
 }
 
-/// [`merge_join_best`] with a per-matched-key observer — the traced
-/// query path records one [`TraceEvent::MergeKey`] per aligned key.
-fn merge_join_core<'a>(
-    mut a: impl Iterator<Item = (u64, &'a [PortalEntry])>,
-    mut b: impl Iterator<Item = (u64, &'a [PortalEntry])>,
-    mut on_key: impl FnMut(u64, u64),
-) -> (u64, Option<(Weight, u64, PortalEntry, PortalEntry)>) {
-    let mut scanned: u64 = 0;
-    let mut best: Option<(Weight, u64, PortalEntry, PortalEntry)> = None;
+impl JoinStats {
+    /// Accumulates another query's statistics (batch workers aggregate
+    /// one `JoinStats` per chunk).
+    pub fn merge(&mut self, other: JoinStats) {
+        self.scanned += other.scanned;
+        self.pruned_keys += other.pruned_keys;
+        self.pruned_portals += other.pruned_portals;
+    }
+}
+
+/// `(weight, key, portal_u, portal_v)` — the minimum and its witness.
+type BestCandidate = (Weight, u64, PortalEntry, PortalEntry);
+
+/// The pruned merge-join every production query path funnels through.
+///
+/// Returns the join statistics and the best candidate (`None` when the
+/// streams share no key). Works identically over flat views
+/// ([`LabelRef::entries_with_min`]) and nested labels adapted through
+/// [`with_inline_mins`], so representation changes land here exactly
+/// once.
+pub(crate) fn merge_join_best<'a>(
+    a: impl Iterator<Item = (u64, &'a [PortalEntry], Weight)>,
+    b: impl Iterator<Item = (u64, &'a [PortalEntry], Weight)>,
+) -> (JoinStats, Option<BestCandidate>) {
+    // the no-op observer inlines away; the hot path pays nothing
+    merge_join_core::<_, _, _, true>(a, b, |_, _| ())
+}
+
+/// Adapts a `(key, portals)` stream (nested labels) to the
+/// `(key, portals, min_portal_dist)` triples the merge-join core
+/// consumes, computing the prune bound inline. The flat arena carries
+/// the bounds precomputed; nested labels pay one pass per entry.
+pub(crate) fn with_inline_mins<'a>(
+    it: impl Iterator<Item = (u64, &'a [PortalEntry])>,
+) -> impl Iterator<Item = (u64, &'a [PortalEntry], Weight)> {
+    it.map(|(k, p)| (k, p, p.iter().map(|e| e.dist).min().unwrap_or(INFINITY)))
+}
+
+/// The merge-join core: walks two ascending `(key, portals, min_dist)`
+/// streams, and on each key match scans the portal-pair cross product
+/// for the cheapest `d_J(u,p) + d_Q(p,q) + d_J(q,v)` candidate. The
+/// per-matched-key observer feeds the traced query path (one
+/// [`psep_obs::TraceEvent::MergeKey`] per aligned key — pruned keys
+/// report zero pairs).
+///
+/// With `PRUNE` the admissible lower bounds skip work that provably
+/// cannot improve the running minimum: a matched key is skipped whole
+/// when `min_du + min_dv ≥ best`, and a portal's scan tail when
+/// `d_J(u,p) + min_dv ≥ best`. Every skipped candidate satisfies
+/// `cand ≥ bound ≥ best`, and updates use strict `<`, so the returned
+/// minimum *and* witness (first minimal candidate in ascending-key scan
+/// order) are identical to the `PRUNE = false` reference scan — only
+/// [`JoinStats`] differ.
+fn merge_join_core<'a, A, B, F, const PRUNE: bool>(
+    mut a: A,
+    mut b: B,
+    mut on_key: F,
+) -> (JoinStats, Option<BestCandidate>)
+where
+    A: Iterator<Item = (u64, &'a [PortalEntry], Weight)>,
+    B: Iterator<Item = (u64, &'a [PortalEntry], Weight)>,
+    F: FnMut(u64, u64),
+{
+    let mut stats = JoinStats::default();
+    let mut best: Option<BestCandidate> = None;
     let (mut na, mut nb) = (a.next(), b.next());
-    while let (Some((ka, pa)), Some((kb, pb))) = (na, nb) {
+    while let (Some((ka, pa, ma)), Some((kb, pb, mb))) = (na, nb) {
         match ka.cmp(&kb) {
             std::cmp::Ordering::Less => na = a.next(),
             std::cmp::Ordering::Greater => nb = b.next(),
             std::cmp::Ordering::Equal => {
-                let pairs = (pa.len() * pb.len()) as u64;
-                scanned += pairs;
-                on_key(ka, pairs);
+                if PRUNE {
+                    if let Some((cur, ..)) = best {
+                        if ma.saturating_add(mb) >= cur {
+                            stats.pruned_keys += 1;
+                            on_key(ka, 0);
+                            na = a.next();
+                            nb = b.next();
+                            continue;
+                        }
+                    }
+                }
+                let mut pairs: u64 = 0;
                 for pu in pa {
+                    if PRUNE {
+                        if let Some((cur, ..)) = best {
+                            if pu.dist.saturating_add(mb) >= cur {
+                                stats.pruned_portals += pb.len() as u64;
+                                continue;
+                            }
+                        }
+                    }
                     for pv in pb {
                         let along = pu.pos.abs_diff(pv.pos);
                         let cand = pu.dist.saturating_add(along).saturating_add(pv.dist);
@@ -413,30 +531,38 @@ fn merge_join_core<'a>(
                             best = Some((cand, ka, *pu, *pv));
                         }
                     }
+                    pairs += pb.len() as u64;
                 }
+                stats.scanned += pairs;
+                on_key(ka, pairs);
                 na = a.next();
                 nb = b.next();
             }
         }
     }
-    (scanned, best)
+    (stats, best)
 }
 
 /// Publishes one query's instrumentation. Candidates accumulate locally
 /// in the merge-join; the query loop is the oracle's hot path and must
 /// not touch shared counters per portal pair.
-fn record_query(scanned: u64) {
+fn record_query(stats: JoinStats) {
     psep_obs::counter!("oracle.query.invocations").incr();
-    psep_obs::counter!("oracle.query.candidates_scanned").add(scanned);
-    psep_obs::histogram!("oracle.query.candidates").record(scanned);
+    psep_obs::counter!("oracle.query.candidates_scanned").add(stats.scanned);
+    psep_obs::counter!("oracle.query.pruned_keys").add(stats.pruned_keys);
+    psep_obs::counter!("oracle.query.pruned_portals").add(stats.pruned_portals);
+    psep_obs::histogram!("oracle.query.candidates").record(stats.scanned);
 }
 
 /// Label-only distance estimate — usable by any two parties holding just
 /// the two labels (the distributed reading of Theorem 2). Returns
 /// [`INFINITY`] when the labels share no entry.
 pub fn query_labels(lu: &DistanceLabel, lv: &DistanceLabel) -> Weight {
-    let (scanned, best) = merge_join_best(lu.entry_slices(), lv.entry_slices());
-    record_query(scanned);
+    let (stats, best) = merge_join_best(
+        with_inline_mins(lu.entry_slices()),
+        with_inline_mins(lv.entry_slices()),
+    );
+    record_query(stats);
     best.map_or(INFINITY, |(w, ..)| w)
 }
 
@@ -446,16 +572,19 @@ pub fn query_labels_explain(
     lu: &DistanceLabel,
     lv: &DistanceLabel,
 ) -> Option<(Weight, QueryWitness)> {
-    let (scanned, best) = merge_join_best(lu.entry_slices(), lv.entry_slices());
-    record_query(scanned);
+    let (stats, best) = merge_join_best(
+        with_inline_mins(lu.entry_slices()),
+        with_inline_mins(lv.entry_slices()),
+    );
+    record_query(stats);
     best.map(|(w, key, pu, pv)| (w, QueryWitness::new(key, pu, pv)))
 }
 
 /// Label-only distance estimate over two flat views — same contract as
 /// [`query_labels`], zero materialization.
 pub fn query_label_refs(lu: LabelRef<'_>, lv: LabelRef<'_>) -> Weight {
-    let (scanned, best) = merge_join_best(lu.entries(), lv.entries());
-    record_query(scanned);
+    let (stats, best) = merge_join_best(lu.entries_with_min(), lv.entries_with_min());
+    record_query(stats);
     best.map_or(INFINITY, |(w, ..)| w)
 }
 

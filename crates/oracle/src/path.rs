@@ -129,7 +129,7 @@ impl DistanceOracle<'_> {
                 "graph does not match the oracle's vertex count",
             ));
         }
-        let (_scanned, best) = merge_join_best(lu.entries(), lv.entries());
+        let (_stats, best) = merge_join_best(lu.entries_with_min(), lv.entries_with_min());
         let Some((weight, key, pu, pv)) = best else {
             return Ok(None);
         };

@@ -320,14 +320,23 @@ impl<'a> Router<'a> {
         let mut scratches: Vec<_> = (0..runner.worker_count(pairs.len()))
             .map(|w| ROUTE_OBS.worker_hists(w))
             .collect();
-        let (outcomes, hops) =
-            runner.run(pairs, Some(&ROUTE_OBS), &mut scratches, |hists, &(u, t)| {
+        // keyed by source vertex: routes starting at the same vertex walk
+        // the same table rows first, so each worker's claimed chunk keeps
+        // its working set hot; results land at input offsets, so the
+        // outcomes are bit-identical to the unsorted schedule.
+        let (outcomes, hops) = runner.run_keyed(
+            pairs,
+            Some(&ROUTE_OBS),
+            &mut scratches,
+            |&(u, _)| u,
+            |hists, &(u, t)| {
                 let t0 = psep_obs::now_if_enabled();
                 let out = self.route(u, t, &self.tables.label(t));
                 let hops = out.as_ref().map_or(0, |o| o.hops as u64);
                 hists.record(hops, t0);
                 (out, hops)
-            });
+            },
+        );
         psep_obs::counter!("routing.batch.routes").add(pairs.len() as u64);
         psep_obs::counter!("routing.batch.hops").add(hops);
         outcomes

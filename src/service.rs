@@ -68,10 +68,17 @@ pub const BUNDLE_VERSION_V1: u64 = 1;
 pub const SECTION_GRAPH: u32 = 1;
 /// Directory kind tag of the decomposition-tree section.
 pub const SECTION_TREE: u32 = 2;
-/// Directory kind tag of the distance-labels section.
+/// Directory kind tag of the raw (zero-copy) distance-labels section.
 pub const SECTION_LABELS: u32 = 3;
-/// Directory kind tag of the routing-tables section.
+/// Directory kind tag of the raw (zero-copy) routing-tables section.
 pub const SECTION_TABLES: u32 = 4;
+/// Directory kind tag of the delta-compressed distance-labels section:
+/// the body is a sealed `psep-labels/v1` artifact (varint/delta-coded
+/// keys and portals), decoded to owned arenas on load.
+pub const SECTION_LABELS_COMPRESSED: u32 = 5;
+/// Directory kind tag of the delta-compressed routing-tables section:
+/// the body is a sealed `psep-routing/v1` artifact.
+pub const SECTION_TABLES_COMPRESSED: u32 = 6;
 
 /// Byte offset of the directory inside a v2 payload.
 const DIR_START: usize = 8;
@@ -94,6 +101,8 @@ pub fn section_name(kind: u32) -> &'static str {
         SECTION_TREE => "tree",
         SECTION_LABELS => "labels",
         SECTION_TABLES => "tables",
+        SECTION_LABELS_COMPRESSED => "labels (delta)",
+        SECTION_TABLES_COMPRESSED => "tables (delta)",
         _ => "unknown",
     }
 }
@@ -170,6 +179,14 @@ impl<'a> V2Sections<'a> {
     fn tables(&self) -> &'a [u8] {
         self.rows[3].bytes
     }
+
+    fn labels_kind(&self) -> u32 {
+        self.rows[2].kind
+    }
+
+    fn tables_kind(&self) -> u32 {
+        self.rows[3].kind
+    }
 }
 
 /// Validates the directory of a v2 payload against the payload itself:
@@ -208,7 +225,15 @@ fn split_v2_payload(payload: &[u8]) -> Result<V2Sections<'_>, WireError> {
         let offset = u64::from_le_bytes(payload[e + 4..e + 12].try_into().unwrap());
         let len = u64::from_le_bytes(payload[e + 12..e + 20].try_into().unwrap());
         let stored = u32::from_le_bytes(payload[e + 20..e + 24].try_into().unwrap());
-        if kind != (i + 1) as u32 {
+        // rows stay in slot order; the label/table slots may hold either
+        // the raw (zero-copy) or the delta-compressed kind
+        let slot_ok = match i {
+            0 => kind == SECTION_GRAPH,
+            1 => kind == SECTION_TREE,
+            2 => kind == SECTION_LABELS || kind == SECTION_LABELS_COMPRESSED,
+            _ => kind == SECTION_TABLES || kind == SECTION_TABLES_COMPRESSED,
+        };
+        if !slot_ok {
             return Err(WireError::Corrupt("bundle directory sections out of order"));
         }
         let offset = usize::try_from(offset)
@@ -250,20 +275,20 @@ fn split_v2_payload(payload: &[u8]) -> Result<V2Sections<'_>, WireError> {
     Ok(V2Sections { rows })
 }
 
-/// Assembles a canonical v2 payload from the four section bodies (in
-/// kind order) and seals it.
-fn encode_v2(sections: [&[u8]; NUM_SECTIONS]) -> Vec<u8> {
+/// Assembles a canonical v2 payload from the four `(kind, body)`
+/// sections (in slot order) and seals it.
+fn encode_v2(sections: [(u32, &[u8]); NUM_SECTIONS]) -> Vec<u8> {
     let mut payload = vec![0u8; SECTIONS_START];
     payload[0] = BUNDLE_VERSION as u8;
     payload[DIR_START..DIR_START + 4].copy_from_slice(&(NUM_SECTIONS as u32).to_le_bytes());
-    for (i, sec) in sections.iter().enumerate() {
+    for (i, (kind, sec)) in sections.iter().enumerate() {
         while !payload.len().is_multiple_of(8) {
             payload.push(0);
         }
         let offset = payload.len();
         payload.extend_from_slice(sec);
         let e = DIR_START + 4 + i * DIR_ROW;
-        payload[e..e + 4].copy_from_slice(&((i + 1) as u32).to_le_bytes());
+        payload[e..e + 4].copy_from_slice(&kind.to_le_bytes());
         payload[e + 4..e + 12].copy_from_slice(&(offset as u64).to_le_bytes());
         payload[e + 12..e + 20].copy_from_slice(&(sec.len() as u64).to_le_bytes());
         payload[e + 20..e + 24].copy_from_slice(&crc32(sec).to_le_bytes());
@@ -741,9 +766,10 @@ impl<'a> LocationService<'a> {
         self.try_route_many(pairs).expect("vertex id out of range")
     }
 
-    /// Encodes the whole service as one `psep-bundle/v2` artifact.
-    /// Mapped bundles re-emit their deferred graph and tree sections
-    /// verbatim, so `map_bytes(b).to_bytes() == b` bit-for-bit.
+    /// Encodes the whole service as one `psep-bundle/v2` artifact with
+    /// raw (zero-copy) label and table sections. Mapped raw bundles
+    /// re-emit their deferred graph and tree sections verbatim, so
+    /// `map_bytes(b).to_bytes() == b` bit-for-bit.
     pub fn to_bytes(&self) -> Vec<u8> {
         let graph = self.graph_section_bytes();
         let tree = self.tree_section_bytes();
@@ -752,7 +778,41 @@ impl<'a> LocationService<'a> {
         let tables = self
             .router
             .with_tables(|t| psep_routing::wire::encode_tables_flat(t.flat()));
-        encode_v2([&graph, &tree, &labels, &tables])
+        encode_v2([
+            (SECTION_GRAPH, &graph),
+            (SECTION_TREE, &tree),
+            (SECTION_LABELS, &labels),
+            (SECTION_TABLES, &tables),
+        ])
+    }
+
+    /// Encodes the whole service as a `psep-bundle/v2` artifact whose
+    /// label and table sections are delta-compressed
+    /// ([`SECTION_LABELS_COMPRESSED`] / [`SECTION_TABLES_COMPRESSED`]):
+    /// keys and portal/table columns stored as varint deltas instead of
+    /// aligned fixed-width columns. Smaller on disk and on the wire;
+    /// loading decodes into owned arenas (no zero-copy mapping). Both
+    /// encodings are canonical, so
+    /// `map_bytes(to_bytes_compressed()).to_bytes() == to_bytes()` and
+    /// the compressed form round-trips bit-identically through
+    /// [`Self::map_bytes`]/[`Self::from_bytes`].
+    pub fn to_bytes_compressed(&self) -> Vec<u8> {
+        let graph = self.graph_section_bytes();
+        let tree = self.tree_section_bytes();
+        let mut labels = Vec::new();
+        self.oracle
+            .save(&mut labels)
+            .expect("writing to a Vec cannot fail");
+        let mut tables = Vec::new();
+        self.router
+            .with_tables(|t| t.save(&mut tables))
+            .expect("writing to a Vec cannot fail");
+        encode_v2([
+            (SECTION_GRAPH, &graph),
+            (SECTION_TREE, &tree),
+            (SECTION_LABELS_COMPRESSED, &labels),
+            (SECTION_TABLES_COMPRESSED, &tables),
+        ])
     }
 
     /// Encodes the whole service as a legacy `psep-bundle/v1` artifact,
@@ -830,11 +890,8 @@ impl<'a> LocationService<'a> {
             BUNDLE_VERSION_V1 => Self::decode_v1(payload, c)?,
             BUNDLE_VERSION => {
                 let secs = split_v2_payload(payload)?;
-                let (flat, epsilon) = psep_oracle::wire::decode_labels_flat(secs.labels())?;
-                let oracle = DistanceOracle::from_flat(flat, epsilon);
-                let tables = RoutingTables::from_flat(psep_routing::wire::decode_tables_flat(
-                    secs.tables(),
-                )?);
+                let oracle = decode_labels_section(secs.labels_kind(), secs.labels())?;
+                let tables = decode_tables_section(secs.tables_kind(), secs.tables())?;
                 // The graph section opens with its vertex count; peek it
                 // without decoding the edge list.
                 let n = Cursor::new(secs.graph()).length(u32::MAX as usize)?;
@@ -911,11 +968,8 @@ impl<'a> LocationService<'a> {
         let secs = split_v2_payload(payload)?;
         let graph = decode_graph(secs.graph())?;
         let tree = DecompositionTree::decode(secs.tree())?;
-        let (flat, epsilon) = psep_oracle::wire::decode_labels_flat(secs.labels())?;
-        let oracle = DistanceOracle::from_flat(flat, epsilon).into_owned();
-        let tables =
-            RoutingTables::from_flat(psep_routing::wire::decode_tables_flat(secs.tables())?)
-                .into_owned();
+        let oracle = decode_labels_section(secs.labels_kind(), secs.labels())?.into_owned();
+        let tables = decode_tables_section(secs.tables_kind(), secs.tables())?.into_owned();
         let n = graph.num_nodes();
         if oracle.num_nodes() != n || tables.num_nodes() != n {
             return Err(WireError::Corrupt("bundle sections disagree on vertex count").into());
@@ -952,6 +1006,28 @@ impl<'a> LocationService<'a> {
     pub fn load_from_path<P: AsRef<std::path::Path>>(path: P) -> Result<Self, ServiceError> {
         Self::load(std::fs::File::open(path)?)
     }
+}
+
+/// Decodes a v2 labels slot by its directory kind: the raw column
+/// layout maps (zero-copy when aligned), the delta-compressed layout
+/// decodes into owned arenas.
+fn decode_labels_section(kind: u32, bytes: &[u8]) -> Result<DistanceOracle<'_>, ServiceError> {
+    if kind == SECTION_LABELS_COMPRESSED {
+        return Ok(DistanceOracle::load(bytes)?);
+    }
+    let (flat, epsilon) = psep_oracle::wire::decode_labels_flat(bytes)?;
+    Ok(DistanceOracle::from_flat(flat, epsilon))
+}
+
+/// Decodes a v2 tables slot by its directory kind (see
+/// [`decode_labels_section`]).
+fn decode_tables_section(kind: u32, bytes: &[u8]) -> Result<RoutingTables<'_>, ServiceError> {
+    if kind == SECTION_TABLES_COMPRESSED {
+        return Ok(RoutingTables::load(bytes)?);
+    }
+    Ok(RoutingTables::from_flat(
+        psep_routing::wire::decode_tables_flat(bytes)?,
+    ))
 }
 
 /// Canonical graph section: `n`, `m`, then edges sorted by `(u, v)`,
@@ -1082,6 +1158,103 @@ mod tests {
             back.route(NodeId(0), NodeId(35)),
             svc.route(NodeId(0), NodeId(35))
         );
+    }
+
+    #[test]
+    fn compressed_bundle_roundtrips_and_shrinks() {
+        let (g, svc) = service();
+        let raw = svc.to_bytes();
+        let compressed = svc.to_bytes_compressed();
+        assert!(
+            compressed.len() < raw.len(),
+            "compressed {} >= raw {}",
+            compressed.len(),
+            raw.len()
+        );
+        // lossless: the loaded service re-emits both forms bit-identically
+        let back = LocationService::from_bytes(&compressed).unwrap();
+        assert_eq!(back.to_bytes_compressed(), compressed);
+        assert_eq!(back.to_bytes(), raw);
+        // the directory reports the compressed kinds, in slot order
+        let (v, secs) = bundle_sections(&compressed).unwrap();
+        assert_eq!(v, BUNDLE_VERSION);
+        assert_eq!(
+            secs.iter().map(|s| s.kind).collect::<Vec<_>>(),
+            vec![
+                SECTION_GRAPH,
+                SECTION_TREE,
+                SECTION_LABELS_COMPRESSED,
+                SECTION_TABLES_COMPRESSED
+            ]
+        );
+        // answers agree with the directly built service on every pair
+        for u in g.nodes() {
+            assert_eq!(back.query(NodeId(0), u), svc.query(NodeId(0), u));
+            assert_eq!(back.route(NodeId(0), u), svc.route(NodeId(0), u));
+        }
+    }
+
+    #[test]
+    fn compressed_bundles_map_via_owned_decode() {
+        let (_, svc) = service();
+        let buf = AlignedBytes::from_slice(&svc.to_bytes_compressed());
+        let mapped = LocationService::map_bytes(&buf).unwrap();
+        // compressed sections decode to owned arenas — never borrowed
+        assert!(!mapped.is_borrowed());
+        assert_eq!(
+            mapped.query(NodeId(0), NodeId(35)),
+            svc.query(NodeId(0), NodeId(35))
+        );
+        assert_eq!(
+            mapped.route(NodeId(0), NodeId(35)),
+            svc.route(NodeId(0), NodeId(35))
+        );
+        mapped.warm().unwrap();
+    }
+
+    #[test]
+    fn mixed_raw_and_compressed_slots_are_rejected_only_when_misplaced() {
+        let (_, svc) = service();
+        // a compressed labels body in the raw labels slot must not pass:
+        // the kind says raw, the body is sealed varints
+        let graph = svc.graph_section_bytes();
+        let tree = svc.tree_section_bytes();
+        let mut labels_c = Vec::new();
+        svc.oracle.save(&mut labels_c).unwrap();
+        let tables = svc
+            .router
+            .with_tables(|t| psep_routing::wire::encode_tables_flat(t.flat()));
+        let spliced = encode_v2([
+            (SECTION_GRAPH, &graph),
+            (SECTION_TREE, &tree),
+            (SECTION_LABELS, &labels_c),
+            (SECTION_TABLES, &tables),
+        ]);
+        assert!(LocationService::from_bytes(&spliced).is_err());
+        // ...while the correctly tagged mixed bundle (compressed labels,
+        // raw tables) loads fine
+        let mixed = encode_v2([
+            (SECTION_GRAPH, &graph),
+            (SECTION_TREE, &tree),
+            (SECTION_LABELS_COMPRESSED, &labels_c),
+            (SECTION_TABLES, &tables),
+        ]);
+        let back = LocationService::from_bytes(&mixed).unwrap();
+        assert_eq!(
+            back.query(NodeId(0), NodeId(35)),
+            svc.query(NodeId(0), NodeId(35))
+        );
+        // a label kind in the tables slot is out of order
+        let swapped = encode_v2([
+            (SECTION_GRAPH, &graph),
+            (SECTION_TREE, &tree),
+            (SECTION_LABELS, &tables),
+            (SECTION_LABELS_COMPRESSED, &labels_c),
+        ]);
+        assert!(matches!(
+            LocationService::from_bytes(&swapped),
+            Err(ServiceError::Wire(WireError::Corrupt(_)))
+        ));
     }
 
     #[test]

@@ -17,6 +17,11 @@ fn sealed_bundle() -> Vec<u8> {
     LocationService::build(&g, ServiceParams::default()).to_bytes()
 }
 
+fn sealed_compressed_bundle() -> Vec<u8> {
+    let g = grids::grid2d(7, 7, 1);
+    LocationService::build(&g, ServiceParams::default()).to_bytes_compressed()
+}
+
 /// Both loaders must reject `data` with an error, not a panic.
 fn assert_rejected(data: &[u8], what: &str) {
     let owned = LocationService::from_bytes(data);
@@ -63,6 +68,26 @@ proptest! {
         let aligned = AlignedBytes::from_slice(&data);
         let _ = LocationService::map_bytes(&aligned);
     }
+
+    /// The delta-compressed container has the same armor: a flipped
+    /// byte anywhere in a compressed bundle must surface as a typed
+    /// error from both loaders.
+    #[test]
+    fn compressed_single_byte_flips_are_rejected(pos_seed in any::<usize>(), mask in 1u8..=255) {
+        let mut bytes = sealed_compressed_bundle();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= mask;
+        assert_rejected(&bytes, &format!("compressed flip at {pos}"));
+    }
+
+    /// Truncated compressed bundles are rejected, never mis-decoded.
+    #[test]
+    fn compressed_truncations_are_rejected(frac in 0.0f64..1.0) {
+        let bytes = sealed_compressed_bundle();
+        let len = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(len < bytes.len());
+        assert_rejected(&bytes[..len], &format!("compressed truncate to {len}"));
+    }
 }
 
 #[test]
@@ -85,5 +110,30 @@ fn every_directory_byte_flip_is_rejected() {
         let mut b = bytes.clone();
         b[pos] ^= 0x01;
         assert_rejected(&b, &format!("flip at {pos}"));
+    }
+}
+
+#[test]
+fn compressed_bundle_roundtrips_losslessly_and_rejects_directory_flips() {
+    let g = grids::grid2d(7, 7, 1);
+    let svc = LocationService::build(&g, ServiceParams::default());
+    let raw = svc.to_bytes();
+    let delta = svc.to_bytes_compressed();
+    assert!(
+        delta.len() < raw.len(),
+        "delta {} >= raw {}",
+        delta.len(),
+        raw.len()
+    );
+    // Loading the compressed container reproduces the exact raw bytes
+    // and the exact compressed bytes — both encodings are canonical.
+    let back = LocationService::from_bytes(&delta).expect("own delta bundle loads");
+    assert_eq!(back.to_bytes(), raw, "delta round-trip is lossy");
+    assert_eq!(back.to_bytes_compressed(), delta, "delta re-encode drifts");
+    // Directory flips on the compressed container are typed errors too.
+    for pos in 0..120.min(delta.len()) {
+        let mut b = delta.clone();
+        b[pos] ^= 0x01;
+        assert_rejected(&b, &format!("compressed flip at {pos}"));
     }
 }
